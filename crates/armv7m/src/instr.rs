@@ -1,0 +1,469 @@
+//! Semantic instruction model for the ARMv7E-M (Thumb-2) subset.
+//!
+//! Unlike the RISC-V side ([`iw_rv32`]), this simulator models instructions
+//! at the *semantic* level: programs are lists of [`ThumbInstr`], branch
+//! targets are instruction indices, and no binary encoding is performed.
+//! This is a documented simplification — the InfiniWolf evaluation only
+//! needs the ARM core's cycle counts and results for hand-written DSP
+//! kernels, both of which are fully determined by instruction semantics and
+//! the per-instruction [`crate::CortexM4Timing`] model.
+
+use core::fmt;
+
+/// A core register `r0`–`r12`, `sp`, `lr`.
+///
+/// The program counter is not addressable in this model (branches use
+/// labels/indices instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct R(u8);
+
+impl R {
+    /// Register `r0`.
+    pub const R0: R = R(0);
+    /// Register `r1`.
+    pub const R1: R = R(1);
+    /// Register `r2`.
+    pub const R2: R = R(2);
+    /// Register `r3`.
+    pub const R3: R = R(3);
+    /// Register `r4`.
+    pub const R4: R = R(4);
+    /// Register `r5`.
+    pub const R5: R = R(5);
+    /// Register `r6`.
+    pub const R6: R = R(6);
+    /// Register `r7`.
+    pub const R7: R = R(7);
+    /// Register `r8`.
+    pub const R8: R = R(8);
+    /// Register `r9`.
+    pub const R9: R = R(9);
+    /// Register `r10`.
+    pub const R10: R = R(10);
+    /// Register `r11`.
+    pub const R11: R = R(11);
+    /// Register `r12`.
+    pub const R12: R = R(12);
+    /// Stack pointer.
+    pub const SP: R = R(13);
+    /// Link register.
+    pub const LR: R = R(14);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 15`.
+    #[must_use]
+    pub const fn new(index: u8) -> R {
+        assert!(index < 15, "core register index out of range");
+        R(index)
+    }
+
+    /// Register index.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for R {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            13 => f.write_str("sp"),
+            14 => f.write_str("lr"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// A single-precision FPU register `s0`–`s31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct S(u8);
+
+impl S {
+    /// Creates an FPU register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub const fn new(index: u8) -> S {
+        assert!(index < 32, "fpu register index out of range");
+        S(index)
+    }
+
+    /// Register index.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for S {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Integer data-processing operation (register-register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DpOp {
+    /// `add rd, rn, rm`
+    Add,
+    /// `sub rd, rn, rm`
+    Sub,
+    /// `and rd, rn, rm`
+    And,
+    /// `orr rd, rn, rm`
+    Orr,
+    /// `eor rd, rn, rm`
+    Eor,
+    /// `lsl rd, rn, rm`
+    Lsl,
+    /// `lsr rd, rn, rm`
+    Lsr,
+    /// `asr rd, rn, rm`
+    Asr,
+    /// `mul rd, rn, rm`
+    Mul,
+    /// `sdiv rd, rn, rm`
+    Sdiv,
+    /// `udiv rd, rn, rm`
+    Udiv,
+}
+
+/// Load/store width with signedness (loads only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LsWidth {
+    /// `ldrb`/`strb`
+    B,
+    /// `ldrsb`
+    Sb,
+    /// `ldrh`/`strh`
+    H,
+    /// `ldrsh`
+    Sh,
+    /// `ldr`/`str`
+    W,
+}
+
+impl LsWidth {
+    /// Access size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            LsWidth::B | LsWidth::Sb => 1,
+            LsWidth::H | LsWidth::Sh => 2,
+            LsWidth::W => 4,
+        }
+    }
+}
+
+/// Addressing mode for loads/stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrMode {
+    /// `[rn, #offset]` — no writeback.
+    Offset,
+    /// `[rn], #offset` — post-indexed: access at `rn`, then `rn += offset`.
+    PostInc,
+}
+
+/// Branch condition codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Always.
+    Al,
+    /// Equal (Z).
+    Eq,
+    /// Not equal (!Z).
+    Ne,
+    /// Signed less than (N != V).
+    Lt,
+    /// Signed greater or equal (N == V).
+    Ge,
+    /// Signed greater than (!Z && N == V).
+    Gt,
+    /// Signed less or equal (Z || N != V).
+    Le,
+    /// Unsigned higher or same (C).
+    Hs,
+    /// Unsigned lower (!C).
+    Lo,
+    /// Negative (N).
+    Mi,
+    /// Positive or zero (!N).
+    Pl,
+}
+
+/// One Thumb-2 instruction at semantic level. Branch targets are indices
+/// into the program's instruction list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // operand fields follow ARM naming (rd/rn/rm/ra)
+pub enum ThumbInstr {
+    /// `movw rd, #imm16` — writes the low half, clears the high half.
+    Movw { rd: R, imm: u16 },
+    /// `movt rd, #imm16` — writes the high half, keeps the low half.
+    Movt { rd: R, imm: u16 },
+    /// `mov rd, rm`
+    MovReg { rd: R, rm: R },
+    /// Register-register data processing.
+    Dp { op: DpOp, rd: R, rn: R, rm: R },
+    /// `add rd, rn, #imm` / `sub` for negative `imm`.
+    AddImm { rd: R, rn: R, imm: i32 },
+    /// `subs rd, rn, #imm` — subtract and set flags (loop counters).
+    SubsImm { rd: R, rn: R, imm: i32 },
+    /// `lsl rd, rm, #shamt`
+    LslImm { rd: R, rm: R, shamt: u8 },
+    /// `lsr rd, rm, #shamt`
+    LsrImm { rd: R, rm: R, shamt: u8 },
+    /// `asr rd, rm, #shamt`
+    AsrImm { rd: R, rm: R, shamt: u8 },
+    /// `mla rd, rn, rm, ra` — `rd = ra + rn*rm` (low 32 bits).
+    Mla { rd: R, rn: R, rm: R, ra: R },
+    /// `mls rd, rn, rm, ra` — `rd = ra - rn*rm`.
+    Mls { rd: R, rn: R, rm: R, ra: R },
+    /// `smull rdlo, rdhi, rn, rm` — signed 64-bit multiply.
+    Smull { rdlo: R, rdhi: R, rn: R, rm: R },
+    /// `smlal rdlo, rdhi, rn, rm` — signed 64-bit multiply-accumulate.
+    Smlal { rdlo: R, rdhi: R, rn: R, rm: R },
+    /// `smlad rd, rn, rm, ra` — dual 16×16 multiply-accumulate:
+    /// `rd = ra + rn[15:0]·rm[15:0] + rn[31:16]·rm[31:16]` (DSP extension).
+    Smlad { rd: R, rn: R, rm: R, ra: R },
+    /// `ssat rd, #sat, rn` — signed saturate to `sat` bits.
+    Ssat { rd: R, sat: u8, rn: R },
+    /// Load.
+    Ldr {
+        width: LsWidth,
+        rt: R,
+        rn: R,
+        offset: i32,
+        mode: AddrMode,
+    },
+    /// Store (signed widths invalid).
+    Str {
+        width: LsWidth,
+        rt: R,
+        rn: R,
+        offset: i32,
+        mode: AddrMode,
+    },
+    /// `cmp rn, rm` — sets NZCV.
+    Cmp { rn: R, rm: R },
+    /// `cmp rn, #imm`
+    CmpImm { rn: R, imm: i32 },
+    /// Conditional branch to an instruction index.
+    B { cond: Cond, target: usize },
+    /// `nop`
+    Nop,
+    /// `bkpt` — halts the simulated core.
+    Bkpt,
+
+    // ---- VFPv4 single precision (Cortex-M4F) ----
+    /// `vldr.f32 sd, [rn, #offset]`
+    Vldr { sd: S, rn: R, offset: i32 },
+    /// `vldr.f32` post-indexed equivalent (`vldmia rn!, {sd}`).
+    VldrPost { sd: S, rn: R, offset: i32 },
+    /// `vstr.f32 sd, [rn, #offset]`
+    Vstr { sd: S, rn: R, offset: i32 },
+    /// `vmov.f32 sd, sm`
+    VmovF { sd: S, sm: S },
+    /// `vmov sd, rt` — int register to FPU register (bit pattern).
+    VmovToS { sd: S, rt: R },
+    /// `vmov rt, sm` — FPU register to int register (bit pattern).
+    VmovFromS { rt: R, sm: S },
+    /// `vadd.f32 sd, sn, sm`
+    Vadd { sd: S, sn: S, sm: S },
+    /// `vsub.f32 sd, sn, sm`
+    Vsub { sd: S, sn: S, sm: S },
+    /// `vmul.f32 sd, sn, sm`
+    Vmul { sd: S, sn: S, sm: S },
+    /// `vmla.f32 sd, sn, sm` — `sd += sn * sm` (chained, not fused).
+    Vmla { sd: S, sn: S, sm: S },
+    /// `vdiv.f32 sd, sn, sm`
+    Vdiv { sd: S, sn: S, sm: S },
+    /// `vabs.f32 sd, sm`
+    Vabs { sd: S, sm: S },
+    /// `vneg.f32 sd, sm`
+    Vneg { sd: S, sm: S },
+    /// `vcvt.f32.s32 sd, sm` — int to float.
+    VcvtF32S32 { sd: S, sm: S },
+    /// `vcvt.s32.f32 sd, sm` — float to int, round toward zero.
+    VcvtS32F32 { sd: S, sm: S },
+    /// `vcmp.f32 sn, sm` — sets FPSCR flags.
+    Vcmp { sn: S, sm: S },
+    /// `vmrs APSR_nzcv, fpscr` — copies FPSCR flags to APSR.
+    Vmrs,
+}
+
+impl ThumbInstr {
+    /// `true` for integer or FPU loads (used for the M4 load-pipelining
+    /// timing discount).
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            ThumbInstr::Ldr { .. } | ThumbInstr::Vldr { .. } | ThumbInstr::VldrPost { .. }
+        )
+    }
+}
+
+impl fmt::Display for ThumbInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn ls_name(width: LsWidth, load: bool) -> &'static str {
+            match (width, load) {
+                (LsWidth::B, true) => "ldrb",
+                (LsWidth::Sb, true) => "ldrsb",
+                (LsWidth::H, true) => "ldrh",
+                (LsWidth::Sh, true) => "ldrsh",
+                (LsWidth::W, true) => "ldr",
+                (LsWidth::B, false) => "strb",
+                (LsWidth::H, false) => "strh",
+                _ => "str",
+            }
+        }
+        fn addr(
+            f: &mut fmt::Formatter<'_>,
+            rn: R,
+            offset: i32,
+            mode: AddrMode,
+        ) -> fmt::Result {
+            match mode {
+                AddrMode::Offset => write!(f, "[{rn}, #{offset}]"),
+                AddrMode::PostInc => write!(f, "[{rn}], #{offset}"),
+            }
+        }
+        match *self {
+            ThumbInstr::Movw { rd, imm } => write!(f, "movw {rd}, #{imm}"),
+            ThumbInstr::Movt { rd, imm } => write!(f, "movt {rd}, #{imm}"),
+            ThumbInstr::MovReg { rd, rm } => write!(f, "mov {rd}, {rm}"),
+            ThumbInstr::Dp { op, rd, rn, rm } => {
+                let name = match op {
+                    DpOp::Add => "add",
+                    DpOp::Sub => "sub",
+                    DpOp::And => "and",
+                    DpOp::Orr => "orr",
+                    DpOp::Eor => "eor",
+                    DpOp::Lsl => "lsl",
+                    DpOp::Lsr => "lsr",
+                    DpOp::Asr => "asr",
+                    DpOp::Mul => "mul",
+                    DpOp::Sdiv => "sdiv",
+                    DpOp::Udiv => "udiv",
+                };
+                write!(f, "{name} {rd}, {rn}, {rm}")
+            }
+            ThumbInstr::AddImm { rd, rn, imm } => write!(f, "add {rd}, {rn}, #{imm}"),
+            ThumbInstr::SubsImm { rd, rn, imm } => write!(f, "subs {rd}, {rn}, #{imm}"),
+            ThumbInstr::LslImm { rd, rm, shamt } => write!(f, "lsl {rd}, {rm}, #{shamt}"),
+            ThumbInstr::LsrImm { rd, rm, shamt } => write!(f, "lsr {rd}, {rm}, #{shamt}"),
+            ThumbInstr::AsrImm { rd, rm, shamt } => write!(f, "asr {rd}, {rm}, #{shamt}"),
+            ThumbInstr::Mla { rd, rn, rm, ra } => write!(f, "mla {rd}, {rn}, {rm}, {ra}"),
+            ThumbInstr::Mls { rd, rn, rm, ra } => write!(f, "mls {rd}, {rn}, {rm}, {ra}"),
+            ThumbInstr::Smull { rdlo, rdhi, rn, rm } => {
+                write!(f, "smull {rdlo}, {rdhi}, {rn}, {rm}")
+            }
+            ThumbInstr::Smlal { rdlo, rdhi, rn, rm } => {
+                write!(f, "smlal {rdlo}, {rdhi}, {rn}, {rm}")
+            }
+            ThumbInstr::Smlad { rd, rn, rm, ra } => {
+                write!(f, "smlad {rd}, {rn}, {rm}, {ra}")
+            }
+            ThumbInstr::Ssat { rd, sat, rn } => write!(f, "ssat {rd}, #{sat}, {rn}"),
+            ThumbInstr::Ldr {
+                width,
+                rt,
+                rn,
+                offset,
+                mode,
+            } => {
+                write!(f, "{} {rt}, ", ls_name(width, true))?;
+                addr(f, rn, offset, mode)
+            }
+            ThumbInstr::Str {
+                width,
+                rt,
+                rn,
+                offset,
+                mode,
+            } => {
+                write!(f, "{} {rt}, ", ls_name(width, false))?;
+                addr(f, rn, offset, mode)
+            }
+            ThumbInstr::Cmp { rn, rm } => write!(f, "cmp {rn}, {rm}"),
+            ThumbInstr::CmpImm { rn, imm } => write!(f, "cmp {rn}, #{imm}"),
+            ThumbInstr::B { cond, target } => {
+                let suffix = match cond {
+                    Cond::Al => "",
+                    Cond::Eq => "eq",
+                    Cond::Ne => "ne",
+                    Cond::Lt => "lt",
+                    Cond::Ge => "ge",
+                    Cond::Gt => "gt",
+                    Cond::Le => "le",
+                    Cond::Hs => "hs",
+                    Cond::Lo => "lo",
+                    Cond::Mi => "mi",
+                    Cond::Pl => "pl",
+                };
+                write!(f, "b{suffix} @{target}")
+            }
+            ThumbInstr::Nop => f.write_str("nop"),
+            ThumbInstr::Bkpt => f.write_str("bkpt"),
+            ThumbInstr::Vldr { sd, rn, offset } => {
+                write!(f, "vldr.f32 {sd}, [{rn}, #{offset}]")
+            }
+            ThumbInstr::VldrPost { sd, rn, offset } => {
+                write!(f, "vldmia {rn}!, {{{sd}}} ; +{offset}")
+            }
+            ThumbInstr::Vstr { sd, rn, offset } => {
+                write!(f, "vstr.f32 {sd}, [{rn}, #{offset}]")
+            }
+            ThumbInstr::VmovF { sd, sm } => write!(f, "vmov.f32 {sd}, {sm}"),
+            ThumbInstr::VmovToS { sd, rt } => write!(f, "vmov {sd}, {rt}"),
+            ThumbInstr::VmovFromS { rt, sm } => write!(f, "vmov {rt}, {sm}"),
+            ThumbInstr::Vadd { sd, sn, sm } => write!(f, "vadd.f32 {sd}, {sn}, {sm}"),
+            ThumbInstr::Vsub { sd, sn, sm } => write!(f, "vsub.f32 {sd}, {sn}, {sm}"),
+            ThumbInstr::Vmul { sd, sn, sm } => write!(f, "vmul.f32 {sd}, {sn}, {sm}"),
+            ThumbInstr::Vmla { sd, sn, sm } => write!(f, "vmla.f32 {sd}, {sn}, {sm}"),
+            ThumbInstr::Vdiv { sd, sn, sm } => write!(f, "vdiv.f32 {sd}, {sn}, {sm}"),
+            ThumbInstr::Vabs { sd, sm } => write!(f, "vabs.f32 {sd}, {sm}"),
+            ThumbInstr::Vneg { sd, sm } => write!(f, "vneg.f32 {sd}, {sm}"),
+            ThumbInstr::VcvtF32S32 { sd, sm } => write!(f, "vcvt.f32.s32 {sd}, {sm}"),
+            ThumbInstr::VcvtS32F32 { sd, sm } => write!(f, "vcvt.s32.f32 {sd}, {sm}"),
+            ThumbInstr::Vcmp { sn, sm } => write!(f, "vcmp.f32 {sn}, {sm}"),
+            ThumbInstr::Vmrs => f.write_str("vmrs APSR_nzcv, fpscr"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_display() {
+        assert_eq!(R::R3.to_string(), "r3");
+        assert_eq!(R::SP.to_string(), "sp");
+        assert_eq!(S::new(7).to_string(), "s7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pc_is_not_addressable() {
+        let _ = R::new(15);
+    }
+
+    #[test]
+    fn load_classification() {
+        let l = ThumbInstr::Ldr {
+            width: LsWidth::W,
+            rt: R::R0,
+            rn: R::R1,
+            offset: 0,
+            mode: AddrMode::Offset,
+        };
+        assert!(l.is_load());
+        assert!(!ThumbInstr::Nop.is_load());
+    }
+}

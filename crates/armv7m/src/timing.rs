@@ -1,0 +1,79 @@
+//! Cortex-M4F cycle model.
+
+/// Per-instruction cycle costs for the Cortex-M4F (ARMv7E-M, 3-stage
+/// pipeline with a single AHB data port and the FPv4-SP FPU).
+///
+/// Values follow the ARM Cortex-M4 Technical Reference Manual instruction
+/// timing table: single-cycle ALU and 32-bit MAC, 2-cycle loads that
+/// pipeline back-to-back, 2..12-cycle `sdiv` (a fixed representative cost
+/// is used — the model is data-independent), and a 3-cycle pipeline refill
+/// on taken branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CortexM4Timing {
+    /// ALU / mov / compare / saturate.
+    pub alu: u32,
+    /// 32×32→32 multiply.
+    pub mul: u32,
+    /// `mla`/`mls`.
+    pub mla: u32,
+    /// `smull`/`smlal`.
+    pub smull: u32,
+    /// `sdiv`/`udiv` representative cost.
+    pub sdiv: u32,
+    /// First load of a sequence.
+    pub ldr: u32,
+    /// A load immediately following another load.
+    pub ldr_pipelined: u32,
+    /// Store (write buffer).
+    pub str: u32,
+    /// Taken branch (pipeline refill).
+    pub branch_taken: u32,
+    /// Not-taken branch.
+    pub branch_not_taken: u32,
+    /// `vldr` first of a sequence.
+    pub vldr: u32,
+    /// `vldr` following another load.
+    pub vldr_pipelined: u32,
+    /// `vadd`/`vsub`/`vmul`/`vcvt`/`vcmp`.
+    pub vfp_alu: u32,
+    /// `vmla.f32` (chained multiply-add).
+    pub vmla: u32,
+    /// `vdiv.f32`.
+    pub vdiv: u32,
+}
+
+impl Default for CortexM4Timing {
+    fn default() -> CortexM4Timing {
+        CortexM4Timing {
+            alu: 1,
+            mul: 1,
+            mla: 1,
+            smull: 1,
+            sdiv: 7,
+            ldr: 2,
+            ldr_pipelined: 1,
+            str: 1,
+            branch_taken: 3,
+            branch_not_taken: 1,
+            vldr: 2,
+            vldr_pipelined: 1,
+            vfp_alu: 1,
+            vmla: 3,
+            vdiv: 14,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reflect_trm() {
+        let t = CortexM4Timing::default();
+        assert_eq!(t.alu, 1);
+        assert_eq!(t.ldr, 2);
+        assert_eq!(t.ldr_pipelined, 1);
+        assert!(t.vdiv > t.vmla);
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion benches for the harvesting models (Tables I/II drivers) and
+//! the day-scale battery simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iw_harvest::{
+    daily_intake, simulate_battery, Battery, EnvProfile, LightCondition, SolarHarvester,
+    TegHarvester, ThermalCondition,
+};
+
+fn bench_models(c: &mut Criterion) {
+    let solar = SolarHarvester::infiniwolf();
+    let teg = TegHarvester::infiniwolf();
+    c.bench_function("solar_point", |b| {
+        b.iter(|| solar.battery_intake_w(&LightCondition::indoor()));
+    });
+    c.bench_function("teg_point", |b| {
+        b.iter(|| teg.battery_intake_w(&ThermalCondition::cool_windy()));
+    });
+    c.bench_function("daily_intake", |b| {
+        b.iter(|| daily_intake(&EnvProfile::paper_indoor_day(), &solar, &teg));
+    });
+}
+
+fn bench_day_simulation(c: &mut Criterion) {
+    let solar = SolarHarvester::infiniwolf();
+    let teg = TegHarvester::infiniwolf();
+    let mut group = c.benchmark_group("battery_day_sim");
+    group.sample_size(10);
+    group.bench_function("dt_10s", |b| {
+        b.iter(|| {
+            let mut battery = Battery::infiniwolf();
+            battery.set_soc(0.5);
+            simulate_battery(
+                &EnvProfile::paper_indoor_day(),
+                &solar,
+                &teg,
+                &mut battery,
+                |_, _| 250e-6,
+                10.0,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_day_simulation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches over the inference targets (Tables III/IV drivers)
+//! and the A1 core sweep.
+//!
+//! These measure *simulator wall-clock*; the architectural metric (cycles)
+//! is what the `tables` binary reports. Benchmarking the simulation keeps
+//! the harness honest about its own cost and catches performance
+//! regressions in the ISS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iw_bench::evaluation_nets;
+use iw_kernels::{run_fixed, run_m4_float, FixedTarget};
+
+fn bench_targets(c: &mut Criterion) {
+    let [(_, net_a, fixed_a, qin_a), _] = evaluation_nets();
+    let mut group = c.benchmark_group("network_a_inference");
+    group.sample_size(10);
+    for target in FixedTarget::paper_targets() {
+        group.bench_with_input(
+            BenchmarkId::new("fixed", target.name()),
+            &target,
+            |b, &target| {
+                b.iter(|| run_fixed(target, &fixed_a, &qin_a).expect("runs"));
+            },
+        );
+    }
+    group.bench_function("float_m4", |b| {
+        b.iter(|| run_m4_float(&net_a, &[0.1, -0.2, 0.4, 0.0, -0.6]).expect("runs"));
+    });
+    group.finish();
+}
+
+fn bench_core_sweep(c: &mut Criterion) {
+    let [(_, _, fixed_a, qin_a), _] = evaluation_nets();
+    let mut group = c.benchmark_group("cluster_core_sweep");
+    group.sample_size(10);
+    for cores in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
+            b.iter(|| run_fixed(FixedTarget::WolfCluster { cores }, &fixed_a, &qin_a).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_targets, bench_core_sweep);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches for the signal-processing pipeline: synthesis,
+//! R-peak detection and feature extraction (the X2 feature stage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iw_biosig::{detect_r_peaks, extract_features, FeatureConfig, RPeakConfig};
+use iw_sensors::{generate_dataset, synth_ecg, DatasetConfig, EcgConfig, StressLevel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_signal_path(c: &mut Criterion) {
+    let ecg_cfg = EcgConfig::default();
+    let seg = synth_ecg(
+        &mut StdRng::seed_from_u64(1),
+        StressLevel::Medium,
+        60.0,
+        &ecg_cfg,
+    );
+    c.bench_function("synth_ecg_60s", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| synth_ecg(&mut rng, StressLevel::Medium, 60.0, &ecg_cfg));
+    });
+    c.bench_function("pan_tompkins_60s", |b| {
+        let cfg = RPeakConfig::new(ecg_cfg.fs_hz);
+        b.iter(|| detect_r_peaks(&seg.samples, &cfg));
+    });
+
+    let ds_cfg = DatasetConfig {
+        windows_per_level: 1,
+        window_s: 60.0,
+        ..DatasetConfig::default()
+    };
+    let windows = generate_dataset(&mut StdRng::seed_from_u64(3), &ds_cfg);
+    let fc = FeatureConfig::new(ds_cfg.ecg.fs_hz, ds_cfg.gsr.fs_hz);
+    c.bench_function("extract_features_60s_window", |b| {
+        b.iter(|| extract_features(&windows[0], &fc));
+    });
+}
+
+criterion_group!(benches, bench_signal_path);
+criterion_main!(benches);

@@ -1,0 +1,264 @@
+//! Regenerates every table, figure and in-text result of the InfiniWolf
+//! paper, plus the DESIGN.md ablations.
+//!
+//! ```text
+//! cargo run --release -p iw-bench --bin tables            # everything
+//! cargo run --release -p iw-bench --bin tables -- t3 x1   # a subset
+//! ```
+
+use iw_bench::Row;
+
+fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    println!(
+        "  {:<34} {:>12} {:>12} {:>7}",
+        "condition / platform", "ours", "paper", "ratio"
+    );
+    for row in rows {
+        let paper = row
+            .paper
+            .map_or("—".to_string(), |p| format!("{p:.3}"));
+        let ratio = row
+            .ratio()
+            .map_or("—".to_string(), |r| format!("{r:.2}"));
+        println!(
+            "  {:<34} {:>9.3} {:>2} {:>9} {:>9}",
+            row.label, row.ours, row.unit, paper, ratio
+        );
+    }
+}
+
+fn t1() {
+    print_rows(
+        "Table I — solar power generation (into battery)",
+        &iw_bench::table1(),
+    );
+}
+
+fn t2() {
+    print_rows(
+        "Table II — wrist TEG power harvesting",
+        &iw_bench::table2(),
+    );
+}
+
+fn t3t4() {
+    for (name, rows) in iw_bench::table3_and_4() {
+        let cycles: Vec<Row> = rows.iter().map(|(c, _)| c.clone()).collect();
+        let energy: Vec<Row> = rows.iter().map(|(_, e)| e.clone()).collect();
+        print_rows(&format!("Table III — runtime cycles, {name}"), &cycles);
+        print_rows(
+            &format!("Table IV — energy per classification, {name}"),
+            &energy,
+        );
+        // The headline speedups the paper quotes against the M4.
+        let m4 = cycles[0].ours;
+        println!("  speedup vs ARM Cortex-M4:");
+        for row in &cycles[1..] {
+            println!(
+                "    {:<32} {:.2}x (paper {:.2}x)",
+                row.label,
+                m4 / row.ours,
+                PAPER_M4_SPEEDUP(&cycles, row)
+            );
+        }
+    }
+}
+
+#[allow(non_snake_case)]
+fn PAPER_M4_SPEEDUP(cycles: &[Row], row: &Row) -> f64 {
+    let m4_paper = cycles[0].paper.unwrap_or(f64::NAN);
+    m4_paper / row.paper.unwrap_or(f64::NAN)
+}
+
+fn f3() {
+    print_rows(
+        "Fig. 3 — Network A architecture (5-50-50-3, tanh)",
+        &iw_bench::fig3(),
+    );
+}
+
+fn x1() {
+    print_rows(
+        "In-text X1 — M4F float vs fixed point (Network A)",
+        &iw_bench::x1_float_vs_fixed(),
+    );
+}
+
+fn x2() {
+    let (_, rows) = iw_bench::x2_detection_budget();
+    print_rows("In-text X2 — per-detection energy budget", &rows);
+}
+
+fn x3() {
+    print_rows(
+        "In-text X3 — self-sustainability (6 h indoor light)",
+        &iw_bench::x3_sustainability(),
+    );
+}
+
+fn a1() {
+    println!("\n== A1 — cluster core-count sweep ==");
+    for (name, rows) in iw_bench::a1_core_sweep() {
+        println!("  {name}:");
+        for (cores, cycles, speedup) in rows {
+            println!("    {cores} core(s): {cycles:>8} cycles  ({speedup:.2}x vs 1 core)");
+        }
+    }
+}
+
+fn a2() {
+    println!("\n== A2 — Xpulp feature ablation (single RI5CY) ==");
+    for (name, rows) in iw_bench::a2_xpulp_ablation() {
+        println!("  {name}:");
+        let base = rows.last().map_or(1, |(_, c)| *c);
+        for (label, cycles) in &rows {
+            println!(
+                "    {label:<38} {cycles:>8} cycles  ({:.2}x vs plain RV32IM)",
+                base as f64 / *cycles as f64
+            );
+        }
+    }
+}
+
+fn a3() {
+    println!("\n== A3 — TCDM bank count (8 cores, Network A) ==");
+    for (banks, cycles, stalls) in iw_bench::a3_tcdm_banks() {
+        println!("    {banks:>2} banks: {cycles:>7} cycles, {stalls:>6} conflict stalls");
+    }
+}
+
+fn a4() {
+    let (lux, dt) = iw_bench::a4_harvest_sweeps();
+    println!("\n== A4 — harvesting interpolation sweeps ==");
+    println!("  solar (illuminance -> battery intake):");
+    for (l, p) in lux {
+        println!("    {l:>8.0} lx : {p:>8.3} mW");
+    }
+    println!("  TEG (skin-ambient gradient -> battery intake, still air):");
+    for (d, p) in dt {
+        println!("    dT {d:>4.1} K : {p:>8.2} uW");
+    }
+}
+
+fn a5() {
+    print_rows(
+        "A5 — sustainable detection rate per environment",
+        &iw_bench::a5_environment_rates(),
+    );
+}
+
+fn a6() {
+    print_rows(
+        "A6 — local inference vs BLE raw streaming (per 3 s window)",
+        &iw_bench::a6_local_vs_streaming(),
+    );
+}
+
+fn a7() {
+    println!("\n== A7 — extension: 16-bit SIMD (Q15) vs 32-bit fixed ==");
+    for (name, rows) in iw_bench::a7_q15_simd() {
+        println!("  {name}:");
+        for (platform, q31, q15) in rows {
+            println!(
+                "    {platform:<28} q31 {q31:>8}  q15 {q15:>8}  ({:.2}x faster)",
+                q31 as f64 / q15 as f64
+            );
+        }
+    }
+}
+
+fn a8() {
+    println!("\n== A8 — extension: leave-one-subject-out generalisation ==");
+    let report = iw_bench::a8_loso();
+    for (i, acc) in report.per_subject_accuracy.iter().enumerate() {
+        println!("    held-out subject {i}: {:.1}% accuracy", acc * 100.0);
+    }
+    println!("    mean: {:.1}%", report.mean_accuracy * 100.0);
+}
+
+fn a9() {
+    println!("\n== A9 — extension: Network B weight streaming (8 cores) ==");
+    let (direct, tiled, breakdown) = iw_bench::a9_netb_weight_streaming();
+    println!("    direct L2 access : {direct:>7} cycles (paper-faithful kernel)");
+    println!(
+        "    DMA double-buffer: {tiled:>7} cycles estimate ({:.2}x faster)",
+        direct as f64 / tiled as f64
+    );
+    let (compute, dma): (u64, u64) = breakdown
+        .iter()
+        .fold((0, 0), |(c, d), &(_, ci, di)| (c + ci, d + di));
+    println!("    totals: {compute} compute-in-TCDM cycles, {dma} DMA cycles across {} layers", breakdown.len());
+}
+
+fn a10() {
+    println!("\n== A10 — extension: cycle breakdown, Network A per target ==");
+    for (target, wall_cycles, rows) in iw_bench::a10_cycle_breakdown() {
+        println!("  {target} ({wall_cycles} wall cycles incl. stalls/offload):");
+        for (label, cycles, share) in rows {
+            println!("    {label:<10} {cycles:>8} cycles  {:>5.1}%", share * 100.0);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run_all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |key: &str| run_all || args.iter().any(|a| a == key);
+
+    println!("InfiniWolf reproduction — experiment harness");
+    println!("(absolute-number matches are not expected on a simulator; the");
+    println!(" paper column is shown so the shape can be judged per row)");
+
+    if want("t1") {
+        t1();
+    }
+    if want("t2") {
+        t2();
+    }
+    if want("t3") || want("t4") {
+        t3t4();
+    }
+    if want("f3") {
+        f3();
+    }
+    if want("x1") {
+        x1();
+    }
+    if want("x2") {
+        x2();
+    }
+    if want("x3") {
+        x3();
+    }
+    if want("a1") {
+        a1();
+    }
+    if want("a2") {
+        a2();
+    }
+    if want("a3") {
+        a3();
+    }
+    if want("a4") {
+        a4();
+    }
+    if want("a5") {
+        a5();
+    }
+    if want("a6") {
+        a6();
+    }
+    if want("a7") {
+        a7();
+    }
+    if want("a8") {
+        a8();
+    }
+    if want("a9") {
+        a9();
+    }
+    if want("a10") {
+        a10();
+    }
+}

@@ -1,0 +1,196 @@
+//! Electrodermal-activity features: GSR slope detection, following
+//! Bakker et al. (ICDMW 2011), the method the paper cites for its GSRL and
+//! GSRH features.
+//!
+//! A *slope* is a sustained rising edge of the skin-conductance signal;
+//! its **height** (GSRH) is the conductance climb and its **length**
+//! (GSRL) the climb duration.
+
+use crate::filter::LowPass;
+
+/// One detected rising slope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GsrSlope {
+    /// Onset sample index.
+    pub onset: usize,
+    /// Peak sample index.
+    pub peak: usize,
+    /// Conductance climb, µS (GSRH for this slope).
+    pub height_us: f64,
+    /// Climb duration, seconds (GSRL for this slope).
+    pub length_s: f64,
+}
+
+/// Slope-detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdaConfig {
+    /// Sample rate, hertz.
+    pub fs_hz: f64,
+    /// Smoothing cutoff, hertz.
+    pub smooth_hz: f32,
+    /// Minimum rising derivative to open a slope, µS/s.
+    pub onset_slope_us_per_s: f64,
+    /// Minimum height for a slope to count, µS.
+    pub min_height_us: f64,
+}
+
+impl EdaConfig {
+    /// Defaults for a given sample rate.
+    #[must_use]
+    pub fn new(fs_hz: f64) -> EdaConfig {
+        EdaConfig {
+            fs_hz,
+            smooth_hz: 1.0,
+            onset_slope_us_per_s: 0.05,
+            min_height_us: 0.05,
+        }
+    }
+}
+
+/// Detects rising slopes in a GSR signal.
+///
+/// # Examples
+///
+/// ```
+/// use iw_biosig::{detect_gsr_slopes, EdaConfig};
+/// use iw_sensors::{synth_gsr, GsrConfig, StressLevel};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let cfg = GsrConfig::default();
+/// let seg = synth_gsr(&mut StdRng::seed_from_u64(5), StressLevel::High, 120.0, &cfg);
+/// let slopes = detect_gsr_slopes(&seg.samples, &EdaConfig::new(cfg.fs_hz));
+/// assert!(!slopes.is_empty());
+/// ```
+#[must_use]
+pub fn detect_gsr_slopes(samples: &[f32], cfg: &EdaConfig) -> Vec<GsrSlope> {
+    if samples.len() < 4 {
+        return Vec::new();
+    }
+    let smoothed = LowPass::new(cfg.smooth_hz, cfg.fs_hz as f32).filter(samples);
+    let thr = (cfg.onset_slope_us_per_s / cfg.fs_hz) as f32;
+
+    let mut slopes = Vec::new();
+    let mut onset: Option<usize> = None;
+    for i in 1..smoothed.len() {
+        let rising = smoothed[i] - smoothed[i - 1] > thr;
+        match (onset, rising) {
+            (None, true) => onset = Some(i - 1),
+            (Some(start), false) => {
+                let peak = i - 1;
+                let height = f64::from(smoothed[peak] - smoothed[start]);
+                if height >= cfg.min_height_us {
+                    slopes.push(GsrSlope {
+                        onset: start,
+                        peak,
+                        height_us: height,
+                        length_s: (peak - start) as f64 / cfg.fs_hz,
+                    });
+                }
+                onset = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(start) = onset {
+        let peak = smoothed.len() - 1;
+        let height = f64::from(smoothed[peak] - smoothed[start]);
+        if height >= cfg.min_height_us {
+            slopes.push(GsrSlope {
+                onset: start,
+                peak,
+                height_us: height,
+                length_s: (peak - start) as f64 / cfg.fs_hz,
+            });
+        }
+    }
+    slopes
+}
+
+/// Window-level EDA features: the paper's GSRH and GSRL.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EdaFeatures {
+    /// Mean slope height over the window, µS.
+    pub gsrh_us: f64,
+    /// Mean slope length over the window, seconds.
+    pub gsrl_s: f64,
+    /// Number of slopes detected.
+    pub slope_count: usize,
+}
+
+/// Aggregates detected slopes into window features (zeros when no slope
+/// was found).
+#[must_use]
+pub fn eda_features(slopes: &[GsrSlope]) -> EdaFeatures {
+    if slopes.is_empty() {
+        return EdaFeatures::default();
+    }
+    let n = slopes.len() as f64;
+    EdaFeatures {
+        gsrh_us: slopes.iter().map(|s| s.height_us).sum::<f64>() / n,
+        gsrl_s: slopes.iter().map(|s| s.length_s).sum::<f64>() / n,
+        slope_count: slopes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_sensors::{synth_gsr, GsrConfig, StressLevel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flat_signal_has_no_slopes() {
+        let cfg = EdaConfig::new(16.0);
+        let slopes = detect_gsr_slopes(&[4.0; 200], &cfg);
+        assert!(slopes.is_empty());
+    }
+
+    #[test]
+    fn single_ramp_detected_with_correct_height() {
+        let cfg = EdaConfig::new(16.0);
+        let mut xs = vec![2.0f32; 64];
+        // Ramp up 1 µS over 2 s, then hold.
+        for i in 0..32 {
+            xs.push(2.0 + (i as f32 + 1.0) / 32.0);
+        }
+        xs.extend(vec![3.0f32; 64]);
+        let slopes = detect_gsr_slopes(&xs, &cfg);
+        assert_eq!(slopes.len(), 1, "{slopes:?}");
+        assert!((slopes[0].height_us - 1.0).abs() < 0.2, "{slopes:?}");
+        assert!(slopes[0].length_s > 1.0 && slopes[0].length_s < 4.0);
+    }
+
+    #[test]
+    fn stress_increases_slope_count_and_height() {
+        let gsr_cfg = GsrConfig::default();
+        let eda_cfg = EdaConfig::new(gsr_cfg.fs_hz);
+        let mut calm_count = 0usize;
+        let mut tense_count = 0usize;
+        for seed in 0..5 {
+            let calm = synth_gsr(
+                &mut StdRng::seed_from_u64(seed),
+                StressLevel::None,
+                180.0,
+                &gsr_cfg,
+            );
+            let tense = synth_gsr(
+                &mut StdRng::seed_from_u64(100 + seed),
+                StressLevel::High,
+                180.0,
+                &gsr_cfg,
+            );
+            calm_count += detect_gsr_slopes(&calm.samples, &eda_cfg).len();
+            tense_count += detect_gsr_slopes(&tense.samples, &eda_cfg).len();
+        }
+        assert!(
+            tense_count > 2 * calm_count,
+            "calm {calm_count} vs tense {tense_count}"
+        );
+    }
+
+    #[test]
+    fn features_of_empty_slopes_are_zero() {
+        assert_eq!(eda_features(&[]), EdaFeatures::default());
+    }
+}

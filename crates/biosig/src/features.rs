@@ -1,0 +1,249 @@
+//! The paper's five-feature vector and the window → features pipeline.
+
+use iw_sensors::WindowRecord;
+
+use crate::eda::{detect_gsr_slopes, eda_features, EdaConfig};
+use crate::hrv::hrv_features;
+use crate::rpeaks::{detect_r_peaks, rr_intervals, RPeakConfig};
+
+/// The five features of the paper's Fig. 3, in network input order:
+/// RMSSD, SDSD, NN50, GSRL, GSRH.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FeatureVector {
+    /// RMSSD of the RR series, seconds.
+    pub rmssd: f64,
+    /// SDSD of the RR series, seconds.
+    pub sdsd: f64,
+    /// NN50 count.
+    pub nn50: f64,
+    /// Mean GSR slope length, seconds.
+    pub gsrl: f64,
+    /// Mean GSR slope height, µS.
+    pub gsrh: f64,
+}
+
+impl FeatureVector {
+    /// The features as an array in network input order.
+    #[must_use]
+    pub fn to_array(self) -> [f64; 5] {
+        [self.rmssd, self.sdsd, self.nn50, self.gsrl, self.gsrh]
+    }
+
+    /// Builds a vector from the network-order array.
+    #[must_use]
+    pub fn from_array(a: [f64; 5]) -> FeatureVector {
+        FeatureVector {
+            rmssd: a[0],
+            sdsd: a[1],
+            nn50: a[2],
+            gsrl: a[3],
+            gsrh: a[4],
+        }
+    }
+}
+
+/// Feature-extraction configuration (detector settings per signal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureConfig {
+    /// R-peak detector settings.
+    pub rpeak: RPeakConfig,
+    /// GSR slope detector settings.
+    pub eda: EdaConfig,
+}
+
+impl FeatureConfig {
+    /// Defaults for the given ECG and GSR sample rates.
+    #[must_use]
+    pub fn new(ecg_fs_hz: f64, gsr_fs_hz: f64) -> FeatureConfig {
+        FeatureConfig {
+            rpeak: RPeakConfig::new(ecg_fs_hz),
+            eda: EdaConfig::new(gsr_fs_hz),
+        }
+    }
+}
+
+/// Extracts the five features from one labelled window.
+///
+/// # Examples
+///
+/// ```
+/// use iw_biosig::{extract_features, FeatureConfig};
+/// use iw_sensors::{generate_dataset, DatasetConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let cfg = DatasetConfig { windows_per_level: 1, window_s: 30.0, ..DatasetConfig::default() };
+/// let data = generate_dataset(&mut StdRng::seed_from_u64(2), &cfg);
+/// let fc = FeatureConfig::new(cfg.ecg.fs_hz, cfg.gsr.fs_hz);
+/// let f = extract_features(&data[0], &fc);
+/// assert!(f.rmssd > 0.0);
+/// ```
+#[must_use]
+pub fn extract_features(window: &WindowRecord, cfg: &FeatureConfig) -> FeatureVector {
+    let peaks = detect_r_peaks(&window.ecg.samples, &cfg.rpeak);
+    let rr = rr_intervals(&peaks, cfg.rpeak.fs_hz);
+    let hrv = hrv_features(&rr);
+    let slopes = detect_gsr_slopes(&window.gsr.samples, &cfg.eda);
+    let eda = eda_features(&slopes);
+    FeatureVector {
+        rmssd: hrv.rmssd_s,
+        sdsd: hrv.sdsd_s,
+        nn50: hrv.nn50 as f64,
+        gsrl: eda.gsrl_s,
+        gsrh: eda.gsrh_us,
+    }
+}
+
+/// Z-score normaliser fitted on training features, scaled into the
+/// symmetric-sigmoid input range the fixed-point network expects.
+///
+/// Outputs are `(x − µ)/(3σ)` clamped to `[-1, 1]`, so ±3σ covers the full
+/// input range and fixed-point quantisation sees bounded values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mean: [f64; 5],
+    std: [f64; 5],
+}
+
+impl Normalizer {
+    /// Fits mean/standard deviation on a training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is empty.
+    #[must_use]
+    pub fn fit(features: &[FeatureVector]) -> Normalizer {
+        assert!(!features.is_empty(), "cannot fit on empty feature set");
+        let n = features.len() as f64;
+        let mut mean = [0.0; 5];
+        for f in features {
+            for (m, v) in mean.iter_mut().zip(f.to_array()) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = [0.0; 5];
+        for f in features {
+            for ((v, &m), x) in var.iter_mut().zip(&mean).zip(f.to_array()) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let mut std = [0.0; 5];
+        for (s, v) in std.iter_mut().zip(var) {
+            *s = (v / n).sqrt().max(1e-9);
+        }
+        Normalizer { mean, std }
+    }
+
+    /// Normalises one feature vector into `[-1, 1]⁵` as `f32` network
+    /// inputs.
+    #[must_use]
+    pub fn apply(&self, f: &FeatureVector) -> Vec<f32> {
+        f.to_array()
+            .iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((&x, &m), &s)| (((x - m) / (3.0 * s)).clamp(-1.0, 1.0)) as f32)
+            .collect()
+    }
+
+    /// Rebuilds a normaliser from persisted parameters (deployment-bundle
+    /// loading).
+    #[must_use]
+    pub fn from_parts(mean: [f64; 5], std: [f64; 5]) -> Normalizer {
+        Normalizer { mean, std }
+    }
+
+    /// Fitted means (network input order).
+    #[must_use]
+    pub fn mean(&self) -> &[f64; 5] {
+        &self.mean
+    }
+
+    /// Fitted standard deviations.
+    #[must_use]
+    pub fn std(&self) -> &[f64; 5] {
+        &self.std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_sensors::{generate_dataset, DatasetConfig, StressLevel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_features(level: StressLevel, data: &[(FeatureVector, StressLevel)]) -> FeatureVector {
+        let sel: Vec<&FeatureVector> = data
+            .iter()
+            .filter(|(_, l)| *l == level)
+            .map(|(f, _)| f)
+            .collect();
+        let n = sel.len() as f64;
+        let mut acc = [0.0; 5];
+        for f in &sel {
+            for (a, v) in acc.iter_mut().zip(f.to_array()) {
+                *a += v / n;
+            }
+        }
+        FeatureVector::from_array(acc)
+    }
+
+    #[test]
+    fn features_separate_stress_levels() {
+        let cfg = DatasetConfig {
+            windows_per_level: 8,
+            window_s: 60.0,
+            ..DatasetConfig::default()
+        };
+        let windows = generate_dataset(&mut StdRng::seed_from_u64(11), &cfg);
+        let fc = FeatureConfig::new(cfg.ecg.fs_hz, cfg.gsr.fs_hz);
+        let feats: Vec<(FeatureVector, StressLevel)> = windows
+            .iter()
+            .map(|w| (extract_features(w, &fc), w.level))
+            .collect();
+        let calm = mean_features(StressLevel::None, &feats);
+        let tense = mean_features(StressLevel::High, &feats);
+        assert!(calm.rmssd > 1.5 * tense.rmssd, "{calm:?} vs {tense:?}");
+        assert!(calm.nn50 > tense.nn50);
+        assert!(tense.gsrh > calm.gsrh);
+    }
+
+    #[test]
+    fn normalizer_outputs_bounded() {
+        let feats: Vec<FeatureVector> = (0..20)
+            .map(|i| {
+                FeatureVector::from_array([
+                    i as f64,
+                    2.0 * i as f64,
+                    (i % 5) as f64,
+                    0.1 * i as f64,
+                    -0.3 * i as f64,
+                ])
+            })
+            .collect();
+        let norm = Normalizer::fit(&feats);
+        for f in &feats {
+            for v in norm.apply(f) {
+                assert!((-1.0..=1.0).contains(&v));
+            }
+        }
+        // Outlier clamps instead of exploding.
+        let out = norm.apply(&FeatureVector::from_array([1e9, 0.0, 0.0, 0.0, 0.0]));
+        assert_eq!(out[0], 1.0);
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let f = FeatureVector::from_array([1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(f.to_array(), [1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fit_on_empty_panics() {
+        let _ = Normalizer::fit(&[]);
+    }
+}

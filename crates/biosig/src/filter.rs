@@ -1,0 +1,159 @@
+//! Small DSP building blocks used by the detectors.
+
+/// A first-order IIR low-pass (exponential smoothing) with cutoff `fc`.
+#[derive(Debug, Clone, Copy)]
+pub struct LowPass {
+    alpha: f32,
+    state: f32,
+    primed: bool,
+}
+
+impl LowPass {
+    /// Creates a low-pass with cutoff `fc_hz` at sample rate `fs_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cutoff is not below the Nyquist rate or not positive.
+    #[must_use]
+    pub fn new(fc_hz: f32, fs_hz: f32) -> LowPass {
+        assert!(fc_hz > 0.0 && fc_hz < fs_hz / 2.0, "invalid cutoff");
+        let dt = 1.0 / fs_hz;
+        let rc = 1.0 / (core::f32::consts::TAU * fc_hz);
+        LowPass {
+            alpha: dt / (rc + dt),
+            state: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Processes one sample.
+    pub fn step(&mut self, x: f32) -> f32 {
+        if !self.primed {
+            self.state = x;
+            self.primed = true;
+        }
+        self.state += self.alpha * (x - self.state);
+        self.state
+    }
+
+    /// Filters a whole slice.
+    #[must_use]
+    pub fn filter(mut self, xs: &[f32]) -> Vec<f32> {
+        xs.iter().map(|&x| self.step(x)).collect()
+    }
+}
+
+/// A first-order IIR high-pass built as `x − lowpass(x)`.
+#[derive(Debug, Clone, Copy)]
+pub struct HighPass {
+    lp: LowPass,
+}
+
+impl HighPass {
+    /// Creates a high-pass with cutoff `fc_hz` at sample rate `fs_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cutoff is invalid (see [`LowPass::new`]).
+    #[must_use]
+    pub fn new(fc_hz: f32, fs_hz: f32) -> HighPass {
+        HighPass {
+            lp: LowPass::new(fc_hz, fs_hz),
+        }
+    }
+
+    /// Processes one sample.
+    pub fn step(&mut self, x: f32) -> f32 {
+        x - self.lp.step(x)
+    }
+
+    /// Filters a whole slice.
+    #[must_use]
+    pub fn filter(mut self, xs: &[f32]) -> Vec<f32> {
+        xs.iter().map(|&x| self.step(x)).collect()
+    }
+}
+
+/// Causal moving-average over a fixed window (the Pan–Tompkins
+/// moving-window integrator).
+#[must_use]
+pub fn moving_average(xs: &[f32], window: usize) -> Vec<f32> {
+    assert!(window > 0, "window must be nonzero");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0f64;
+    for i in 0..xs.len() {
+        sum += f64::from(xs[i]);
+        if i >= window {
+            sum -= f64::from(xs[i - window]);
+        }
+        let n = (i + 1).min(window);
+        out.push((sum / n as f64) as f32);
+    }
+    out
+}
+
+/// Five-point derivative (Pan–Tompkins):
+/// `y[n] = (2x[n] + x[n-1] - x[n-3] - 2x[n-4]) / 8`.
+#[must_use]
+pub fn derivative(xs: &[f32]) -> Vec<f32> {
+    let x = |i: isize| -> f32 {
+        if i < 0 {
+            xs.first().copied().unwrap_or(0.0)
+        } else {
+            xs[i as usize]
+        }
+    };
+    (0..xs.len() as isize)
+        .map(|n| (2.0 * x(n) + x(n - 1) - x(n - 3) - 2.0 * x(n - 4)) / 8.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_passes_dc() {
+        let lp = LowPass::new(1.0, 100.0);
+        let y = lp.filter(&[5.0; 200]);
+        assert!((y[199] - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn highpass_blocks_dc() {
+        let hp = HighPass::new(1.0, 100.0);
+        let y = hp.filter(&[5.0; 400]);
+        assert!(y[399].abs() < 0.05, "dc residue {}", y[399]);
+    }
+
+    #[test]
+    fn highpass_passes_fast_edges() {
+        let mut hp = HighPass::new(0.5, 100.0);
+        // A step: the instant response should be close to the step size.
+        for _ in 0..100 {
+            hp.step(0.0);
+        }
+        let y = hp.step(1.0);
+        assert!(y > 0.9);
+    }
+
+    #[test]
+    fn moving_average_smooths_impulse() {
+        let mut xs = vec![0.0f32; 20];
+        xs[10] = 8.0;
+        let y = moving_average(&xs, 4);
+        assert!((y[10] - 2.0).abs() < 1e-6);
+        assert!((y[13] - 2.0).abs() < 1e-6);
+        assert_eq!(y[14], 0.0);
+    }
+
+    #[test]
+    fn derivative_of_ramp_is_constant() {
+        let xs: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        let y = derivative(&xs);
+        // After warm-up: (2n + (n-1) - (n-3) - 2(n-4))/8 = 10/8 for slope 1.
+        for &v in &y[5..] {
+            assert!((v - 1.25).abs() < 1e-5, "{v}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Heart-rate-variability features from RR intervals.
+//!
+//! The paper's three ECG features: **RMSSD** (root mean square of
+//! successive differences), **SDSD** (standard deviation of successive
+//! differences) and **NN50** (count of adjacent RR pairs differing by more
+//! than 50 ms).
+
+/// HRV summary of an RR-interval series.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HrvFeatures {
+    /// Root mean square of successive RR differences, seconds.
+    pub rmssd_s: f64,
+    /// Standard deviation of successive RR differences, seconds.
+    pub sdsd_s: f64,
+    /// Number of adjacent RR pairs differing by > 50 ms.
+    pub nn50: usize,
+    /// NN50 as a fraction of pairs.
+    pub pnn50: f64,
+    /// Standard deviation of RR intervals, seconds.
+    pub sdnn_s: f64,
+    /// Mean heart rate, beats per minute.
+    pub mean_hr_bpm: f64,
+}
+
+/// Computes HRV features over an RR series in seconds.
+///
+/// Returns all-zero features when fewer than two intervals are available
+/// (a 3 s on-device window can be that short — the caller decides whether
+/// to classify on it).
+///
+/// # Examples
+///
+/// ```
+/// use iw_biosig::hrv_features;
+/// let f = hrv_features(&[0.80, 0.86, 0.79, 0.85]);
+/// assert!(f.rmssd_s > 0.0);
+/// assert_eq!(f.nn50, 3); // all three successive jumps exceed 50 ms
+/// ```
+#[must_use]
+pub fn hrv_features(rr_s: &[f64]) -> HrvFeatures {
+    if rr_s.len() < 2 {
+        return HrvFeatures::default();
+    }
+    let diffs: Vec<f64> = rr_s.windows(2).map(|w| w[1] - w[0]).collect();
+    let n = diffs.len() as f64;
+    let rmssd = (diffs.iter().map(|d| d * d).sum::<f64>() / n).sqrt();
+    let mean_diff = diffs.iter().sum::<f64>() / n;
+    let sdsd = (diffs
+        .iter()
+        .map(|d| (d - mean_diff) * (d - mean_diff))
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    let nn50 = diffs.iter().filter(|d| d.abs() > 0.050).count();
+    let mean_rr = rr_s.iter().sum::<f64>() / rr_s.len() as f64;
+    let sdnn = (rr_s
+        .iter()
+        .map(|r| (r - mean_rr) * (r - mean_rr))
+        .sum::<f64>()
+        / rr_s.len() as f64)
+        .sqrt();
+    HrvFeatures {
+        rmssd_s: rmssd,
+        sdsd_s: sdsd,
+        nn50,
+        pnn50: nn50 as f64 / n,
+        sdnn_s: sdnn,
+        mean_hr_bpm: 60.0 / mean_rr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rr_has_zero_variability() {
+        let f = hrv_features(&[0.8; 20]);
+        assert_eq!(f.rmssd_s, 0.0);
+        assert_eq!(f.sdsd_s, 0.0);
+        assert_eq!(f.nn50, 0);
+        assert!((f.mean_hr_bpm - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_values() {
+        // RR = [1.0, 1.1, 1.0]: diffs = [0.1, -0.1].
+        let f = hrv_features(&[1.0, 1.1, 1.0]);
+        assert!((f.rmssd_s - 0.1).abs() < 1e-12);
+        // mean diff 0 → sdsd == rmssd here.
+        assert!((f.sdsd_s - 0.1).abs() < 1e-12);
+        assert_eq!(f.nn50, 2);
+        assert!((f.pnn50 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        assert_eq!(hrv_features(&[]), HrvFeatures::default());
+        assert_eq!(hrv_features(&[0.8]), HrvFeatures::default());
+    }
+
+    #[test]
+    fn nn50_threshold_is_exclusive() {
+        let f = hrv_features(&[1.0, 1.04, 1.0]); // 40 ms: below threshold
+        assert_eq!(f.nn50, 0);
+        let f = hrv_features(&[1.0, 1.06, 1.0]); // 60 ms: above threshold
+        assert_eq!(f.nn50, 2);
+    }
+}

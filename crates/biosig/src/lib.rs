@@ -1,0 +1,46 @@
+//! # iw-biosig — biosignal processing and feature extraction
+//!
+//! The signal-processing substrate of the InfiniWolf reproduction (Magno
+//! et al., DATE 2020): everything between raw sensor samples and the five
+//! numbers fed to the stress-detection MLP.
+//!
+//! * **R-peak detection** — a Pan–Tompkins-style detector (band-pass →
+//!   derivative → square → integrate → adaptive threshold),
+//!   [`detect_r_peaks`];
+//! * **HRV features** — RMSSD, SDSD and NN50 of the RR series (the
+//!   paper's three ECG features), [`hrv_features`];
+//! * **EDA features** — GSR rising-slope detection after Bakker et al.,
+//!   yielding GSRH (height) and GSRL (length), [`detect_gsr_slopes`],
+//!   [`eda_features`];
+//! * **the feature pipeline** — window → [`FeatureVector`] →
+//!   [`Normalizer`] → `[-1, 1]⁵` network inputs, [`extract_features`].
+//!
+//! # Examples
+//!
+//! ```
+//! use iw_biosig::{extract_features, FeatureConfig, Normalizer};
+//! use iw_sensors::{generate_dataset, DatasetConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let cfg = DatasetConfig { windows_per_level: 2, window_s: 30.0, ..DatasetConfig::default() };
+//! let windows = generate_dataset(&mut StdRng::seed_from_u64(1), &cfg);
+//! let fc = FeatureConfig::new(cfg.ecg.fs_hz, cfg.gsr.fs_hz);
+//! let features: Vec<_> = windows.iter().map(|w| extract_features(w, &fc)).collect();
+//! let norm = Normalizer::fit(&features);
+//! let input = norm.apply(&features[0]);
+//! assert_eq!(input.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod eda;
+mod features;
+mod filter;
+mod hrv;
+mod rpeaks;
+
+pub use eda::{detect_gsr_slopes, eda_features, EdaConfig, EdaFeatures, GsrSlope};
+pub use features::{extract_features, FeatureConfig, FeatureVector, Normalizer};
+pub use filter::{derivative, moving_average, HighPass, LowPass};
+pub use hrv::{hrv_features, HrvFeatures};
+pub use rpeaks::{detect_r_peaks, rr_intervals, RPeakConfig};

@@ -1,0 +1,180 @@
+//! Deployment bundles: persist a trained detector as text and reload it.
+//!
+//! A flashable stress detector is more than the network: it needs the
+//! fixed-point weights (`FANN_FIX_2.1`), the feature normaliser fitted on
+//! the training data, and the detector settings. [`write_bundle`] packs
+//! all three into one self-describing text artifact — what FANNCortexM's
+//! generated C header plays on the real device — and [`read_bundle`]
+//! reconstructs a working [`DeployedDetector`].
+
+use std::fmt::Write as _;
+
+use iw_biosig::{extract_features, FeatureConfig, Normalizer};
+use iw_fann::format::ParseError;
+use iw_fann::format_fixed::{read_fixed_net, write_fixed_net};
+use iw_fann::FixedNet;
+use iw_sensors::{StressLevel, WindowRecord};
+
+use crate::pipeline::StressPipeline;
+
+/// A detector reconstructed from a bundle: everything needed to classify
+/// windows on-device, with no training-time state.
+#[derive(Debug, Clone)]
+pub struct DeployedDetector {
+    /// The fixed-point network.
+    pub fixed: FixedNet,
+    /// The fitted feature normaliser.
+    pub normalizer: Normalizer,
+    /// Detector settings (sample rates, thresholds).
+    pub feature_cfg: FeatureConfig,
+}
+
+impl DeployedDetector {
+    /// Classifies one window.
+    #[must_use]
+    pub fn classify_window(&self, window: &WindowRecord) -> StressLevel {
+        let f = extract_features(window, &self.feature_cfg);
+        let input = self.fixed.quantize_input(&self.normalizer.apply(&f));
+        StressLevel::from_class_index(self.fixed.classify(&input)).expect("3-class network")
+    }
+}
+
+/// Serialises a trained pipeline into a deployment bundle.
+#[must_use]
+pub fn write_bundle(pipeline: &StressPipeline) -> String {
+    let mut s = String::new();
+    s.push_str("INFINIWOLF_BUNDLE_1\n");
+    let _ = writeln!(
+        s,
+        "feature_rates={} {}",
+        pipeline.feature_cfg.rpeak.fs_hz, pipeline.feature_cfg.eda.fs_hz
+    );
+    let _ = write!(s, "normalizer_mean=");
+    for m in pipeline.normalizer.mean() {
+        let _ = write!(s, "{m:.17e} ");
+    }
+    s.push('\n');
+    let _ = write!(s, "normalizer_std=");
+    for v in pipeline.normalizer.std() {
+        let _ = write!(s, "{v:.17e} ");
+    }
+    s.push('\n');
+    s.push_str("--- network ---\n");
+    s.push_str(&write_fixed_net(&pipeline.fixed));
+    s
+}
+
+fn parse_five(line: &str, field: &'static str) -> Result<[f64; 5], ParseError> {
+    let vals: Vec<f64> = line
+        .split_whitespace()
+        .map(|t| t.parse::<f64>().map_err(|_| ParseError::BadValue { field }))
+        .collect::<Result<_, _>>()?;
+    vals.try_into()
+        .map_err(|_| ParseError::Inconsistent("normalizer dimensions"))
+}
+
+/// Parses a deployment bundle.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for malformed bundles (shares the FANN format's
+/// error type).
+pub fn read_bundle(text: &str) -> Result<DeployedDetector, ParseError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some("INFINIWOLF_BUNDLE_1") {
+        return Err(ParseError::BadHeader);
+    }
+    let mut rates = None;
+    let mut mean = None;
+    let mut std = None;
+    for line in lines.by_ref() {
+        if line.starts_with("--- network ---") {
+            break;
+        }
+        if let Some(v) = line.strip_prefix("feature_rates=") {
+            let parts: Vec<f64> = v
+                .split_whitespace()
+                .map(|t| {
+                    t.parse::<f64>().map_err(|_| ParseError::BadValue {
+                        field: "feature_rates",
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            if parts.len() != 2 {
+                return Err(ParseError::Inconsistent("feature_rates"));
+            }
+            rates = Some((parts[0], parts[1]));
+        } else if let Some(v) = line.strip_prefix("normalizer_mean=") {
+            mean = Some(parse_five(v, "normalizer_mean")?);
+        } else if let Some(v) = line.strip_prefix("normalizer_std=") {
+            std = Some(parse_five(v, "normalizer_std")?);
+        }
+    }
+    let (ecg_fs, gsr_fs) = rates.ok_or(ParseError::MissingField("feature_rates"))?;
+    let mean = mean.ok_or(ParseError::MissingField("normalizer_mean"))?;
+    let std = std.ok_or(ParseError::MissingField("normalizer_std"))?;
+    let net_text: String = lines.collect::<Vec<_>>().join("\n");
+    let fixed = read_fixed_net(&net_text)?;
+    Ok(DeployedDetector {
+        fixed,
+        normalizer: Normalizer::from_parts(mean, std),
+        feature_cfg: FeatureConfig::new(ecg_fs, gsr_fs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{train_stress_pipeline, PipelineConfig};
+    use iw_sensors::{generate_dataset, DatasetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_pipeline() -> StressPipeline {
+        train_stress_pipeline(&PipelineConfig {
+            dataset: DatasetConfig {
+                windows_per_level: 8,
+                window_s: 45.0,
+                ..DatasetConfig::default()
+            },
+            max_epochs: 200,
+            ..PipelineConfig::default()
+        })
+        .expect("training succeeds")
+    }
+
+    #[test]
+    fn bundle_roundtrip_classifies_identically() {
+        let pipeline = quick_pipeline();
+        let bundle = write_bundle(&pipeline);
+        let detector = read_bundle(&bundle).expect("bundle parses");
+        assert_eq!(detector.fixed, pipeline.fixed);
+
+        let windows = generate_dataset(
+            &mut StdRng::seed_from_u64(31),
+            &DatasetConfig {
+                windows_per_level: 2,
+                window_s: 45.0,
+                ..DatasetConfig::default()
+            },
+        );
+        for w in &windows {
+            assert_eq!(
+                detector.classify_window(w),
+                pipeline.classify_window(w),
+                "bundle and live pipeline diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn bundle_rejects_garbage() {
+        assert!(read_bundle("nope").is_err());
+        assert!(read_bundle("INFINIWOLF_BUNDLE_1\n--- network ---\n").is_err());
+        // Truncated network section.
+        let pipeline = quick_pipeline();
+        let bundle = write_bundle(&pipeline);
+        let cut = &bundle[..bundle.len() - 40];
+        assert!(read_bundle(cut).is_err());
+    }
+}

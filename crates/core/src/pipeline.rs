@@ -1,0 +1,200 @@
+//! The stress-detection pipeline: synthetic dataset → features → trained
+//! Network A → fixed-point deployment.
+
+use iw_biosig::{extract_features, FeatureConfig, FeatureVector, Normalizer};
+use iw_fann::{accuracy, presets::network_a, ExportError, FixedNet, Mlp, Rprop, TrainData};
+use iw_sensors::{generate_dataset, DatasetConfig, StressLevel, WindowRecord};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Pipeline training configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Dataset generation parameters.
+    pub dataset: DatasetConfig,
+    /// Training stops at this MSE.
+    pub target_mse: f32,
+    /// …or after this many RPROP epochs.
+    pub max_epochs: usize,
+    /// Fraction of windows held out for testing.
+    pub test_fraction: f32,
+    /// RNG seed (dataset + weight init).
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            dataset: DatasetConfig::default(),
+            target_mse: 0.05,
+            max_epochs: 400,
+            test_fraction: 0.25,
+            seed: 2020,
+        }
+    }
+}
+
+/// A trained, deployable stress-detection pipeline.
+#[derive(Debug, Clone)]
+pub struct StressPipeline {
+    /// The trained float network (the paper's Network A).
+    pub net: Mlp,
+    /// Its fixed-point export for deployment.
+    pub fixed: FixedNet,
+    /// Feature normaliser fitted on the training split.
+    pub normalizer: Normalizer,
+    /// Detector settings used at feature extraction.
+    pub feature_cfg: FeatureConfig,
+    /// Classification accuracy on the training split.
+    pub train_accuracy: f32,
+    /// Classification accuracy on the held-out split.
+    pub test_accuracy: f32,
+    /// RPROP epochs actually run.
+    pub epochs: usize,
+    /// Final training MSE.
+    pub mse: f32,
+}
+
+/// Trains the full pipeline from scratch.
+///
+/// # Errors
+///
+/// Returns [`ExportError`] if the trained weights cannot be quantised
+/// (practically impossible with a converged Network A).
+///
+/// # Panics
+///
+/// Panics if the configuration yields fewer than two windows per split.
+pub fn train_stress_pipeline(cfg: &PipelineConfig) -> Result<StressPipeline, ExportError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let windows = generate_dataset(&mut rng, &cfg.dataset);
+    let feature_cfg = FeatureConfig::new(cfg.dataset.ecg.fs_hz, cfg.dataset.gsr.fs_hz);
+
+    let labelled: Vec<(FeatureVector, StressLevel)> = windows
+        .iter()
+        .map(|w| (extract_features(w, &feature_cfg), w.level))
+        .collect();
+
+    // Split before fitting the normaliser so the test set stays unseen.
+    let mut order: Vec<usize> = (0..labelled.len()).collect();
+    use rand::seq::SliceRandom;
+    order.shuffle(&mut rng);
+    let n_test = ((labelled.len() as f32) * cfg.test_fraction).round() as usize;
+    let (test_idx, train_idx) = order.split_at(n_test);
+    assert!(
+        train_idx.len() >= 2 && test_idx.len() >= 2,
+        "dataset too small for the requested split"
+    );
+
+    let train_feats: Vec<FeatureVector> = train_idx.iter().map(|&i| labelled[i].0).collect();
+    let normalizer = Normalizer::fit(&train_feats);
+
+    let to_traindata = |idx: &[usize]| {
+        let mut d = TrainData::new();
+        for &i in idx {
+            let (f, level) = &labelled[i];
+            d.push(normalizer.apply(f), level.target());
+        }
+        d
+    };
+    let train = to_traindata(train_idx);
+    let test = to_traindata(test_idx);
+
+    let mut net = network_a();
+    net.randomize_weights(&mut rng, 0.1);
+    let mut trainer = Rprop::new(&net);
+    let (epochs, mse) = trainer.train_until(&mut net, &train, cfg.target_mse, cfg.max_epochs);
+
+    let fixed = FixedNet::export(&net)?;
+    Ok(StressPipeline {
+        train_accuracy: accuracy(&net, &train),
+        test_accuracy: accuracy(&net, &test),
+        net,
+        fixed,
+        normalizer,
+        feature_cfg,
+        epochs,
+        mse,
+    })
+}
+
+impl StressPipeline {
+    /// Extracts, normalises and quantises the network input for a window.
+    #[must_use]
+    pub fn quantized_input(&self, window: &WindowRecord) -> Vec<i32> {
+        let f = extract_features(window, &self.feature_cfg);
+        self.fixed.quantize_input(&self.normalizer.apply(&f))
+    }
+
+    /// Classifies a window with the deployed fixed-point network.
+    #[must_use]
+    pub fn classify_window(&self, window: &WindowRecord) -> StressLevel {
+        let class = self.fixed.classify(&self.quantized_input(window));
+        StressLevel::from_class_index(class).expect("3-class network")
+    }
+
+    /// Fixed-point accuracy over a set of windows.
+    #[must_use]
+    pub fn fixed_accuracy(&self, windows: &[WindowRecord]) -> f32 {
+        if windows.is_empty() {
+            return 0.0;
+        }
+        let correct = windows
+            .iter()
+            .filter(|w| self.classify_window(w) == w.level)
+            .count();
+        correct as f32 / windows.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> PipelineConfig {
+        PipelineConfig {
+            dataset: DatasetConfig {
+                windows_per_level: 12,
+                window_s: 45.0,
+                ..DatasetConfig::default()
+            },
+            max_epochs: 300,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_learns_stress_detection() {
+        let p = train_stress_pipeline(&quick_cfg()).unwrap();
+        assert!(
+            p.train_accuracy > 0.85,
+            "train accuracy {}",
+            p.train_accuracy
+        );
+        assert!(p.test_accuracy > 0.7, "test accuracy {}", p.test_accuracy);
+        assert_eq!(p.net.num_weights(), 3003);
+    }
+
+    #[test]
+    fn fixed_point_deployment_keeps_accuracy() {
+        let cfg = quick_cfg();
+        let p = train_stress_pipeline(&cfg).unwrap();
+        // Fresh windows, unseen by training.
+        let mut rng = StdRng::seed_from_u64(777);
+        let eval_cfg = DatasetConfig {
+            windows_per_level: 6,
+            ..cfg.dataset.clone()
+        };
+        let windows = generate_dataset(&mut rng, &eval_cfg);
+        let acc = p.fixed_accuracy(&windows);
+        assert!(acc > 0.6, "fixed accuracy on fresh data {acc}");
+    }
+
+    #[test]
+    fn training_is_reproducible() {
+        let a = train_stress_pipeline(&quick_cfg()).unwrap();
+        let b = train_stress_pipeline(&quick_cfg()).unwrap();
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.test_accuracy, b.test_accuracy);
+    }
+}

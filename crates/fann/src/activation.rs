@@ -1,0 +1,142 @@
+//! Activation functions, following the FANN library's definitions.
+//!
+//! FANN's `SIGMOID_SYMMETRIC` — the function the InfiniWolf paper calls
+//! "tanh" — is `2/(1+e^(-2·s·x)) - 1`, which equals `tanh(s·x)` exactly.
+//! The default steepness `s` is 0.5, as in FANN.
+
+/// An activation function, applied per neuron with a per-layer steepness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Identity scaled by steepness: `y = s·x`. Output range unbounded.
+    Linear,
+    /// Logistic sigmoid `y = 1/(1+e^(-2·s·x))`, range (0, 1).
+    Sigmoid,
+    /// Symmetric sigmoid `y = tanh(s·x)`, range (-1, 1). FANN's
+    /// `SIGMOID_SYMMETRIC`; the paper's "tanh".
+    #[default]
+    SigmoidSymmetric,
+}
+
+impl Activation {
+    /// Evaluates the activation for pre-activation `x` and steepness `s`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iw_fann::Activation;
+    /// let y = Activation::SigmoidSymmetric.eval(0.0, 0.5);
+    /// assert_eq!(y, 0.0);
+    /// assert!(Activation::Sigmoid.eval(100.0, 0.5) > 0.999);
+    /// ```
+    #[must_use]
+    pub fn eval(self, x: f32, s: f32) -> f32 {
+        match self {
+            Activation::Linear => s * x,
+            Activation::Sigmoid => 1.0 / (1.0 + (-2.0 * s * x).exp()),
+            Activation::SigmoidSymmetric => (s * x).tanh(),
+        }
+    }
+
+    /// Derivative `dy/dx` expressed in terms of the *output* `y` (as FANN
+    /// does during backpropagation).
+    #[must_use]
+    pub fn derivative(self, y: f32, s: f32) -> f32 {
+        match self {
+            Activation::Linear => s,
+            Activation::Sigmoid => {
+                let y = y.clamp(0.01, 0.99);
+                2.0 * s * y * (1.0 - y)
+            }
+            Activation::SigmoidSymmetric => {
+                let y = y.clamp(-0.98, 0.98);
+                s * (1.0 - y * y)
+            }
+        }
+    }
+
+    /// Lower bound of the output range (used for fixed-point clamping).
+    #[must_use]
+    pub fn min_output(self) -> f32 {
+        match self {
+            Activation::Linear => f32::NEG_INFINITY,
+            Activation::Sigmoid => 0.0,
+            Activation::SigmoidSymmetric => -1.0,
+        }
+    }
+
+    /// Upper bound of the output range.
+    #[must_use]
+    pub fn max_output(self) -> f32 {
+        match self {
+            Activation::Linear => f32::INFINITY,
+            Activation::Sigmoid | Activation::SigmoidSymmetric => 1.0,
+        }
+    }
+
+    /// FANN `.net`-format numeric code for this activation.
+    #[must_use]
+    pub fn fann_code(self) -> u8 {
+        match self {
+            Activation::Linear => 0,
+            Activation::Sigmoid => 3,
+            Activation::SigmoidSymmetric => 5,
+        }
+    }
+
+    /// Parses a FANN activation code.
+    #[must_use]
+    pub fn from_fann_code(code: u8) -> Option<Activation> {
+        match code {
+            0 => Some(Activation::Linear),
+            3 => Some(Activation::Sigmoid),
+            5 => Some(Activation::SigmoidSymmetric),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_sigmoid_is_tanh() {
+        for &x in &[-3.0f32, -0.7, 0.0, 0.4, 2.2] {
+            for &s in &[0.25f32, 0.5, 1.0] {
+                let fann_def = 2.0 / (1.0 + (-2.0 * s * x).exp()) - 1.0;
+                let ours = Activation::SigmoidSymmetric.eval(x, s);
+                assert!((fann_def - ours).abs() < 1e-6, "x={x} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranges() {
+        assert_eq!(Activation::Sigmoid.min_output(), 0.0);
+        assert_eq!(Activation::SigmoidSymmetric.min_output(), -1.0);
+        assert_eq!(Activation::SigmoidSymmetric.max_output(), 1.0);
+    }
+
+    #[test]
+    fn derivative_sign_matches_slope() {
+        let s = 0.5;
+        let y = Activation::SigmoidSymmetric.eval(0.3, s);
+        let d = Activation::SigmoidSymmetric.derivative(y, s);
+        let numeric = (Activation::SigmoidSymmetric.eval(0.3001, s)
+            - Activation::SigmoidSymmetric.eval(0.2999, s))
+            / 0.0002;
+        assert!((d - numeric).abs() < 1e-3, "analytic {d} numeric {numeric}");
+    }
+
+    #[test]
+    fn fann_codes_roundtrip() {
+        for a in [
+            Activation::Linear,
+            Activation::Sigmoid,
+            Activation::SigmoidSymmetric,
+        ] {
+            assert_eq!(Activation::from_fann_code(a.fann_code()), Some(a));
+        }
+        assert_eq!(Activation::from_fann_code(99), None);
+    }
+}

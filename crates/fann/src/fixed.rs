@@ -1,0 +1,425 @@
+//! Fixed-point export and the bit-exact integer reference inference.
+//!
+//! This module reproduces the externally visible behaviour of FANN's
+//! fixed-point mode (`fann_save_to_fixed` + the fixed `fann_run`), which is
+//! what FANNCortexM deploys on microcontrollers:
+//!
+//! * a network-wide **decimal point** `dp` is chosen so that no neuron's
+//!   weighted sum can overflow 32 bits,
+//! * weights and activations are stored as `i32` with `dp` fractional bits,
+//! * a multiply-accumulate is `acc += (w * x) >> dp`, computed entirely in
+//!   wrapping 32-bit arithmetic (matching the C `int` semantics FANN
+//!   compiles to and the single 32-bit `mul` of the target ISAs),
+//! * activations are evaluated with FANN's **stepwise linear**
+//!   approximation through six breakpoints sampled from the float
+//!   activation at export time.
+//!
+//! [`FixedNet::forward`] is the golden reference: every generated kernel in
+//! `iw-kernels` must reproduce its outputs *bit-exactly*.
+
+use crate::activation::Activation;
+use crate::net::Mlp;
+
+/// Error produced when a network cannot be exported to fixed point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExportError {
+    /// Weights are so large that fewer than 4 fractional bits would remain.
+    WeightsTooLarge {
+        /// The largest per-neuron sum bound encountered.
+        max_sum: f32,
+    },
+    /// A non-saturating activation (Linear) cannot be bounded for the
+    /// stepwise table.
+    UnboundedActivation,
+}
+
+impl core::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExportError::WeightsTooLarge { max_sum } => write!(
+                f,
+                "weights too large for fixed point (worst-case sum {max_sum})"
+            ),
+            ExportError::UnboundedActivation => {
+                f.write_str("linear activation cannot be exported to fixed point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// Six-breakpoint stepwise-linear activation table in the fixed domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedActivation {
+    /// Breakpoint x-positions (pre-activation sums), ascending.
+    pub v: [i32; 6],
+    /// Activation values at the breakpoints.
+    pub r: [i32; 6],
+    /// Output below `v[0]`.
+    pub min: i32,
+    /// Output at or above `v[5]`.
+    pub max: i32,
+}
+
+impl FixedActivation {
+    /// Samples the float activation at six points covering its transition
+    /// region, exactly as FANN's fixed export does.
+    pub(crate) fn from_float(activation: Activation, steepness: f32, dp: u8) -> Result<Self, ExportError> {
+        if activation == Activation::Linear {
+            return Err(ExportError::UnboundedActivation);
+        }
+        let mult = (1i64 << i64::from(dp)) as f64;
+        // Sample where the function does its work: FANN picks x values by
+        // inverting the activation at fixed y levels; sampling at fixed,
+        // steepness-scaled x positions covers the same transition band.
+        let xs = [-2.5f64, -1.5, -0.5, 0.5, 1.5, 2.5];
+        let scale = 1.0 / f64::from(steepness);
+        let mut v = [0i32; 6];
+        let mut r = [0i32; 6];
+        for (i, &x) in xs.iter().enumerate() {
+            let xf = x * scale;
+            v[i] = (xf * mult).round() as i32;
+            r[i] = (f64::from(activation.eval(xf as f32, steepness)) * mult).round() as i32;
+        }
+        Ok(FixedActivation {
+            v,
+            r,
+            min: (f64::from(activation.min_output()) * mult).round() as i32,
+            max: (f64::from(activation.max_output()) * mult).round() as i32,
+        })
+    }
+
+    /// Evaluates the stepwise approximation — FANN's `fann_stepwise`.
+    ///
+    /// All arithmetic is 32-bit, truncating division, as on the targets.
+    #[must_use]
+    pub fn eval(&self, sum: i32) -> i32 {
+        if sum < self.v[0] {
+            return self.min;
+        }
+        for k in 0..5 {
+            if sum < self.v[k + 1] {
+                return linear_interp(self.v[k], self.r[k], self.v[k + 1], self.r[k + 1], sum);
+            }
+        }
+        self.max
+    }
+}
+
+/// FANN's `fann_linear_func` in integer arithmetic:
+/// `(r2-r1)·(sum-v1)/(v2-v1) + r1`, 32-bit wrapping multiply and truncating
+/// division. With `dp ≤ 13` the product is bounded by ~2³⁰, so the wrap
+/// never triggers in practice — but the kernels use the identical ops, so
+/// behaviour matches even at the margin.
+#[must_use]
+pub fn linear_interp(v1: i32, r1: i32, v2: i32, r2: i32, sum: i32) -> i32 {
+    let num = (r2.wrapping_sub(r1)).wrapping_mul(sum.wrapping_sub(v1));
+    let den = v2 - v1;
+    num / den + r1
+}
+
+/// One fixed-point layer: `i32` weights row-major, bias first per row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedLayer {
+    /// Number of inputs (bias excluded).
+    pub in_count: usize,
+    /// Number of output neurons.
+    pub out_count: usize,
+    /// Weights `[out][in+1]`, bias first.
+    pub weights: Vec<i32>,
+    /// The stepwise activation table.
+    pub activation: FixedActivation,
+}
+
+impl FixedLayer {
+    /// Row length including bias.
+    #[must_use]
+    pub fn row_len(&self) -> usize {
+        self.in_count + 1
+    }
+}
+
+/// A fixed-point network (FANN `.net` fixed export equivalent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedNet {
+    /// Number of fractional bits.
+    pub decimal_point: u8,
+    /// Number of network inputs.
+    pub num_inputs: usize,
+    /// The layers.
+    pub layers: Vec<FixedLayer>,
+}
+
+impl FixedNet {
+    /// Exports a float network to fixed point, choosing the decimal point
+    /// from the worst-case neuron sum as FANN does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExportError`] if the weights are too large to leave at
+    /// least 4 fractional bits, or an unbounded activation is used.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iw_fann::{FixedNet, Mlp};
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// let mut net = Mlp::new(&[5, 50, 50, 3]);
+    /// net.randomize_weights(&mut StdRng::seed_from_u64(1), 0.1);
+    /// let fixed = FixedNet::export(&net)?;
+    /// assert!(fixed.decimal_point >= 4);
+    /// # Ok::<(), iw_fann::ExportError>(())
+    /// ```
+    pub fn export(net: &Mlp) -> Result<FixedNet, ExportError> {
+        // Worst-case |sum| per neuron: Σ|w|·max|x| + |bias|, inputs and
+        // activations assumed within [-1, 1] (symmetric sigmoid range; the
+        // feature pipeline normalises inputs into this range).
+        let mut max_sum = 1.0f32;
+        for layer in net.layers() {
+            let row_len = layer.row_len();
+            for j in 0..layer.out_count() {
+                let row = &layer.weights()[j * row_len..(j + 1) * row_len];
+                let sum: f32 = row.iter().map(|w| w.abs()).sum();
+                max_sum = max_sum.max(sum);
+            }
+        }
+        // Keep the worst-case sum below 2^30 in fixed representation, and
+        // the interpolation product below 2^31 (dp ≤ 13, as FANN caps it).
+        let headroom = 30 - (max_sum.log2().ceil().max(0.0) as i32);
+        let dp = headroom.min(13);
+        if dp < 4 {
+            return Err(ExportError::WeightsTooLarge { max_sum });
+        }
+        let dp = dp as u8;
+        let mult = (1i64 << i64::from(dp)) as f64;
+        let layers = net
+            .layers()
+            .iter()
+            .map(|layer| {
+                Ok(FixedLayer {
+                    in_count: layer.in_count(),
+                    out_count: layer.out_count(),
+                    weights: layer
+                        .weights()
+                        .iter()
+                        .map(|&w| (f64::from(w) * mult).round() as i32)
+                        .collect(),
+                    activation: FixedActivation::from_float(
+                        layer.activation(),
+                        layer.steepness(),
+                        dp,
+                    )?,
+                })
+            })
+            .collect::<Result<Vec<_>, ExportError>>()?;
+        Ok(FixedNet {
+            decimal_point: dp,
+            num_inputs: net.num_inputs(),
+            layers,
+        })
+    }
+
+    /// Multiplier `2^decimal_point`.
+    #[must_use]
+    pub fn multiplier(&self) -> i32 {
+        1 << self.decimal_point
+    }
+
+    /// Quantizes a float input vector to the fixed domain.
+    #[must_use]
+    pub fn quantize_input(&self, input: &[f32]) -> Vec<i32> {
+        let mult = f64::from(self.multiplier());
+        input
+            .iter()
+            .map(|&x| (f64::from(x) * mult).round() as i32)
+            .collect()
+    }
+
+    /// Dequantizes fixed outputs back to floats.
+    #[must_use]
+    pub fn dequantize(&self, fixed: &[i32]) -> Vec<f32> {
+        let mult = f64::from(self.multiplier());
+        fixed.iter().map(|&x| (f64::from(x) / mult) as f32).collect()
+    }
+
+    /// Runs the fixed-point network — **the golden reference** for every
+    /// deployment kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.num_inputs`.
+    #[must_use]
+    pub fn forward(&self, input: &[i32]) -> Vec<i32> {
+        self.forward_layers(input)
+            .pop()
+            .expect("network has at least one layer")
+    }
+
+    /// Runs the network returning every layer's activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.num_inputs`.
+    #[must_use]
+    pub fn forward_layers(&self, input: &[i32]) -> Vec<Vec<i32>> {
+        assert_eq!(input.len(), self.num_inputs, "input length mismatch");
+        let dp = self.decimal_point;
+        let mut acts: Vec<Vec<i32>> = Vec::with_capacity(self.layers.len());
+        let mut cur = input;
+        for layer in &self.layers {
+            let row_len = layer.row_len();
+            let mut out = Vec::with_capacity(layer.out_count);
+            for j in 0..layer.out_count {
+                let row = &layer.weights[j * row_len..(j + 1) * row_len];
+                // Bias contributes (w_bias * ONE) >> dp == w_bias exactly.
+                let mut acc = row[0];
+                for (&w, &x) in row[1..].iter().zip(cur) {
+                    acc = acc.wrapping_add(w.wrapping_mul(x) >> dp);
+                }
+                out.push(layer.activation.eval(acc));
+            }
+            acts.push(out);
+            cur = acts.last().expect("just pushed");
+        }
+        acts
+    }
+
+    /// Predicted class (argmax of the fixed outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.num_inputs`.
+    #[must_use]
+    pub fn classify(&self, input: &[i32]) -> usize {
+        let out = self.forward(input);
+        out.iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(i, _)| i)
+            .expect("at least one output")
+    }
+
+    /// Total weights across layers.
+    #[must_use]
+    pub fn num_weights(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_net(rng: &mut StdRng, sizes: &[usize]) -> Mlp {
+        let mut net = Mlp::new(sizes);
+        net.randomize_weights(rng, 0.5);
+        net
+    }
+
+    #[test]
+    fn export_picks_reasonable_decimal_point() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = random_net(&mut rng, &[5, 50, 50, 3]);
+        let fixed = FixedNet::export(&net).unwrap();
+        assert!((4..=13).contains(&fixed.decimal_point));
+    }
+
+    #[test]
+    fn fixed_tracks_float_closely() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = random_net(&mut rng, &[5, 20, 3]);
+        let fixed = FixedNet::export(&net).unwrap();
+        for _ in 0..50 {
+            let input: Vec<f32> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let fout = net.forward(&input);
+            let qout = fixed.dequantize(&fixed.forward(&fixed.quantize_input(&input)));
+            for (f, q) in fout.iter().zip(&qout) {
+                assert!(
+                    (f - q).abs() < 0.08,
+                    "float {f} vs fixed {q} diverged too far"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classification_usually_agrees() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = random_net(&mut rng, &[5, 30, 30, 3]);
+        let fixed = FixedNet::export(&net).unwrap();
+        let mut agree = 0;
+        let n = 100;
+        for _ in 0..n {
+            let input: Vec<f32> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            if net.classify(&input) == fixed.classify(&fixed.quantize_input(&input)) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= n * 9 / 10, "only {agree}/{n} agreed");
+    }
+
+    #[test]
+    fn stepwise_is_monotone_and_bounded() {
+        let act =
+            FixedActivation::from_float(Activation::SigmoidSymmetric, 0.5, 12).unwrap();
+        let mut last = i32::MIN;
+        for sum in (-80_000..80_000).step_by(97) {
+            let y = act.eval(sum);
+            assert!(y >= act.min && y <= act.max);
+            assert!(y >= last, "not monotone at {sum}");
+            last = y;
+        }
+        // Saturation on both ends.
+        assert_eq!(act.eval(i32::MIN / 2), act.min);
+        assert_eq!(act.eval(i32::MAX / 2), act.max);
+    }
+
+    #[test]
+    fn stepwise_near_zero_matches_tanh_slope() {
+        let dp = 12u8;
+        let act = FixedActivation::from_float(Activation::SigmoidSymmetric, 0.5, dp).unwrap();
+        let one = 1 << dp;
+        // tanh(0.5 * 1.0) ≈ 0.4621
+        let y = act.eval(one) as f64 / f64::from(one);
+        assert!((y - 0.4621).abs() < 0.05, "stepwise at 1.0 gave {y}");
+    }
+
+    #[test]
+    fn linear_activation_rejected() {
+        let mut net = Mlp::new(&[2, 2]);
+        net.set_output_activation(Activation::Linear);
+        assert_eq!(
+            FixedNet::export(&net).unwrap_err(),
+            ExportError::UnboundedActivation
+        );
+    }
+
+    #[test]
+    fn huge_weights_rejected() {
+        let mut net = Mlp::new(&[2, 2]);
+        for w in net.layers_mut()[0].weights_mut() {
+            *w = 1.0e9;
+        }
+        assert!(matches!(
+            FixedNet::export(&net).unwrap_err(),
+            ExportError::WeightsTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn quantize_dequantize_roundtrip_within_lsb() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = random_net(&mut rng, &[3, 2]);
+        let fixed = FixedNet::export(&net).unwrap();
+        let input = vec![0.25f32, -0.75, 0.5];
+        let q = fixed.quantize_input(&input);
+        let back = fixed.dequantize(&q);
+        let lsb = 1.0 / fixed.multiplier() as f32;
+        for (a, b) in input.iter().zip(&back) {
+            assert!((a - b).abs() <= lsb);
+        }
+    }
+}

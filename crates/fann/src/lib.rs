@@ -1,0 +1,62 @@
+//! # iw-fann — FANN-style multi-layer perceptrons
+//!
+//! A from-scratch re-implementation of the parts of the
+//! [FANN library](http://leenissen.dk/fann/wp/) (and of the FANNCortexM
+//! deployment toolkit) that the InfiniWolf paper uses:
+//!
+//! * fully-connected layered [`Mlp`]s with FANN's activations
+//!   ([`Activation`], default symmetric sigmoid = tanh, steepness 0.5),
+//! * training with iRPROP− ([`Rprop`], FANN's default) and incremental
+//!   backpropagation ([`Incremental`]),
+//! * the `.net` / `.data` text formats ([`mod@format`]),
+//! * **fixed-point export** with automatic decimal-point selection and
+//!   FANN's six-breakpoint stepwise-linear activations ([`FixedNet`]) —
+//!   whose [`FixedNet::forward`] is the bit-exact golden reference for the
+//!   deployment kernels in `iw-kernels`,
+//! * the paper's two evaluation networks ([`presets::network_a`],
+//!   [`presets::network_b`]) and their memory accounting ([`Footprint`]).
+//!
+//! # Examples
+//!
+//! Train XOR with RPROP, export to fixed point, and check agreement:
+//!
+//! ```
+//! use iw_fann::{Mlp, Rprop, TrainData, FixedNet};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut data = TrainData::new();
+//! for (a, b) in [(0.0_f32, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+//!     let t = if (a > 0.5) != (b > 0.5) { 1.0 } else { -1.0 };
+//!     data.push(vec![a * 2.0 - 1.0, b * 2.0 - 1.0], vec![t]);
+//! }
+//! let mut net = Mlp::new(&[2, 4, 1]);
+//! net.randomize_weights(&mut StdRng::seed_from_u64(42), 0.5);
+//! let (_, mse) = Rprop::new(&net).train_until(&mut net, &data, 0.01, 2000);
+//! assert!(mse < 0.01);
+//!
+//! let fixed = FixedNet::export(&net)?;
+//! for (input, target) in data.iter() {
+//!     let q = fixed.forward(&fixed.quantize_input(input));
+//!     assert_eq!((q[0] > 0) as i32 * 2 - 1, target[0] as i32);
+//! }
+//! # Ok::<(), iw_fann::ExportError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod activation;
+mod fixed;
+mod footprint;
+pub mod format;
+pub mod format_fixed;
+mod net;
+pub mod presets;
+mod q15;
+mod train;
+
+pub use activation::Activation;
+pub use fixed::{linear_interp, ExportError, FixedActivation, FixedLayer, FixedNet};
+pub use footprint::{Footprint, BYTES_PER_LAYER, BYTES_PER_NEURON, BYTES_PER_WEIGHT};
+pub use net::{Layer, Mlp};
+pub use q15::{Q15Layer, Q15Net};
+pub use train::{accuracy, mse, Incremental, Quickprop, Rprop, TrainData};

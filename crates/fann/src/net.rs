@@ -1,0 +1,341 @@
+//! The multi-layer perceptron: construction and float inference.
+
+use rand::Rng;
+
+use crate::activation::Activation;
+
+/// One fully-connected layer.
+///
+/// Weights are stored row-major, one row per output neuron, with the bias
+/// weight *first* in each row: `[bias, w_0, …, w_{in-1}]`. This mirrors how
+/// the deployment kernels lay the row out in memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    in_count: usize,
+    out_count: usize,
+    weights: Vec<f32>,
+    activation: Activation,
+    steepness: f32,
+}
+
+impl Layer {
+    /// Number of inputs (bias excluded).
+    #[must_use]
+    pub fn in_count(&self) -> usize {
+        self.in_count
+    }
+
+    /// Number of output neurons.
+    #[must_use]
+    pub fn out_count(&self) -> usize {
+        self.out_count
+    }
+
+    /// The weight matrix, row-major with bias first per row.
+    #[must_use]
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Mutable weight access (training).
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    /// Activation function of this layer.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Activation steepness of this layer.
+    #[must_use]
+    pub fn steepness(&self) -> f32 {
+        self.steepness
+    }
+
+    /// Row length including the bias column.
+    #[must_use]
+    pub fn row_len(&self) -> usize {
+        self.in_count + 1
+    }
+
+    pub(crate) fn set_activation_internal(&mut self, activation: Activation) {
+        self.activation = activation;
+    }
+
+    pub(crate) fn set_steepness_internal(&mut self, steepness: f32) {
+        self.steepness = steepness;
+    }
+
+    /// Computes this layer's output into `out` given `input`.
+    fn forward_into(&self, input: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        for j in 0..self.out_count {
+            let row = &self.weights[j * self.row_len()..(j + 1) * self.row_len()];
+            let mut sum = row[0]; // bias × 1.0
+            for (w, x) in row[1..].iter().zip(input) {
+                sum += w * x;
+            }
+            out.push(self.activation.eval(sum, self.steepness));
+        }
+    }
+}
+
+/// A fully-connected feed-forward network (FANN-style MLP).
+///
+/// # Examples
+///
+/// Build the paper's Network A (5–50–50–3, symmetric sigmoid):
+///
+/// ```
+/// use iw_fann::{Mlp, Activation};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut net = Mlp::new(&[5, 50, 50, 3]);
+/// net.randomize_weights(&mut StdRng::seed_from_u64(7), 0.1);
+/// assert_eq!(net.num_neurons(), 108);
+/// assert_eq!(net.num_weights(), 3003);
+/// let out = net.forward(&[0.1, -0.2, 0.3, 0.0, 0.5]);
+/// assert_eq!(out.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    num_inputs: usize,
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Creates a zero-weight network with the given layer sizes (input
+    /// layer first). All layers use [`Activation::SigmoidSymmetric`] with
+    /// FANN's default steepness 0.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layer sizes are given or any size is zero.
+    #[must_use]
+    pub fn new(layer_sizes: &[usize]) -> Mlp {
+        assert!(
+            layer_sizes.len() >= 2,
+            "a network needs at least input and output layers"
+        );
+        assert!(
+            layer_sizes.iter().all(|&n| n > 0),
+            "layer sizes must be nonzero"
+        );
+        let layers = layer_sizes
+            .windows(2)
+            .map(|w| Layer {
+                in_count: w[0],
+                out_count: w[1],
+                weights: vec![0.0; (w[0] + 1) * w[1]],
+                activation: Activation::SigmoidSymmetric,
+                steepness: 0.5,
+            })
+            .collect();
+        Mlp {
+            num_inputs: layer_sizes[0],
+            layers,
+        }
+    }
+
+    /// Sets the activation function of every hidden layer.
+    pub fn set_hidden_activation(&mut self, activation: Activation) {
+        let n = self.layers.len();
+        for layer in &mut self.layers[..n - 1] {
+            layer.activation = activation;
+        }
+    }
+
+    /// Sets the activation function of the output layer.
+    pub fn set_output_activation(&mut self, activation: Activation) {
+        if let Some(last) = self.layers.last_mut() {
+            last.activation = activation;
+        }
+    }
+
+    /// Sets the activation steepness of every layer (FANN default: 0.5).
+    pub fn set_steepness(&mut self, steepness: f32) {
+        for layer in &mut self.layers {
+            layer.steepness = steepness;
+        }
+    }
+
+    /// Number of network inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of network outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.layers.last().map_or(0, Layer::out_count)
+    }
+
+    /// Total neurons, bias neurons excluded (the paper counts 108 for
+    /// Network A).
+    #[must_use]
+    pub fn num_neurons(&self) -> usize {
+        self.num_inputs + self.layers.iter().map(Layer::out_count).sum::<usize>()
+    }
+
+    /// Total weights including bias weights (3003 for Network A).
+    #[must_use]
+    pub fn num_weights(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len()).sum()
+    }
+
+    /// The layers (hidden + output).
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (training).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Layer sizes including the input layer.
+    #[must_use]
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        let mut v = vec![self.num_inputs];
+        v.extend(self.layers.iter().map(Layer::out_count));
+        v
+    }
+
+    /// Randomizes all weights uniformly in `[-limit, limit]` (FANN's
+    /// `randomize_weights`; the library default limit is 0.1).
+    pub fn randomize_weights<R: Rng + ?Sized>(&mut self, rng: &mut R, limit: f32) {
+        for layer in &mut self.layers {
+            for w in &mut layer.weights {
+                *w = rng.gen_range(-limit..=limit);
+            }
+        }
+    }
+
+    /// Runs the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.num_inputs()`.
+    #[must_use]
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        self.forward_layers(input)
+            .pop()
+            .expect("network has at least one layer")
+    }
+
+    /// Runs the network and returns every layer's activations (the input
+    /// excluded); the last entry is the network output. Exposed so the
+    /// fixed-point export and the deployment kernels can be validated layer
+    /// by layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.num_inputs()`.
+    #[must_use]
+    pub fn forward_layers(&self, input: &[f32]) -> Vec<Vec<f32>> {
+        assert_eq!(
+            input.len(),
+            self.num_inputs,
+            "input length {} != network inputs {}",
+            input.len(),
+            self.num_inputs
+        );
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len());
+        let mut cur = input;
+        for layer in &self.layers {
+            let mut out = Vec::with_capacity(layer.out_count);
+            layer.forward_into(cur, &mut out);
+            acts.push(out);
+            cur = acts.last().expect("just pushed");
+        }
+        acts
+    }
+
+    /// Index of the largest output — the predicted class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.num_inputs()`.
+    #[must_use]
+    pub fn classify(&self, input: &[f32]) -> usize {
+        let out = self.forward(input);
+        out.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite outputs"))
+            .map(|(i, _)| i)
+            .expect("at least one output")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn network_a_accounting_matches_paper() {
+        let net = Mlp::new(&[5, 50, 50, 3]);
+        assert_eq!(net.num_neurons(), 108);
+        assert_eq!(net.num_weights(), 3003);
+        assert_eq!(net.num_inputs(), 5);
+        assert_eq!(net.num_outputs(), 3);
+    }
+
+    #[test]
+    fn zero_weights_give_activation_of_zero() {
+        let net = Mlp::new(&[2, 3, 2]);
+        let out = net.forward(&[1.0, -1.0]);
+        // tanh(0) = 0 everywhere.
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn bias_only_network_computes_activation_of_bias() {
+        let mut net = Mlp::new(&[1, 1]);
+        net.layers_mut()[0].weights_mut()[0] = 2.0; // bias
+        net.layers_mut()[0].weights_mut()[1] = 0.0;
+        let out = net.forward(&[123.0]);
+        let expected = Activation::SigmoidSymmetric.eval(2.0, 0.5);
+        assert!((out[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forward_layers_exposes_intermediates() {
+        let mut net = Mlp::new(&[2, 4, 3]);
+        net.randomize_weights(&mut StdRng::seed_from_u64(1), 0.5);
+        let acts = net.forward_layers(&[0.3, -0.7]);
+        assert_eq!(acts.len(), 2);
+        assert_eq!(acts[0].len(), 4);
+        assert_eq!(acts[1].len(), 3);
+        assert_eq!(acts[1], net.forward(&[0.3, -0.7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn wrong_input_length_panics() {
+        let net = Mlp::new(&[3, 2]);
+        let _ = net.forward(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn too_few_layers_panics() {
+        let _ = Mlp::new(&[5]);
+    }
+
+    #[test]
+    fn classify_picks_argmax() {
+        let mut net = Mlp::new(&[1, 3]);
+        // Make neuron 1 have the largest bias.
+        let w = net.layers_mut()[0].weights_mut();
+        w[0] = -1.0; // bias of n0
+        w[2] = 3.0; // bias of n1
+        w[4] = 0.5; // bias of n2
+        assert_eq!(net.classify(&[0.0]), 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! The 120 mAh LiPo battery and the BQ27441 fuel gauge.
+
+/// A lithium-polymer cell tracked by state of charge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    capacity_j: f64,
+    charge_j: f64,
+    charge_efficiency: f64,
+}
+
+/// Error returned when a discharge request exceeds the stored energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmptyBatteryError {
+    /// Energy that was requested, joules.
+    pub requested_j: f64,
+    /// Energy actually available, joules.
+    pub available_j: f64,
+}
+
+impl core::fmt::Display for EmptyBatteryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "battery empty: requested {:.3} J, available {:.3} J",
+            self.requested_j, self.available_j
+        )
+    }
+}
+
+impl std::error::Error for EmptyBatteryError {}
+
+impl Battery {
+    /// InfiniWolf's 120 mAh, 3.7 V nominal LiPo (≈ 1598 J).
+    #[must_use]
+    pub fn infiniwolf() -> Battery {
+        Battery::new(0.120 * 3.7 * 3600.0)
+    }
+
+    /// A battery with the given capacity in joules, starting full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_j` is not positive and finite.
+    #[must_use]
+    pub fn new(capacity_j: f64) -> Battery {
+        assert!(
+            capacity_j.is_finite() && capacity_j > 0.0,
+            "capacity must be positive"
+        );
+        Battery {
+            capacity_j,
+            charge_j: capacity_j,
+            charge_efficiency: 0.95,
+        }
+    }
+
+    /// Capacity, joules.
+    #[must_use]
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_j
+    }
+
+    /// Stored energy, joules.
+    #[must_use]
+    pub fn charge_j(&self) -> f64 {
+        self.charge_j
+    }
+
+    /// State of charge in `[0, 1]`.
+    #[must_use]
+    pub fn soc(&self) -> f64 {
+        self.charge_j / self.capacity_j
+    }
+
+    /// Sets the state of charge (e.g. to start a simulation half-full).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `soc` is outside `[0, 1]`.
+    pub fn set_soc(&mut self, soc: f64) {
+        assert!((0.0..=1.0).contains(&soc), "soc must be in [0, 1]");
+        self.charge_j = soc * self.capacity_j;
+    }
+
+    /// Open-circuit voltage from a piecewise LiPo curve.
+    #[must_use]
+    pub fn ocv_v(&self) -> f64 {
+        const CURVE: [(f64, f64); 6] = [
+            (0.0, 3.27),
+            (0.1, 3.61),
+            (0.3, 3.69),
+            (0.6, 3.87),
+            (0.9, 4.08),
+            (1.0, 4.20),
+        ];
+        let soc = self.soc();
+        for w in CURVE.windows(2) {
+            let (s0, v0) = w[0];
+            let (s1, v1) = w[1];
+            if soc <= s1 {
+                return v0 + (soc - s0) / (s1 - s0) * (v1 - v0);
+            }
+        }
+        CURVE[CURVE.len() - 1].1
+    }
+
+    /// Charges with `energy_j` at the battery terminals; charge-acceptance
+    /// losses apply and the cell clips at capacity. Returns the energy
+    /// actually stored.
+    #[must_use]
+    pub fn charge(&mut self, energy_j: f64) -> f64 {
+        let stored = (energy_j * self.charge_efficiency).min(self.capacity_j - self.charge_j);
+        self.charge_j += stored;
+        stored
+    }
+
+    /// Draws `energy_j` from the cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBatteryError`] when the request exceeds the stored
+    /// energy (the device browns out).
+    pub fn discharge(&mut self, energy_j: f64) -> Result<(), EmptyBatteryError> {
+        if energy_j > self.charge_j {
+            return Err(EmptyBatteryError {
+                requested_j: energy_j,
+                available_j: self.charge_j,
+            });
+        }
+        self.charge_j -= energy_j;
+        Ok(())
+    }
+}
+
+/// BQ27441-style fuel gauge: quantised state-of-charge reporting on top of
+/// coulomb counting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuelGauge {
+    /// Gauge quiescent draw, watts.
+    pub quiescent_w: f64,
+}
+
+impl Default for FuelGauge {
+    fn default() -> FuelGauge {
+        FuelGauge {
+            quiescent_w: 0.9e-6, // ~0.25 µA at 3.7 V in sleep
+        }
+    }
+}
+
+impl FuelGauge {
+    /// Reported state of charge, integer percent (as the BQ27441 exposes).
+    #[must_use]
+    pub fn state_of_charge_percent(&self, battery: &Battery) -> u8 {
+        (battery.soc() * 100.0).round().clamp(0.0, 100.0) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_matches_120mah() {
+        let b = Battery::infiniwolf();
+        assert!((b.capacity_j() - 1598.4).abs() < 0.1);
+        assert_eq!(b.soc(), 1.0);
+    }
+
+    #[test]
+    fn charge_respects_capacity_and_efficiency() {
+        let mut b = Battery::new(100.0);
+        b.set_soc(0.5);
+        let stored = b.charge(10.0);
+        assert!((stored - 9.5).abs() < 1e-12);
+        assert!((b.charge_j() - 59.5).abs() < 1e-12);
+        // Overcharge clips.
+        let stored = b.charge(1000.0);
+        assert!((stored - 40.5).abs() < 1e-9);
+        assert_eq!(b.soc(), 1.0);
+    }
+
+    #[test]
+    fn discharge_errors_when_empty() {
+        let mut b = Battery::new(10.0);
+        b.set_soc(0.1);
+        assert!(b.discharge(0.5).is_ok());
+        let err = b.discharge(5.0).unwrap_err();
+        assert!(err.available_j < 1.0);
+    }
+
+    #[test]
+    fn ocv_monotone_in_soc() {
+        let mut b = Battery::new(100.0);
+        let mut last = 0.0;
+        for soc in [0.0, 0.05, 0.2, 0.5, 0.8, 1.0] {
+            b.set_soc(soc);
+            let v = b.ocv_v();
+            assert!(v >= last && (3.2..=4.2).contains(&v));
+            last = v;
+        }
+    }
+
+    #[test]
+    fn gauge_reports_percent() {
+        let mut b = Battery::new(100.0);
+        b.set_soc(0.377);
+        let g = FuelGauge::default();
+        assert_eq!(g.state_of_charge_percent(&b), 38);
+    }
+}

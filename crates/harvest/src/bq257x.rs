@@ -1,0 +1,128 @@
+//! TI BQ25570 / BQ25505 energy-harvesting charger models.
+//!
+//! Both parts are boost chargers with fractional-open-circuit MPPT. The
+//! model captures what matters for energy accounting: a cold-start /
+//! minimum-input threshold and a conversion efficiency that degrades at
+//! very low input power.
+
+/// BQ25570 (solar side): boost charger + buck output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bq25570 {
+    /// Below this input power the charger cannot sustain operation.
+    pub min_input_w: f64,
+    /// MPPT tracking efficiency (fraction-of-Voc sampling loss).
+    pub mppt_efficiency: f64,
+}
+
+impl Default for Bq25570 {
+    fn default() -> Bq25570 {
+        Bq25570 {
+            min_input_w: 15e-6,
+            mppt_efficiency: 0.99,
+        }
+    }
+}
+
+/// Log-log interpolated boost efficiency vs input power, from the BQ25570
+/// datasheet's efficiency curves (VIN ≈ 1–2 V, VBAT ≈ 3.7–4.2 V).
+fn bq25570_efficiency(input_w: f64) -> f64 {
+    const TABLE: [(f64, f64); 6] = [
+        (1e-6, 0.30),
+        (1e-5, 0.55),
+        (1e-4, 0.70),
+        (1e-3, 0.80),
+        (1e-2, 0.85),
+        (1e-1, 0.85),
+    ];
+    if input_w <= TABLE[0].0 {
+        return TABLE[0].1;
+    }
+    if input_w >= TABLE[TABLE.len() - 1].0 {
+        return TABLE[TABLE.len() - 1].1;
+    }
+    let lx = input_w.log10();
+    for w in TABLE.windows(2) {
+        let (p0, e0) = w[0];
+        let (p1, e1) = w[1];
+        if input_w <= p1 {
+            let f = (lx - p0.log10()) / (p1.log10() - p0.log10());
+            return e0 + f * (e1 - e0);
+        }
+    }
+    unreachable!("table covers the range");
+}
+
+impl Bq25570 {
+    /// Power delivered to the battery for a given MPP input power.
+    #[must_use]
+    pub fn output_power_w(&self, input_w: f64) -> f64 {
+        if input_w < self.min_input_w {
+            return 0.0;
+        }
+        input_w * self.mppt_efficiency * bq25570_efficiency(input_w)
+    }
+}
+
+/// BQ25505 (TEG side): boost charger optimised for very low input voltage.
+///
+/// At the 30–80 mV open-circuit voltages a wrist TEG produces, the boost
+/// efficiency is far below the datasheet's headline numbers; the constant
+/// used here is calibrated so that the full TEG chain reproduces the
+/// paper's Table II (see `iw-harvest::teg`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bq25505 {
+    /// Minimum input power for sustained boost operation.
+    pub min_input_w: f64,
+    /// Conversion efficiency at sub-100 mV TEG voltages.
+    pub low_voltage_efficiency: f64,
+}
+
+impl Default for Bq25505 {
+    fn default() -> Bq25505 {
+        Bq25505 {
+            min_input_w: 5e-6,
+            low_voltage_efficiency: 0.505,
+        }
+    }
+}
+
+impl Bq25505 {
+    /// Power delivered to the battery for a given matched-load TEG power.
+    #[must_use]
+    pub fn output_power_w(&self, input_w: f64) -> f64 {
+        if input_w < self.min_input_w {
+            return 0.0;
+        }
+        input_w * self.low_voltage_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bq25570_cold_start_threshold() {
+        let c = Bq25570::default();
+        assert_eq!(c.output_power_w(10e-6), 0.0);
+        assert!(c.output_power_w(20e-6) > 0.0);
+    }
+
+    #[test]
+    fn bq25570_efficiency_monotone() {
+        let mut last = 0.0;
+        for p in [2e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0] {
+            let e = bq25570_efficiency(p);
+            assert!(e >= last && e <= 0.9);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn bq25505_scales_linearly_above_threshold() {
+        let c = Bq25505::default();
+        let a = c.output_power_w(50e-6);
+        let b = c.output_power_w(100e-6);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,299 @@
+//! Environmental conditions: light, body heat and airflow.
+
+/// Spectral type of the incident light.
+///
+/// Lux measure luminous flux weighted by the human eye; the irradiance that
+/// reaches a photovoltaic cell per lux depends on the source spectrum, and
+/// amorphous-silicon thin-film cells (the SP3-12 used on InfiniWolf) harvest
+/// indoor spectra relatively *better* than crystalline silicon, since their
+/// spectral response is concentrated in the visible band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Illuminant {
+    /// Direct/diffuse daylight.
+    #[default]
+    Sunlight,
+    /// Indoor LED or fluorescent lighting.
+    IndoorLed,
+}
+
+impl Illuminant {
+    /// Lux per W/m² of broadband irradiance for this spectrum.
+    #[must_use]
+    pub fn lux_per_wm2(self) -> f64 {
+        match self {
+            Illuminant::Sunlight => 116.0,
+            Illuminant::IndoorLed => 105.0,
+        }
+    }
+
+    /// Relative conversion-efficiency factor of an a-Si cell under this
+    /// spectrum (1.0 = outdoor daylight).
+    #[must_use]
+    pub fn asi_spectral_factor(self) -> f64 {
+        match self {
+            Illuminant::Sunlight => 1.0,
+            Illuminant::IndoorLed => 1.50,
+        }
+    }
+}
+
+/// A lighting condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LightCondition {
+    /// Illuminance at the panel, lux.
+    pub lux: f64,
+    /// Source spectrum.
+    pub illuminant: Illuminant,
+}
+
+impl LightCondition {
+    /// The paper's outdoor condition: 30 klx sunlight.
+    #[must_use]
+    pub fn outdoor() -> LightCondition {
+        LightCondition {
+            lux: 30_000.0,
+            illuminant: Illuminant::Sunlight,
+        }
+    }
+
+    /// The paper's indoor condition: 700 lx office lighting.
+    #[must_use]
+    pub fn indoor() -> LightCondition {
+        LightCondition {
+            lux: 700.0,
+            illuminant: Illuminant::IndoorLed,
+        }
+    }
+
+    /// Darkness.
+    #[must_use]
+    pub fn dark() -> LightCondition {
+        LightCondition {
+            lux: 0.0,
+            illuminant: Illuminant::IndoorLed,
+        }
+    }
+
+    /// Broadband irradiance, W/m².
+    #[must_use]
+    pub fn irradiance_wm2(&self) -> f64 {
+        self.lux / self.illuminant.lux_per_wm2()
+    }
+}
+
+/// A thermal condition at the wrist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalCondition {
+    /// Ambient (room) temperature, °C.
+    pub ambient_c: f64,
+    /// Skin temperature at the wrist, °C.
+    pub skin_c: f64,
+    /// Airflow over the watch, km/h (forced convection on the cold side).
+    pub wind_kmh: f64,
+}
+
+impl ThermalCondition {
+    /// Paper Table II, column 1: 22 °C room, 32 °C skin, still air.
+    #[must_use]
+    pub fn warm_room() -> ThermalCondition {
+        ThermalCondition {
+            ambient_c: 22.0,
+            skin_c: 32.0,
+            wind_kmh: 0.0,
+        }
+    }
+
+    /// Paper Table II, column 2: 15 °C room, 30 °C skin, still air.
+    #[must_use]
+    pub fn cool_room() -> ThermalCondition {
+        ThermalCondition {
+            ambient_c: 15.0,
+            skin_c: 30.0,
+            wind_kmh: 0.0,
+        }
+    }
+
+    /// Paper Table II, column 3: 15 °C room, 30 °C skin, 42 km/h wind.
+    #[must_use]
+    pub fn cool_windy() -> ThermalCondition {
+        ThermalCondition {
+            ambient_c: 15.0,
+            skin_c: 30.0,
+            wind_kmh: 42.0,
+        }
+    }
+
+    /// Skin-to-ambient gradient, kelvin.
+    #[must_use]
+    pub fn delta_t(&self) -> f64 {
+        self.skin_c - self.ambient_c
+    }
+}
+
+/// One segment of a daily environment profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvSegment {
+    /// Segment duration, seconds.
+    pub duration_s: f64,
+    /// Lighting during the segment.
+    pub light: LightCondition,
+    /// Thermal condition during the segment.
+    pub thermal: ThermalCondition,
+}
+
+/// A day-long (or longer) environment profile.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnvProfile {
+    /// The segments, played back in order.
+    pub segments: Vec<EnvSegment>,
+}
+
+impl EnvProfile {
+    /// The paper's self-sustainability scenario: 6 h of indoor light, the
+    /// rest dark; worst-case TEG (warm room) around the clock.
+    #[must_use]
+    pub fn paper_indoor_day() -> EnvProfile {
+        EnvProfile {
+            segments: vec![
+                EnvSegment {
+                    duration_s: 6.0 * 3600.0,
+                    light: LightCondition::indoor(),
+                    thermal: ThermalCondition::warm_room(),
+                },
+                EnvSegment {
+                    duration_s: 18.0 * 3600.0,
+                    light: LightCondition::dark(),
+                    thermal: ThermalCondition::warm_room(),
+                },
+            ],
+        }
+    }
+
+    /// Total duration, seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.segments.iter().map(|s| s.duration_s).sum()
+    }
+
+    /// A sunny outdoor day: the illuminance follows a half-sine from dawn
+    /// to dusk (12 h of daylight peaking at `peak_klx`), in hourly
+    /// segments; thermal conditions stay at the cool-room point with a
+    /// light breeze while outside.
+    #[must_use]
+    pub fn sunny_day(peak_klx: f64) -> EnvProfile {
+        let mut segments = Vec::with_capacity(24);
+        for hour in 0..24 {
+            let light = if (6..18).contains(&hour) {
+                let phase = (hour as f64 - 6.0 + 0.5) / 12.0 * core::f64::consts::PI;
+                LightCondition {
+                    lux: peak_klx * 1_000.0 * phase.sin(),
+                    illuminant: Illuminant::Sunlight,
+                }
+            } else {
+                LightCondition::dark()
+            };
+            let thermal = if (6..18).contains(&hour) {
+                ThermalCondition {
+                    wind_kmh: 5.0,
+                    ..ThermalCondition::cool_room()
+                }
+            } else {
+                ThermalCondition::warm_room()
+            };
+            segments.push(EnvSegment {
+                duration_s: 3_600.0,
+                light,
+                thermal,
+            });
+        }
+        EnvProfile { segments }
+    }
+
+    /// A 7-day office-worker week: weekdays with 8 h of office light and a
+    /// 1 h outdoor commute, weekends with 2 h outdoors; dark otherwise.
+    #[must_use]
+    pub fn office_week() -> EnvProfile {
+        let mut segments = Vec::new();
+        let office = EnvSegment {
+            duration_s: 8.0 * 3_600.0,
+            light: LightCondition::indoor(),
+            thermal: ThermalCondition::warm_room(),
+        };
+        let commute = EnvSegment {
+            duration_s: 3_600.0,
+            light: LightCondition::outdoor(),
+            thermal: ThermalCondition {
+                wind_kmh: 10.0,
+                ..ThermalCondition::cool_room()
+            },
+        };
+        let night = |hours: f64| EnvSegment {
+            duration_s: hours * 3_600.0,
+            light: LightCondition::dark(),
+            thermal: ThermalCondition::warm_room(),
+        };
+        for _ in 0..5 {
+            segments.push(commute);
+            segments.push(office);
+            segments.push(commute);
+            segments.push(night(14.0));
+        }
+        for _ in 0..2 {
+            segments.push(EnvSegment {
+                duration_s: 2.0 * 3_600.0,
+                light: LightCondition::outdoor(),
+                thermal: ThermalCondition::cool_room(),
+            });
+            segments.push(EnvSegment {
+                duration_s: 6.0 * 3_600.0,
+                light: LightCondition::indoor(),
+                thermal: ThermalCondition::warm_room(),
+            });
+            segments.push(night(16.0));
+        }
+        EnvProfile { segments }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irradiance_conversion() {
+        let out = LightCondition::outdoor();
+        assert!((out.irradiance_wm2() - 258.6).abs() < 1.0);
+        let ind = LightCondition::indoor();
+        assert!((ind.irradiance_wm2() - 6.67).abs() < 0.1);
+    }
+
+    #[test]
+    fn paper_day_is_24h() {
+        let p = EnvProfile::paper_indoor_day();
+        assert!((p.duration_s() - 86_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sunny_day_covers_24h_and_peaks_at_noon() {
+        let p = EnvProfile::sunny_day(60.0);
+        assert!((p.duration_s() - 86_400.0).abs() < 1e-6);
+        let noon = &p.segments[12];
+        let dawn = &p.segments[6];
+        assert!(noon.light.lux > dawn.light.lux);
+        assert!(noon.light.lux <= 60_000.0);
+        assert_eq!(p.segments[2].light.lux, 0.0);
+    }
+
+    #[test]
+    fn office_week_is_seven_days() {
+        let p = EnvProfile::office_week();
+        assert!((p.duration_s() - 7.0 * 86_400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delta_t_of_paper_conditions() {
+        assert_eq!(ThermalCondition::warm_room().delta_t(), 10.0);
+        assert_eq!(ThermalCondition::cool_room().delta_t(), 15.0);
+        assert_eq!(ThermalCondition::cool_windy().delta_t(), 15.0);
+    }
+}

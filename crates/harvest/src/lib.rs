@@ -1,0 +1,51 @@
+//! # iw-harvest — dual-source energy harvesting
+//!
+//! The energy-supply substrate of the InfiniWolf reproduction (Magno et
+//! al., DATE 2020): physical models of the bracelet's entire power path,
+//! calibrated against the paper's SMU measurements:
+//!
+//! * **solar** — two SP3-12 a-Si panels through a TI BQ25570
+//!   ([`SolarHarvester`]; reproduces Table I),
+//! * **thermal** — a Matrix wrist TEG through a TI BQ25505 with a
+//!   wind-dependent thermal divider ([`TegHarvester`]; reproduces
+//!   Table II),
+//! * **storage** — the 120 mAh LiPo and BQ27441 fuel gauge ([`Battery`],
+//!   [`FuelGauge`]),
+//! * **distribution** — the 1.8 V LDO rail ([`PowerSupply`]),
+//! * **environment & simulation** — lighting/thermal profiles and a
+//!   time-stepped battery simulation ([`EnvProfile`], [`simulate_battery`],
+//!   [`daily_intake`] — the paper's 21.44 J/day scenario).
+//!
+//! Because the chains are calibrated to *battery-node* measurements taken
+//! with the device asleep, harvested power is already net of converter
+//! losses and sleep quiescent draw, exactly like the paper's figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use iw_harvest::{daily_intake, EnvProfile, SolarHarvester, TegHarvester};
+//! let day = daily_intake(
+//!     &EnvProfile::paper_indoor_day(),
+//!     &SolarHarvester::infiniwolf(),
+//!     &TegHarvester::infiniwolf(),
+//! );
+//! println!("harvested {:.2} J/day", day.total_j()); // ≈ 21.4 J
+//! ```
+
+#![warn(missing_docs)]
+
+mod battery;
+mod bq257x;
+mod env;
+mod psu;
+mod sim;
+mod solar;
+mod teg;
+
+pub use battery::{Battery, EmptyBatteryError, FuelGauge};
+pub use bq257x::{Bq25505, Bq25570};
+pub use env::{EnvProfile, EnvSegment, Illuminant, LightCondition, ThermalCondition};
+pub use psu::PowerSupply;
+pub use sim::{daily_intake, simulate_battery, IntakeReport, SimReport, TracePoint};
+pub use solar::{SolarHarvester, SolarPanel};
+pub use teg::{Teg, TegHarvester};

@@ -1,0 +1,66 @@
+//! The smart power-supply unit: LDO regulation and quiescent losses.
+
+use crate::battery::Battery;
+
+/// The 1.8 V LDO rail plus board-level quiescent draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSupply {
+    /// LDO output voltage, volts.
+    pub ldo_out_v: f64,
+    /// Always-on quiescent draw at the battery (PSU + gauge + leakage),
+    /// watts.
+    pub quiescent_w: f64,
+}
+
+impl Default for PowerSupply {
+    fn default() -> PowerSupply {
+        PowerSupply {
+            ldo_out_v: 1.8,
+            quiescent_w: 4.0e-6,
+        }
+    }
+}
+
+impl PowerSupply {
+    /// Battery-side power needed to deliver `load_w` on the 1.8 V rail
+    /// (linear-regulator efficiency = Vout/Vbat) plus quiescent draw.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iw_harvest::{Battery, PowerSupply};
+    /// let psu = PowerSupply::default();
+    /// let batt = Battery::infiniwolf();
+    /// let p = psu.battery_draw_w(10e-3, &batt);
+    /// assert!(p > 10e-3); // an LDO always wastes the headroom
+    /// ```
+    #[must_use]
+    pub fn battery_draw_w(&self, load_w: f64, battery: &Battery) -> f64 {
+        let eff = (self.ldo_out_v / battery.ocv_v()).min(1.0);
+        load_w / eff + self.quiescent_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ldo_efficiency_tracks_battery_voltage() {
+        let psu = PowerSupply::default();
+        let mut batt = Battery::infiniwolf();
+        batt.set_soc(1.0);
+        let high = psu.battery_draw_w(1e-3, &batt);
+        batt.set_soc(0.05);
+        let low = psu.battery_draw_w(1e-3, &batt);
+        // A fuller battery means more LDO headroom burned.
+        assert!(high > low);
+    }
+
+    #[test]
+    fn zero_load_still_draws_quiescent() {
+        let psu = PowerSupply::default();
+        let batt = Battery::infiniwolf();
+        assert!((psu.battery_draw_w(0.0, &batt) - psu.quiescent_w).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,130 @@
+//! Solar harvesting chain: thin-film panels + BQ25570 boost charger.
+//!
+//! The chain is calibrated against the paper's Table I — 24.711 mW into the
+//! battery at 30 klx outdoor, 0.9 mW at 700 lx indoor — with physically
+//! meaningful parameters: two Flexsolarcells SP3-12 amorphous-silicon
+//! panels (≈ 23.7 cm² each), ~2.4 % broadband conversion efficiency under
+//! daylight (a-Si modules behind a watch window), an indoor spectral bonus
+//! (see [`crate::Illuminant::asi_spectral_factor`]), and the BQ25570's
+//! input-power-dependent conversion efficiency.
+
+use crate::bq257x::Bq25570;
+use crate::env::LightCondition;
+
+/// A photovoltaic panel array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolarPanel {
+    /// Total active area, m².
+    pub area_m2: f64,
+    /// Broadband conversion efficiency under daylight at MPP.
+    pub efficiency: f64,
+}
+
+impl SolarPanel {
+    /// The InfiniWolf array: two SP3-12 thin-film panels.
+    #[must_use]
+    pub fn infiniwolf() -> SolarPanel {
+        SolarPanel {
+            area_m2: 2.0 * 23.7e-4,
+            efficiency: 0.0237,
+        }
+    }
+
+    /// Electrical power at the maximum power point, watts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iw_harvest::{LightCondition, SolarPanel};
+    /// let p = SolarPanel::infiniwolf().mpp_power_w(&LightCondition::outdoor());
+    /// assert!(p > 0.02 && p < 0.04);
+    /// ```
+    #[must_use]
+    pub fn mpp_power_w(&self, light: &LightCondition) -> f64 {
+        light.irradiance_wm2()
+            * self.area_m2
+            * self.efficiency
+            * light.illuminant.asi_spectral_factor()
+    }
+}
+
+/// The full solar harvesting chain (panel + BQ25570).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolarHarvester {
+    /// The panel array.
+    pub panel: SolarPanel,
+    /// The boost charger.
+    pub charger: Bq25570,
+}
+
+impl Default for SolarHarvester {
+    fn default() -> SolarHarvester {
+        SolarHarvester::infiniwolf()
+    }
+}
+
+impl SolarHarvester {
+    /// The InfiniWolf configuration.
+    #[must_use]
+    pub fn infiniwolf() -> SolarHarvester {
+        SolarHarvester {
+            panel: SolarPanel::infiniwolf(),
+            charger: Bq25570::default(),
+        }
+    }
+
+    /// Net power delivered into the battery under `light`, watts.
+    ///
+    /// This is the quantity the paper measures in Table I (the SMU watches
+    /// the battery node while the system sleeps).
+    #[must_use]
+    pub fn battery_intake_w(&self, light: &LightCondition) -> f64 {
+        let pv = self.panel.mpp_power_w(light);
+        self.charger.output_power_w(pv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_outdoor_reproduces() {
+        let h = SolarHarvester::infiniwolf();
+        let p = h.battery_intake_w(&LightCondition::outdoor()) * 1e3;
+        assert!(
+            (p - 24.711).abs() / 24.711 < 0.05,
+            "outdoor intake {p} mW vs paper 24.711 mW"
+        );
+    }
+
+    #[test]
+    fn table_i_indoor_reproduces() {
+        let h = SolarHarvester::infiniwolf();
+        let p = h.battery_intake_w(&LightCondition::indoor()) * 1e3;
+        assert!(
+            (p - 0.9).abs() / 0.9 < 0.08,
+            "indoor intake {p} mW vs paper 0.9 mW"
+        );
+    }
+
+    #[test]
+    fn dark_yields_nothing() {
+        let h = SolarHarvester::infiniwolf();
+        assert_eq!(h.battery_intake_w(&LightCondition::dark()), 0.0);
+    }
+
+    #[test]
+    fn intake_monotone_in_lux() {
+        let h = SolarHarvester::infiniwolf();
+        let mut last = 0.0;
+        for lux in [10.0, 100.0, 700.0, 5_000.0, 30_000.0, 100_000.0] {
+            let p = h.battery_intake_w(&LightCondition {
+                lux,
+                illuminant: crate::env::Illuminant::Sunlight,
+            });
+            assert!(p >= last, "not monotone at {lux} lx");
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Cost model of the feature-extraction stage on Mr. Wolf.
+//!
+//! The paper measures feature extraction (RMSSD/SDSD/NN50 from RR
+//! intervals, GSRL/GSRH from the skin-conductance slopes) at **50 µs** on
+//! the parallel cluster, costing **1 µJ** at the ~20 mW parallel power
+//! level. The numeric feature computation itself lives in `iw-biosig`;
+//! this model carries its on-device cost into the end-to-end energy
+//! budget.
+
+use iw_mrwolf::{OperatingPoint, WolfMode};
+
+/// Feature-extraction compute-cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureCost {
+    /// Cycles on the 8-core cluster (50 µs × 100 MHz).
+    pub cycles: u64,
+    /// Cores active during extraction.
+    pub cores: usize,
+}
+
+impl Default for FeatureCost {
+    fn default() -> FeatureCost {
+        FeatureCost {
+            cycles: 5_000,
+            cores: 8,
+        }
+    }
+}
+
+impl FeatureCost {
+    /// Wall-clock seconds at the efficient operating point.
+    #[must_use]
+    pub fn seconds(&self, op: &OperatingPoint) -> f64 {
+        self.cycles as f64 / op.freq_hz
+    }
+
+    /// Energy in joules at the efficient operating point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iw_kernels::FeatureCost;
+    /// use iw_mrwolf::OperatingPoint;
+    /// let e = FeatureCost::default().energy_j(&OperatingPoint::efficient());
+    /// // ~1 µJ as the paper assumes.
+    /// assert!(e > 0.5e-6 && e < 2.0e-6);
+    /// ```
+    #[must_use]
+    pub fn energy_j(&self, op: &OperatingPoint) -> f64 {
+        op.energy(
+            self.cycles,
+            WolfMode::Cluster {
+                active_cores: self.cores,
+            },
+        )
+        .energy_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_budget() {
+        let op = OperatingPoint::efficient();
+        let fc = FeatureCost::default();
+        assert!((fc.seconds(&op) - 50e-6).abs() < 1e-9);
+        let e = fc.energy_j(&op);
+        assert!((0.5e-6..2e-6).contains(&e), "feature energy {e}");
+    }
+}

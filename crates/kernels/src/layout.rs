@@ -1,0 +1,198 @@
+//! Memory placement of a network image on a target.
+//!
+//! Layouts are target-agnostic: [`Placement`] assigns addresses, and the
+//! image is produced as `(address, bytes)` chunks that the runner copies
+//! into the target's memories.
+//!
+//! Weight rows are laid out exactly as [`iw_fann::FixedLayer`] stores them:
+//! row-major, one row per output neuron, **bias first**, 4 bytes per value,
+//! consecutive layers back to back. Activations use two ping-pong buffers;
+//! layer `i` reads buffer `i % 2` and writes buffer `(i+1) % 2`, with the
+//! network input staged into buffer 0.
+
+use iw_fann::{FixedNet, Mlp};
+
+/// Addresses assigned to a network image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Start address of each layer's weight block.
+    pub layer_weights: Vec<u32>,
+    /// The two ping-pong activation buffers.
+    pub bufs: [u32; 2],
+    /// Width (in values) of each buffer.
+    pub buf_width: usize,
+    /// Total weight bytes.
+    pub weight_bytes: usize,
+}
+
+impl Placement {
+    /// Buffer the given layer reads from.
+    #[must_use]
+    pub fn in_buf(&self, layer: usize) -> u32 {
+        self.bufs[layer % 2]
+    }
+
+    /// Buffer the given layer writes to.
+    #[must_use]
+    pub fn out_buf(&self, layer: usize) -> u32 {
+        self.bufs[(layer + 1) % 2]
+    }
+
+    /// Address where the network input is staged.
+    #[must_use]
+    pub fn input_addr(&self) -> u32 {
+        self.bufs[0]
+    }
+
+    /// Address of the final outputs after running `num_layers` layers.
+    #[must_use]
+    pub fn output_addr(&self, num_layers: usize) -> u32 {
+        self.bufs[num_layers % 2]
+    }
+}
+
+fn widths_fixed(net: &FixedNet) -> usize {
+    net.layers
+        .iter()
+        .map(|l| l.out_count)
+        .chain([net.num_inputs])
+        .max()
+        .unwrap_or(0)
+}
+
+/// Assigns addresses for a fixed-point network: activation buffers at
+/// `buf_base`, weights at `weights_base`.
+///
+/// # Examples
+///
+/// ```
+/// use iw_fann::{FixedNet, Mlp};
+/// use iw_kernels::layout::place_fixed;
+/// let net = FixedNet::export(&Mlp::new(&[5, 50, 50, 3]))?;
+/// let p = place_fixed(&net, 0x1000_8000, 0x1000_0000);
+/// assert_eq!(p.layer_weights.len(), 3);
+/// assert_eq!(p.weight_bytes, 3003 * 4);
+/// # Ok::<(), iw_fann::ExportError>(())
+/// ```
+#[must_use]
+pub fn place_fixed(net: &FixedNet, weights_base: u32, buf_base: u32) -> Placement {
+    let width = widths_fixed(net);
+    let buf_bytes = ((width * 4 + 15) / 16 * 16) as u32;
+    let mut layer_weights = Vec::with_capacity(net.layers.len());
+    let mut addr = weights_base;
+    for layer in &net.layers {
+        layer_weights.push(addr);
+        addr += (layer.weights.len() * 4) as u32;
+    }
+    Placement {
+        layer_weights,
+        bufs: [buf_base, buf_base + buf_bytes],
+        buf_width: width,
+        weight_bytes: (addr - weights_base) as usize,
+    }
+}
+
+/// Serialises a fixed-point network's weights into `(address, bytes)`
+/// chunks according to `placement`.
+#[must_use]
+pub fn fixed_image(net: &FixedNet, placement: &Placement) -> Vec<(u32, Vec<u8>)> {
+    net.layers
+        .iter()
+        .zip(&placement.layer_weights)
+        .map(|(layer, &addr)| {
+            let mut bytes = Vec::with_capacity(layer.weights.len() * 4);
+            for w in &layer.weights {
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+            (addr, bytes)
+        })
+        .collect()
+}
+
+/// Assigns addresses for a float network (the M4F FPU kernel). Same scheme
+/// as [`place_fixed`] with `f32` values.
+#[must_use]
+pub fn place_float(net: &Mlp, weights_base: u32, buf_base: u32) -> Placement {
+    let width = net
+        .layers()
+        .iter()
+        .map(iw_fann::Layer::out_count)
+        .chain([net.num_inputs()])
+        .max()
+        .unwrap_or(0);
+    let buf_bytes = ((width * 4 + 15) / 16 * 16) as u32;
+    let mut layer_weights = Vec::with_capacity(net.layers().len());
+    let mut addr = weights_base;
+    for layer in net.layers() {
+        layer_weights.push(addr);
+        addr += (layer.weights().len() * 4) as u32;
+    }
+    Placement {
+        layer_weights,
+        bufs: [buf_base, buf_base + buf_bytes],
+        buf_width: width,
+        weight_bytes: (addr - weights_base) as usize,
+    }
+}
+
+/// Serialises a float network's weights (IEEE-754 single, little endian).
+#[must_use]
+pub fn float_image(net: &Mlp, placement: &Placement) -> Vec<(u32, Vec<u8>)> {
+    net.layers()
+        .iter()
+        .zip(&placement.layer_weights)
+        .map(|(layer, &addr)| {
+            let mut bytes = Vec::with_capacity(layer.weights().len() * 4);
+            for w in layer.weights() {
+                bytes.extend_from_slice(&w.to_bits().to_le_bytes());
+            }
+            (addr, bytes)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_fann::Mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn buffers_do_not_overlap_weights() {
+        let mut net = Mlp::new(&[5, 50, 50, 3]);
+        net.randomize_weights(&mut StdRng::seed_from_u64(1), 0.1);
+        let fixed = FixedNet::export(&net).unwrap();
+        let p = place_fixed(&fixed, 0x2000, 0x1000);
+        assert!(p.bufs[1] + (p.buf_width * 4) as u32 <= 0x2000);
+        // Layers contiguous.
+        assert_eq!(p.layer_weights[0], 0x2000);
+        // Layer 0 is 5→50: 50 rows of (5+1) weights.
+        assert_eq!(p.layer_weights[1], 0x2000 + (6 * 50 * 4) as u32);
+    }
+
+    #[test]
+    fn ping_pong_alternates() {
+        let net = FixedNet::export(&Mlp::new(&[4, 4, 4, 4])).unwrap();
+        let p = place_fixed(&net, 0x1000, 0);
+        assert_eq!(p.in_buf(0), p.bufs[0]);
+        assert_eq!(p.out_buf(0), p.bufs[1]);
+        assert_eq!(p.in_buf(1), p.bufs[1]);
+        assert_eq!(p.out_buf(1), p.bufs[0]);
+        assert_eq!(p.output_addr(3), p.bufs[1]);
+    }
+
+    #[test]
+    fn image_chunks_cover_all_weights() {
+        let mut net = Mlp::new(&[3, 5, 2]);
+        net.randomize_weights(&mut StdRng::seed_from_u64(2), 0.3);
+        let fixed = FixedNet::export(&net).unwrap();
+        let p = place_fixed(&fixed, 0x100, 0);
+        let chunks = fixed_image(&fixed, &p);
+        let total: usize = chunks.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, fixed.num_weights() * 4);
+        // First word of layer 0 is the bias of neuron 0.
+        let first = i32::from_le_bytes(chunks[0].1[0..4].try_into().unwrap());
+        assert_eq!(first, fixed.layers[0].weights[0]);
+    }
+}

@@ -1,0 +1,530 @@
+//! High-level runners: deploy a network to a platform, execute one
+//! classification, and report cycles + energy.
+
+use iw_armv7m::asm::ThumbAsm;
+use iw_armv7m::M4Error;
+use iw_fann::{FixedNet, Mlp};
+use iw_mrwolf::memmap::{L2_BASE, L2_SIZE, TCDM_BASE, TCDM_SIZE};
+use iw_mrwolf::{ClusterConfig, ClusterError, ClusterRun, MrWolf, OperatingPoint, WolfMode};
+use iw_nrf52::{Nrf52, FLASH_BASE, RAM_BASE};
+use iw_rv32::asm::{Asm, AsmError};
+use iw_rv32::{CpuError, ExecProfile};
+
+use crate::layout::{fixed_image, float_image, place_fixed, place_float, Placement};
+use crate::m4::{emit_m4_fixed_kernel, emit_m4_float_kernel};
+use crate::rv::{emit_fixed_kernel, RvKernelOpts};
+
+/// Error produced while deploying or running a kernel.
+#[derive(Debug)]
+pub enum KernelError {
+    /// The RISC-V program failed to assemble.
+    Asm(AsmError),
+    /// A fabric-controller run faulted.
+    Fc(CpuError),
+    /// A cluster run faulted.
+    Cluster(ClusterError),
+    /// The Cortex-M4 run faulted.
+    M4(M4Error),
+    /// The network image does not fit the target's memories.
+    DoesNotFit {
+        /// Bytes required.
+        required: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// Input length does not match the network.
+    BadInput {
+        /// Expected input count.
+        expected: usize,
+        /// Provided input count.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KernelError::Asm(e) => write!(f, "assembly failed: {e}"),
+            KernelError::Fc(e) => write!(f, "fabric controller fault: {e}"),
+            KernelError::Cluster(e) => write!(f, "cluster fault: {e}"),
+            KernelError::M4(e) => write!(f, "cortex-m4 fault: {e}"),
+            KernelError::DoesNotFit {
+                required,
+                available,
+            } => write!(f, "image needs {required} B, only {available} B available"),
+            KernelError::BadInput { expected, got } => {
+                write!(f, "network expects {expected} inputs, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<AsmError> for KernelError {
+    fn from(e: AsmError) -> Self {
+        KernelError::Asm(e)
+    }
+}
+impl From<CpuError> for KernelError {
+    fn from(e: CpuError) -> Self {
+        KernelError::Fc(e)
+    }
+}
+impl From<ClusterError> for KernelError {
+    fn from(e: ClusterError) -> Self {
+        KernelError::Cluster(e)
+    }
+}
+impl From<M4Error> for KernelError {
+    fn from(e: M4Error) -> Self {
+        KernelError::M4(e)
+    }
+}
+
+/// Result of one fixed-point classification on a target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedRun {
+    /// Wall-clock cycles of the inference.
+    pub cycles: u64,
+    /// Instructions retired (all cores).
+    pub instructions: u64,
+    /// The raw fixed-point outputs.
+    pub outputs: Vec<i32>,
+    /// Energy of the compute phase, joules.
+    pub energy_j: f64,
+    /// Cluster statistics when the target was the cluster.
+    pub cluster: Option<ClusterRun>,
+    /// Per-class execution profile (base cycles, stalls excluded).
+    pub profile: ExecProfile,
+}
+
+impl FixedRun {
+    /// Predicted class (argmax).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output vector is empty.
+    #[must_use]
+    pub fn class(&self) -> usize {
+        self.outputs
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(i, _)| i)
+            .expect("at least one output")
+    }
+}
+
+/// Result of one float classification on the Cortex-M4F.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloatRun {
+    /// Cycles of the inference.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// The float outputs.
+    pub outputs: Vec<f32>,
+    /// Energy of the compute phase, joules.
+    pub energy_j: f64,
+    /// Per-class execution profile.
+    pub profile: ExecProfile,
+}
+
+/// A fixed-point deployment target, matching the columns of the paper's
+/// Tables III and IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixedTarget {
+    /// ARM Cortex-M4 on the nRF52832 at 64 MHz.
+    CortexM4,
+    /// Mr. Wolf fabric controller (Ibex, RV32IM), cluster power-gated.
+    WolfIbex,
+    /// A single RI5CY cluster core with full Xpulp.
+    WolfRiscy,
+    /// The RI5CY cluster with `cores` active cores.
+    WolfCluster {
+        /// Active cores (1..=8).
+        cores: usize,
+    },
+}
+
+impl FixedTarget {
+    /// All four configurations the paper tabulates.
+    #[must_use]
+    pub fn paper_targets() -> [FixedTarget; 4] {
+        [
+            FixedTarget::CortexM4,
+            FixedTarget::WolfIbex,
+            FixedTarget::WolfRiscy,
+            FixedTarget::WolfCluster { cores: 8 },
+        ]
+    }
+
+    /// Human-readable name matching the paper's column headers.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            FixedTarget::CortexM4 => "ARM Cortex-M4".to_string(),
+            FixedTarget::WolfIbex => "PULP IBEX".to_string(),
+            FixedTarget::WolfRiscy => "Single RI5CY".to_string(),
+            FixedTarget::WolfCluster { cores } => format!("Multi RI5CY ({cores})"),
+        }
+    }
+}
+
+fn check_input(expected: usize, got: usize) -> Result<(), KernelError> {
+    if expected != got {
+        return Err(KernelError::BadInput { expected, got });
+    }
+    Ok(())
+}
+
+/// Places a fixed network on Mr. Wolf: activation buffers always in TCDM;
+/// weights in TCDM when they fit alongside buffers and stacks, else in L2
+/// behind the program (Network B's 324 kB goes to L2, as on the die).
+fn place_on_wolf(net: &FixedNet) -> Result<(Placement, bool), KernelError> {
+    let probe = place_fixed(net, 0, 0);
+    let buf_bytes = (probe.bufs[1] - probe.bufs[0]) * 2;
+    let stacks = 8 * 512;
+    let tcdm_free = TCDM_SIZE - buf_bytes as usize - stacks;
+    let weights_in_tcdm = probe.weight_bytes <= tcdm_free;
+    let weights_base = if weights_in_tcdm {
+        TCDM_BASE + buf_bytes
+    } else {
+        L2_BASE + 0x2_0000 // program region is the first 128 kB of L2
+    };
+    if !weights_in_tcdm && probe.weight_bytes > L2_SIZE - 0x2_0000 {
+        return Err(KernelError::DoesNotFit {
+            required: probe.weight_bytes,
+            available: L2_SIZE - 0x2_0000,
+        });
+    }
+    Ok((place_fixed(net, weights_base, TCDM_BASE), weights_in_tcdm))
+}
+
+fn stage_wolf(
+    wolf: &mut MrWolf,
+    net: &FixedNet,
+    placement: &Placement,
+    input: &[i32],
+    program: &[u8],
+) {
+    wolf.l2_mut().write_bytes(L2_BASE, program);
+    for (addr, bytes) in fixed_image(net, placement) {
+        if addr >= L2_BASE {
+            wolf.l2_mut().write_bytes(addr, &bytes);
+        } else {
+            wolf.tcdm_mut().write_bytes(addr, &bytes);
+        }
+    }
+    for (i, &v) in input.iter().enumerate() {
+        wolf.tcdm_mut()
+            .write_bytes(placement.input_addr() + 4 * i as u32, &v.to_le_bytes());
+    }
+}
+
+fn read_outputs_tcdm(wolf: &MrWolf, placement: &Placement, net: &FixedNet) -> Vec<i32> {
+    let addr = placement.output_addr(net.layers.len());
+    let n = net.layers.last().map_or(0, |l| l.out_count);
+    (0..n)
+        .map(|i| {
+            i32::from_le_bytes(
+                wolf.tcdm()
+                    .read_bytes(addr + 4 * i as u32, 4)
+                    .try_into()
+                    .expect("4 bytes"),
+            )
+        })
+        .collect()
+}
+
+/// Cycle budget for a single inference (Network B on Ibex is ~1 M cycles;
+/// leave ample headroom).
+const MAX_CYCLES: u64 = 500_000_000;
+
+/// Runs one fixed-point classification on Mr. Wolf with explicit kernel
+/// options (used directly by the Xpulp/TCDM ablations).
+///
+/// # Errors
+///
+/// See [`KernelError`].
+pub fn run_wolf_fixed_with(
+    net: &FixedNet,
+    input: &[i32],
+    opts: &RvKernelOpts,
+    cluster_cfg: Option<ClusterConfig>,
+    on_fc: bool,
+) -> Result<FixedRun, KernelError> {
+    check_input(net.num_inputs, input.len())?;
+    let (placement, _) = place_on_wolf(net)?;
+    let mut asm = Asm::new(L2_BASE);
+    emit_fixed_kernel(&mut asm, net, &placement, opts);
+    let program = asm.assemble()?;
+    assert!(program.len() < 0x2_0000, "program exceeds its L2 region");
+
+    let mut wolf = match cluster_cfg {
+        Some(cfg) => MrWolf::with_cluster_config(cfg),
+        None => MrWolf::with_cluster_config(ClusterConfig {
+            cores: opts.cores,
+            ..ClusterConfig::default()
+        }),
+    };
+    stage_wolf(&mut wolf, net, &placement, input, &program);
+
+    let op = OperatingPoint::efficient();
+    let (cycles, instructions, cluster, mode, profile) = if on_fc {
+        let run = wolf.run_fc(L2_BASE, MAX_CYCLES)?;
+        (
+            run.result.cycles,
+            run.result.instructions,
+            None,
+            WolfMode::FcOnly,
+            run.profile,
+        )
+    } else {
+        let run = wolf.run_cluster(L2_BASE, MAX_CYCLES)?;
+        let profile = run.profile;
+        (
+            run.cycles,
+            run.instructions,
+            Some(run.clone()),
+            WolfMode::Cluster {
+                active_cores: opts.cores,
+            },
+            profile,
+        )
+    };
+    let outputs = read_outputs_tcdm(&wolf, &placement, net);
+    Ok(FixedRun {
+        cycles,
+        instructions,
+        outputs,
+        energy_j: op.energy(cycles, mode).energy_j,
+        cluster,
+        profile,
+    })
+}
+
+/// Runs one fixed-point classification on the nRF52832's Cortex-M4.
+///
+/// # Errors
+///
+/// See [`KernelError`].
+pub fn run_m4_fixed(net: &FixedNet, input: &[i32]) -> Result<FixedRun, KernelError> {
+    check_input(net.num_inputs, input.len())?;
+    let placement = place_fixed(net, FLASH_BASE + 0x4000, RAM_BASE);
+    let mut asm = ThumbAsm::new();
+    emit_m4_fixed_kernel(&mut asm, net, &placement);
+    let program = asm
+        .finish()
+        .expect("fixed kernel generator binds every label");
+
+    let mut soc = Nrf52::new();
+    for (addr, bytes) in fixed_image(net, &placement) {
+        soc.mem_mut().write_bytes(addr, &bytes);
+    }
+    for (i, &v) in input.iter().enumerate() {
+        soc.mem_mut()
+            .write_bytes(placement.input_addr() + 4 * i as u32, &v.to_le_bytes());
+    }
+    let run = soc.run(&program, MAX_CYCLES)?;
+    let out_addr = placement.output_addr(net.layers.len());
+    let n = net.layers.last().map_or(0, |l| l.out_count);
+    let outputs = (0..n)
+        .map(|i| {
+            i32::from_le_bytes(
+                soc.mem()
+                    .read_bytes(out_addr + 4 * i as u32, 4)
+                    .try_into()
+                    .expect("4 bytes"),
+            )
+        })
+        .collect();
+    Ok(FixedRun {
+        cycles: run.result.cycles,
+        instructions: run.result.instructions,
+        outputs,
+        energy_j: run.energy_j,
+        cluster: None,
+        profile: run.profile,
+    })
+}
+
+/// Runs one float (FPU) classification on the nRF52832's Cortex-M4F.
+///
+/// # Errors
+///
+/// See [`KernelError`].
+///
+/// # Panics
+///
+/// Panics if the network uses non-tanh activations (see
+/// [`emit_m4_float_kernel`]).
+pub fn run_m4_float(net: &Mlp, input: &[f32]) -> Result<FloatRun, KernelError> {
+    check_input(net.num_inputs(), input.len())?;
+    let placement = place_float(net, FLASH_BASE + 0x4000, RAM_BASE);
+    let mut asm = ThumbAsm::new();
+    emit_m4_float_kernel(&mut asm, net, &placement);
+    let program = asm
+        .finish()
+        .expect("float kernel generator binds every label");
+
+    let mut soc = Nrf52::new();
+    for (addr, bytes) in float_image(net, &placement) {
+        soc.mem_mut().write_bytes(addr, &bytes);
+    }
+    for (i, x) in input.iter().enumerate() {
+        soc.mem_mut().write_bytes(
+            placement.input_addr() + 4 * i as u32,
+            &x.to_bits().to_le_bytes(),
+        );
+    }
+    let run = soc.run(&program, MAX_CYCLES)?;
+    let out_addr = placement.output_addr(net.layers().len());
+    let outputs = (0..net.num_outputs())
+        .map(|i| {
+            f32::from_bits(u32::from_le_bytes(
+                soc.mem()
+                    .read_bytes(out_addr + 4 * i as u32, 4)
+                    .try_into()
+                    .expect("4 bytes"),
+            ))
+        })
+        .collect();
+    Ok(FloatRun {
+        cycles: run.result.cycles,
+        instructions: run.result.instructions,
+        outputs,
+        energy_j: run.energy_j,
+        profile: run.profile,
+    })
+}
+
+/// Runs one fixed-point classification on any of the paper's targets.
+///
+/// # Errors
+///
+/// See [`KernelError`].
+pub fn run_fixed(
+    target: FixedTarget,
+    net: &FixedNet,
+    input: &[i32],
+) -> Result<FixedRun, KernelError> {
+    match target {
+        FixedTarget::CortexM4 => run_m4_fixed(net, input),
+        FixedTarget::WolfIbex => {
+            run_wolf_fixed_with(net, input, &RvKernelOpts::ibex(), None, true)
+        }
+        FixedTarget::WolfRiscy => {
+            run_wolf_fixed_with(net, input, &RvKernelOpts::riscy(), None, false)
+        }
+        FixedTarget::WolfCluster { cores } => {
+            run_wolf_fixed_with(net, input, &RvKernelOpts::cluster(cores), None, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_net(seed: u64) -> (Mlp, FixedNet, Vec<i32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Mlp::new(&[5, 12, 12, 3]);
+        net.randomize_weights(&mut rng, 0.4);
+        let fixed = FixedNet::export(&net).unwrap();
+        let input: Vec<f32> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let qin = fixed.quantize_input(&input);
+        (net, fixed, qin)
+    }
+
+    #[test]
+    fn all_targets_agree_bit_exactly() {
+        let (_, fixed, qin) = small_net(101);
+        let expected = fixed.forward(&qin);
+        for target in FixedTarget::paper_targets() {
+            let run = run_fixed(target, &fixed, &qin).unwrap();
+            assert_eq!(run.outputs, expected, "target {target:?}");
+            assert!(run.cycles > 0);
+            assert!(run.energy_j > 0.0);
+        }
+    }
+
+    #[test]
+    fn cluster_uses_all_cores() {
+        let (_, fixed, qin) = small_net(102);
+        let run = run_fixed(FixedTarget::WolfCluster { cores: 8 }, &fixed, &qin).unwrap();
+        let stats = run.cluster.expect("cluster stats");
+        assert_eq!(stats.per_core_cycles.len(), 8);
+        assert!(stats.barriers >= 1);
+    }
+
+    #[test]
+    fn multicore_is_faster_than_single() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let mut net = Mlp::new(&[5, 50, 50, 3]);
+        net.randomize_weights(&mut rng, 0.3);
+        let fixed = FixedNet::export(&net).unwrap();
+        let qin = fixed.quantize_input(&[0.3, -0.1, 0.8, -0.5, 0.0]);
+        let single = run_fixed(FixedTarget::WolfRiscy, &fixed, &qin).unwrap();
+        let multi = run_fixed(FixedTarget::WolfCluster { cores: 8 }, &fixed, &qin).unwrap();
+        assert_eq!(single.outputs, multi.outputs);
+        assert!(
+            multi.cycles * 2 < single.cycles,
+            "8 cores ({}) should be >2x faster than 1 ({})",
+            multi.cycles,
+            single.cycles
+        );
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        let (_, fixed, _) = small_net(104);
+        let err = run_fixed(FixedTarget::CortexM4, &fixed, &[1, 2]).unwrap_err();
+        assert!(matches!(err, KernelError::BadInput { expected: 5, got: 2 }));
+    }
+
+    #[test]
+    fn severe_tcdm_contention_stays_bit_exact() {
+        // A single TCDM bank maximises conflicts; results must not change,
+        // only timing.
+        let (_, fixed, qin) = small_net(105);
+        let expected = fixed.forward(&qin);
+        let starved = run_wolf_fixed_with(
+            &fixed,
+            &qin,
+            &RvKernelOpts::cluster(8),
+            Some(ClusterConfig {
+                tcdm_banks: 1,
+                ..ClusterConfig::default()
+            }),
+            false,
+        )
+        .unwrap();
+        let roomy = run_fixed(FixedTarget::WolfCluster { cores: 8 }, &fixed, &qin).unwrap();
+        assert_eq!(starved.outputs, expected);
+        assert_eq!(roomy.outputs, expected);
+        assert!(starved.cycles > roomy.cycles);
+    }
+
+    #[test]
+    fn network_b_weights_go_to_l2() {
+        // Network B (324 kB of weights) cannot fit TCDM: the placement
+        // must spill to L2 and the kernel must still be bit-exact.
+        let mut rng = StdRng::seed_from_u64(106);
+        let mut net = iw_fann::presets::network_b();
+        net.randomize_weights(&mut rng, 0.1);
+        let fixed = FixedNet::export(&net).unwrap();
+        let (placement, in_tcdm) = place_on_wolf(&fixed).unwrap();
+        assert!(!in_tcdm);
+        assert!(placement.layer_weights[0] >= L2_BASE);
+        let input: Vec<f32> = (0..100).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let qin = fixed.quantize_input(&input);
+        let run = run_fixed(FixedTarget::WolfCluster { cores: 8 }, &fixed, &qin).unwrap();
+        assert_eq!(run.outputs, fixed.forward(&qin));
+        // …and the L2 port must actually have been contended.
+        assert!(run.cluster.unwrap().l2_port_stalls > 0);
+    }
+}

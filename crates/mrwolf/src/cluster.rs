@@ -1,0 +1,538 @@
+//! The 8-core RI5CY cluster: event-driven execution with banked-TCDM
+//! arbitration, a shared L2 port and event-unit barriers.
+
+use iw_rv32::{Bus, BusError, Cpu, CpuError, ExecProfile, MemWidth, Ram, Reg, Timing};
+
+use crate::memmap::{region_of, Region, BARRIER_ADDR};
+
+/// Cluster configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of RI5CY cores to power on (1..=8).
+    pub cores: usize,
+    /// Number of word-interleaved TCDM banks (16 on Mr. Wolf).
+    pub tcdm_banks: usize,
+    /// Latency of a cluster-initiated L2 access (cycles, including the
+    /// access itself). The AXI plug to the SoC domain is several cycles
+    /// away from the cores.
+    pub l2_latency: u32,
+    /// Cycles from the last barrier arrival to every core resuming.
+    pub barrier_latency: u32,
+    /// Fixed cost of dispatching work to the cluster: FC mailbox write,
+    /// cluster clock-domain wake-up and the runtime's team fork/join.
+    /// Charged once per [`run_cluster`] call, as the paper's measured
+    /// multi-core numbers include the PULP runtime's offload path.
+    pub offload_cycles: u64,
+    /// Core timing model.
+    pub timing: Timing,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            cores: 8,
+            tcdm_banks: 16,
+            l2_latency: 3,
+            barrier_latency: 6,
+            offload_cycles: 2_500,
+            timing: Timing::riscy(),
+        }
+    }
+}
+
+/// Error raised during a cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A core faulted.
+    Core {
+        /// Index of the faulting core.
+        core: usize,
+        /// The underlying CPU error.
+        source: CpuError,
+    },
+    /// Some cores wait at a barrier that can never be released because the
+    /// remaining cores already halted.
+    BarrierDeadlock,
+    /// The run exceeded the cycle budget.
+    CycleLimit {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// Invalid configuration (e.g. zero cores or more than eight).
+    BadConfig,
+}
+
+impl core::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClusterError::Core { core, source } => write!(f, "core {core}: {source}"),
+            ClusterError::BarrierDeadlock => {
+                f.write_str("barrier deadlock: waiting cores can never be released")
+            }
+            ClusterError::CycleLimit { limit } => write!(f, "cycle limit of {limit} exceeded"),
+            ClusterError::BadConfig => f.write_str("invalid cluster configuration"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Core { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Statistics and result of a cluster run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterRun {
+    /// Wall-clock cluster cycles (completion time of the slowest core).
+    pub cycles: u64,
+    /// Total instructions retired across cores.
+    pub instructions: u64,
+    /// Completion time per core.
+    pub per_core_cycles: Vec<u64>,
+    /// Cycles lost to TCDM bank conflicts (all cores).
+    pub tcdm_conflict_stalls: u64,
+    /// Cycles lost waiting for the shared L2 port (all cores; latency of
+    /// the access itself not included).
+    pub l2_port_stalls: u64,
+    /// Number of barrier episodes executed.
+    pub barriers: u64,
+    /// Aggregated per-class execution profile across all cores (base
+    /// cycles; memory-system stalls are reported separately above).
+    pub profile: ExecProfile,
+}
+
+/// Routes cluster-core accesses to TCDM / L2 / the event unit, recording
+/// which region the last data access hit.
+struct ClusterBus<'a> {
+    tcdm: &'a mut Ram,
+    l2: &'a mut Ram,
+    last_region: Option<Region>,
+    barrier_arrived: bool,
+}
+
+impl Bus for ClusterBus<'_> {
+    fn load(&mut self, addr: u32, width: MemWidth) -> Result<u32, BusError> {
+        match region_of(addr) {
+            Some(Region::Tcdm) => {
+                self.last_region = Some(Region::Tcdm);
+                self.tcdm.load(addr, width)
+            }
+            Some(Region::L2) => {
+                self.last_region = Some(Region::L2);
+                self.l2.load(addr, width)
+            }
+            _ => Err(BusError { addr, write: false }),
+        }
+    }
+
+    fn store(&mut self, addr: u32, width: MemWidth, value: u32) -> Result<(), BusError> {
+        match region_of(addr) {
+            Some(Region::Tcdm) => {
+                self.last_region = Some(Region::Tcdm);
+                self.tcdm.store(addr, width, value)
+            }
+            Some(Region::L2) => {
+                self.last_region = Some(Region::L2);
+                self.l2.store(addr, width, value)
+            }
+            Some(Region::EventUnit) if addr == BARRIER_ADDR => {
+                self.last_region = Some(Region::EventUnit);
+                self.barrier_arrived = true;
+                Ok(())
+            }
+            _ => Err(BusError { addr, write: true }),
+        }
+    }
+
+    fn fetch(&mut self, addr: u32) -> Result<u32, BusError> {
+        // Instruction fetches model a warm shared I-cache: no contention,
+        // no cycle cost beyond the core's own pipeline.
+        match region_of(addr) {
+            Some(Region::Tcdm) => self.tcdm.load(addr, MemWidth::W),
+            Some(Region::L2) => self.l2.load(addr, MemWidth::W),
+            _ => Err(BusError { addr, write: false }),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreStatus {
+    Running,
+    AtBarrier,
+    Halted,
+}
+
+/// Runs an SPMD program on the cluster.
+///
+/// Every active core starts at `entry` with `a0 = core_id` and
+/// `a1 = active core count`. Execution is event-driven and deterministic:
+/// the core with the smallest local time (ties broken by core id) steps
+/// next; TCDM banks grant one access per cycle each, the L2 port one access
+/// per cycle total.
+///
+/// # Errors
+///
+/// See [`ClusterError`].
+pub fn run_cluster(
+    cfg: &ClusterConfig,
+    tcdm: &mut Ram,
+    l2: &mut Ram,
+    entry: u32,
+    max_cycles: u64,
+) -> Result<ClusterRun, ClusterError> {
+    if cfg.cores == 0 || cfg.cores > 8 || cfg.tcdm_banks == 0 {
+        return Err(ClusterError::BadConfig);
+    }
+    let n = cfg.cores;
+    let mut cpus: Vec<Cpu> = (0..n)
+        .map(|id| {
+            let mut cpu = Cpu::new(entry);
+            cpu.set_reg(Reg::A0, id as u32);
+            cpu.set_reg(Reg::A1, n as u32);
+            // Give each core a private stack at the top of TCDM: 512 B each.
+            let tcdm_top = crate::memmap::TCDM_BASE + crate::memmap::TCDM_SIZE as u32;
+            cpu.set_reg(Reg::SP, tcdm_top - 512 * id as u32);
+            cpu
+        })
+        .collect();
+    let mut status = vec![CoreStatus::Running; n];
+    let mut ready_at = vec![0u64; n];
+    let mut bank_free = vec![0u64; cfg.tcdm_banks];
+    let mut l2_free = 0u64;
+    let mut arrived = vec![false; n];
+
+    let mut run = ClusterRun {
+        cycles: 0,
+        instructions: 0,
+        per_core_cycles: vec![0; n],
+        tcdm_conflict_stalls: 0,
+        l2_port_stalls: 0,
+        barriers: 0,
+        profile: ExecProfile::new(),
+    };
+
+    loop {
+        // Pick the runnable core with the smallest local time.
+        let mut pick: Option<usize> = None;
+        for i in 0..n {
+            if status[i] == CoreStatus::Running
+                && pick.is_none_or(|p| ready_at[i] < ready_at[p])
+            {
+                pick = Some(i);
+            }
+        }
+        let Some(i) = pick else {
+            if status.iter().all(|s| *s == CoreStatus::Halted) {
+                break;
+            }
+            // Cores wait at a barrier while everyone else halted.
+            return Err(ClusterError::BarrierDeadlock);
+        };
+
+        let t = ready_at[i];
+        if t > max_cycles {
+            return Err(ClusterError::CycleLimit { limit: max_cycles });
+        }
+
+        let mut bus = ClusterBus {
+            tcdm,
+            l2,
+            last_region: None,
+            barrier_arrived: false,
+        };
+        let step = cpus[i]
+            .step(&mut bus, &cfg.timing)
+            .map_err(|source| ClusterError::Core { core: i, source })?;
+        let barrier_arrived = bus.barrier_arrived;
+        let last_region = bus.last_region;
+
+        // Charge memory-system stalls on top of the base cost.
+        let mut cost = u64::from(step.cycles);
+        if let Some(mem) = step.mem {
+            match region_of(mem.addr) {
+                Some(Region::Tcdm) => {
+                    let bank = ((mem.addr >> 2) as usize) % cfg.tcdm_banks;
+                    let grant = t.max(bank_free[bank]);
+                    let stall = grant - t;
+                    bank_free[bank] = grant + 1;
+                    run.tcdm_conflict_stalls += stall;
+                    cost = stall + u64::from(step.cycles);
+                }
+                Some(Region::L2) => {
+                    let grant = t.max(l2_free);
+                    let stall = grant - t;
+                    l2_free = grant + 1;
+                    run.l2_port_stalls += stall;
+                    cost = stall + u64::from(cfg.l2_latency);
+                }
+                _ => {}
+            }
+        } else if barrier_arrived && last_region == Some(Region::EventUnit) {
+            // Store to the event unit: base store cost only.
+            cost = u64::from(step.cycles);
+        }
+
+        let done_at = t + cost;
+        run.instructions += 1;
+        ready_at[i] = done_at;
+        run.per_core_cycles[i] = done_at;
+
+        if step.halted {
+            status[i] = CoreStatus::Halted;
+        } else if barrier_arrived {
+            status[i] = CoreStatus::AtBarrier;
+            arrived[i] = true;
+            // Everyone that has not halted must arrive before release.
+            let all_arrived = (0..n).all(|k| arrived[k] || status[k] == CoreStatus::Halted);
+            if all_arrived {
+                if (0..n).any(|k| status[k] == CoreStatus::Halted && !arrived[k]) {
+                    // A halted core never arrived: only legal if *every*
+                    // non-halted core is at the barrier — release anyway
+                    // would diverge from hardware, treat as deadlock.
+                    return Err(ClusterError::BarrierDeadlock);
+                }
+                let release = done_at + u64::from(cfg.barrier_latency);
+                for k in 0..n {
+                    if status[k] == CoreStatus::AtBarrier {
+                        status[k] = CoreStatus::Running;
+                        ready_at[k] = release.max(ready_at[k]);
+                        arrived[k] = false;
+                    }
+                }
+                run.barriers += 1;
+            }
+        }
+    }
+
+    for cpu in &cpus {
+        run.profile.merge(cpu.profile());
+    }
+    run.cycles =
+        run.per_core_cycles.iter().copied().max().unwrap_or(0) + cfg.offload_cycles;
+    Ok(run)
+}
+
+/// Read-back access to the finished cores is not needed by the kernels
+/// (results live in TCDM/L2), so `run_cluster` does not return them.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memmap::{L2_BASE, L2_SIZE, TCDM_BASE, TCDM_SIZE};
+    use iw_rv32::{asm::Asm, MemWidth};
+
+    fn fresh_mems() -> (Ram, Ram) {
+        (
+            Ram::new(TCDM_BASE, TCDM_SIZE),
+            Ram::new(L2_BASE, L2_SIZE),
+        )
+    }
+
+    #[test]
+    fn spmd_cores_write_their_id() {
+        // Each core stores its id to TCDM[id*4].
+        let mut asm = Asm::new(L2_BASE);
+        asm.li(Reg::T0, TCDM_BASE as i32);
+        asm.slli(Reg::T1, Reg::A0, 2);
+        asm.add(Reg::T0, Reg::T0, Reg::T1);
+        asm.sw(Reg::A0, Reg::T0, 0);
+        asm.ecall();
+        let (mut tcdm, mut l2) = fresh_mems();
+        l2.write_bytes(L2_BASE, &asm.assemble().unwrap());
+        let cfg = ClusterConfig::default();
+        let run = run_cluster(&cfg, &mut tcdm, &mut l2, L2_BASE, 10_000).unwrap();
+        for id in 0..8u32 {
+            assert_eq!(
+                tcdm.load(TCDM_BASE + 4 * id, MemWidth::W).unwrap(),
+                id,
+                "core {id}"
+            );
+        }
+        assert!(run.cycles > 0);
+        assert_eq!(run.per_core_cycles.len(), 8);
+    }
+
+    #[test]
+    fn bank_conflicts_are_charged() {
+        // All cores hammer the same TCDM word: accesses serialise.
+        let mut asm = Asm::new(L2_BASE);
+        asm.li(Reg::T0, TCDM_BASE as i32);
+        for _ in 0..4 {
+            asm.lw(Reg::T1, Reg::T0, 0);
+        }
+        asm.ecall();
+        let (mut tcdm, mut l2) = fresh_mems();
+        l2.write_bytes(L2_BASE, &asm.assemble().unwrap());
+        let cfg = ClusterConfig::default();
+        let run = run_cluster(&cfg, &mut tcdm, &mut l2, L2_BASE, 10_000).unwrap();
+        assert!(
+            run.tcdm_conflict_stalls > 0,
+            "expected conflicts, got none"
+        );
+
+        // Same program on one core: no conflicts.
+        let (mut tcdm1, mut l21) = fresh_mems();
+        l21.write_bytes(L2_BASE, &asm.assemble().unwrap());
+        let cfg1 = ClusterConfig {
+            cores: 1,
+            ..ClusterConfig::default()
+        };
+        let run1 = run_cluster(&cfg1, &mut tcdm1, &mut l21, L2_BASE, 10_000).unwrap();
+        assert_eq!(run1.tcdm_conflict_stalls, 0);
+    }
+
+    #[test]
+    fn striding_by_word_spreads_across_banks() {
+        // Cores access different words: with 16 banks, no conflicts.
+        let mut asm = Asm::new(L2_BASE);
+        asm.li(Reg::T0, TCDM_BASE as i32);
+        asm.slli(Reg::T1, Reg::A0, 2);
+        asm.add(Reg::T0, Reg::T0, Reg::T1);
+        asm.lw(Reg::T2, Reg::T0, 0);
+        asm.ecall();
+        let (mut tcdm, mut l2) = fresh_mems();
+        l2.write_bytes(L2_BASE, &asm.assemble().unwrap());
+        let run = run_cluster(
+            &ClusterConfig::default(),
+            &mut tcdm,
+            &mut l2,
+            L2_BASE,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(run.tcdm_conflict_stalls, 0);
+    }
+
+    #[test]
+    fn l2_port_serialises() {
+        // All cores read L2: the single port serialises them.
+        let mut asm = Asm::new(L2_BASE);
+        asm.li(Reg::T0, (L2_BASE + 0x1000) as i32);
+        asm.lw(Reg::T1, Reg::T0, 0);
+        asm.lw(Reg::T2, Reg::T0, 4);
+        asm.ecall();
+        let (mut tcdm, mut l2) = fresh_mems();
+        l2.write_bytes(L2_BASE, &asm.assemble().unwrap());
+        let run = run_cluster(
+            &ClusterConfig::default(),
+            &mut tcdm,
+            &mut l2,
+            L2_BASE,
+            10_000,
+        )
+        .unwrap();
+        assert!(run.l2_port_stalls > 0);
+    }
+
+    #[test]
+    fn barrier_synchronises_cores() {
+        // Core 0 is slowed by a loop, then all cores barrier; each core then
+        // reads the value core 0 wrote before the barrier.
+        let mut asm = Asm::new(L2_BASE);
+        let after_work = asm.new_label();
+        asm.bne_to(Reg::A0, Reg::ZERO, after_work);
+        // Core 0: spin 100 iterations, then write 77 to TCDM[0].
+        asm.li(Reg::T0, 100);
+        let top = asm.here();
+        asm.addi(Reg::T0, Reg::T0, -1);
+        asm.bne_to(Reg::T0, Reg::ZERO, top);
+        asm.li(Reg::T1, TCDM_BASE as i32);
+        asm.li(Reg::T2, 77);
+        asm.sw(Reg::T2, Reg::T1, 0);
+        asm.bind(after_work);
+        // Barrier.
+        asm.li(Reg::T3, BARRIER_ADDR as i32);
+        asm.sw(Reg::ZERO, Reg::T3, 0);
+        // All: read TCDM[0] and store to TCDM[4 + id*4].
+        asm.li(Reg::T1, TCDM_BASE as i32);
+        asm.lw(Reg::T4, Reg::T1, 0);
+        asm.slli(Reg::T5, Reg::A0, 2);
+        asm.add(Reg::T5, Reg::T5, Reg::T1);
+        asm.sw(Reg::T4, Reg::T5, 4);
+        asm.ecall();
+        let (mut tcdm, mut l2) = fresh_mems();
+        l2.write_bytes(L2_BASE, &asm.assemble().unwrap());
+        let run = run_cluster(
+            &ClusterConfig::default(),
+            &mut tcdm,
+            &mut l2,
+            L2_BASE,
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(run.barriers, 1);
+        for id in 0..8u32 {
+            assert_eq!(
+                tcdm.load(TCDM_BASE + 4 + 4 * id, MemWidth::W).unwrap(),
+                77,
+                "core {id} read before barrier release"
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_deadlock_detected() {
+        // Core 0 halts without arriving; others wait forever.
+        let mut asm = Asm::new(L2_BASE);
+        let wait = asm.new_label();
+        asm.bne_to(Reg::A0, Reg::ZERO, wait);
+        asm.ecall(); // core 0 exits immediately
+        asm.bind(wait);
+        asm.li(Reg::T3, BARRIER_ADDR as i32);
+        asm.sw(Reg::ZERO, Reg::T3, 0);
+        asm.ecall();
+        let (mut tcdm, mut l2) = fresh_mems();
+        l2.write_bytes(L2_BASE, &asm.assemble().unwrap());
+        let err = run_cluster(
+            &ClusterConfig::default(),
+            &mut tcdm,
+            &mut l2,
+            L2_BASE,
+            100_000,
+        )
+        .unwrap_err();
+        assert_eq!(err, ClusterError::BarrierDeadlock);
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let (mut tcdm, mut l2) = fresh_mems();
+        let cfg = ClusterConfig {
+            cores: 0,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(
+            run_cluster(&cfg, &mut tcdm, &mut l2, L2_BASE, 100).unwrap_err(),
+            ClusterError::BadConfig
+        );
+        let cfg = ClusterConfig {
+            cores: 9,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(
+            run_cluster(&cfg, &mut tcdm, &mut l2, L2_BASE, 100).unwrap_err(),
+            ClusterError::BadConfig
+        );
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let mut asm = Asm::new(L2_BASE);
+        let top = asm.here();
+        asm.jal_to(Reg::ZERO, top);
+        let (mut tcdm, mut l2) = fresh_mems();
+        l2.write_bytes(L2_BASE, &asm.assemble().unwrap());
+        let err = run_cluster(
+            &ClusterConfig::default(),
+            &mut tcdm,
+            &mut l2,
+            L2_BASE,
+            1_000,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::CycleLimit { .. }));
+    }
+}

@@ -1,0 +1,92 @@
+//! BLE 5 radio energy model.
+//!
+//! InfiniWolf's dual-processor architecture exists because *local*
+//! classification is cheaper than streaming raw sensor data over BLE. This
+//! model provides the streaming side of that comparison: energy per radio
+//! event and sustained streaming power, from the nRF52832 radio currents.
+
+/// BLE radio parameters (1 Mbit/s PHY, 0 dBm, DC/DC enabled).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BleRadio {
+    /// Supply voltage, volts.
+    pub supply_v: f64,
+    /// TX current at 0 dBm, amperes.
+    pub tx_a: f64,
+    /// RX current, amperes.
+    pub rx_a: f64,
+    /// Radio ramp-up + protocol overhead per connection event, seconds.
+    pub event_overhead_s: f64,
+    /// On-air time per payload byte, seconds (1 Mbit/s PHY → 8 µs).
+    pub per_byte_s: f64,
+    /// Maximum payload bytes per connection event.
+    pub event_payload: usize,
+}
+
+impl Default for BleRadio {
+    fn default() -> BleRadio {
+        BleRadio {
+            supply_v: 3.0,
+            tx_a: 5.3e-3,
+            rx_a: 5.4e-3,
+            event_overhead_s: 300e-6,
+            per_byte_s: 8e-6,
+            event_payload: 244,
+        }
+    }
+}
+
+impl BleRadio {
+    /// Energy in joules to notify `payload` bytes (one or more connection
+    /// events; each event also listens for the ack).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iw_nrf52::BleRadio;
+    /// let radio = BleRadio::default();
+    /// let one = radio.notify_energy_j(20);
+    /// let big = radio.notify_energy_j(2000);
+    /// assert!(big > one);
+    /// ```
+    #[must_use]
+    pub fn notify_energy_j(&self, payload: usize) -> f64 {
+        let events = payload.div_ceil(self.event_payload).max(1);
+        let tx_time = payload as f64 * self.per_byte_s;
+        let overhead = events as f64 * self.event_overhead_s;
+        // Overhead time is split between ramp-up (tx-ish) and ack rx.
+        tx_time * self.tx_a * self.supply_v + overhead * self.rx_a * self.supply_v
+    }
+
+    /// Average radio power in watts to sustain a raw-data stream of
+    /// `bytes_per_s` (e.g. ECG at 256 Hz × 2 B plus GSR).
+    #[must_use]
+    pub fn streaming_power_w(&self, bytes_per_s: f64) -> f64 {
+        self.notify_energy_j(bytes_per_s.ceil() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_raw_ecg_costs_more_than_a_label() {
+        let radio = BleRadio::default();
+        // 3 s of ECG at 256 Hz × 2 B + GSR at 32 Hz × 2 B ≈ 1728 B.
+        let raw = radio.notify_energy_j(1728);
+        // A classification result: 1 byte.
+        let label = radio.notify_energy_j(1);
+        assert!(raw > 10.0 * label, "raw {raw} vs label {label}");
+    }
+
+    #[test]
+    fn energy_monotone_in_payload() {
+        let radio = BleRadio::default();
+        let mut last = 0.0;
+        for payload in [1, 10, 100, 244, 245, 1000] {
+            let e = radio.notify_energy_j(payload);
+            assert!(e >= last);
+            last = e;
+        }
+    }
+}

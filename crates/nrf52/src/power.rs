@@ -1,0 +1,106 @@
+//! Power model of the nRF52832 SoC.
+//!
+//! The paper quotes the nRF52832's marketing figure of 46 µW/MHz; the
+//! energy-per-classification numbers in its Table IV, however, are only
+//! consistent with the *system-level* active power of the chip executing
+//! from flash at 64 MHz with the DC/DC converter enabled (datasheet: about
+//! 3.6 mA at 3 V ≈ 10.8 mW). This model therefore uses the datasheet
+//! system power, which reproduces Table IV from Table III cycle counts to
+//! within ~1 % — the discrepancy with the marketing figure is recorded in
+//! EXPERIMENTS.md.
+
+/// Power states of the nRF52832.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nrf52Mode {
+    /// CPU running at 64 MHz from flash (DC/DC enabled).
+    Active,
+    /// System ON, CPU sleeping, RAM retained, RTC running.
+    Idle,
+    /// System OFF with RAM retention.
+    SystemOff,
+}
+
+/// nRF52832 power/energy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nrf52Power {
+    /// CPU clock, hertz (64 MHz).
+    pub freq_hz: f64,
+    /// Supply voltage, volts.
+    pub supply_v: f64,
+    /// Active current at `freq_hz` from flash, amperes.
+    pub active_a: f64,
+    /// System ON idle current, amperes.
+    pub idle_a: f64,
+    /// System OFF (RAM retained) current, amperes.
+    pub system_off_a: f64,
+}
+
+impl Default for Nrf52Power {
+    fn default() -> Nrf52Power {
+        Nrf52Power {
+            freq_hz: 64.0e6,
+            supply_v: 3.0,
+            active_a: 3.6e-3,
+            idle_a: 1.9e-6,
+            system_off_a: 0.7e-6,
+        }
+    }
+}
+
+impl Nrf52Power {
+    /// Power drawn in `mode`, watts.
+    #[must_use]
+    pub fn power_w(&self, mode: Nrf52Mode) -> f64 {
+        let current = match mode {
+            Nrf52Mode::Active => self.active_a,
+            Nrf52Mode::Idle => self.idle_a,
+            Nrf52Mode::SystemOff => self.system_off_a,
+        };
+        current * self.supply_v
+    }
+
+    /// Energy in joules to execute `cycles` CPU cycles in the active mode.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iw_nrf52::Nrf52Power;
+    /// let p = Nrf52Power::default();
+    /// // Network A fixed-point: 30 210 cycles ≈ 5.1 µJ (paper Table IV).
+    /// let e = p.active_energy_j(30_210);
+    /// assert!((e * 1e6 - 5.1).abs() < 0.1);
+    /// ```
+    #[must_use]
+    pub fn active_energy_j(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_hz * self.power_w(Nrf52Mode::Active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_power_near_datasheet() {
+        let p = Nrf52Power::default();
+        let w = p.power_w(Nrf52Mode::Active);
+        assert!((w - 10.8e-3).abs() < 0.1e-3, "active power {w}");
+    }
+
+    #[test]
+    fn table_iv_arm_row_reproduces() {
+        let p = Nrf52Power::default();
+        // Paper Table III/IV, ARM Cortex-M4 column.
+        let net_a = p.active_energy_j(30_210) * 1e6;
+        let net_b = p.active_energy_j(902_763) * 1e6;
+        assert!((net_a - 5.1).abs() < 0.2, "Net A energy {net_a} µJ");
+        assert!((net_b - 153.8).abs() < 3.0, "Net B energy {net_b} µJ");
+    }
+
+    #[test]
+    fn mode_ordering() {
+        let p = Nrf52Power::default();
+        assert!(p.power_w(Nrf52Mode::Active) > p.power_w(Nrf52Mode::Idle));
+        assert!(p.power_w(Nrf52Mode::Idle) > p.power_w(Nrf52Mode::SystemOff));
+    }
+}

@@ -1,0 +1,163 @@
+//! The nRF52832 as a compute target: Cortex-M4F core + RAM + energy
+//! accounting.
+
+use iw_armv7m::{CortexM4, CortexM4Timing, M4Error, RunResult, ThumbInstr};
+use iw_rv32::{ExecProfile, Ram};
+
+use crate::power::Nrf52Power;
+
+/// Size of the nRF52832 data RAM (64 kB).
+pub const RAM_SIZE: usize = 64 * 1024;
+/// Base address of the data RAM (matches the real chip's SRAM base).
+pub const RAM_BASE: u32 = 0x2000_0000;
+/// Size of the flash (512 kB) — modelled as extra constant-data RAM, since
+/// the kernels only read from it.
+pub const FLASH_SIZE: usize = 512 * 1024;
+/// Base address of the flash region.
+pub const FLASH_BASE: u32 = 0x0000_0000;
+
+/// Result of a run on the nRF52832.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nrf52Run {
+    /// Cycles and instructions retired.
+    pub result: RunResult,
+    /// Energy consumed by the active CPU, joules.
+    pub energy_j: f64,
+    /// Per-class execution profile.
+    pub profile: ExecProfile,
+}
+
+/// The Nordic nRF52832: a Cortex-M4F with 64 kB RAM and 512 kB flash.
+///
+/// Data memory is a single address space covering both regions; the flash
+/// region is writable in the model (used to stage constant data) — the
+/// generated kernels never store to it.
+///
+/// # Examples
+///
+/// ```
+/// use iw_nrf52::{Nrf52, RAM_BASE};
+/// use iw_armv7m::{asm::ThumbAsm, LsWidth, R};
+///
+/// let mut soc = Nrf52::new();
+/// soc.mem_mut().write_bytes(RAM_BASE, &7u32.to_le_bytes());
+/// let mut asm = ThumbAsm::new();
+/// asm.li(R::R0, RAM_BASE as i32);
+/// asm.ldr(LsWidth::W, R::R1, R::R0, 0);
+/// asm.add(R::R1, R::R1, R::R1);
+/// asm.str(LsWidth::W, R::R1, R::R0, 4);
+/// asm.bkpt();
+/// let run = soc.run(&asm.finish()?, 1_000)?;
+/// assert!(run.energy_j > 0.0);
+/// assert_eq!(soc.mem().read_bytes(RAM_BASE + 4, 4), &14u32.to_le_bytes());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Nrf52 {
+    cpu: CortexM4,
+    mem: Ram,
+    timing: CortexM4Timing,
+    power: Nrf52Power,
+}
+
+impl Default for Nrf52 {
+    fn default() -> Nrf52 {
+        Nrf52::new()
+    }
+}
+
+impl Nrf52 {
+    /// Creates an nRF52832 with zeroed memory.
+    #[must_use]
+    pub fn new() -> Nrf52 {
+        Nrf52 {
+            cpu: CortexM4::new(),
+            // One flat region spanning flash..=RAM keeps the bus simple;
+            // the gap between the regions is still unmapped-by-size.
+            mem: Ram::new(FLASH_BASE, (RAM_BASE as usize - FLASH_BASE as usize) + RAM_SIZE),
+            timing: CortexM4Timing::default(),
+            power: Nrf52Power::default(),
+        }
+    }
+
+    /// The CPU (for register inspection after a run).
+    #[must_use]
+    pub fn cpu(&self) -> &CortexM4 {
+        &self.cpu
+    }
+
+    /// Mutable CPU access (to preset registers).
+    pub fn cpu_mut(&mut self) -> &mut CortexM4 {
+        &mut self.cpu
+    }
+
+    /// The memory.
+    #[must_use]
+    pub fn mem(&self) -> &Ram {
+        &self.mem
+    }
+
+    /// Mutable memory access (to stage data).
+    pub fn mem_mut(&mut self) -> &mut Ram {
+        &mut self.mem
+    }
+
+    /// The power model in force.
+    #[must_use]
+    pub fn power(&self) -> &Nrf52Power {
+        &self.power
+    }
+
+    /// The timing model in force.
+    #[must_use]
+    pub fn timing(&self) -> &CortexM4Timing {
+        &self.timing
+    }
+
+    /// Runs `program` from its first instruction until `bkpt`, returning
+    /// cycles and active-mode energy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`M4Error`] (including the cycle limit).
+    pub fn run(&mut self, program: &[ThumbInstr], max_cycles: u64) -> Result<Nrf52Run, M4Error> {
+        self.cpu.set_pc(0);
+        self.cpu.reset_profile();
+        let result = self.cpu.run(program, &mut self.mem, &self.timing, max_cycles)?;
+        Ok(Nrf52Run {
+            result,
+            energy_j: self.power.active_energy_j(result.cycles),
+            profile: *self.cpu.profile(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_armv7m::{asm::ThumbAsm, R};
+
+    #[test]
+    fn memory_regions_reachable() {
+        let mut soc = Nrf52::new();
+        soc.mem_mut().write_bytes(FLASH_BASE + 0x100, &[9]);
+        soc.mem_mut().write_bytes(RAM_BASE + 0x10, &[8]);
+        assert_eq!(soc.mem().read_bytes(FLASH_BASE + 0x100, 1), &[9]);
+        assert_eq!(soc.mem().read_bytes(RAM_BASE + 0x10, 1), &[8]);
+    }
+
+    #[test]
+    fn energy_matches_cycles() {
+        let mut soc = Nrf52::new();
+        let mut asm = ThumbAsm::new();
+        for _ in 0..64 {
+            asm.add_imm(R::R0, R::R0, 1);
+        }
+        asm.bkpt();
+        let run = soc.run(&asm.finish().unwrap(), 10_000).unwrap();
+        assert_eq!(run.result.cycles, 64);
+        let expected = soc.power().active_energy_j(64);
+        assert!((run.energy_j - expected).abs() < 1e-15);
+        assert_eq!(soc.cpu().reg(R::R0), 64);
+    }
+}

@@ -1,0 +1,560 @@
+//! A tiny programmatic assembler used by the kernel generators.
+//!
+//! [`Asm`] collects instructions, supports forward/backward labels for
+//! control flow and hardware loops, and assembles to little-endian bytes
+//! ready to be copied into a [`crate::Ram`].
+//!
+//! # Examples
+//!
+//! ```
+//! use iw_rv32::{asm::Asm, Reg, AluOp};
+//! let mut asm = Asm::new(0x1000);
+//! asm.li(Reg::A0, 3);
+//! let top = asm.here();
+//! asm.addi(Reg::A0, Reg::A0, -1);
+//! asm.bne_to(Reg::A0, Reg::ZERO, top);
+//! asm.ecall();
+//! let bytes = asm.assemble()?;
+//! assert_eq!(bytes.len(), 4 * 4);
+//! # Ok::<(), iw_rv32::asm::AsmError>(())
+//! ```
+
+use crate::encode::{encode, EncodeError};
+use crate::instr::{
+    AluImmOp, AluOp, BranchCond, Instr, LoopIdx, MemWidth, PulpAluOp, Reg, ShiftOp, SimdOp,
+};
+
+/// A code label. Created unbound via [`Asm::new_label`] (forward reference)
+/// or bound at the current position via [`Asm::here`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Error produced by [`Asm::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label referenced by an instruction was never bound.
+    UnboundLabel(Label),
+    /// An instruction failed to encode (offset/immediate out of range).
+    Encode {
+        /// Index of the failing instruction.
+        index: usize,
+        /// The underlying encoding error.
+        source: EncodeError,
+    },
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {:?} was never bound", l),
+            AsmError::Encode { index, source } => {
+                write!(f, "instruction #{index} failed to encode: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsmError::Encode { source, .. } => Some(source),
+            AsmError::UnboundLabel(_) => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Item {
+    Plain(Instr),
+    BranchTo {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: Label,
+    },
+    JalTo {
+        rd: Reg,
+        label: Label,
+    },
+    LpSetupTo {
+        l: LoopIdx,
+        rs1: Reg,
+        end: Label,
+    },
+    LpSetupiTo {
+        l: LoopIdx,
+        count: u8,
+        end: Label,
+    },
+    LpEndiTo {
+        l: LoopIdx,
+        end: Label,
+    },
+    LpStartiTo {
+        l: LoopIdx,
+        start: Label,
+    },
+}
+
+/// Program builder. Every method appends exactly the instructions it names;
+/// `li` may expand to two.
+#[derive(Debug, Clone)]
+pub struct Asm {
+    base: u32,
+    items: Vec<Item>,
+    labels: Vec<Option<usize>>,
+}
+
+impl Asm {
+    /// Creates an assembler whose first instruction lives at `base`.
+    #[must_use]
+    pub fn new(base: u32) -> Asm {
+        Asm {
+            base,
+            items: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Base address of the program.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if no instructions were emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Address the next instruction will be placed at.
+    #[must_use]
+    pub fn current_addr(&self) -> u32 {
+        self.base + 4 * self.items.len() as u32
+    }
+
+    /// Creates a new, unbound label (bind later with [`Asm::bind`]).
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice at instruction {}",
+            self.items.len()
+        );
+        self.labels[label.0] = Some(self.items.len());
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Appends a raw instruction.
+    pub fn emit(&mut self, instr: Instr) {
+        self.items.push(Item::Plain(instr));
+    }
+
+    // ---- RV32I conveniences ----
+
+    /// Loads a 32-bit constant (`addi` or `lui`+`addi`).
+    pub fn li(&mut self, rd: Reg, value: i32) {
+        if (-2048..2048).contains(&value) {
+            self.addi(rd, Reg::ZERO, value);
+        } else {
+            // Classic li expansion: the addi immediate is sign-extended, so
+            // bump the upper part when bit 11 of the low part is set.
+            let low = value & 0xfff;
+            let low = if low >= 0x800 { low - 0x1000 } else { low };
+            let high = value.wrapping_sub(low) as u32 & 0xffff_f000;
+            self.emit(Instr::Lui {
+                rd,
+                imm: high as i32,
+            });
+            if low != 0 {
+                self.addi(rd, rd, low);
+            }
+        }
+    }
+
+    /// `addi rd, rs1, imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+
+    /// `mv rd, rs` (pseudo: `addi rd, rs, 0`)
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) {
+        self.addi(Reg::ZERO, Reg::ZERO, 0);
+    }
+
+    /// Register-register ALU op.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op, rd, rs1, rs2 });
+    }
+
+    /// `add rd, rs1, rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Add, rd, rs1, rs2);
+    }
+
+    /// `sub rd, rs1, rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Sub, rd, rs1, rs2);
+    }
+
+    /// `mul rd, rs1, rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Mul, rd, rs1, rs2);
+    }
+
+    /// Immediate shift.
+    pub fn shift(&mut self, op: ShiftOp, rd: Reg, rs1: Reg, shamt: u8) {
+        self.emit(Instr::Shift { op, rd, rs1, shamt });
+    }
+
+    /// `slli rd, rs1, shamt`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: u8) {
+        self.shift(ShiftOp::Slli, rd, rs1, shamt);
+    }
+
+    /// `srai rd, rs1, shamt`
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: u8) {
+        self.shift(ShiftOp::Srai, rd, rs1, shamt);
+    }
+
+    /// Load with immediate offset.
+    pub fn load(&mut self, width: MemWidth, rd: Reg, rs1: Reg, offset: i32) {
+        self.emit(Instr::Load {
+            width,
+            rd,
+            rs1,
+            offset,
+        });
+    }
+
+    /// `lw rd, offset(rs1)`
+    pub fn lw(&mut self, rd: Reg, rs1: Reg, offset: i32) {
+        self.load(MemWidth::W, rd, rs1, offset);
+    }
+
+    /// Store with immediate offset.
+    pub fn store(&mut self, width: MemWidth, rs2: Reg, rs1: Reg, offset: i32) {
+        self.emit(Instr::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        });
+    }
+
+    /// `sw rs2, offset(rs1)`
+    pub fn sw(&mut self, rs2: Reg, rs1: Reg, offset: i32) {
+        self.store(MemWidth::W, rs2, rs1, offset);
+    }
+
+    /// Conditional branch to a label.
+    pub fn branch_to(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: Label) {
+        self.items.push(Item::BranchTo {
+            cond,
+            rs1,
+            rs2,
+            label,
+        });
+    }
+
+    /// `beq rs1, rs2, label`
+    pub fn beq_to(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch_to(BranchCond::Eq, rs1, rs2, label);
+    }
+
+    /// `bne rs1, rs2, label`
+    pub fn bne_to(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch_to(BranchCond::Ne, rs1, rs2, label);
+    }
+
+    /// `blt rs1, rs2, label`
+    pub fn blt_to(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch_to(BranchCond::Lt, rs1, rs2, label);
+    }
+
+    /// `bge rs1, rs2, label`
+    pub fn bge_to(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch_to(BranchCond::Ge, rs1, rs2, label);
+    }
+
+    /// `jal rd, label`
+    pub fn jal_to(&mut self, rd: Reg, label: Label) {
+        self.items.push(Item::JalTo { rd, label });
+    }
+
+    /// `jalr rd, offset(rs1)`
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, offset: i32) {
+        self.emit(Instr::Jalr { rd, rs1, offset });
+    }
+
+    /// `ecall` — halts the simulated core.
+    pub fn ecall(&mut self) {
+        self.emit(Instr::Ecall);
+    }
+
+    // ---- Xpulp conveniences ----
+
+    /// Post-increment load.
+    pub fn load_post(&mut self, width: MemWidth, rd: Reg, rs1: Reg, offset: i32) {
+        self.emit(Instr::LoadPost {
+            width,
+            rd,
+            rs1,
+            offset,
+        });
+    }
+
+    /// Post-increment store.
+    pub fn store_post(&mut self, width: MemWidth, rs2: Reg, rs1: Reg, offset: i32) {
+        self.emit(Instr::StorePost {
+            width,
+            rs2,
+            rs1,
+            offset,
+        });
+    }
+
+    /// `p.mac rd, rs1, rs2`
+    pub fn mac(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Mac { rd, rs1, rs2 });
+    }
+
+    /// `p.clip rd, rs1, bits`
+    pub fn clip(&mut self, rd: Reg, rs1: Reg, bits: u8) {
+        self.emit(Instr::Clip { rd, rs1, bits });
+    }
+
+    /// Xpulp scalar helper op.
+    pub fn pulp_alu(&mut self, op: PulpAluOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::PulpAlu { op, rd, rs1, rs2 });
+    }
+
+    /// Packed-SIMD op.
+    pub fn simd(&mut self, op: SimdOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Simd { op, rd, rs1, rs2 });
+    }
+
+    /// `lp.setup` with a raw byte offset to the loop end.
+    pub fn lp_setup(&mut self, l: LoopIdx, rs1: Reg, end_offset: i32) {
+        self.emit(Instr::LpSetup {
+            l,
+            rs1,
+            offset: end_offset,
+        });
+    }
+
+    /// `lp.setup` whose end is a label (bind it just *after* the last body
+    /// instruction).
+    pub fn lp_setup_to(&mut self, l: LoopIdx, rs1: Reg, end: Label) {
+        self.items.push(Item::LpSetupTo { l, rs1, end });
+    }
+
+    /// `lp.setupi` with a label end and an immediate count (< 32).
+    pub fn lp_setupi_to(&mut self, l: LoopIdx, count: u8, end: Label) {
+        self.items.push(Item::LpSetupiTo { l, count, end });
+    }
+
+    /// `lp.starti` to a label.
+    pub fn lp_starti_to(&mut self, l: LoopIdx, start: Label) {
+        self.items.push(Item::LpStartiTo { l, start });
+    }
+
+    /// `lp.endi` to a label.
+    pub fn lp_endi_to(&mut self, l: LoopIdx, end: Label) {
+        self.items.push(Item::LpEndiTo { l, end });
+    }
+
+    /// `lp.count` from a register.
+    pub fn lp_count(&mut self, l: LoopIdx, rs1: Reg) {
+        self.emit(Instr::LpCount { l, rs1 });
+    }
+
+    /// `lp.counti` with an immediate count (< 4096).
+    pub fn lp_counti(&mut self, l: LoopIdx, count: u16) {
+        self.emit(Instr::LpCounti { l, count });
+    }
+
+    fn label_addr(&self, label: Label) -> Result<u32, AsmError> {
+        let idx = self.labels[label.0].ok_or(AsmError::UnboundLabel(label))?;
+        Ok(self.base + 4 * idx as u32)
+    }
+
+    /// Resolves labels and returns the instruction list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for unbound labels or unencodable offsets (the
+    /// offsets are validated by encoding each instruction).
+    pub fn instructions(&self) -> Result<Vec<Instr>, AsmError> {
+        let mut out = Vec::with_capacity(self.items.len());
+        for (i, item) in self.items.iter().enumerate() {
+            let pc = self.base + 4 * i as u32;
+            let instr = match *item {
+                Item::Plain(instr) => instr,
+                Item::BranchTo {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset: self.label_addr(label)?.wrapping_sub(pc) as i32,
+                },
+                Item::JalTo { rd, label } => Instr::Jal {
+                    rd,
+                    offset: self.label_addr(label)?.wrapping_sub(pc) as i32,
+                },
+                Item::LpSetupTo { l, rs1, end } => Instr::LpSetup {
+                    l,
+                    rs1,
+                    offset: self.label_addr(end)?.wrapping_sub(pc) as i32,
+                },
+                Item::LpSetupiTo { l, count, end } => Instr::LpSetupi {
+                    l,
+                    count,
+                    offset: self.label_addr(end)?.wrapping_sub(pc) as i32,
+                },
+                Item::LpEndiTo { l, end } => Instr::LpEndi {
+                    l,
+                    offset: self.label_addr(end)?.wrapping_sub(pc) as i32,
+                },
+                Item::LpStartiTo { l, start } => Instr::LpStarti {
+                    l,
+                    offset: self.label_addr(start)?.wrapping_sub(pc) as i32,
+                },
+            };
+            // Validate encodability eagerly so errors carry the index.
+            encode(&instr).map_err(|source| AsmError::Encode { index: i, source })?;
+            out.push(instr);
+        }
+        Ok(out)
+    }
+
+    /// Assembles to little-endian bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Asm::instructions`].
+    pub fn assemble(&self) -> Result<Vec<u8>, AsmError> {
+        let instrs = self.instructions()?;
+        let mut bytes = Vec::with_capacity(instrs.len() * 4);
+        for (i, instr) in instrs.iter().enumerate() {
+            let word = encode(instr).map_err(|source| AsmError::Encode { index: i, source })?;
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut asm = Asm::new(0x100);
+        let skip = asm.new_label();
+        asm.li(Reg::A0, 1);
+        asm.beq_to(Reg::A0, Reg::A0, skip);
+        asm.li(Reg::A0, 99); // skipped
+        asm.bind(skip);
+        asm.ecall();
+        let instrs = asm.instructions().unwrap();
+        // beq at index 1 (addr 0x104), target at index 3 (addr 0x10c).
+        match instrs[1] {
+            Instr::Branch { offset, .. } => assert_eq!(offset, 8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut asm = Asm::new(0);
+        let l = asm.new_label();
+        asm.jal_to(Reg::ZERO, l);
+        assert!(matches!(asm.assemble(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn li_expansion() {
+        let mut asm = Asm::new(0);
+        asm.li(Reg::A0, 42); // 1 instr
+        asm.li(Reg::A1, 0x12345678); // 2 instrs
+        asm.li(Reg::A2, -1); // 1 instr
+        asm.li(Reg::A3, 0x7ffff800u32 as i32); // lui only? low = -2048 -> 2 instrs
+        assert!(asm.len() >= 5);
+        // Execute and verify values.
+        use crate::bus::Ram;
+        use crate::cpu::Cpu;
+        use crate::timing::Timing;
+        let mut asm2 = asm.clone();
+        asm2.ecall();
+        let mut ram = Ram::new(0, 256);
+        ram.write_bytes(0, &asm2.assemble().unwrap());
+        let mut cpu = Cpu::new(0);
+        cpu.run(&mut ram, &Timing::riscy(), 1000).unwrap();
+        assert_eq!(cpu.reg(Reg::A0), 42);
+        assert_eq!(cpu.reg(Reg::A1), 0x12345678);
+        assert_eq!(cpu.reg(Reg::A2), u32::MAX);
+        assert_eq!(cpu.reg(Reg::A3), 0x7ffff800);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut asm = Asm::new(0);
+        let l = asm.new_label();
+        asm.bind(l);
+        asm.bind(l);
+    }
+
+    #[test]
+    fn lp_setup_to_resolves_end() {
+        let mut asm = Asm::new(0);
+        asm.li(Reg::T0, 3);
+        let end = asm.new_label();
+        asm.lp_setup_to(LoopIdx::L0, Reg::T0, end);
+        asm.addi(Reg::A0, Reg::A0, 1);
+        asm.bind(end);
+        asm.ecall();
+        let instrs = asm.instructions().unwrap();
+        match instrs[1] {
+            Instr::LpSetup { offset, .. } => assert_eq!(offset, 8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Memory-bus abstraction used by the CPU core.
+
+use crate::instr::MemWidth;
+
+/// Error for an access that no device claims or that a device rejects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusError {
+    /// Faulting address.
+    pub addr: u32,
+    /// `true` for stores, `false` for loads/fetches.
+    pub write: bool,
+}
+
+impl core::fmt::Display for BusError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "bus fault: {} at {:#010x}",
+            if self.write { "store" } else { "load" },
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for BusError {}
+
+/// A data/instruction bus.
+///
+/// Loads return the raw (zero-extended) bytes; sign extension is performed by
+/// the CPU. Implementations can be passed as `&mut B` thanks to the blanket
+/// impl for mutable references.
+pub trait Bus {
+    /// Reads `width.bytes()` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] if the address is unmapped.
+    fn load(&mut self, addr: u32, width: MemWidth) -> Result<u32, BusError>;
+
+    /// Writes the low `width.bytes()` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] if the address is unmapped or read-only.
+    fn store(&mut self, addr: u32, width: MemWidth, value: u32) -> Result<(), BusError>;
+
+    /// Instruction fetch. Defaults to a plain word load; timing models treat
+    /// fetches as free (warm-cache assumption, as in the paper's
+    /// measurements).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] if the address is unmapped.
+    fn fetch(&mut self, addr: u32) -> Result<u32, BusError> {
+        self.load(addr, MemWidth::W)
+    }
+}
+
+impl<B: Bus + ?Sized> Bus for &mut B {
+    fn load(&mut self, addr: u32, width: MemWidth) -> Result<u32, BusError> {
+        (**self).load(addr, width)
+    }
+    fn store(&mut self, addr: u32, width: MemWidth, value: u32) -> Result<(), BusError> {
+        (**self).store(addr, width, value)
+    }
+    fn fetch(&mut self, addr: u32) -> Result<u32, BusError> {
+        (**self).fetch(addr)
+    }
+}
+
+/// A flat RAM region with a base address.
+///
+/// # Examples
+///
+/// ```
+/// use iw_rv32::{Bus, Ram, MemWidth};
+/// let mut ram = Ram::new(0x1000, 64);
+/// ram.store(0x1008, MemWidth::W, 0xdead_beef)?;
+/// assert_eq!(ram.load(0x1008, MemWidth::Hu)?, 0xbeef);
+/// # Ok::<(), iw_rv32::BusError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ram {
+    base: u32,
+    data: Vec<u8>,
+}
+
+impl Ram {
+    /// Creates a zero-filled RAM of `size` bytes starting at `base`.
+    #[must_use]
+    pub fn new(base: u32, size: usize) -> Ram {
+        Ram {
+            base,
+            data: vec![0; size],
+        }
+    }
+
+    /// Base address of the region.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Size of the region in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether `addr` (for an access of `len` bytes) lies inside the region.
+    #[must_use]
+    pub fn contains(&self, addr: u32, len: u32) -> bool {
+        addr >= self.base && (addr - self.base) as usize + len as usize <= self.data.len()
+    }
+
+    /// Copies `bytes` into the RAM starting at absolute address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range falls outside the region.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        let off = (addr - self.base) as usize;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Reads `len` bytes starting at absolute address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range falls outside the region.
+    #[must_use]
+    pub fn read_bytes(&self, addr: u32, len: usize) -> &[u8] {
+        let off = (addr - self.base) as usize;
+        &self.data[off..off + len]
+    }
+}
+
+impl Bus for Ram {
+    fn load(&mut self, addr: u32, width: MemWidth) -> Result<u32, BusError> {
+        let n = width.bytes();
+        if !self.contains(addr, n) {
+            return Err(BusError { addr, write: false });
+        }
+        let off = (addr - self.base) as usize;
+        let mut v = 0u32;
+        for i in 0..n as usize {
+            v |= u32::from(self.data[off + i]) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, addr: u32, width: MemWidth, value: u32) -> Result<(), BusError> {
+        let n = width.bytes();
+        if !self.contains(addr, n) {
+            return Err(BusError { addr, write: true });
+        }
+        let off = (addr - self.base) as usize;
+        for i in 0..n as usize {
+            self.data[off + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_roundtrip_little_endian() {
+        let mut ram = Ram::new(0, 16);
+        ram.store(0, MemWidth::W, 0x0403_0201).unwrap();
+        assert_eq!(ram.load(0, MemWidth::B).unwrap(), 0x01);
+        assert_eq!(ram.load(1, MemWidth::B).unwrap(), 0x02);
+        assert_eq!(ram.load(2, MemWidth::Hu).unwrap(), 0x0403);
+    }
+
+    #[test]
+    fn ram_out_of_range_faults() {
+        let mut ram = Ram::new(0x100, 8);
+        assert!(ram.load(0x0, MemWidth::W).is_err());
+        assert!(ram.load(0x106, MemWidth::W).is_err());
+        assert!(ram.store(0x108, MemWidth::B, 0).is_err());
+        assert!(ram.load(0x104, MemWidth::W).is_ok());
+    }
+
+    #[test]
+    fn write_read_bytes() {
+        let mut ram = Ram::new(0x10, 8);
+        ram.write_bytes(0x12, &[1, 2, 3]);
+        assert_eq!(ram.read_bytes(0x12, 3), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,458 @@
+//! Decoding of 32-bit instruction words back into [`Instr`].
+
+use crate::encode::{
+    F7_CLIP, F7_MACMSU, F7_MULDIV, F7_PULPALU, OP_AUIPC, OP_BRANCH, OP_HWLOOP, OP_JAL, OP_JALR,
+    OP_LOAD, OP_LOADPOST, OP_LUI, OP_MISCMEM, OP_OP, OP_OPIMM, OP_SIMD, OP_STORE, OP_STOREPOST,
+    OP_SYSTEM,
+};
+use crate::instr::{
+    AluImmOp, AluOp, BranchCond, Instr, LoopIdx, MemWidth, PulpAluOp, Reg, ShiftOp, SimdOp,
+};
+
+/// Error returned when a word does not decode to a supported instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The raw instruction word.
+    pub word: u32,
+    /// The address it was fetched from, if known.
+    pub addr: Option<u32>,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.addr {
+            Some(a) => write!(f, "illegal instruction {:#010x} at {:#010x}", self.word, a),
+            None => write!(f, "illegal instruction {:#010x}", self.word),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(word: u32) -> Reg {
+    Reg::new(((word >> 7) & 0x1f) as u8)
+}
+
+fn rs1(word: u32) -> Reg {
+    Reg::new(((word >> 15) & 0x1f) as u8)
+}
+
+fn rs2(word: u32) -> Reg {
+    Reg::new(((word >> 20) & 0x1f) as u8)
+}
+
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+fn imm_i(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+fn imm_s(word: u32) -> i32 {
+    (((word & 0xfe00_0000) as i32) >> 20) | (((word >> 7) & 0x1f) as i32)
+}
+
+fn imm_b(word: u32) -> i32 {
+    let sign = ((word as i32) >> 31) << 12;
+    let b11 = (((word >> 7) & 1) << 11) as i32;
+    let b10_5 = (((word >> 25) & 0x3f) << 5) as i32;
+    let b4_1 = (((word >> 8) & 0xf) << 1) as i32;
+    sign | b11 | b10_5 | b4_1
+}
+
+fn imm_u(word: u32) -> i32 {
+    (word & 0xffff_f000) as i32
+}
+
+fn imm_j(word: u32) -> i32 {
+    let sign = ((word as i32) >> 31) << 20;
+    let b19_12 = ((word >> 12) & 0xff) << 12;
+    let b11 = ((word >> 20) & 1) << 11;
+    let b10_1 = ((word >> 21) & 0x3ff) << 1;
+    sign | (b19_12 | b11 | b10_1) as i32
+}
+
+fn load_width(f3: u32) -> Option<MemWidth> {
+    match f3 {
+        0b000 => Some(MemWidth::B),
+        0b001 => Some(MemWidth::H),
+        0b010 => Some(MemWidth::W),
+        0b100 => Some(MemWidth::Bu),
+        0b101 => Some(MemWidth::Hu),
+        _ => None,
+    }
+}
+
+fn store_width(f3: u32) -> Option<MemWidth> {
+    match f3 {
+        0b000 => Some(MemWidth::B),
+        0b001 => Some(MemWidth::H),
+        0b010 => Some(MemWidth::W),
+        _ => None,
+    }
+}
+
+fn loop_idx(word: u32) -> Option<LoopIdx> {
+    match (word >> 7) & 0x1f {
+        0 => Some(LoopIdx::L0),
+        1 => Some(LoopIdx::L1),
+        _ => None,
+    }
+}
+
+/// Decodes a 32-bit word into an [`Instr`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for any word outside the supported RV32IM + Xpulp
+/// subset.
+///
+/// # Examples
+///
+/// ```
+/// use iw_rv32::{decode, Instr, Reg, AluImmOp};
+/// let instr = decode(0x02a0_0513)?;
+/// assert_eq!(
+///     instr,
+///     Instr::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::ZERO, imm: 42 }
+/// );
+/// # Ok::<(), iw_rv32::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let err = DecodeError { word, addr: None };
+    let opcode = word & 0x7f;
+    let f3 = funct3(word);
+    let f7 = funct7(word);
+    Ok(match opcode {
+        OP_LUI => Instr::Lui {
+            rd: rd(word),
+            imm: imm_u(word),
+        },
+        OP_AUIPC => Instr::Auipc {
+            rd: rd(word),
+            imm: imm_u(word),
+        },
+        OP_JAL => Instr::Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        },
+        OP_JALR if f3 == 0 => Instr::Jalr {
+            rd: rd(word),
+            rs1: rs1(word),
+            offset: imm_i(word),
+        },
+        OP_BRANCH => {
+            let cond = match f3 {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return Err(err),
+            };
+            Instr::Branch {
+                cond,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_b(word),
+            }
+        }
+        OP_LOAD => Instr::Load {
+            width: load_width(f3).ok_or(err)?,
+            rd: rd(word),
+            rs1: rs1(word),
+            offset: imm_i(word),
+        },
+        OP_STORE => Instr::Store {
+            width: store_width(f3).ok_or(err)?,
+            rs2: rs2(word),
+            rs1: rs1(word),
+            offset: imm_s(word),
+        },
+        OP_OPIMM => match f3 {
+            0b001 => Instr::Shift {
+                op: ShiftOp::Slli,
+                rd: rd(word),
+                rs1: rs1(word),
+                shamt: rs2(word).index(),
+            },
+            0b101 => {
+                let op = match f7 {
+                    0b000_0000 => ShiftOp::Srli,
+                    0b010_0000 => ShiftOp::Srai,
+                    _ => return Err(err),
+                };
+                Instr::Shift {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    shamt: rs2(word).index(),
+                }
+            }
+            _ => {
+                let op = match f3 {
+                    0b000 => AluImmOp::Addi,
+                    0b010 => AluImmOp::Slti,
+                    0b011 => AluImmOp::Sltiu,
+                    0b100 => AluImmOp::Xori,
+                    0b110 => AluImmOp::Ori,
+                    0b111 => AluImmOp::Andi,
+                    _ => return Err(err),
+                };
+                Instr::AluImm {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    imm: imm_i(word),
+                }
+            }
+        },
+        OP_OP => match f7 {
+            0b000_0000 | 0b010_0000 => {
+                let op = match (f3, f7) {
+                    (0b000, 0b000_0000) => AluOp::Add,
+                    (0b000, 0b010_0000) => AluOp::Sub,
+                    (0b001, 0b000_0000) => AluOp::Sll,
+                    (0b010, 0b000_0000) => AluOp::Slt,
+                    (0b011, 0b000_0000) => AluOp::Sltu,
+                    (0b100, 0b000_0000) => AluOp::Xor,
+                    (0b101, 0b000_0000) => AluOp::Srl,
+                    (0b101, 0b010_0000) => AluOp::Sra,
+                    (0b110, 0b000_0000) => AluOp::Or,
+                    (0b111, 0b000_0000) => AluOp::And,
+                    _ => return Err(err),
+                };
+                Instr::Alu {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                }
+            }
+            F7_MULDIV => {
+                let op = match f3 {
+                    0b000 => AluOp::Mul,
+                    0b001 => AluOp::Mulh,
+                    0b010 => AluOp::Mulhsu,
+                    0b011 => AluOp::Mulhu,
+                    0b100 => AluOp::Div,
+                    0b101 => AluOp::Divu,
+                    0b110 => AluOp::Rem,
+                    0b111 => AluOp::Remu,
+                    _ => unreachable!(),
+                };
+                Instr::Alu {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                }
+            }
+            F7_MACMSU => match f3 {
+                0b000 => Instr::Mac {
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                },
+                0b001 => Instr::Msu {
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                },
+                _ => return Err(err),
+            },
+            F7_CLIP if f3 == 0b001 => Instr::Clip {
+                rd: rd(word),
+                rs1: rs1(word),
+                bits: rs2(word).index(),
+            },
+            F7_PULPALU => {
+                let op = match f3 {
+                    0b000 => PulpAluOp::Abs,
+                    0b010 => PulpAluOp::Exths,
+                    0b011 => PulpAluOp::Extuh,
+                    0b100 => PulpAluOp::Min,
+                    0b101 => PulpAluOp::Max,
+                    0b110 => PulpAluOp::Minu,
+                    0b111 => PulpAluOp::Maxu,
+                    _ => return Err(err),
+                };
+                Instr::PulpAlu {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                }
+            }
+            _ => return Err(err),
+        },
+        OP_SYSTEM if f3 == 0 => match imm_i(word) {
+            0 => Instr::Ecall,
+            1 => Instr::Ebreak,
+            _ => return Err(err),
+        },
+        OP_MISCMEM => Instr::Fence,
+        OP_LOADPOST => Instr::LoadPost {
+            width: load_width(f3).ok_or(err)?,
+            rd: rd(word),
+            rs1: rs1(word),
+            offset: imm_i(word),
+        },
+        OP_STOREPOST => Instr::StorePost {
+            width: store_width(f3).ok_or(err)?,
+            rs2: rs2(word),
+            rs1: rs1(word),
+            offset: imm_s(word),
+        },
+        OP_SIMD if f3 == 0 => {
+            let op = match f7 {
+                0b000_0000 => SimdOp::AddH,
+                0b000_0100 => SimdOp::SubH,
+                0b001_0000 => SimdOp::MinH,
+                0b001_1000 => SimdOp::MaxH,
+                0b100_1100 => SimdOp::DotspH,
+                0b101_0100 => SimdOp::SdotspH,
+                0b111_0000 => SimdOp::PackH,
+                _ => return Err(err),
+            };
+            Instr::Simd {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            }
+        }
+        OP_HWLOOP => {
+            let l = loop_idx(word).ok_or(err)?;
+            match f3 {
+                0b000 => Instr::LpStarti {
+                    l,
+                    offset: imm_i(word) * 2,
+                },
+                0b001 => Instr::LpEndi {
+                    l,
+                    offset: imm_i(word) * 2,
+                },
+                0b010 => Instr::LpCount { l, rs1: rs1(word) },
+                0b011 => Instr::LpCounti {
+                    l,
+                    count: (imm_i(word) & 0xfff) as u16,
+                },
+                0b100 => Instr::LpSetup {
+                    l,
+                    rs1: rs1(word),
+                    offset: imm_i(word) * 2,
+                },
+                0b101 => Instr::LpSetupi {
+                    l,
+                    count: rs1(word).index(),
+                    offset: imm_i(word) * 2,
+                },
+                _ => return Err(err),
+            }
+        }
+        _ => return Err(err),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::instr::Reg;
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0x0000_0000).is_err());
+    }
+
+    #[test]
+    fn roundtrip_spot_checks() {
+        let cases = [
+            Instr::Lui {
+                rd: Reg::A0,
+                imm: 0x12345 << 12,
+            },
+            Instr::Jal {
+                rd: Reg::RA,
+                offset: -2048,
+            },
+            Instr::Branch {
+                cond: BranchCond::Geu,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                offset: 4094,
+            },
+            Instr::Load {
+                width: MemWidth::Hu,
+                rd: Reg::S3,
+                rs1: Reg::GP,
+                offset: -1,
+            },
+            Instr::Shift {
+                op: ShiftOp::Srai,
+                rd: Reg::A3,
+                rs1: Reg::A3,
+                shamt: 13,
+            },
+            Instr::Mac {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            Instr::Clip {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                bits: 16,
+            },
+            Instr::Simd {
+                op: SimdOp::SdotspH,
+                rd: Reg::S0,
+                rs1: Reg::S1,
+                rs2: Reg::S2,
+            },
+            Instr::LpSetup {
+                l: LoopIdx::L1,
+                rs1: Reg::T2,
+                offset: 64,
+            },
+            Instr::LpCounti {
+                l: LoopIdx::L0,
+                count: 4095,
+            },
+            Instr::LoadPost {
+                width: MemWidth::H,
+                rd: Reg::A4,
+                rs1: Reg::A5,
+                offset: 2,
+            },
+            Instr::StorePost {
+                width: MemWidth::W,
+                rs2: Reg::A4,
+                rs1: Reg::A5,
+                offset: 4,
+            },
+        ];
+        for instr in cases {
+            let word = encode(&instr).unwrap();
+            let back = decode(word).unwrap();
+            assert_eq!(back, instr, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn decode_error_displays_address() {
+        let e = DecodeError {
+            word: 0xdead_beef,
+            addr: Some(0x100),
+        };
+        assert!(e.to_string().contains("0x00000100"));
+    }
+}

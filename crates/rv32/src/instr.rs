@@ -1,0 +1,696 @@
+//! Instruction model for the RV32IM + Xpulp subset executed by the simulator.
+//!
+//! The base ISA is RV32IM. On top of it the simulator implements the subset
+//! of the PULP Xpulp extensions that the RI5CY cores of Mr. Wolf use in the
+//! InfiniWolf inference kernels:
+//!
+//! * **hardware loops** (`lp.*`, two nesting levels, zero overhead),
+//! * **post-increment loads/stores** (`p.lw rd, imm(rs1!)` …),
+//! * **multiply-accumulate** (`p.mac`, `p.msu`),
+//! * **bit manipulation helpers** (`p.clip`, `p.abs`, `p.min`, `p.max`,
+//!   `p.exths`, `p.extuh`),
+//! * **packed 16-bit SIMD** (`pv.add.h`, `pv.sub.h`, `pv.dotsp.h`,
+//!   `pv.sdotsp.h`, `pv.min.h`, `pv.max.h`, `pv.pack.h`).
+//!
+//! The Xpulp binary encodings used here follow the RI5CY opcode map in
+//! structure (custom-0/custom-1 opcodes for post-increment memory ops,
+//! `0b1111011` for hardware loops, a vector opcode for SIMD) but are fixed by
+//! this crate — see [`crate::encode`] — and are exercised round-trip by
+//! property tests.
+
+use core::fmt;
+
+/// An integer register `x0`–`x31`.
+///
+/// `x0` is hard-wired to zero, as in any RISC-V implementation.
+///
+/// # Examples
+///
+/// ```
+/// use iw_rv32::Reg;
+/// assert_eq!(Reg::A0.index(), 10);
+/// assert_eq!(format!("{}", Reg::SP), "sp");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer.
+    pub const TP: Reg = Reg(4);
+    /// Temporary 0.
+    pub const T0: Reg = Reg(5);
+    /// Temporary 1.
+    pub const T1: Reg = Reg(6);
+    /// Temporary 2.
+    pub const T2: Reg = Reg(7);
+    /// Saved register 0 / frame pointer.
+    pub const S0: Reg = Reg(8);
+    /// Saved register 1.
+    pub const S1: Reg = Reg(9);
+    /// Argument/return 0.
+    pub const A0: Reg = Reg(10);
+    /// Argument/return 1.
+    pub const A1: Reg = Reg(11);
+    /// Argument 2.
+    pub const A2: Reg = Reg(12);
+    /// Argument 3.
+    pub const A3: Reg = Reg(13);
+    /// Argument 4.
+    pub const A4: Reg = Reg(14);
+    /// Argument 5.
+    pub const A5: Reg = Reg(15);
+    /// Argument 6.
+    pub const A6: Reg = Reg(16);
+    /// Argument 7.
+    pub const A7: Reg = Reg(17);
+    /// Saved register 2.
+    pub const S2: Reg = Reg(18);
+    /// Saved register 3.
+    pub const S3: Reg = Reg(19);
+    /// Saved register 4.
+    pub const S4: Reg = Reg(20);
+    /// Saved register 5.
+    pub const S5: Reg = Reg(21);
+    /// Saved register 6.
+    pub const S6: Reg = Reg(22);
+    /// Saved register 7.
+    pub const S7: Reg = Reg(23);
+    /// Saved register 8.
+    pub const S8: Reg = Reg(24);
+    /// Saved register 9.
+    pub const S9: Reg = Reg(25);
+    /// Saved register 10.
+    pub const S10: Reg = Reg(26);
+    /// Saved register 11.
+    pub const S11: Reg = Reg(27);
+    /// Temporary 3.
+    pub const T3: Reg = Reg(28);
+    /// Temporary 4.
+    pub const T4: Reg = Reg(29);
+    /// Temporary 5.
+    pub const T5: Reg = Reg(30);
+    /// Temporary 6.
+    pub const T6: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Register index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        f.write_str(NAMES[self.0 as usize])
+    }
+}
+
+/// Register-register ALU operation (RV32I `OP` group plus the M extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `add rd, rs1, rs2`
+    Add,
+    /// `sub rd, rs1, rs2`
+    Sub,
+    /// `sll rd, rs1, rs2`
+    Sll,
+    /// `slt rd, rs1, rs2`
+    Slt,
+    /// `sltu rd, rs1, rs2`
+    Sltu,
+    /// `xor rd, rs1, rs2`
+    Xor,
+    /// `srl rd, rs1, rs2`
+    Srl,
+    /// `sra rd, rs1, rs2`
+    Sra,
+    /// `or rd, rs1, rs2`
+    Or,
+    /// `and rd, rs1, rs2`
+    And,
+    /// `mul rd, rs1, rs2` (M extension)
+    Mul,
+    /// `mulh rd, rs1, rs2`
+    Mulh,
+    /// `mulhsu rd, rs1, rs2`
+    Mulhsu,
+    /// `mulhu rd, rs1, rs2`
+    Mulhu,
+    /// `div rd, rs1, rs2`
+    Div,
+    /// `divu rd, rs1, rs2`
+    Divu,
+    /// `rem rd, rs1, rs2`
+    Rem,
+    /// `remu rd, rs1, rs2`
+    Remu,
+}
+
+/// Immediate ALU operation (RV32I `OP-IMM` group, shifts excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    /// `addi rd, rs1, imm`
+    Addi,
+    /// `slti rd, rs1, imm`
+    Slti,
+    /// `sltiu rd, rs1, imm`
+    Sltiu,
+    /// `xori rd, rs1, imm`
+    Xori,
+    /// `ori rd, rs1, imm`
+    Ori,
+    /// `andi rd, rs1, imm`
+    Andi,
+}
+
+/// Immediate shift operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// `slli rd, rs1, shamt`
+    Slli,
+    /// `srli rd, rs1, shamt`
+    Srli,
+    /// `srai rd, rs1, shamt`
+    Srai,
+}
+
+/// Branch condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// `beq`
+    Eq,
+    /// `bne`
+    Ne,
+    /// `blt` (signed)
+    Lt,
+    /// `bge` (signed)
+    Ge,
+    /// `bltu`
+    Ltu,
+    /// `bgeu`
+    Geu,
+}
+
+/// Width and signedness of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// `lb` / `sb` — signed byte (stores ignore signedness).
+    B,
+    /// `lh` / `sh` — signed halfword.
+    H,
+    /// `lw` / `sw` — word.
+    W,
+    /// `lbu` — unsigned byte (loads only).
+    Bu,
+    /// `lhu` — unsigned halfword (loads only).
+    Hu,
+}
+
+impl MemWidth {
+    /// Size of the access in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::B | MemWidth::Bu => 1,
+            MemWidth::H | MemWidth::Hu => 2,
+            MemWidth::W => 4,
+        }
+    }
+}
+
+/// Xpulp register-register bit-manipulation / min-max operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PulpAluOp {
+    /// `p.abs rd, rs1` — absolute value (rs2 ignored / zero).
+    Abs,
+    /// `p.min rd, rs1, rs2` — signed minimum.
+    Min,
+    /// `p.max rd, rs1, rs2` — signed maximum.
+    Max,
+    /// `p.minu rd, rs1, rs2` — unsigned minimum.
+    Minu,
+    /// `p.maxu rd, rs1, rs2` — unsigned maximum.
+    Maxu,
+    /// `p.exths rd, rs1` — sign-extend halfword.
+    Exths,
+    /// `p.extuh rd, rs1` — zero-extend halfword.
+    Extuh,
+}
+
+/// Xpulp packed-16-bit SIMD operation (`pv.*.h`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdOp {
+    /// `pv.add.h rd, rs1, rs2` — lane-wise 16-bit add (wrapping).
+    AddH,
+    /// `pv.sub.h rd, rs1, rs2` — lane-wise 16-bit subtract (wrapping).
+    SubH,
+    /// `pv.min.h` — lane-wise signed minimum.
+    MinH,
+    /// `pv.max.h` — lane-wise signed maximum.
+    MaxH,
+    /// `pv.dotsp.h rd, rs1, rs2` — signed dot product of the two 16-bit
+    /// lanes: `rd = h0(rs1)*h0(rs2) + h1(rs1)*h1(rs2)`.
+    DotspH,
+    /// `pv.sdotsp.h rd, rs1, rs2` — dot product **accumulated** into `rd`.
+    SdotspH,
+    /// `pv.pack.h rd, rs1, rs2` — pack the low halfwords: low lane from
+    /// `rs1`, high lane from `rs2`.
+    PackH,
+}
+
+/// Hardware-loop index (RI5CY supports two nested loops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopIdx {
+    /// Innermost loop.
+    L0,
+    /// Outer loop.
+    L1,
+}
+
+impl LoopIdx {
+    /// Numeric index (0 or 1).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            LoopIdx::L0 => 0,
+            LoopIdx::L1 => 1,
+        }
+    }
+}
+
+/// A decoded instruction.
+///
+/// Immediates are stored sign-extended where the encoding is signed. Branch,
+/// jump and hardware-loop offsets are byte offsets relative to the address of
+/// the instruction itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant fields follow RISC-V operand naming (rd/rs1/rs2/imm)
+pub enum Instr {
+    /// `lui rd, imm` — `imm` is the value already shifted left by 12.
+    Lui { rd: Reg, imm: i32 },
+    /// `auipc rd, imm` — `imm` already shifted left by 12.
+    Auipc { rd: Reg, imm: i32 },
+    /// `jal rd, offset`
+    Jal { rd: Reg, offset: i32 },
+    /// `jalr rd, offset(rs1)`
+    Jalr { rd: Reg, rs1: Reg, offset: i32 },
+    /// Conditional branch.
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    /// Load.
+    Load {
+        width: MemWidth,
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// Store. `Bu`/`Hu` widths are invalid for stores.
+    Store {
+        width: MemWidth,
+        rs2: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// Register-immediate ALU operation.
+    AluImm {
+        op: AluImmOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    /// Immediate shift.
+    Shift {
+        op: ShiftOp,
+        rd: Reg,
+        rs1: Reg,
+        shamt: u8,
+    },
+    /// Register-register ALU operation (including M extension).
+    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// Environment call — halts the simulated core.
+    Ecall,
+    /// Breakpoint — halts the simulated core.
+    Ebreak,
+    /// Memory fence (no-op in this model).
+    Fence,
+
+    // ---- Xpulp extensions ----
+    /// `p.<load> rd, offset(rs1!)` — post-increment load: `rd = mem[rs1]`,
+    /// then `rs1 += offset`.
+    LoadPost {
+        width: MemWidth,
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// `p.<store> rs2, offset(rs1!)` — post-increment store.
+    StorePost {
+        width: MemWidth,
+        rs2: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// `p.mac rd, rs1, rs2` — `rd += rs1 * rs2` (low 32 bits, wrapping).
+    Mac { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `p.msu rd, rs1, rs2` — `rd -= rs1 * rs2`.
+    Msu { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `p.clip rd, rs1, bits` — clip to `[-2^(bits-1), 2^(bits-1) - 1]`.
+    /// `bits == 0` clips to `[-1, 0]` (as in RI5CY).
+    Clip { rd: Reg, rs1: Reg, bits: u8 },
+    /// Xpulp scalar ALU helper.
+    PulpAlu {
+        op: PulpAluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    /// Packed-SIMD operation on 2×16-bit lanes.
+    Simd {
+        op: SimdOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    /// `lp.starti L, offset` — loop start address = `pc + offset`.
+    LpStarti { l: LoopIdx, offset: i32 },
+    /// `lp.endi L, offset` — loop end address = `pc + offset` (address of
+    /// the first instruction *after* the loop body).
+    LpEndi { l: LoopIdx, offset: i32 },
+    /// `lp.count L, rs1` — loop iteration count from register.
+    LpCount { l: LoopIdx, rs1: Reg },
+    /// `lp.counti L, count` — loop iteration count, immediate (0..4096).
+    LpCounti { l: LoopIdx, count: u16 },
+    /// `lp.setup L, rs1, offset` — start = next pc, end = `pc + offset`,
+    /// count from `rs1`.
+    LpSetup { l: LoopIdx, rs1: Reg, offset: i32 },
+    /// `lp.setupi L, count, offset` — like `lp.setup` with a 5-bit
+    /// immediate count (0..32).
+    LpSetupi { l: LoopIdx, count: u8, offset: i32 },
+}
+
+impl Instr {
+    /// Returns `true` if this instruction is part of an Xpulp extension
+    /// (and therefore illegal on the Ibex fabric controller, which only
+    /// implements RV32IM).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iw_rv32::{Instr, Reg};
+    /// let mac = Instr::Mac { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+    /// assert!(mac.is_xpulp());
+    /// let add = Instr::Alu {
+    ///     op: iw_rv32::AluOp::Add,
+    ///     rd: Reg::A0,
+    ///     rs1: Reg::A1,
+    ///     rs2: Reg::A2,
+    /// };
+    /// assert!(!add.is_xpulp());
+    /// ```
+    #[must_use]
+    pub fn is_xpulp(&self) -> bool {
+        matches!(
+            self,
+            Instr::LoadPost { .. }
+                | Instr::StorePost { .. }
+                | Instr::Mac { .. }
+                | Instr::Msu { .. }
+                | Instr::Clip { .. }
+                | Instr::PulpAlu { .. }
+                | Instr::Simd { .. }
+                | Instr::LpStarti { .. }
+                | Instr::LpEndi { .. }
+                | Instr::LpCount { .. }
+                | Instr::LpCounti { .. }
+                | Instr::LpSetup { .. }
+                | Instr::LpSetupi { .. }
+        )
+    }
+
+    /// Returns `true` for loads and stores (including post-increment forms).
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. }
+                | Instr::Store { .. }
+                | Instr::LoadPost { .. }
+                | Instr::StorePost { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", (imm as u32) >> 12),
+            Instr::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm as u32) >> 12),
+            Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instr::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let name = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                    BranchCond::Ltu => "bltu",
+                    BranchCond::Geu => "bgeu",
+                };
+                write!(f, "{name} {rs1}, {rs2}, {offset}")
+            }
+            Instr::Load {
+                width,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let name = match width {
+                    MemWidth::B => "lb",
+                    MemWidth::H => "lh",
+                    MemWidth::W => "lw",
+                    MemWidth::Bu => "lbu",
+                    MemWidth::Hu => "lhu",
+                };
+                write!(f, "{name} {rd}, {offset}({rs1})")
+            }
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let name = match width {
+                    MemWidth::B => "sb",
+                    MemWidth::H => "sh",
+                    MemWidth::W => "sw",
+                    _ => "s?",
+                };
+                write!(f, "{name} {rs2}, {offset}({rs1})")
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let name = match op {
+                    AluImmOp::Addi => "addi",
+                    AluImmOp::Slti => "slti",
+                    AluImmOp::Sltiu => "sltiu",
+                    AluImmOp::Xori => "xori",
+                    AluImmOp::Ori => "ori",
+                    AluImmOp::Andi => "andi",
+                };
+                write!(f, "{name} {rd}, {rs1}, {imm}")
+            }
+            Instr::Shift { op, rd, rs1, shamt } => {
+                let name = match op {
+                    ShiftOp::Slli => "slli",
+                    ShiftOp::Srli => "srli",
+                    ShiftOp::Srai => "srai",
+                };
+                write!(f, "{name} {rd}, {rs1}, {shamt}")
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::Sll => "sll",
+                    AluOp::Slt => "slt",
+                    AluOp::Sltu => "sltu",
+                    AluOp::Xor => "xor",
+                    AluOp::Srl => "srl",
+                    AluOp::Sra => "sra",
+                    AluOp::Or => "or",
+                    AluOp::And => "and",
+                    AluOp::Mul => "mul",
+                    AluOp::Mulh => "mulh",
+                    AluOp::Mulhsu => "mulhsu",
+                    AluOp::Mulhu => "mulhu",
+                    AluOp::Div => "div",
+                    AluOp::Divu => "divu",
+                    AluOp::Rem => "rem",
+                    AluOp::Remu => "remu",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}")
+            }
+            Instr::Ecall => f.write_str("ecall"),
+            Instr::Ebreak => f.write_str("ebreak"),
+            Instr::Fence => f.write_str("fence"),
+            Instr::LoadPost {
+                width,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let name = match width {
+                    MemWidth::B => "p.lb",
+                    MemWidth::H => "p.lh",
+                    MemWidth::W => "p.lw",
+                    MemWidth::Bu => "p.lbu",
+                    MemWidth::Hu => "p.lhu",
+                };
+                write!(f, "{name} {rd}, {offset}({rs1}!)")
+            }
+            Instr::StorePost {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let name = match width {
+                    MemWidth::B => "p.sb",
+                    MemWidth::H => "p.sh",
+                    MemWidth::W => "p.sw",
+                    _ => "p.s?",
+                };
+                write!(f, "{name} {rs2}, {offset}({rs1}!)")
+            }
+            Instr::Mac { rd, rs1, rs2 } => write!(f, "p.mac {rd}, {rs1}, {rs2}"),
+            Instr::Msu { rd, rs1, rs2 } => write!(f, "p.msu {rd}, {rs1}, {rs2}"),
+            Instr::Clip { rd, rs1, bits } => write!(f, "p.clip {rd}, {rs1}, {bits}"),
+            Instr::PulpAlu { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    PulpAluOp::Abs => "p.abs",
+                    PulpAluOp::Min => "p.min",
+                    PulpAluOp::Max => "p.max",
+                    PulpAluOp::Minu => "p.minu",
+                    PulpAluOp::Maxu => "p.maxu",
+                    PulpAluOp::Exths => "p.exths",
+                    PulpAluOp::Extuh => "p.extuh",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}")
+            }
+            Instr::Simd { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    SimdOp::AddH => "pv.add.h",
+                    SimdOp::SubH => "pv.sub.h",
+                    SimdOp::MinH => "pv.min.h",
+                    SimdOp::MaxH => "pv.max.h",
+                    SimdOp::DotspH => "pv.dotsp.h",
+                    SimdOp::SdotspH => "pv.sdotsp.h",
+                    SimdOp::PackH => "pv.pack.h",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}")
+            }
+            Instr::LpStarti { l, offset } => write!(f, "lp.starti x{}, {offset}", l.index()),
+            Instr::LpEndi { l, offset } => write!(f, "lp.endi x{}, {offset}", l.index()),
+            Instr::LpCount { l, rs1 } => write!(f, "lp.count x{}, {rs1}", l.index()),
+            Instr::LpCounti { l, count } => write!(f, "lp.counti x{}, {count}", l.index()),
+            Instr::LpSetup { l, rs1, offset } => {
+                write!(f, "lp.setup x{}, {rs1}, {offset}", l.index())
+            }
+            Instr::LpSetupi { l, count, offset } => {
+                write!(f, "lp.setupi x{}, {count}, {offset}", l.index())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_uses_abi_names() {
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::A0.to_string(), "a0");
+        assert_eq!(Reg::T6.to_string(), "t6");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn xpulp_classification() {
+        assert!(Instr::LpCounti {
+            l: LoopIdx::L0,
+            count: 3
+        }
+        .is_xpulp());
+        assert!(!Instr::Ecall.is_xpulp());
+        assert!(Instr::LoadPost {
+            width: MemWidth::W,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            offset: 4
+        }
+        .is_mem());
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Instr::Load {
+            width: MemWidth::W,
+            rd: Reg::A0,
+            rs1: Reg::SP,
+            offset: -8,
+        };
+        assert_eq!(i.to_string(), "lw a0, -8(sp)");
+        let i = Instr::Simd {
+            op: SimdOp::SdotspH,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
+        assert_eq!(i.to_string(), "pv.sdotsp.h a0, a1, a2");
+    }
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::B.bytes(), 1);
+        assert_eq!(MemWidth::Hu.bytes(), 2);
+        assert_eq!(MemWidth::W.bytes(), 4);
+    }
+}

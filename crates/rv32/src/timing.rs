@@ -1,0 +1,106 @@
+//! Per-instruction timing models for the two RISC-V cores of Mr. Wolf.
+//!
+//! The simulator is instruction-timed, not pipeline-simulated: each retired
+//! instruction contributes a fixed base cost, chosen to match the published
+//! micro-architectural behaviour of the cores. TCDM bank-conflict stalls are
+//! added on top by the SoC model in `iw-mrwolf`.
+
+/// Base cycle costs for one core.
+///
+/// # Examples
+///
+/// ```
+/// use iw_rv32::Timing;
+/// let ibex = Timing::ibex();
+/// let riscy = Timing::riscy();
+/// // Ibex pays two cycles per load (2-stage pipeline, no load-use bypass
+/// // into the same stage); RI5CY's loads hit single-cycle TCDM.
+/// assert!(ibex.load > riscy.load);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// Plain ALU / LUI / AUIPC.
+    pub alu: u32,
+    /// 32×32 multiply (low or high half).
+    pub mul: u32,
+    /// Divide / remainder (worst case; data-independent here).
+    pub div: u32,
+    /// Load (any width), excluding memory-system stalls.
+    pub load: u32,
+    /// Store (any width).
+    pub store: u32,
+    /// Taken conditional branch.
+    pub branch_taken: u32,
+    /// Not-taken conditional branch.
+    pub branch_not_taken: u32,
+    /// Unconditional jump (`jal`, `jalr`).
+    pub jump: u32,
+    /// Xpulp ALU/SIMD/MAC operations.
+    pub xpulp: u32,
+    /// Hardware-loop setup instructions (`lp.*`). Loop back-edges are free.
+    pub hwloop_setup: u32,
+}
+
+impl Timing {
+    /// Timing model for the Ibex (zero-riscy) fabric controller: 2-stage
+    /// pipeline, single-cycle multiplier option, iterative divider, no
+    /// branch prediction (taken branches flush the prefetch buffer).
+    #[must_use]
+    pub fn ibex() -> Timing {
+        Timing {
+            alu: 1,
+            mul: 1,
+            div: 37,
+            load: 2,
+            store: 2,
+            branch_taken: 3,
+            branch_not_taken: 1,
+            jump: 2,
+            // Ibex has no Xpulp support; the CPU rejects those instructions
+            // before timing is consulted. Kept at 1 for completeness.
+            xpulp: 1,
+            hwloop_setup: 1,
+        }
+    }
+
+    /// Timing model for a RI5CY cluster core: 4-stage pipeline, single-cycle
+    /// TCDM loads (absent bank conflicts), single-cycle MAC/SIMD, hardware
+    /// loops with zero back-edge overhead.
+    #[must_use]
+    pub fn riscy() -> Timing {
+        Timing {
+            alu: 1,
+            mul: 1,
+            div: 35,
+            load: 1,
+            store: 1,
+            branch_taken: 3,
+            branch_not_taken: 1,
+            jump: 2,
+            xpulp: 1,
+            hwloop_setup: 1,
+        }
+    }
+}
+
+impl Default for Timing {
+    /// Defaults to the RI5CY model.
+    fn default() -> Timing {
+        Timing::riscy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_expected() {
+        let i = Timing::ibex();
+        let r = Timing::riscy();
+        assert_eq!(i.alu, 1);
+        assert_eq!(r.load, 1);
+        assert!(i.branch_taken >= r.branch_not_taken);
+        assert_eq!(Timing::default(), r);
+    }
+}

@@ -1,0 +1,206 @@
+//! Property tests: every constructible instruction encodes to a word that
+//! decodes back to itself, and decoding arbitrary words never panics.
+
+use iw_rv32::{
+    decode, encode, AluImmOp, AluOp, BranchCond, Instr, LoopIdx, MemWidth, PulpAluOp, Reg,
+    ShiftOp, SimdOp,
+};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn any_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Mulhsu),
+        Just(AluOp::Mulhu),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+    ]
+}
+
+fn any_simd_op() -> impl Strategy<Value = SimdOp> {
+    prop_oneof![
+        Just(SimdOp::AddH),
+        Just(SimdOp::SubH),
+        Just(SimdOp::MinH),
+        Just(SimdOp::MaxH),
+        Just(SimdOp::DotspH),
+        Just(SimdOp::SdotspH),
+        Just(SimdOp::PackH),
+    ]
+}
+
+fn any_pulp_alu_op() -> impl Strategy<Value = PulpAluOp> {
+    prop_oneof![
+        Just(PulpAluOp::Abs),
+        Just(PulpAluOp::Min),
+        Just(PulpAluOp::Max),
+        Just(PulpAluOp::Minu),
+        Just(PulpAluOp::Maxu),
+        Just(PulpAluOp::Exths),
+        Just(PulpAluOp::Extuh),
+    ]
+}
+
+fn any_loop() -> impl Strategy<Value = LoopIdx> {
+    prop_oneof![Just(LoopIdx::L0), Just(LoopIdx::L1)]
+}
+
+fn any_load_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::B),
+        Just(MemWidth::H),
+        Just(MemWidth::W),
+        Just(MemWidth::Bu),
+        Just(MemWidth::Hu),
+    ]
+}
+
+fn any_store_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![Just(MemWidth::B), Just(MemWidth::H), Just(MemWidth::W)]
+}
+
+fn any_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (any_reg(), -(1i32 << 19)..(1i32 << 19)).prop_map(|(rd, v)| Instr::Lui { rd, imm: v << 12 }),
+        (any_reg(), -(1i32 << 19)..(1i32 << 19))
+            .prop_map(|(rd, v)| Instr::Auipc { rd, imm: v << 12 }),
+        (any_reg(), -(1i32 << 19)..(1i32 << 19) - 1)
+            .prop_map(|(rd, o)| Instr::Jal { rd, offset: o * 2 }),
+        (any_reg(), any_reg(), -2048i32..2048)
+            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (
+            prop_oneof![
+                Just(BranchCond::Eq),
+                Just(BranchCond::Ne),
+                Just(BranchCond::Lt),
+                Just(BranchCond::Ge),
+                Just(BranchCond::Ltu),
+                Just(BranchCond::Geu)
+            ],
+            any_reg(),
+            any_reg(),
+            -2048i32..2048
+        )
+            .prop_map(|(cond, rs1, rs2, o)| Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset: o * 2
+            }),
+        (any_load_width(), any_reg(), any_reg(), -2048i32..2048).prop_map(
+            |(width, rd, rs1, offset)| Instr::Load {
+                width,
+                rd,
+                rs1,
+                offset
+            }
+        ),
+        (any_store_width(), any_reg(), any_reg(), -2048i32..2048).prop_map(
+            |(width, rs2, rs1, offset)| Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset
+            }
+        ),
+        (
+            prop_oneof![
+                Just(AluImmOp::Addi),
+                Just(AluImmOp::Slti),
+                Just(AluImmOp::Sltiu),
+                Just(AluImmOp::Xori),
+                Just(AluImmOp::Ori),
+                Just(AluImmOp::Andi)
+            ],
+            any_reg(),
+            any_reg(),
+            -2048i32..2048
+        )
+            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![Just(ShiftOp::Slli), Just(ShiftOp::Srli), Just(ShiftOp::Srai)],
+            any_reg(),
+            any_reg(),
+            0u8..32
+        )
+            .prop_map(|(op, rd, rs1, shamt)| Instr::Shift { op, rd, rs1, shamt }),
+        (any_alu_op(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        Just(Instr::Ecall),
+        Just(Instr::Ebreak),
+        Just(Instr::Fence),
+        (any_load_width(), any_reg(), any_reg(), -2048i32..2048).prop_map(
+            |(width, rd, rs1, offset)| Instr::LoadPost {
+                width,
+                rd,
+                rs1,
+                offset
+            }
+        ),
+        (any_store_width(), any_reg(), any_reg(), -2048i32..2048).prop_map(
+            |(width, rs2, rs1, offset)| Instr::StorePost {
+                width,
+                rs2,
+                rs1,
+                offset
+            }
+        ),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Instr::Mac { rd, rs1, rs2 }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Instr::Msu { rd, rs1, rs2 }),
+        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rs1, bits)| Instr::Clip { rd, rs1, bits }),
+        (any_pulp_alu_op(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::PulpAlu { op, rd, rs1, rs2 }),
+        (any_simd_op(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Simd { op, rd, rs1, rs2 }),
+        (any_loop(), -2048i32..2048).prop_map(|(l, o)| Instr::LpStarti { l, offset: o * 2 }),
+        (any_loop(), -2048i32..2048).prop_map(|(l, o)| Instr::LpEndi { l, offset: o * 2 }),
+        (any_loop(), any_reg()).prop_map(|(l, rs1)| Instr::LpCount { l, rs1 }),
+        (any_loop(), 0u16..4096).prop_map(|(l, count)| Instr::LpCounti { l, count }),
+        (any_loop(), any_reg(), -2048i32..2048)
+            .prop_map(|(l, rs1, o)| Instr::LpSetup { l, rs1, offset: o * 2 }),
+        (any_loop(), 0u8..32, -2048i32..2048)
+            .prop_map(|(l, count, o)| Instr::LpSetupi { l, count, offset: o * 2 }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(instr in any_instr()) {
+        let word = encode(&instr).expect("generated instruction must encode");
+        let back = decode(word).expect("encoded word must decode");
+        prop_assert_eq!(back, instr);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decoded_words_reencode_identically(word in any::<u32>()) {
+        if let Ok(instr) = decode(word) {
+            // Decode is not injective on don't-care bits (e.g. fence), so we
+            // only require that re-encoding yields a word that decodes to the
+            // same instruction.
+            let word2 = encode(&instr).expect("decoded instruction must re-encode");
+            prop_assert_eq!(decode(word2).unwrap(), instr);
+        }
+    }
+}

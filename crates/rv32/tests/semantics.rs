@@ -1,0 +1,254 @@
+//! Semantic tests: every Xpulp operation checked against its Rust
+//! equivalent on random operands, plus the hardware-loop register
+//! interface (`lp.starti`/`lp.endi`/`lp.count`) that the fused `lp.setup`
+//! tests don't cover.
+
+use iw_rv32::{
+    asm::Asm, AluOp, Cpu, LoopIdx, PulpAluOp, Ram, Reg, ShiftOp, SimdOp, Timing,
+};
+use proptest::prelude::*;
+
+fn run_binary_op(emit: impl Fn(&mut Asm), a: u32, b: u32) -> u32 {
+    let mut asm = Asm::new(0);
+    asm.li(Reg::A2, a as i32);
+    asm.li(Reg::A3, b as i32);
+    emit(&mut asm);
+    asm.ecall();
+    let mut ram = Ram::new(0, 256);
+    ram.write_bytes(0, &asm.assemble().unwrap());
+    let mut cpu = Cpu::new(0);
+    cpu.run(&mut ram, &Timing::riscy(), 10_000).unwrap();
+    cpu.reg(Reg::A4)
+}
+
+fn lanes(x: u32) -> (i16, i16) {
+    (x as u16 as i16, (x >> 16) as u16 as i16)
+}
+
+fn pack(lo: i16, hi: i16) -> u32 {
+    (lo as u16 as u32) | ((hi as u16 as u32) << 16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simd_ops_match_reference(a in any::<u32>(), b in any::<u32>()) {
+        let (a0, a1) = lanes(a);
+        let (b0, b1) = lanes(b);
+        let cases: Vec<(SimdOp, u32)> = vec![
+            (SimdOp::AddH, pack(a0.wrapping_add(b0), a1.wrapping_add(b1))),
+            (SimdOp::SubH, pack(a0.wrapping_sub(b0), a1.wrapping_sub(b1))),
+            (SimdOp::MinH, pack(a0.min(b0), a1.min(b1))),
+            (SimdOp::MaxH, pack(a0.max(b0), a1.max(b1))),
+            (
+                SimdOp::DotspH,
+                (i32::from(a0) * i32::from(b0)).wrapping_add(i32::from(a1) * i32::from(b1))
+                    as u32,
+            ),
+            (SimdOp::PackH, pack(a0, b0)),
+        ];
+        for (op, expected) in cases {
+            let got = run_binary_op(
+                |asm| asm.simd(op, Reg::A4, Reg::A2, Reg::A3),
+                a,
+                b,
+            );
+            prop_assert_eq!(got, expected, "op {:?}", op);
+        }
+    }
+
+    #[test]
+    fn sdotsp_accumulates(a in any::<u32>(), b in any::<u32>(), acc in any::<i32>()) {
+        let (a0, a1) = lanes(a);
+        let (b0, b1) = lanes(b);
+        let expected = acc.wrapping_add(
+            (i32::from(a0) * i32::from(b0)).wrapping_add(i32::from(a1) * i32::from(b1)),
+        ) as u32;
+        let got = run_binary_op(
+            |asm| {
+                asm.li(Reg::A4, acc);
+                asm.simd(SimdOp::SdotspH, Reg::A4, Reg::A2, Reg::A3);
+            },
+            a,
+            b,
+        );
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn pulp_alu_ops_match_reference(a in any::<u32>(), b in any::<u32>()) {
+        let cases: Vec<(PulpAluOp, u32)> = vec![
+            (PulpAluOp::Abs, (a as i32).unsigned_abs()),
+            (PulpAluOp::Min, (a as i32).min(b as i32) as u32),
+            (PulpAluOp::Max, (a as i32).max(b as i32) as u32),
+            (PulpAluOp::Minu, a.min(b)),
+            (PulpAluOp::Maxu, a.max(b)),
+            (PulpAluOp::Exths, a as u16 as i16 as i32 as u32),
+            (PulpAluOp::Extuh, a & 0xffff),
+        ];
+        for (op, expected) in cases {
+            let got = run_binary_op(
+                |asm| asm.pulp_alu(op, Reg::A4, Reg::A2, Reg::A3),
+                a,
+                b,
+            );
+            prop_assert_eq!(got, expected, "op {:?}", op);
+        }
+    }
+
+    #[test]
+    fn mac_msu_match_reference(a in any::<i32>(), b in any::<i32>(), acc in any::<i32>()) {
+        let mac = run_binary_op(
+            |asm| {
+                asm.li(Reg::A4, acc);
+                asm.mac(Reg::A4, Reg::A2, Reg::A3);
+            },
+            a as u32,
+            b as u32,
+        );
+        prop_assert_eq!(mac, acc.wrapping_add(a.wrapping_mul(b)) as u32);
+        let msu = run_binary_op(
+            |asm| {
+                asm.li(Reg::A4, acc);
+                asm.emit(iw_rv32::Instr::Msu {
+                    rd: Reg::A4,
+                    rs1: Reg::A2,
+                    rs2: Reg::A3,
+                });
+            },
+            a as u32,
+            b as u32,
+        );
+        prop_assert_eq!(msu, acc.wrapping_sub(a.wrapping_mul(b)) as u32);
+    }
+
+    #[test]
+    fn clip_matches_reference(a in any::<i32>(), bits in 1u8..31) {
+        let lo = -(1i32 << (bits - 1));
+        let hi = (1i32 << (bits - 1)) - 1;
+        let got = run_binary_op(
+            |asm| asm.clip(Reg::A4, Reg::A2, bits),
+            a as u32,
+            0,
+        );
+        prop_assert_eq!(got as i32, a.clamp(lo, hi));
+    }
+
+    #[test]
+    fn shifts_match_reference(a in any::<u32>(), sh in 0u8..32) {
+        for (op, expected) in [
+            (ShiftOp::Slli, a << sh),
+            (ShiftOp::Srli, a >> sh),
+            (ShiftOp::Srai, ((a as i32) >> sh) as u32),
+        ] {
+            let got = run_binary_op(
+                |asm| asm.shift(op, Reg::A4, Reg::A2, sh),
+                a,
+                0,
+            );
+            prop_assert_eq!(got, expected, "op {:?} sh {}", op, sh);
+        }
+    }
+
+    #[test]
+    fn mulh_family_match_reference(a in any::<u32>(), b in any::<u32>()) {
+        let cases = [
+            (AluOp::Mulh, ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32),
+            (AluOp::Mulhsu, ((i64::from(a as i32) * i64::from(b)) >> 32) as u32),
+            (AluOp::Mulhu, ((u64::from(a) * u64::from(b)) >> 32) as u32),
+        ];
+        for (op, expected) in cases {
+            let got = run_binary_op(
+                |asm| asm.alu(op, Reg::A4, Reg::A2, Reg::A3),
+                a,
+                b,
+            );
+            prop_assert_eq!(got, expected, "op {:?}", op);
+        }
+    }
+}
+
+#[test]
+fn explicit_hwloop_registers_work() {
+    // lp.starti / lp.endi / lp.counti programmed separately (not fused
+    // lp.setup): body of two instructions executed 5 times.
+    let mut asm = Asm::new(0);
+    asm.li(Reg::A0, 0);
+    asm.li(Reg::A1, 0);
+    let body = asm.new_label();
+    let end = asm.new_label();
+    asm.lp_starti_to(LoopIdx::L0, body);
+    asm.lp_endi_to(LoopIdx::L0, end);
+    asm.lp_counti(LoopIdx::L0, 5);
+    asm.bind(body);
+    asm.addi(Reg::A0, Reg::A0, 2);
+    asm.addi(Reg::A1, Reg::A1, 3);
+    asm.bind(end);
+    asm.ecall();
+    let mut ram = Ram::new(0, 256);
+    ram.write_bytes(0, &asm.assemble().unwrap());
+    let mut cpu = Cpu::new(0);
+    cpu.run(&mut ram, &Timing::riscy(), 1_000).unwrap();
+    assert_eq!(cpu.reg(Reg::A0), 10);
+    assert_eq!(cpu.reg(Reg::A1), 15);
+}
+
+#[test]
+fn lp_count_from_register() {
+    let mut asm = Asm::new(0);
+    asm.li(Reg::A0, 0);
+    asm.li(Reg::T0, 7);
+    let body = asm.new_label();
+    let end = asm.new_label();
+    asm.lp_starti_to(LoopIdx::L0, body);
+    asm.lp_endi_to(LoopIdx::L0, end);
+    asm.lp_count(LoopIdx::L0, Reg::T0);
+    asm.bind(body);
+    asm.addi(Reg::A0, Reg::A0, 1);
+    asm.bind(end);
+    asm.ecall();
+    let mut ram = Ram::new(0, 256);
+    ram.write_bytes(0, &asm.assemble().unwrap());
+    let mut cpu = Cpu::new(0);
+    cpu.run(&mut ram, &Timing::riscy(), 1_000).unwrap();
+    assert_eq!(cpu.reg(Reg::A0), 7);
+}
+
+#[test]
+fn jalr_links_and_jumps() {
+    // call/return through jalr.
+    let mut asm = Asm::new(0);
+    let func = asm.new_label();
+    let after = asm.new_label();
+    asm.li(Reg::A0, 1);
+    asm.jal_to(Reg::RA, func);
+    asm.bind(after);
+    asm.addi(Reg::A0, Reg::A0, 100); // after return
+    asm.ecall();
+    asm.bind(func);
+    asm.addi(Reg::A0, Reg::A0, 10);
+    asm.jalr(Reg::ZERO, Reg::RA, 0); // ret
+    let mut ram = Ram::new(0, 256);
+    ram.write_bytes(0, &asm.assemble().unwrap());
+    let mut cpu = Cpu::new(0);
+    cpu.run(&mut ram, &Timing::riscy(), 1_000).unwrap();
+    assert_eq!(cpu.reg(Reg::A0), 111);
+}
+
+#[test]
+fn store_byte_and_halfword_preserve_neighbours() {
+    let mut asm = Asm::new(0);
+    asm.li(Reg::T0, 0x100);
+    asm.li(Reg::T1, 0x7777_7777u32 as i32);
+    asm.sw(Reg::T1, Reg::T0, 0);
+    asm.li(Reg::T2, 0xAB);
+    asm.store(iw_rv32::MemWidth::B, Reg::T2, Reg::T0, 1);
+    asm.lw(Reg::A0, Reg::T0, 0);
+    asm.ecall();
+    let mut ram = Ram::new(0, 512);
+    ram.write_bytes(0, &asm.assemble().unwrap());
+    let mut cpu = Cpu::new(0);
+    cpu.run(&mut ram, &Timing::riscy(), 1_000).unwrap();
+    assert_eq!(cpu.reg(Reg::A0), 0x7777_AB77);
+}

@@ -1,0 +1,293 @@
+//! Synthetic ECG: an RR-interval HRV model driving a Gaussian-bump beat
+//! morphology (a lightweight cousin of the McSharry dynamical model).
+
+use rand::Rng;
+use rand_distr_normal::Normal;
+
+use crate::stress::StressLevel;
+use crate::subject::Subject;
+
+/// Minimal normal-distribution sampler (Box–Muller) so the crate only
+/// depends on `rand`.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Normal distribution via Box–Muller.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal {
+        mean: f64,
+        sd: f64,
+    }
+
+    impl Normal {
+        pub fn new(mean: f64, sd: f64) -> Normal {
+            Normal { mean, sd }
+        }
+
+        pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..core::f64::consts::TAU);
+            self.mean + self.sd * (-2.0 * u1.ln()).sqrt() * u2.cos()
+        }
+    }
+}
+
+/// ECG synthesis parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcgConfig {
+    /// Sample rate, hertz (MAX30001 ECG channel: up to 512 sps; InfiniWolf
+    /// runs it at 256 sps).
+    pub fs_hz: f64,
+    /// AR(1) persistence of the RR series (vagal tone memory).
+    pub rr_ar_coeff: f64,
+    /// Measurement noise amplitude, millivolt.
+    pub noise_mv: f64,
+    /// Baseline-wander amplitude, millivolt.
+    pub wander_mv: f64,
+    /// Motion-artifact bursts per minute (0 = clean lab recording).
+    pub artifact_rate_per_min: f64,
+    /// Peak amplitude of an artifact burst, millivolt.
+    pub artifact_mv: f64,
+}
+
+impl Default for EcgConfig {
+    fn default() -> EcgConfig {
+        EcgConfig {
+            fs_hz: 256.0,
+            rr_ar_coeff: 0.4,
+            noise_mv: 0.02,
+            wander_mv: 0.08,
+            artifact_rate_per_min: 0.0,
+            artifact_mv: 0.8,
+        }
+    }
+}
+
+/// A generated ECG segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcgSegment {
+    /// Samples in millivolt at [`EcgConfig::fs_hz`].
+    pub samples: Vec<f32>,
+    /// Ground-truth R-peak sample indices (for detector validation).
+    pub r_peaks: Vec<usize>,
+    /// Ground-truth RR intervals, seconds.
+    pub rr_intervals: Vec<f64>,
+}
+
+/// Generates RR intervals with the stress level's mean HR and
+/// successive-difference variability, using an AR(1) process
+/// (population-mean subject).
+pub fn synth_rr_intervals<R: Rng + ?Sized>(
+    rng: &mut R,
+    level: StressLevel,
+    duration_s: f64,
+    cfg: &EcgConfig,
+) -> Vec<f64> {
+    synth_rr_intervals_with(rng, &Subject::default(), level, duration_s, cfg)
+}
+
+/// Like [`synth_rr_intervals`], for a specific [`Subject`].
+pub fn synth_rr_intervals_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    subject: &Subject,
+    level: StressLevel,
+    duration_s: f64,
+    cfg: &EcgConfig,
+) -> Vec<f64> {
+    let mean_rr = 60.0 / subject.mean_hr_bpm(level);
+    // For an AR(1) x_n = φ·x_{n-1} + ε, Var(x_n - x_{n-1}) =
+    // 2σ_x²(1-φ) = σ_ε²·2/(1+φ); choose σ_ε to hit the target SDSD.
+    let target_sdsd = subject.rr_delta_sd_s(level);
+    let phi = cfg.rr_ar_coeff;
+    let eps_sd = target_sdsd * ((1.0 + phi) / 2.0).sqrt();
+    let noise = Normal::new(0.0, eps_sd);
+    let mut rr = Vec::new();
+    let mut x = 0.0f64;
+    let mut t = 0.0;
+    while t < duration_s {
+        x = phi * x + noise.sample(rng);
+        let interval = (mean_rr + x).clamp(0.35, 1.6);
+        rr.push(interval);
+        t += interval;
+    }
+    rr
+}
+
+/// A beat template as a sum of Gaussian bumps (P, Q, R, S, T waves):
+/// offsets in seconds relative to the R peak, amplitudes in millivolt.
+fn beat_template(t: f64) -> f64 {
+    const WAVES: [(f64, f64, f64); 5] = [
+        // (offset s, amplitude mV, width s)
+        (-0.20, 0.12, 0.025), // P
+        (-0.035, -0.14, 0.010), // Q
+        (0.0, 1.10, 0.011),   // R
+        (0.035, -0.22, 0.011), // S
+        (0.25, 0.28, 0.045),  // T
+    ];
+    WAVES
+        .iter()
+        .map(|&(off, amp, width)| {
+            let d = (t - off) / width;
+            amp * (-0.5 * d * d).exp()
+        })
+        .sum()
+}
+
+/// Synthesises an ECG segment for one stress level.
+///
+/// # Examples
+///
+/// ```
+/// use iw_sensors::{synth_ecg, EcgConfig, StressLevel};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let seg = synth_ecg(
+///     &mut StdRng::seed_from_u64(7),
+///     StressLevel::None,
+///     10.0,
+///     &EcgConfig::default(),
+/// );
+/// assert!(seg.r_peaks.len() >= 8); // ~10 beats in 10 s at 64 bpm
+/// ```
+pub fn synth_ecg<R: Rng + ?Sized>(
+    rng: &mut R,
+    level: StressLevel,
+    duration_s: f64,
+    cfg: &EcgConfig,
+) -> EcgSegment {
+    synth_ecg_with(rng, &Subject::default(), level, duration_s, cfg)
+}
+
+/// Like [`synth_ecg`], for a specific [`Subject`].
+pub fn synth_ecg_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    subject: &Subject,
+    level: StressLevel,
+    duration_s: f64,
+    cfg: &EcgConfig,
+) -> EcgSegment {
+    let rr = synth_rr_intervals_with(rng, subject, level, duration_s, cfg);
+    let n = (duration_s * cfg.fs_hz).ceil() as usize;
+    let mut samples = vec![0.0f32; n];
+    let mut r_peaks = Vec::new();
+
+    // Place beats.
+    let mut beat_time = 0.4; // first R peak offset
+    for &interval in &rr {
+        let peak_idx = (beat_time * cfg.fs_hz).round() as usize;
+        if peak_idx >= n {
+            break;
+        }
+        r_peaks.push(peak_idx);
+        // Render the template ±0.4 s around the peak.
+        let lo = ((beat_time - 0.4) * cfg.fs_hz).floor().max(0.0) as usize;
+        let hi = (((beat_time + 0.4) * cfg.fs_hz).ceil() as usize).min(n);
+        for (i, s) in samples.iter_mut().enumerate().take(hi).skip(lo) {
+            let t = i as f64 / cfg.fs_hz - beat_time;
+            *s += beat_template(t) as f32;
+        }
+        beat_time += interval;
+    }
+
+    // Baseline wander (respiration ~0.25 Hz) and white noise.
+    let wander_phase: f64 = rng.gen_range(0.0..core::f64::consts::TAU);
+    let noise = Normal::new(0.0, cfg.noise_mv);
+    for (i, s) in samples.iter_mut().enumerate() {
+        let t = i as f64 / cfg.fs_hz;
+        *s += (cfg.wander_mv * (core::f64::consts::TAU * 0.25 * t + wander_phase).sin()) as f32;
+        *s += noise.sample(rng) as f32;
+    }
+
+    // Motion-artifact bursts: ~300 ms of high-amplitude interference, as a
+    // wrist-worn dry-electrode recording would show when the arm moves.
+    if cfg.artifact_rate_per_min > 0.0 {
+        let rate_per_s = cfg.artifact_rate_per_min / 60.0;
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / rate_per_s;
+            if t >= duration_s {
+                break;
+            }
+            let lo = (t * cfg.fs_hz) as usize;
+            let hi = (((t + 0.3) * cfg.fs_hz) as usize).min(n);
+            for s in samples.iter_mut().take(hi).skip(lo) {
+                *s += (rng.gen_range(-1.0..1.0f64) * cfg.artifact_mv) as f32;
+            }
+        }
+    }
+
+    // Keep only the RR intervals between rendered peaks.
+    let rendered_rr: Vec<f64> = r_peaks
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as f64 / cfg.fs_hz)
+        .collect();
+    EcgSegment {
+        samples,
+        r_peaks,
+        rr_intervals: rendered_rr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rmssd(rr: &[f64]) -> f64 {
+        let diffs: Vec<f64> = rr.windows(2).map(|w| w[1] - w[0]).collect();
+        (diffs.iter().map(|d| d * d).sum::<f64>() / diffs.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn rr_statistics_track_stress_level() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = EcgConfig::default();
+        let calm = synth_rr_intervals(&mut rng, StressLevel::None, 300.0, &cfg);
+        let tense = synth_rr_intervals(&mut rng, StressLevel::High, 300.0, &cfg);
+        let calm_hr = 60.0 / (calm.iter().sum::<f64>() / calm.len() as f64);
+        let tense_hr = 60.0 / (tense.iter().sum::<f64>() / tense.len() as f64);
+        assert!(tense_hr > calm_hr + 15.0, "{calm_hr} vs {tense_hr}");
+        assert!(
+            rmssd(&calm) > 2.0 * rmssd(&tense),
+            "rmssd calm {} vs high {}",
+            rmssd(&calm),
+            rmssd(&tense)
+        );
+    }
+
+    #[test]
+    fn rmssd_lands_near_target() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = EcgConfig::default();
+        let rr = synth_rr_intervals(&mut rng, StressLevel::Medium, 600.0, &cfg);
+        // For AR(1), RMSSD ≈ target SDSD (mean diff ≈ 0).
+        let measured = rmssd(&rr);
+        let target = StressLevel::Medium.rr_delta_sd_s();
+        assert!(
+            (measured - target).abs() / target < 0.25,
+            "measured {measured} target {target}"
+        );
+    }
+
+    #[test]
+    fn waveform_has_r_peaks_at_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = EcgConfig::default();
+        let seg = synth_ecg(&mut rng, StressLevel::None, 10.0, &cfg);
+        for &p in &seg.r_peaks {
+            // The R peak should be a local maximum dominating its window.
+            let v = seg.samples[p];
+            assert!(v > 0.7, "peak at {p} too small: {v}");
+        }
+        assert_eq!(seg.rr_intervals.len() + 1, seg.r_peaks.len());
+    }
+
+    #[test]
+    fn sample_count_matches_duration() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = EcgConfig::default();
+        let seg = synth_ecg(&mut rng, StressLevel::High, 3.0, &cfg);
+        assert_eq!(seg.samples.len(), (3.0 * cfg.fs_hz) as usize);
+    }
+}

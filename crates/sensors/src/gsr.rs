@@ -1,0 +1,191 @@
+//! Synthetic galvanic skin response: tonic level plus Bateman-shaped
+//! phasic skin-conductance responses (SCRs).
+
+use rand::Rng;
+
+use crate::stress::StressLevel;
+use crate::subject::Subject;
+
+/// GSR synthesis parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GsrConfig {
+    /// Sample rate, hertz.
+    pub fs_hz: f64,
+    /// Tonic skin-conductance level, µS.
+    pub tonic_us: f64,
+    /// SCR rise time constant, seconds.
+    pub tau_rise_s: f64,
+    /// SCR decay time constant, seconds.
+    pub tau_decay_s: f64,
+    /// Measurement noise, µS RMS.
+    pub noise_us: f64,
+}
+
+impl Default for GsrConfig {
+    fn default() -> GsrConfig {
+        GsrConfig {
+            fs_hz: 16.0,
+            tonic_us: 4.0,
+            tau_rise_s: 0.7,
+            tau_decay_s: 3.0,
+            noise_us: 0.01,
+        }
+    }
+}
+
+/// A generated GSR segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GsrSegment {
+    /// Samples in µS at [`GsrConfig::fs_hz`].
+    pub samples: Vec<f32>,
+    /// Ground-truth SCR onset sample indices.
+    pub scr_onsets: Vec<usize>,
+    /// Ground-truth SCR amplitudes, µS.
+    pub scr_amplitudes: Vec<f64>,
+}
+
+/// Bateman response: `A·k·(e^(−t/τd) − e^(−t/τr))`, normalised so its peak
+/// equals `A`.
+fn bateman(t: f64, amplitude: f64, tau_r: f64, tau_d: f64) -> f64 {
+    if t <= 0.0 {
+        return 0.0;
+    }
+    // Peak position and value of the un-normalised difference.
+    let t_peak = (tau_d * tau_r / (tau_d - tau_r)) * (tau_d / tau_r).ln();
+    let peak = (-t_peak / tau_d).exp() - (-t_peak / tau_r).exp();
+    amplitude * ((-t / tau_d).exp() - (-t / tau_r).exp()) / peak
+}
+
+/// Synthesises a GSR segment for one stress level.
+///
+/// SCR events arrive as a Poisson process at the level's rate; amplitudes
+/// are exponentially distributed around the level's mean.
+///
+/// # Examples
+///
+/// ```
+/// use iw_sensors::{synth_gsr, GsrConfig, StressLevel};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let seg = synth_gsr(
+///     &mut StdRng::seed_from_u64(7),
+///     StressLevel::High,
+///     60.0,
+///     &GsrConfig::default(),
+/// );
+/// assert!(seg.scr_onsets.len() >= 5); // ~14/min expected when stressed
+/// ```
+pub fn synth_gsr<R: Rng + ?Sized>(
+    rng: &mut R,
+    level: StressLevel,
+    duration_s: f64,
+    cfg: &GsrConfig,
+) -> GsrSegment {
+    let subject = Subject {
+        tonic_us: cfg.tonic_us,
+        ..Subject::default()
+    };
+    synth_gsr_with(rng, &subject, level, duration_s, cfg)
+}
+
+/// Like [`synth_gsr`], for a specific [`Subject`] (whose tonic level
+/// overrides the config's).
+pub fn synth_gsr_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    subject: &Subject,
+    level: StressLevel,
+    duration_s: f64,
+    cfg: &GsrConfig,
+) -> GsrSegment {
+    let n = (duration_s * cfg.fs_hz).ceil() as usize;
+    let mut samples = vec![subject.tonic_us as f32; n];
+
+    // Poisson arrivals via exponential gaps.
+    let rate_per_s = subject.scr_rate_per_min(level) / 60.0;
+    let mut onsets = Vec::new();
+    let mut amplitudes = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / rate_per_s;
+        if t >= duration_s {
+            break;
+        }
+        let amp = subject.scr_amplitude_us(level) * -rng.gen_range(f64::EPSILON..1.0f64).ln();
+        onsets.push((t * cfg.fs_hz) as usize);
+        amplitudes.push(amp);
+        // Render the response over the following ~6 decay constants.
+        let lo = (t * cfg.fs_hz) as usize;
+        let hi = (((t + 6.0 * cfg.tau_decay_s) * cfg.fs_hz) as usize).min(n);
+        for (i, s) in samples.iter_mut().enumerate().take(hi).skip(lo) {
+            let dt = i as f64 / cfg.fs_hz - t;
+            *s += bateman(dt, amp, cfg.tau_rise_s, cfg.tau_decay_s) as f32;
+        }
+    }
+
+    // Slow tonic drift + noise.
+    let drift_phase: f64 = rng.gen_range(0.0..core::f64::consts::TAU);
+    for (i, s) in samples.iter_mut().enumerate() {
+        let ts = i as f64 / cfg.fs_hz;
+        *s += (0.1 * (core::f64::consts::TAU * ts / 120.0 + drift_phase).sin()) as f32;
+        *s += ((rng.gen_range(0.0..1.0f64) - 0.5) * 2.0 * cfg.noise_us) as f32;
+    }
+
+    GsrSegment {
+        samples,
+        scr_onsets: onsets,
+        scr_amplitudes: amplitudes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bateman_peaks_at_amplitude() {
+        let tau_r = 0.7;
+        let tau_d = 3.0;
+        let mut max = 0.0f64;
+        for i in 0..1000 {
+            let t = i as f64 * 0.01;
+            max = max.max(bateman(t, 0.8, tau_r, tau_d));
+        }
+        assert!((max - 0.8).abs() < 0.01, "peak {max}");
+        assert_eq!(bateman(-1.0, 0.8, tau_r, tau_d), 0.0);
+    }
+
+    #[test]
+    fn scr_rate_tracks_stress() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = GsrConfig::default();
+        let calm = synth_gsr(&mut rng, StressLevel::None, 600.0, &cfg);
+        let tense = synth_gsr(&mut rng, StressLevel::High, 600.0, &cfg);
+        assert!(
+            tense.scr_onsets.len() > 3 * calm.scr_onsets.len(),
+            "calm {} vs tense {}",
+            calm.scr_onsets.len(),
+            tense.scr_onsets.len()
+        );
+    }
+
+    #[test]
+    fn signal_stays_physiological() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let seg = synth_gsr(&mut rng, StressLevel::High, 120.0, &GsrConfig::default());
+        for &s in &seg.samples {
+            assert!(s > 1.0 && s < 30.0, "sample {s} out of range");
+        }
+    }
+
+    #[test]
+    fn mean_level_rises_with_events() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = GsrConfig::default();
+        let calm = synth_gsr(&mut rng, StressLevel::None, 300.0, &cfg);
+        let tense = synth_gsr(&mut rng, StressLevel::High, 300.0, &cfg);
+        let mean = |v: &[f32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        assert!(mean(&tense.samples) > mean(&calm.samples));
+    }
+}

@@ -1,0 +1,129 @@
+//! Stress levels and their physiological parameterisation.
+//!
+//! The drivedb dataset the paper uses (Healey & Picard's "Stress
+//! Recognition in Automobile Drivers") is not redistributable here, so the
+//! generators in this crate synthesise ECG and GSR whose *feature-level*
+//! statistics shift with stress the way the literature describes: higher
+//! stress → higher heart rate, **lower** beat-to-beat HRV (RMSSD/SDSD/NN50
+//! shrink) and **more / larger** skin-conductance responses.
+
+/// The three classes of the paper's Network A output layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StressLevel {
+    /// No stress.
+    None,
+    /// Medium stress.
+    Medium,
+    /// High stress.
+    High,
+}
+
+impl StressLevel {
+    /// All levels, in class-index order.
+    pub const ALL: [StressLevel; 3] = [StressLevel::None, StressLevel::Medium, StressLevel::High];
+
+    /// Class index used by the network's output layer.
+    #[must_use]
+    pub fn class_index(self) -> usize {
+        match self {
+            StressLevel::None => 0,
+            StressLevel::Medium => 1,
+            StressLevel::High => 2,
+        }
+    }
+
+    /// Level from a class index.
+    #[must_use]
+    pub fn from_class_index(idx: usize) -> Option<StressLevel> {
+        StressLevel::ALL.get(idx).copied()
+    }
+
+    /// One-hot target vector in the symmetric-sigmoid range (−1 rest, +1
+    /// the true class), as FANN-style training expects.
+    #[must_use]
+    pub fn target(self) -> Vec<f32> {
+        let mut t = vec![-1.0; 3];
+        t[self.class_index()] = 1.0;
+        t
+    }
+
+    /// Mean heart rate, beats per minute.
+    #[must_use]
+    pub fn mean_hr_bpm(self) -> f64 {
+        match self {
+            StressLevel::None => 64.0,
+            StressLevel::Medium => 78.0,
+            StressLevel::High => 94.0,
+        }
+    }
+
+    /// Standard deviation of successive RR-interval differences, seconds
+    /// (controls RMSSD/SDSD/NN50).
+    #[must_use]
+    pub fn rr_delta_sd_s(self) -> f64 {
+        match self {
+            StressLevel::None => 0.050,
+            StressLevel::Medium => 0.028,
+            StressLevel::High => 0.012,
+        }
+    }
+
+    /// Rate of skin-conductance responses, events per minute.
+    #[must_use]
+    pub fn scr_rate_per_min(self) -> f64 {
+        match self {
+            StressLevel::None => 2.0,
+            StressLevel::Medium => 7.0,
+            StressLevel::High => 14.0,
+        }
+    }
+
+    /// Mean SCR amplitude, µS.
+    #[must_use]
+    pub fn scr_amplitude_us(self) -> f64 {
+        match self {
+            StressLevel::None => 0.25,
+            StressLevel::Medium => 0.55,
+            StressLevel::High => 0.95,
+        }
+    }
+}
+
+impl core::fmt::Display for StressLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StressLevel::None => f.write_str("no stress"),
+            StressLevel::Medium => f.write_str("medium stress"),
+            StressLevel::High => f.write_str("stress"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_roundtrip() {
+        for level in StressLevel::ALL {
+            assert_eq!(
+                StressLevel::from_class_index(level.class_index()),
+                Some(level)
+            );
+        }
+        assert_eq!(StressLevel::from_class_index(3), None);
+    }
+
+    #[test]
+    fn physiology_orders_with_stress() {
+        assert!(StressLevel::None.mean_hr_bpm() < StressLevel::High.mean_hr_bpm());
+        assert!(StressLevel::None.rr_delta_sd_s() > StressLevel::High.rr_delta_sd_s());
+        assert!(StressLevel::None.scr_rate_per_min() < StressLevel::High.scr_rate_per_min());
+    }
+
+    #[test]
+    fn target_is_one_hot() {
+        let t = StressLevel::Medium.target();
+        assert_eq!(t, vec![-1.0, 1.0, -1.0]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-subject physiological variability.
+//!
+//! drivedb contains multiple drivers with visibly different baselines; a
+//! classifier that only works within-subject is much less useful than one
+//! that generalises. [`Subject`] scales the stress-level parameters with
+//! per-person offsets so the dataset generator can produce multi-subject
+//! corpora, and the pipeline can be evaluated leave-one-subject-out.
+
+use rand::Rng;
+
+use crate::stress::StressLevel;
+
+/// One synthetic participant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Subject {
+    /// Resting-heart-rate offset, bpm (people differ by ±10 bpm easily).
+    pub hr_offset_bpm: f64,
+    /// Multiplier on beat-to-beat variability (vagal tone differs a lot).
+    pub hrv_scale: f64,
+    /// Multiplier on the SCR event rate.
+    pub scr_rate_scale: f64,
+    /// Multiplier on SCR amplitudes.
+    pub scr_amp_scale: f64,
+    /// Tonic skin-conductance level, µS.
+    pub tonic_us: f64,
+}
+
+impl Default for Subject {
+    /// The neutral subject: exactly the [`StressLevel`] population means.
+    fn default() -> Subject {
+        Subject {
+            hr_offset_bpm: 0.0,
+            hrv_scale: 1.0,
+            scr_rate_scale: 1.0,
+            scr_amp_scale: 1.0,
+            tonic_us: 4.0,
+        }
+    }
+}
+
+impl Subject {
+    /// Samples a random participant.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Subject {
+        Subject {
+            hr_offset_bpm: rng.gen_range(-8.0..8.0),
+            hrv_scale: rng.gen_range(0.75..1.3),
+            scr_rate_scale: rng.gen_range(0.7..1.4),
+            scr_amp_scale: rng.gen_range(0.7..1.4),
+            tonic_us: rng.gen_range(2.5..7.0),
+        }
+    }
+
+    /// This subject's mean heart rate at a stress level, bpm.
+    #[must_use]
+    pub fn mean_hr_bpm(&self, level: StressLevel) -> f64 {
+        level.mean_hr_bpm() + self.hr_offset_bpm
+    }
+
+    /// This subject's successive-difference SD at a stress level, seconds.
+    #[must_use]
+    pub fn rr_delta_sd_s(&self, level: StressLevel) -> f64 {
+        level.rr_delta_sd_s() * self.hrv_scale
+    }
+
+    /// This subject's SCR rate at a stress level, events per minute.
+    #[must_use]
+    pub fn scr_rate_per_min(&self, level: StressLevel) -> f64 {
+        level.scr_rate_per_min() * self.scr_rate_scale
+    }
+
+    /// This subject's mean SCR amplitude at a stress level, µS.
+    #[must_use]
+    pub fn scr_amplitude_us(&self, level: StressLevel) -> f64 {
+        level.scr_amplitude_us() * self.scr_amp_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn neutral_subject_matches_population() {
+        let s = Subject::default();
+        for level in StressLevel::ALL {
+            assert_eq!(s.mean_hr_bpm(level), level.mean_hr_bpm());
+            assert_eq!(s.rr_delta_sd_s(level), level.rr_delta_sd_s());
+        }
+    }
+
+    #[test]
+    fn stress_ordering_survives_subject_variation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let s = Subject::sample(&mut rng);
+            assert!(s.mean_hr_bpm(StressLevel::High) > s.mean_hr_bpm(StressLevel::None));
+            assert!(s.rr_delta_sd_s(StressLevel::High) < s.rr_delta_sd_s(StressLevel::None));
+            assert!(
+                s.scr_rate_per_min(StressLevel::High) > s.scr_rate_per_min(StressLevel::None)
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_subjects_differ() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Subject::sample(&mut rng);
+        let b = Subject::sample(&mut rng);
+        assert_ne!(a, b);
+    }
+}

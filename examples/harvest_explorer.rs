@@ -1,0 +1,82 @@
+//! Harvest explorer: evaluate the calibrated harvesting chains across
+//! environments — the paper's Table I/II points, interpolation sweeps, and
+//! realistic day/week profiles — and translate each into a sustainable
+//! stress-detection rate.
+//!
+//! ```text
+//! cargo run --release --example harvest_explorer
+//! ```
+
+use infiniwolf::{sustainability, DetectionBudget};
+use iw_harvest::{
+    daily_intake, EnvProfile, Illuminant, LightCondition, SolarHarvester, TegHarvester,
+    ThermalCondition,
+};
+
+fn main() {
+    let solar = SolarHarvester::infiniwolf();
+    let teg = TegHarvester::infiniwolf();
+    let budget = DetectionBudget::paper();
+
+    println!("solar chain (battery intake):");
+    for (label, light) in [
+        ("paper outdoor 30 klx", LightCondition::outdoor()),
+        ("paper indoor 700 lx", LightCondition::indoor()),
+        (
+            "cloudy outdoor 5 klx",
+            LightCondition {
+                lux: 5_000.0,
+                illuminant: Illuminant::Sunlight,
+            },
+        ),
+        (
+            "dim hallway 150 lx",
+            LightCondition {
+                lux: 150.0,
+                illuminant: Illuminant::IndoorLed,
+            },
+        ),
+    ] {
+        println!(
+            "  {label:<24} {:>9.3} mW",
+            solar.battery_intake_w(&light) * 1e3
+        );
+    }
+
+    println!("\nTEG chain (battery intake):");
+    for (label, cond) in [
+        ("paper warm room", ThermalCondition::warm_room()),
+        ("paper cool room", ThermalCondition::cool_room()),
+        ("paper cool + 42 km/h", ThermalCondition::cool_windy()),
+        (
+            "winter walk (5 C, 10 km/h)",
+            ThermalCondition {
+                ambient_c: 5.0,
+                skin_c: 30.0,
+                wind_kmh: 10.0,
+            },
+        ),
+    ] {
+        println!(
+            "  {label:<24} {:>9.2} uW",
+            teg.battery_intake_w(&cond) * 1e6
+        );
+    }
+
+    println!("\nscenario energy balance (per day) and sustainable rate:");
+    for (label, profile) in [
+        ("paper indoor day", EnvProfile::paper_indoor_day()),
+        ("sunny day, 60 klx peak", EnvProfile::sunny_day(60.0)),
+        ("office week (per day)", EnvProfile::office_week()),
+    ] {
+        let intake = daily_intake(&profile, &solar, &teg);
+        let days = profile.duration_s() / 86_400.0;
+        let report = sustainability(&profile, &solar, &teg, &budget);
+        println!(
+            "  {label:<24} solar {:>8.2} J  teg {:>6.2} J  -> {:>7.1} det/min",
+            intake.solar_j / days,
+            intake.teg_j / days,
+            report.detections_per_minute
+        );
+    }
+}

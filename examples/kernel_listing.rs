@@ -1,0 +1,64 @@
+//! Kernel listing: dump the *actual instruction programs* the deployment
+//! generators emit for a tiny network — RISC-V (RI5CY, with hardware loops
+//! and post-increment loads) and Thumb-2 (Cortex-M4) side by side — then
+//! run both and confirm they agree with the golden reference bit-exactly.
+//!
+//! ```text
+//! cargo run --release --example kernel_listing
+//! ```
+
+use iw_armv7m::asm::ThumbAsm;
+use iw_fann::{FixedNet, Mlp};
+use iw_kernels::layout::{place_fixed, Placement};
+use iw_kernels::{
+    emit_fixed_kernel, emit_m4_fixed_kernel, run_fixed, FixedTarget, RvKernelOpts,
+};
+use iw_mrwolf::memmap::{L2_BASE, TCDM_BASE};
+use iw_nrf52::{FLASH_BASE, RAM_BASE};
+use iw_rv32::asm::Asm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A deliberately tiny network so the listing stays readable.
+    let mut net = Mlp::new(&[2, 3, 2]);
+    net.randomize_weights(&mut StdRng::seed_from_u64(5), 0.5);
+    let fixed = FixedNet::export(&net)?;
+    println!(
+        "network 2-3-2, decimal point {}, {} weights\n",
+        fixed.decimal_point,
+        fixed.num_weights()
+    );
+
+    // --- RISC-V (single RI5CY) ---
+    let placement: Placement = place_fixed(&fixed, TCDM_BASE + 0x1000, TCDM_BASE);
+    let mut asm = Asm::new(L2_BASE);
+    emit_fixed_kernel(&mut asm, &fixed, &placement, &RvKernelOpts::riscy());
+    println!("=== RI5CY kernel ({} instructions) ===", asm.len());
+    for (i, instr) in asm.instructions()?.iter().enumerate() {
+        println!("{:5}:  {instr}", L2_BASE as usize + 4 * i);
+    }
+
+    // --- Cortex-M4 ---
+    let m4_placement = place_fixed(&fixed, FLASH_BASE + 0x4000, RAM_BASE);
+    let mut thumb = ThumbAsm::new();
+    emit_m4_fixed_kernel(&mut thumb, &fixed, &m4_placement);
+    let program = thumb.finish()?;
+    println!("\n=== Cortex-M4 kernel ({} instructions) ===", program.len());
+    for (i, instr) in program.iter().enumerate() {
+        println!("{i:5}:  {instr}");
+    }
+
+    // --- Run both and compare with the reference ---
+    let input = fixed.quantize_input(&[0.4, -0.7]);
+    let reference = fixed.forward(&input);
+    let riscy = run_fixed(FixedTarget::WolfRiscy, &fixed, &input)?;
+    let m4 = run_fixed(FixedTarget::CortexM4, &fixed, &input)?;
+    println!("\nreference outputs: {reference:?}");
+    println!("RI5CY:  {:?} in {} cycles", riscy.outputs, riscy.cycles);
+    println!("M4:     {:?} in {} cycles", m4.outputs, m4.cycles);
+    assert_eq!(riscy.outputs, reference);
+    assert_eq!(m4.outputs, reference);
+    println!("bit-exact on both targets ✓");
+    Ok(())
+}

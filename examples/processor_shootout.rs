@@ -1,0 +1,62 @@
+//! Processor shoot-out: the paper's Table III/IV experiment — both
+//! evaluation networks on the ARM Cortex-M4, the Ibex fabric controller, a
+//! single RI5CY core and the 8-core cluster, plus the float/fixed
+//! comparison on the M4F.
+//!
+//! ```text
+//! cargo run --release --example processor_shootout
+//! ```
+
+use iw_fann::presets::{network_a, network_b};
+use iw_fann::{FixedNet, Footprint};
+use iw_kernels::{run_fixed, run_m4_float, FixedTarget};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    for (name, mut net) in [("Network A", network_a()), ("Network B", network_b())] {
+        net.randomize_weights(&mut rng, 0.1);
+        let fp = Footprint::of(&net);
+        println!(
+            "\n{name}: {} neurons, {} weights, {:.1} KiB",
+            fp.neurons,
+            fp.weights,
+            fp.kib()
+        );
+        let fixed = FixedNet::export(&net)?;
+        let input: Vec<f32> = (0..net.num_inputs())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let qin = fixed.quantize_input(&input);
+
+        let reference = fixed.forward(&qin);
+        let mut m4_cycles = 0u64;
+        for target in FixedTarget::paper_targets() {
+            let run = run_fixed(target, &fixed, &qin)?;
+            assert_eq!(run.outputs, reference, "{target:?} diverged!");
+            if target == FixedTarget::CortexM4 {
+                m4_cycles = run.cycles;
+            }
+            println!(
+                "  {:<18} {:>9} cycles  {:>8.2} µJ  {:>5.2}x vs M4",
+                target.name(),
+                run.cycles,
+                run.energy_j * 1e6,
+                m4_cycles as f64 / run.cycles as f64,
+            );
+        }
+        if name == "Network A" {
+            let float = run_m4_float(&net, &input)?;
+            println!(
+                "  {:<18} {:>9} cycles  {:>8.2} µJ  (float is {:.2}x slower than fixed)",
+                "M4F float (FPU)",
+                float.cycles,
+                float.energy_j * 1e6,
+                float.cycles as f64 / m4_cycles as f64,
+            );
+        }
+    }
+    println!("\nall targets produced bit-identical fixed-point outputs ✓");
+    Ok(())
+}

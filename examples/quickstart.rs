@@ -1,0 +1,81 @@
+//! Quickstart: train the stress detector, deploy it to Mr. Wolf's cluster,
+//! and check whether a day of indoor light keeps it self-sustained.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use infiniwolf::{
+    measure_detection_budget, sustainability, train_stress_pipeline, PipelineConfig,
+};
+use iw_harvest::{EnvProfile, SolarHarvester, TegHarvester};
+use iw_kernels::FixedTarget;
+use iw_sensors::{generate_dataset, DatasetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train Network A on the synthetic stress dataset.
+    let cfg = PipelineConfig {
+        dataset: DatasetConfig {
+            windows_per_level: 15,
+            window_s: 45.0,
+            ..DatasetConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    println!("training Network A (5-50-50-3) with RPROP…");
+    let pipeline = train_stress_pipeline(&cfg)?;
+    println!(
+        "  {} epochs, mse {:.4}, train acc {:.1}%, test acc {:.1}%",
+        pipeline.epochs,
+        pipeline.mse,
+        pipeline.train_accuracy * 100.0,
+        pipeline.test_accuracy * 100.0
+    );
+
+    // 2. Classify a fresh window with the fixed-point deployment.
+    let fresh = generate_dataset(
+        &mut StdRng::seed_from_u64(99),
+        &DatasetConfig {
+            windows_per_level: 1,
+            window_s: 45.0,
+            ..cfg.dataset.clone()
+        },
+    );
+    for window in &fresh {
+        let predicted = pipeline.classify_window(window);
+        println!("  window labelled '{}' → classified '{predicted}'", window.level);
+    }
+
+    // 3. Energy budget of one detection, classification on 8 RI5CY cores.
+    let input = pipeline.quantized_input(&fresh[0]);
+    let budget =
+        measure_detection_budget(&pipeline.fixed, &input, FixedTarget::WolfCluster { cores: 8 })?;
+    println!(
+        "per-detection energy: {:.1} µJ (acquire {:.0} + features {:.1} + classify {:.2})",
+        budget.total_uj(),
+        budget.acquisition_j * 1e6,
+        budget.features_j * 1e6,
+        budget.classification_j * 1e6,
+    );
+
+    // 4. Persist the trained detector as a deployment bundle and reload it.
+    let bundle = infiniwolf::write_bundle(&pipeline);
+    let deployed = infiniwolf::read_bundle(&bundle)?;
+    assert_eq!(deployed.classify_window(&fresh[0]), pipeline.classify_window(&fresh[0]));
+    println!("deployment bundle: {} bytes, reloads and classifies identically", bundle.len());
+
+    // 5. Self-sustainability in the paper's indoor scenario.
+    let report = sustainability(
+        &EnvProfile::paper_indoor_day(),
+        &SolarHarvester::infiniwolf(),
+        &TegHarvester::infiniwolf(),
+        &budget,
+    );
+    println!(
+        "harvesting {:.2} J/day indoors → {:.1} detections/minute self-sustained",
+        report.intake_j_per_day, report.detections_per_minute
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! FANN workflow: train a network, save it in FANN `.net` format, reload
+//! it, export to fixed point and verify the on-target deployment is
+//! bit-exact — the FANNCortexM toolchain, end to end.
+//!
+//! ```text
+//! cargo run --release --example train_and_export
+//! ```
+
+use iw_fann::{format, FixedNet, Mlp, Rprop, TrainData};
+use iw_kernels::{run_fixed, FixedTarget};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small 2-class problem: point inside/outside a circle.
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut data = TrainData::new();
+    for _ in 0..200 {
+        let x: f32 = rng.gen_range(-1.0..1.0);
+        let y: f32 = rng.gen_range(-1.0..1.0);
+        let inside = if x * x + y * y < 0.5 { 1.0 } else { -1.0 };
+        data.push(vec![x, y], vec![inside]);
+    }
+
+    let mut net = Mlp::new(&[2, 12, 1]);
+    net.randomize_weights(&mut rng, 0.3);
+    let (epochs, mse) = Rprop::new(&net).train_until(&mut net, &data, 0.05, 1000);
+    println!("trained in {epochs} epochs, mse {mse:.4}");
+
+    // Save / reload through the FANN text format.
+    let text = format::write_net(&net);
+    println!("FANN .net file: {} bytes, header: {}", text.len(), text.lines().next().unwrap());
+    let reloaded = format::read_net(&text)?;
+    assert_eq!(reloaded, net);
+    println!("round-trip through FANN_FLO_2.1 format: exact ✓");
+
+    // Fixed-point export and deployment to every target.
+    let fixed = FixedNet::export(&reloaded)?;
+    println!("fixed-point export: decimal point = {}", fixed.decimal_point);
+    let input = fixed.quantize_input(&[0.3, -0.4]);
+    let reference = fixed.forward(&input);
+    for target in FixedTarget::paper_targets() {
+        let run = run_fixed(target, &fixed, &input)?;
+        assert_eq!(run.outputs, reference);
+        println!(
+            "  {:<18} {:>6} cycles, output {:?} — bit-exact ✓",
+            target.name(),
+            run.cycles,
+            run.outputs
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! A day on the wrist: battery-coupled simulation of detection policies
+//! under the paper's indoor scenario and a darker worst case.
+//!
+//! ```text
+//! cargo run --release --example wearable_day
+//! ```
+
+use infiniwolf::{simulate_policy, sustainability, DetectionBudget, DetectionPolicy, InfiniWolf};
+use iw_harvest::{Battery, EnvProfile, EnvSegment, LightCondition, SolarHarvester, TegHarvester,
+    ThermalCondition};
+
+fn sparkline(socs: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    socs.iter()
+        .map(|&s| BARS[((s * 7.0).round() as usize).min(7)])
+        .collect()
+}
+
+fn run_scenario(name: &str, profile: &EnvProfile, policy: DetectionPolicy, start_soc: f64) {
+    let dev = InfiniWolf::new();
+    let budget = DetectionBudget::paper();
+    let mut battery = Battery::infiniwolf();
+    battery.set_soc(start_soc);
+    let sleep_floor = dev.battery_power_w(infiniwolf::DeviceMode::Sleep);
+    let sim = simulate_policy(
+        profile,
+        &dev.solar,
+        &dev.teg,
+        &mut battery,
+        &budget,
+        policy,
+        sleep_floor,
+    );
+    let socs: Vec<f64> = sim
+        .trace
+        .iter()
+        .step_by((sim.trace.len() / 48).max(1))
+        .map(|p| p.soc)
+        .collect();
+    println!("\n{name}");
+    println!("  policy: {policy:?}");
+    println!("  soc  {}", sparkline(&socs));
+    println!(
+        "  start {:.0}% → end {:.0}%   harvested {:.2} J, consumed {:.2} J{}",
+        start_soc * 100.0,
+        sim.final_soc * 100.0,
+        sim.stored_j,
+        sim.consumed_j,
+        if sim.browned_out { "  ⚠ BROWN-OUT" } else { "" }
+    );
+}
+
+fn main() {
+    let indoor = EnvProfile::paper_indoor_day();
+    let report = sustainability(
+        &indoor,
+        &SolarHarvester::infiniwolf(),
+        &TegHarvester::infiniwolf(),
+        &DetectionBudget::paper(),
+    );
+    println!(
+        "steady-state limit indoors: {:.1} detections/minute",
+        report.detections_per_minute
+    );
+
+    run_scenario(
+        "indoor day, sustainable fixed rate (80% of the limit)",
+        &indoor,
+        DetectionPolicy::FixedRate {
+            per_minute: report.detections_per_minute * 0.8,
+        },
+        0.5,
+    );
+    run_scenario(
+        "indoor day, greedy fixed rate (3x the limit)",
+        &indoor,
+        DetectionPolicy::FixedRate {
+            per_minute: report.detections_per_minute * 3.0,
+        },
+        0.5,
+    );
+
+    // A dark week: the energy-aware policy throttles instead of dying.
+    let dark_week = EnvProfile {
+        segments: vec![EnvSegment {
+            duration_s: 7.0 * 86_400.0,
+            light: LightCondition::dark(),
+            thermal: ThermalCondition::warm_room(),
+        }],
+    };
+    run_scenario(
+        "dark week, greedy fixed rate",
+        &dark_week,
+        DetectionPolicy::FixedRate { per_minute: 60.0 },
+        0.9,
+    );
+    run_scenario(
+        "dark week, energy-aware policy",
+        &dark_week,
+        DetectionPolicy::EnergyAware {
+            max_per_minute: 60.0,
+            min_soc: 0.15,
+        },
+        0.9,
+    );
+}

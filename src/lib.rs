@@ -1,0 +1,7 @@
+//! Workspace-level umbrella for the InfiniWolf reproduction.
+//!
+//! This crate exists to host the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. The actual library surface
+//! lives in the member crates, chiefly [`infiniwolf`].
+
+pub use infiniwolf;

@@ -1,0 +1,71 @@
+//! Property tests across crates: every deployment target must reproduce
+//! the golden fixed-point reference bit-exactly for *arbitrary* small
+//! networks and inputs, and quantisation must track the float network.
+
+use iw_fann::{FixedNet, Mlp};
+use iw_kernels::{run_fixed, FixedTarget};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_sizes() -> impl Strategy<Value = Vec<usize>> {
+    // 2-4 layers, small widths to keep the simulations quick.
+    prop::collection::vec(1usize..12, 2..=4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_targets_bit_exact_on_random_networks(
+        sizes in arb_sizes(),
+        seed in 0u64..1_000,
+        raw_input in prop::collection::vec(-1.0f32..1.0, 12),
+    ) {
+        let mut net = Mlp::new(&sizes);
+        net.randomize_weights(&mut StdRng::seed_from_u64(seed), 0.5);
+        let fixed = FixedNet::export(&net).expect("small nets quantise");
+        let input: Vec<f32> = raw_input.into_iter().take(sizes[0]).collect();
+        prop_assume!(input.len() == sizes[0]);
+        let qin = fixed.quantize_input(&input);
+        let reference = fixed.forward(&qin);
+        for target in FixedTarget::paper_targets() {
+            let run = run_fixed(target, &fixed, &qin).expect("target runs");
+            prop_assert_eq!(&run.outputs, &reference, "target {:?}", target);
+        }
+    }
+
+    #[test]
+    fn quantised_network_tracks_float(
+        seed in 0u64..1_000,
+        raw_input in prop::collection::vec(-1.0f32..1.0, 5),
+    ) {
+        let mut net = Mlp::new(&[5, 10, 3]);
+        net.randomize_weights(&mut StdRng::seed_from_u64(seed), 0.4);
+        let fixed = FixedNet::export(&net).expect("quantises");
+        let fout = net.forward(&raw_input);
+        let qout = fixed.dequantize(&fixed.forward(&fixed.quantize_input(&raw_input)));
+        for (f, q) in fout.iter().zip(&qout) {
+            prop_assert!((f - q).abs() < 0.1, "float {} vs fixed {}", f, q);
+        }
+    }
+
+    #[test]
+    fn cycle_counts_are_nearly_input_independent(
+        seed in 0u64..100,
+        a in prop::collection::vec(-1.0f32..1.0, 4),
+        b in prop::collection::vec(-1.0f32..1.0, 4),
+    ) {
+        // The MAC loops are data-independent; only the stepwise-activation
+        // branch tree varies with the data, so two inputs may differ by at
+        // most a few dozen cycles per neuron — never by a loop's worth.
+        let mut net = Mlp::new(&[4, 6, 2]);
+        net.randomize_weights(&mut StdRng::seed_from_u64(seed), 0.4);
+        let fixed = FixedNet::export(&net).expect("quantises");
+        let run_a = run_fixed(FixedTarget::WolfRiscy, &fixed, &fixed.quantize_input(&a)).expect("runs");
+        let run_b = run_fixed(FixedTarget::WolfRiscy, &fixed, &fixed.quantize_input(&b)).expect("runs");
+        let hi = run_a.cycles.max(run_b.cycles) as f64;
+        let lo = run_a.cycles.min(run_b.cycles) as f64;
+        prop_assert!(hi / lo < 1.15, "cycles {} vs {}", run_a.cycles, run_b.cycles);
+    }
+}

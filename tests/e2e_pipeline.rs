@@ -1,0 +1,104 @@
+//! End-to-end integration: synthetic sensors → features → training →
+//! fixed-point export → deployment to every simulated platform.
+
+use infiniwolf::{train_stress_pipeline, PipelineConfig};
+use iw_kernels::{run_fixed, FixedTarget};
+use iw_sensors::{generate_dataset, DatasetConfig, StressLevel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pipeline_cfg() -> PipelineConfig {
+    PipelineConfig {
+        dataset: DatasetConfig {
+            windows_per_level: 12,
+            window_s: 45.0,
+            ..DatasetConfig::default()
+        },
+        max_epochs: 300,
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn trained_detector_deploys_identically_everywhere() {
+    let pipeline = train_stress_pipeline(&pipeline_cfg()).expect("training succeeds");
+    assert!(pipeline.test_accuracy > 0.7, "{}", pipeline.test_accuracy);
+
+    // Fresh evaluation windows.
+    let windows = generate_dataset(
+        &mut StdRng::seed_from_u64(4242),
+        &DatasetConfig {
+            windows_per_level: 2,
+            window_s: 45.0,
+            ..DatasetConfig::default()
+        },
+    );
+
+    for window in &windows {
+        let input = pipeline.quantized_input(window);
+        let reference = pipeline.fixed.forward(&input);
+        for target in FixedTarget::paper_targets() {
+            let run = run_fixed(target, &pipeline.fixed, &input)
+                .unwrap_or_else(|e| panic!("{target:?} failed: {e}"));
+            assert_eq!(
+                run.outputs, reference,
+                "{target:?} diverged from the golden reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn deployed_classifier_recognises_extreme_levels() {
+    let pipeline = train_stress_pipeline(&pipeline_cfg()).expect("training succeeds");
+    let windows = generate_dataset(
+        &mut StdRng::seed_from_u64(555),
+        &DatasetConfig {
+            windows_per_level: 5,
+            window_s: 45.0,
+            ..DatasetConfig::default()
+        },
+    );
+    // The None/High extremes are well separated; require most to be right.
+    let extremes: Vec<_> = windows
+        .iter()
+        .filter(|w| w.level != StressLevel::Medium)
+        .collect();
+    let correct = extremes
+        .iter()
+        .filter(|w| pipeline.classify_window(w) == w.level)
+        .count();
+    assert!(
+        correct * 10 >= extremes.len() * 7,
+        "only {correct}/{} extreme windows classified correctly",
+        extremes.len()
+    );
+}
+
+#[test]
+fn cluster_energy_beats_m4_for_the_detector() {
+    let pipeline = train_stress_pipeline(&pipeline_cfg()).expect("training succeeds");
+    let windows = generate_dataset(
+        &mut StdRng::seed_from_u64(1),
+        &DatasetConfig {
+            windows_per_level: 1,
+            window_s: 45.0,
+            ..DatasetConfig::default()
+        },
+    );
+    let input = pipeline.quantized_input(&windows[0]);
+    let m4 = run_fixed(FixedTarget::CortexM4, &pipeline.fixed, &input).expect("m4");
+    let cluster = run_fixed(
+        FixedTarget::WolfCluster { cores: 8 },
+        &pipeline.fixed,
+        &input,
+    )
+    .expect("cluster");
+    assert!(
+        cluster.energy_j < m4.energy_j,
+        "cluster {} J vs m4 {} J",
+        cluster.energy_j,
+        m4.energy_j
+    );
+    assert!(cluster.cycles * 3 < m4.cycles);
+}

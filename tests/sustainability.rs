@@ -1,0 +1,155 @@
+//! Integration tests of the harvesting + battery + policy stack.
+
+use infiniwolf::{simulate_policy, sustainability, DetectionBudget, DetectionPolicy, InfiniWolf};
+use iw_harvest::{
+    daily_intake, Battery, EnvProfile, EnvSegment, LightCondition, SolarHarvester, TegHarvester,
+    ThermalCondition,
+};
+use proptest::prelude::*;
+
+#[test]
+fn intake_scales_with_light_hours() {
+    let solar = SolarHarvester::infiniwolf();
+    let teg = TegHarvester::infiniwolf();
+    let mut last = 0.0;
+    for hours in [0.0, 2.0, 6.0, 12.0, 24.0] {
+        let profile = EnvProfile {
+            segments: vec![
+                EnvSegment {
+                    duration_s: hours * 3600.0,
+                    light: LightCondition::indoor(),
+                    thermal: ThermalCondition::warm_room(),
+                },
+                EnvSegment {
+                    duration_s: (24.0 - hours) * 3600.0,
+                    light: LightCondition::dark(),
+                    thermal: ThermalCondition::warm_room(),
+                },
+            ],
+        };
+        let total = daily_intake(&profile, &solar, &teg).total_j();
+        assert!(total >= last, "{hours} h: {total} J");
+        last = total;
+    }
+}
+
+#[test]
+fn energy_aware_policy_never_browns_out() {
+    // Even a month of darkness: the energy-aware policy throttles to the
+    // TEG trickle instead of killing the battery.
+    let profile = EnvProfile {
+        segments: vec![EnvSegment {
+            duration_s: 30.0 * 86_400.0,
+            light: LightCondition::dark(),
+            thermal: ThermalCondition::warm_room(),
+        }],
+    };
+    let dev = InfiniWolf::new();
+    let mut battery = Battery::infiniwolf();
+    battery.set_soc(0.6);
+    let sim = simulate_policy(
+        &profile,
+        &dev.solar,
+        &dev.teg,
+        &mut battery,
+        &DetectionBudget::paper(),
+        DetectionPolicy::EnergyAware {
+            max_per_minute: 24.0,
+            min_soc: 0.10,
+        },
+        0.0,
+    );
+    assert!(!sim.browned_out, "final soc {}", sim.final_soc);
+}
+
+#[test]
+fn office_week_is_comfortably_sustainable() {
+    // A normal week (commutes + office light) harvests far more than the
+    // paper's pessimistic indoor-only scenario.
+    let report = sustainability(
+        &EnvProfile::office_week(),
+        &SolarHarvester::infiniwolf(),
+        &TegHarvester::infiniwolf(),
+        &DetectionBudget::paper(),
+    );
+    assert!(
+        report.detections_per_minute > 50.0,
+        "{report:?}"
+    );
+    let dev = InfiniWolf::new();
+    let mut battery = Battery::infiniwolf();
+    battery.set_soc(0.3);
+    let sim = simulate_policy(
+        &EnvProfile::office_week(),
+        &dev.solar,
+        &dev.teg,
+        &mut battery,
+        &DetectionBudget::paper(),
+        DetectionPolicy::FixedRate { per_minute: 24.0 },
+        dev.battery_power_w(infiniwolf::DeviceMode::Sleep),
+    );
+    assert!(!sim.browned_out);
+    assert!(sim.final_soc > 0.3, "soc {}", sim.final_soc);
+}
+
+#[test]
+fn paper_numbers_compose() {
+    // 21.44 J/day ÷ 602.2 µJ ≈ 35 600 detections/day ≈ 24.7/min — the
+    // paper's own arithmetic, checked through the full stack.
+    let report = sustainability(
+        &EnvProfile::paper_indoor_day(),
+        &SolarHarvester::infiniwolf(),
+        &TegHarvester::infiniwolf(),
+        &DetectionBudget::paper(),
+    );
+    assert!(
+        (report.detections_per_day - 35_600.0).abs() < 2_000.0,
+        "{report:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn soc_stays_in_bounds_under_any_policy(
+        start_soc in 0.05f64..1.0,
+        rate in 0.0f64..200.0,
+        light_hours in 0.0f64..24.0,
+    ) {
+        let profile = EnvProfile {
+            segments: vec![
+                EnvSegment {
+                    duration_s: light_hours * 3600.0 + 1.0,
+                    light: LightCondition::indoor(),
+                    thermal: ThermalCondition::cool_room(),
+                },
+                EnvSegment {
+                    duration_s: (24.0 - light_hours) * 3600.0 + 1.0,
+                    light: LightCondition::dark(),
+                    thermal: ThermalCondition::warm_room(),
+                },
+            ],
+        };
+        let dev = InfiniWolf::new();
+        let mut battery = Battery::infiniwolf();
+        battery.set_soc(start_soc);
+        let sim = simulate_policy(
+            &profile,
+            &dev.solar,
+            &dev.teg,
+            &mut battery,
+            &DetectionBudget::paper(),
+            DetectionPolicy::FixedRate { per_minute: rate },
+            5e-6,
+        );
+        prop_assert!((0.0..=1.0).contains(&sim.final_soc));
+        for p in &sim.trace {
+            prop_assert!((0.0..=1.0).contains(&p.soc));
+        }
+        // Energy conservation: consumed can never exceed initial charge +
+        // stored intake.
+        let initial = start_soc * battery.capacity_j();
+        prop_assert!(sim.consumed_j <= initial + sim.stored_j + 1e-6);
+    }
+}
