@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints (warnings are errors), full test suite.
+# Run before pushing; CI runs exactly this.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

@@ -10,6 +10,8 @@ use crate::timing::CortexM4Timing;
 pub enum M4Error {
     /// A data access faulted.
     Bus(BusError),
+    /// Encoded code could not be decoded (see [`crate::code`]).
+    Code(crate::code::CodeError),
     /// Execution ran past the end of the program without hitting `bkpt`.
     PcOutOfRange {
         /// The offending instruction index.
@@ -38,6 +40,7 @@ impl core::fmt::Display for M4Error {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             M4Error::Bus(e) => write!(f, "{e}"),
+            M4Error::Code(e) => write!(f, "{e}"),
             M4Error::PcOutOfRange { pc } => write!(f, "pc {pc} outside program"),
             M4Error::Misaligned { addr, pc } => {
                 write!(f, "misaligned access to {addr:#010x} at instruction {pc}")
@@ -54,6 +57,7 @@ impl std::error::Error for M4Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             M4Error::Bus(e) => Some(e),
+            M4Error::Code(e) => Some(e),
             _ => None,
         }
     }
@@ -62,6 +66,12 @@ impl std::error::Error for M4Error {
 impl From<BusError> for M4Error {
     fn from(e: BusError) -> M4Error {
         M4Error::Bus(e)
+    }
+}
+
+impl From<crate::code::CodeError> for M4Error {
+    fn from(e: crate::code::CodeError) -> M4Error {
+        M4Error::Code(e)
     }
 }
 
@@ -246,23 +256,47 @@ impl CortexM4 {
         }
     }
 
-    /// Executes one instruction; returns its cycle cost.
+    /// Executes one instruction from a pre-decoded program; returns its
+    /// cycle cost, or `None` if the core is already halted (halt is a
+    /// terminal state, not a retired instruction).
     ///
     /// # Errors
     ///
-    /// See [`M4Error`]. Once halted, further steps cost zero cycles.
+    /// See [`M4Error`].
     pub fn step<B: Bus>(
         &mut self,
         program: &[ThumbInstr],
         bus: &mut B,
         t: &CortexM4Timing,
-    ) -> Result<u32, M4Error> {
+    ) -> Result<Option<u32>, M4Error> {
         if self.halted {
-            return Ok(0);
+            return Ok(None);
         }
         let pc = self.pc;
         let instr = *program.get(pc).ok_or(M4Error::PcOutOfRange { pc })?;
-        let mut next_pc = pc + 1;
+        self.exec_decoded(instr, pc, pc + 1, bus, t).map(Some)
+    }
+
+    /// Executes an already-decoded instruction.
+    ///
+    /// `pc` is the instruction's own position and `next_seq` the
+    /// fall-through position — instruction indices when executing a
+    /// `&[ThumbInstr]` slice, halfword offsets when executing encoded
+    /// code (see [`crate::code`]). Branch targets inside `instr` must use
+    /// the same unit.
+    ///
+    /// # Errors
+    ///
+    /// See [`M4Error`].
+    pub fn exec_decoded<B: Bus>(
+        &mut self,
+        instr: ThumbInstr,
+        pc: usize,
+        next_seq: usize,
+        bus: &mut B,
+        t: &CortexM4Timing,
+    ) -> Result<u32, M4Error> {
+        let mut next_pc = next_seq;
         // The M4 AHB pipeline lets back-to-back loads issue every cycle
         // after the first: model as a 1-cycle discount on a load that
         // immediately follows another load.
@@ -322,7 +356,7 @@ impl CortexM4 {
                         };
                         (v, t.sdiv)
                     }
-                    DpOp::Udiv => (if b == 0 { 0 } else { a / b }, t.sdiv),
+                    DpOp::Udiv => (a.checked_div(b).unwrap_or(0), t.sdiv),
                 };
                 self.set_reg(rd, v);
                 cost
@@ -370,8 +404,7 @@ impl CortexM4 {
                 t.smull
             }
             ThumbInstr::Smlal { rdlo, rdhi, rn, rm } => {
-                let acc =
-                    ((u64::from(self.reg(rdhi)) << 32) | u64::from(self.reg(rdlo))) as i64;
+                let acc = ((u64::from(self.reg(rdhi)) << 32) | u64::from(self.reg(rdlo))) as i64;
                 let p = i64::from(self.reg(rn) as i32) * i64::from(self.reg(rm) as i32);
                 let v = acc.wrapping_add(p) as u64;
                 self.set_reg(rdlo, v as u32);
@@ -382,10 +415,8 @@ impl CortexM4 {
                 let a = self.reg(rn);
                 let b = self.reg(rm);
                 let p0 = i32::from(a as u16 as i16) * i32::from(b as u16 as i16);
-                let p1 =
-                    i32::from((a >> 16) as u16 as i16) * i32::from((b >> 16) as u16 as i16);
-                let v = (self.reg(ra) as i32)
-                    .wrapping_add(p0.wrapping_add(p1)) as u32;
+                let p1 = i32::from((a >> 16) as u16 as i16) * i32::from((b >> 16) as u16 as i16);
+                let v = (self.reg(ra) as i32).wrapping_add(p0.wrapping_add(p1)) as u32;
                 self.set_reg(rd, v);
                 t.mla
             }
@@ -478,7 +509,7 @@ impl CortexM4 {
             }
             ThumbInstr::Vldr { sd, rn, offset } => {
                 let addr = self.reg(rn).wrapping_add(offset as u32);
-                if addr % 4 != 0 {
+                if !addr.is_multiple_of(4) {
                     return Err(M4Error::Misaligned { addr, pc });
                 }
                 let raw = bus.load(addr, MemWidth::W)?;
@@ -487,7 +518,7 @@ impl CortexM4 {
             }
             ThumbInstr::VldrPost { sd, rn, offset } => {
                 let addr = self.reg(rn);
-                if addr % 4 != 0 {
+                if !addr.is_multiple_of(4) {
                     return Err(M4Error::Misaligned { addr, pc });
                 }
                 let raw = bus.load(addr, MemWidth::W)?;
@@ -497,7 +528,7 @@ impl CortexM4 {
             }
             ThumbInstr::Vstr { sd, rn, offset } => {
                 let addr = self.reg(rn).wrapping_add(offset as u32);
-                if addr % 4 != 0 {
+                if !addr.is_multiple_of(4) {
                     return Err(M4Error::Misaligned { addr, pc });
                 }
                 bus.store(addr, MemWidth::W, self.s[sd.index() as usize])?;
@@ -637,7 +668,7 @@ impl CortexM4 {
             ThumbInstr::Ldr { .. } => InstrClass::Load,
             ThumbInstr::Str { .. } => InstrClass::Store,
             ThumbInstr::B { .. } => {
-                if next_pc != pc + 1 {
+                if next_pc != next_seq {
                     InstrClass::BranchTaken
                 } else {
                     InstrClass::BranchNotTaken
@@ -667,7 +698,13 @@ impl CortexM4 {
         Ok(cycles)
     }
 
-    /// Runs until `bkpt`.
+    /// Runs until `bkpt` over a pre-decoded program.
+    ///
+    /// A `&[ThumbInstr]` program *is* the decoded-instruction cache for
+    /// this core: nRF52832 code executes from flash, which data stores
+    /// cannot reach, so the whole program is decoded once up front (see
+    /// [`crate::code::DecodedProgram`]) and never invalidated. The
+    /// per-halfword decoding baseline is [`CortexM4::run_code`].
     ///
     /// # Errors
     ///
@@ -682,8 +719,44 @@ impl CortexM4 {
     ) -> Result<RunResult, M4Error> {
         let mut cycles = 0u64;
         let mut instructions = 0u64;
+        while let Some(cost) = self.step(program, bus, t)? {
+            cycles += u64::from(cost);
+            instructions += 1;
+            if cycles > max_cycles {
+                return Err(M4Error::CycleLimit { limit: max_cycles });
+            }
+        }
+        Ok(RunResult {
+            cycles,
+            instructions,
+        })
+    }
+
+    /// Runs until `bkpt` over *encoded* code, decoding every dynamic
+    /// instruction — the uncached reference for [`CortexM4::run`] on a
+    /// [`crate::code::DecodedProgram`]. The program counter is in
+    /// halfword units here.
+    ///
+    /// # Errors
+    ///
+    /// As [`CortexM4::run`], plus [`M4Error::Code`] for malformed code.
+    pub fn run_code<B: Bus>(
+        &mut self,
+        code: &[u16],
+        bus: &mut B,
+        t: &CortexM4Timing,
+        max_cycles: u64,
+    ) -> Result<RunResult, M4Error> {
+        let mut cycles = 0u64;
+        let mut instructions = 0u64;
         while !self.halted {
-            cycles += u64::from(self.step(program, bus, t)?);
+            let pc = self.pc;
+            if pc >= code.len() {
+                return Err(M4Error::PcOutOfRange { pc });
+            }
+            let (instr, len) = crate::code::decode_at(code, pc)?;
+            let cost = self.exec_decoded(instr, pc, pc + len, bus, t)?;
+            cycles += u64::from(cost);
             instructions += 1;
             if cycles > max_cycles {
                 return Err(M4Error::CycleLimit { limit: max_cycles });
@@ -702,7 +775,10 @@ mod tests {
     use crate::asm::ThumbAsm;
     use iw_rv32::Ram;
 
-    fn run(asm: &ThumbAsm, setup: impl FnOnce(&mut CortexM4, &mut Ram)) -> (CortexM4, Ram, RunResult) {
+    fn run(
+        asm: &ThumbAsm,
+        setup: impl FnOnce(&mut CortexM4, &mut Ram),
+    ) -> (CortexM4, Ram, RunResult) {
         let program = asm.finish().unwrap();
         let mut cpu = CortexM4::new();
         let mut ram = Ram::new(0, 4096);
@@ -731,7 +807,7 @@ mod tests {
         asm.li(R::R1, 1000);
         asm.li(R::R2, 7);
         asm.mla(R::R3, R::R0, R::R1, R::R2); // 7 - 3000
-        // 64-bit accumulate: r4:r5 = -1, add 2*3
+                                             // 64-bit accumulate: r4:r5 = -1, add 2*3
         asm.li(R::R4, -1);
         asm.li(R::R5, -1);
         asm.li(R::R6, 2);

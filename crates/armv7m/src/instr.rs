@@ -322,12 +322,7 @@ impl fmt::Display for ThumbInstr {
                 _ => "str",
             }
         }
-        fn addr(
-            f: &mut fmt::Formatter<'_>,
-            rn: R,
-            offset: i32,
-            mode: AddrMode,
-        ) -> fmt::Result {
+        fn addr(f: &mut fmt::Formatter<'_>, rn: R, offset: i32, mode: AddrMode) -> fmt::Result {
             match mode {
                 AddrMode::Offset => write!(f, "[{rn}, #{offset}]"),
                 AddrMode::PostInc => write!(f, "[{rn}], #{offset}"),

@@ -11,8 +11,15 @@
 //! share identical memory images — a prerequisite for the bit-exactness
 //! checks in `iw-kernels`.
 //!
-//! Instruction *semantics and timing* are modelled; binary Thumb encodings
-//! are not (branch targets are instruction indices). This is documented in
+//! Instruction *semantics and timing* are modelled; the [`code`] module
+//! adds a variable-length halfword encoding with the same shape as real
+//! Thumb-2 (1–2 halfwords per instruction, pc-relative branches) without
+//! claiming ARM bit-exactness. Pre-decoding a whole program once with
+//! [`code::DecodedProgram`] is the M4's decode cache: code executes from
+//! immutable flash, so the cache never invalidates, and the decoded
+//! `&[ThumbInstr]` runs on the fast [`CortexM4::run`] path. The
+//! per-halfword [`CortexM4::run_code`] path is the uncached reference,
+//! bit- and cycle-identical by differential test. This is documented in
 //! DESIGN.md: the paper's evaluation needs cycle counts and results of the
 //! kernels, which the semantic model fully determines.
 //!
@@ -52,10 +59,12 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod code;
 mod cpu;
 mod instr;
 mod timing;
 
+pub use code::{decode_at, encode_program, CodeError, DecodedProgram, EncodeError};
 pub use cpu::{CortexM4, Flags, M4Error, RunResult};
 pub use instr::{AddrMode, Cond, DpOp, LsWidth, ThumbInstr, R, S};
 pub use timing::CortexM4Timing;

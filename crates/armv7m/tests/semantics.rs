@@ -123,9 +123,18 @@ fn vcmp_handles_nan_as_unordered() {
     let mut asm = ThumbAsm::new();
     asm.li(R::R0, f32::NAN.to_bits() as i32);
     asm.li(R::R1, 1.0f32.to_bits() as i32);
-    asm.emit(ThumbInstr::VmovToS { sd: S::new(0), rt: R::R0 });
-    asm.emit(ThumbInstr::VmovToS { sd: S::new(1), rt: R::R1 });
-    asm.emit(ThumbInstr::Vcmp { sn: S::new(0), sm: S::new(1) });
+    asm.emit(ThumbInstr::VmovToS {
+        sd: S::new(0),
+        rt: R::R0,
+    });
+    asm.emit(ThumbInstr::VmovToS {
+        sd: S::new(1),
+        rt: R::R1,
+    });
+    asm.emit(ThumbInstr::Vcmp {
+        sn: S::new(0),
+        sm: S::new(1),
+    });
     asm.emit(ThumbInstr::Vmrs);
     let gt = asm.new_label();
     asm.b_to(Cond::Gt, gt);

@@ -35,7 +35,9 @@ fn bench_core_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for cores in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
-            b.iter(|| run_fixed(FixedTarget::WolfCluster { cores }, &fixed_a, &qin_a).expect("runs"));
+            b.iter(|| {
+                run_fixed(FixedTarget::WolfCluster { cores }, &fixed_a, &qin_a).expect("runs")
+            });
         });
     }
     group.finish();

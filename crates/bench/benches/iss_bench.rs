@@ -1,0 +1,56 @@
+//! ISS-throughput bench: simulated instructions per second, pre-decoded
+//! (product) vs uncached (reference) paths, on both evaluation networks
+//! and all four paper targets.
+//!
+//! Each benchmark simulates one full classification; the printed
+//! `instructions=` line gives the dynamic instruction count of that
+//! workload, so instructions/second = instructions / mean-sample-time.
+//! EXPERIMENTS.md records the derived throughput and the cached/uncached
+//! speedup (the acceptance bar is ≥5× on Network B, 8×RI5CY).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iw_bench::evaluation_nets;
+use iw_kernels::{FixedTarget, PreparedFixed};
+
+fn bench_iss_throughput(c: &mut Criterion) {
+    for (name, _, fixed, qin) in evaluation_nets() {
+        let group_name = format!("iss_throughput/{name}");
+        let mut group = c.benchmark_group(&group_name);
+        group.sample_size(10);
+        for target in FixedTarget::paper_targets() {
+            // Deployment (kernel emission, assembly, pre-decode, weight
+            // image) happens once, outside the timed region: the bench
+            // measures simulator throughput, not code generation.
+            let prep = PreparedFixed::new(target, &fixed, &qin).expect("deploys");
+            let fast = prep.run().expect("target runs");
+            let reference = prep.run_uncached().expect("target runs");
+            assert_eq!(
+                fast, reference,
+                "cached and uncached paths must be bit-identical"
+            );
+            println!(
+                "iss_throughput/{name}/{target}: instructions={instructions}",
+                target = target.name(),
+                instructions = fast.instructions
+            );
+            group.bench_with_input(
+                BenchmarkId::new("predecoded", target.name()),
+                &prep,
+                |b, prep| {
+                    b.iter(|| prep.run().expect("runs"));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("uncached", target.name()),
+                &prep,
+                |b, prep| {
+                    b.iter(|| prep.run_uncached().expect("runs"));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_iss_throughput);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Manual timing harness for the ISS hot paths (`perf` is unavailable in
+//! the build environment). Times the components of the cached and
+//! uncached interpreter loops on the Network B workloads so optimisation
+//! work targets the real bottleneck; run with
+//! `cargo run --release -p iw-bench --bin iss_profile`.
+
+use std::time::Instant;
+
+use iw_bench::evaluation_nets;
+use iw_kernels::{FixedTarget, PreparedFixed};
+use iw_rv32::{decode, Bus, MemWidth, Ram};
+
+fn time<R>(label: &str, per: u64, mut f: impl FnMut() -> R) -> f64 {
+    // One warm-up pass, then report the best of three (least interference).
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = f();
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(r);
+        best = best.min(dt);
+    }
+    let ns = best * 1e9 / per as f64;
+    println!("{label:<44} {ns:>8.2} ns/op  ({:.3} ms total)", best * 1e3);
+    ns
+}
+
+fn main() {
+    // --- Component costs -------------------------------------------------
+    let mut asm = iw_rv32::asm::Asm::new(0);
+    {
+        use iw_rv32::Reg;
+        let top = asm.new_label();
+        asm.bind(top);
+        asm.lw(Reg::T0, Reg::A0, 0);
+        asm.lw(Reg::T1, Reg::A1, 4);
+        asm.mac(Reg::A2, Reg::T0, Reg::T1);
+        asm.addi(Reg::A0, Reg::A0, 4);
+        asm.addi(Reg::A1, Reg::A1, 4);
+        asm.bne_to(Reg::A0, Reg::A3, top);
+        asm.sw(Reg::A2, Reg::A4, 0);
+        asm.ecall();
+    }
+    let image = asm.assemble().expect("assembles");
+    let words: Vec<u32> = image
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+
+    const N: u64 = 4_000_000;
+    time("decode() on kernel-like word mix", N, || {
+        let mut acc = 0u32;
+        for i in 0..N {
+            let w = words[(i as usize) % words.len()];
+            if let Ok(ins) = decode(std::hint::black_box(w)) {
+                acc = acc.wrapping_add(ins.is_mem() as u32);
+            }
+        }
+        acc
+    });
+
+    let mut ram = Ram::new(0x1000_0000, 64 * 1024);
+    time("Ram::load word", N, || {
+        let mut acc = 0u32;
+        for i in 0..N {
+            let addr = 0x1000_0000 + ((i as u32 * 4) & 0xfff);
+            acc = acc.wrapping_add(ram.load(std::hint::black_box(addr), MemWidth::W).unwrap());
+        }
+        acc
+    });
+    time("Ram::store word", N, || {
+        for i in 0..N {
+            let addr = 0x1000_0000 + ((i as u32 * 4) & 0xfff);
+            ram.store(std::hint::black_box(addr), MemWidth::W, i as u32)
+                .unwrap();
+        }
+    });
+
+    // --- Full workloads --------------------------------------------------
+    let nets = evaluation_nets();
+    let (_, _, fixed, qin) = &nets[1]; // Network B
+    for target in [
+        FixedTarget::WolfIbex,
+        FixedTarget::WolfRiscy,
+        FixedTarget::WolfCluster { cores: 8 },
+        FixedTarget::CortexM4,
+    ] {
+        let prep = PreparedFixed::new(target, fixed, qin).expect("deploys");
+        let instructions = prep.run().expect("runs").instructions;
+        let name = target.name();
+        let c = time(&format!("{name}: predecoded run"), instructions, || {
+            prep.run().expect("runs")
+        });
+        let u = time(&format!("{name}: uncached run"), instructions, || {
+            prep.run_uncached().expect("runs")
+        });
+        println!(
+            "{name:<44} speedup {:.2}x over {instructions} instrs",
+            u / c
+        );
+    }
+}

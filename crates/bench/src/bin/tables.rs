@@ -15,12 +15,8 @@ fn print_rows(title: &str, rows: &[Row]) {
         "condition / platform", "ours", "paper", "ratio"
     );
     for row in rows {
-        let paper = row
-            .paper
-            .map_or("—".to_string(), |p| format!("{p:.3}"));
-        let ratio = row
-            .ratio()
-            .map_or("—".to_string(), |r| format!("{r:.2}"));
+        let paper = row.paper.map_or("—".to_string(), |p| format!("{p:.3}"));
+        let ratio = row.ratio().map_or("—".to_string(), |r| format!("{r:.2}"));
         println!(
             "  {:<34} {:>9.3} {:>2} {:>9} {:>9}",
             row.label, row.ours, row.unit, paper, ratio
@@ -36,10 +32,7 @@ fn t1() {
 }
 
 fn t2() {
-    print_rows(
-        "Table II — wrist TEG power harvesting",
-        &iw_bench::table2(),
-    );
+    print_rows("Table II — wrist TEG power harvesting", &iw_bench::table2());
 }
 
 fn t3t4() {
@@ -188,7 +181,10 @@ fn a9() {
     let (compute, dma): (u64, u64) = breakdown
         .iter()
         .fold((0, 0), |(c, d), &(_, ci, di)| (c + ci, d + di));
-    println!("    totals: {compute} compute-in-TCDM cycles, {dma} DMA cycles across {} layers", breakdown.len());
+    println!(
+        "    totals: {compute} compute-in-TCDM cycles, {dma} DMA cycles across {} layers",
+        breakdown.len()
+    );
 }
 
 fn a10() {
@@ -196,7 +192,10 @@ fn a10() {
     for (target, wall_cycles, rows) in iw_bench::a10_cycle_breakdown() {
         println!("  {target} ({wall_cycles} wall cycles incl. stalls/offload):");
         for (label, cycles, share) in rows {
-            println!("    {label:<10} {cycles:>8} cycles  {:>5.1}%", share * 100.0);
+            println!(
+                "    {label:<10} {cycles:>8} cycles  {:>5.1}%",
+                share * 100.0
+            );
         }
     }
 }

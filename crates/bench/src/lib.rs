@@ -89,9 +89,21 @@ pub fn table1() -> Vec<Row> {
 pub fn table2() -> Vec<Row> {
     let h = TegHarvester::infiniwolf();
     [
-        ("22°C room / 32°C skin, no wind", ThermalCondition::warm_room(), 24.0),
-        ("15°C room / 30°C skin, no wind", ThermalCondition::cool_room(), 55.5),
-        ("15°C room / 30°C skin, 42 km/h", ThermalCondition::cool_windy(), 155.4),
+        (
+            "22°C room / 32°C skin, no wind",
+            ThermalCondition::warm_room(),
+            24.0,
+        ),
+        (
+            "15°C room / 30°C skin, no wind",
+            ThermalCondition::cool_room(),
+            55.5,
+        ),
+        (
+            "15°C room / 30°C skin, 42 km/h",
+            ThermalCondition::cool_windy(),
+            155.4,
+        ),
     ]
     .into_iter()
     .map(|(label, cond, paper)| Row {
@@ -232,9 +244,8 @@ pub fn x1_float_vs_fixed() -> Vec<Row> {
 #[must_use]
 pub fn x2_detection_budget() -> (DetectionBudget, Vec<Row>) {
     let [(_, _, fixed, qin), _] = evaluation_nets();
-    let budget =
-        measure_detection_budget(&fixed, &qin, FixedTarget::WolfCluster { cores: 8 })
-            .expect("cluster runs");
+    let budget = measure_detection_budget(&fixed, &qin, FixedTarget::WolfCluster { cores: 8 })
+        .expect("cluster runs");
     let rows = vec![
         Row {
             label: "Acquisition (3 s ECG+GSR)".into(),
@@ -296,10 +307,13 @@ pub fn x3_sustainability() -> Vec<Row> {
     ]
 }
 
+/// Per-network core-sweep rows: `(cores, cycles, speedup vs 1 core)`.
+pub type CoreSweep = Vec<(String, Vec<(usize, u64, f64)>)>;
+
 /// **A1** — ablation: cluster core-count sweep on both networks.
 /// Returns `(net name, Vec<(cores, cycles, speedup vs 1 core)>)`.
 #[must_use]
-pub fn a1_core_sweep() -> Vec<(String, Vec<(usize, u64, f64)>)> {
+pub fn a1_core_sweep() -> CoreSweep {
     evaluation_nets()
         .into_iter()
         .map(|(name, _, fixed, qin)| {
@@ -349,8 +363,8 @@ pub fn a2_xpulp_ablation() -> Vec<(String, Vec<(String, u64)>)> {
                         xpulp: *xpulp,
                         cores: 1,
                     };
-                    let run = run_wolf_fixed_with(&fixed, &qin, &opts, None, false)
-                        .expect("riscy runs");
+                    let run =
+                        run_wolf_fixed_with(&fixed, &qin, &opts, None, false).expect("riscy runs");
                     (label.to_string(), run.cycles)
                 })
                 .collect();
@@ -371,24 +385,22 @@ pub fn a3_tcdm_banks() -> Vec<(usize, u64, u64)> {
                 tcdm_banks: banks,
                 ..ClusterConfig::default()
             };
-            let run = run_wolf_fixed_with(
-                &fixed,
-                &qin,
-                &RvKernelOpts::cluster(8),
-                Some(cfg),
-                false,
-            )
-            .expect("cluster runs");
+            let run =
+                run_wolf_fixed_with(&fixed, &qin, &RvKernelOpts::cluster(8), Some(cfg), false)
+                    .expect("cluster runs");
             let stats = run.cluster.expect("cluster stats");
             (banks, run.cycles, stats.tcdm_conflict_stalls)
         })
         .collect()
 }
 
+/// One harvesting sweep: `(operating point, harvested power in watts)`.
+pub type HarvestSweep = Vec<(f64, f64)>;
+
 /// **A4** — ablation: harvesting sweeps (lux and ΔT interpolation between
 /// the paper's measured points).
 #[must_use]
-pub fn a4_harvest_sweeps() -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+pub fn a4_harvest_sweeps() -> (HarvestSweep, HarvestSweep) {
     let solar = SolarHarvester::infiniwolf();
     let lux_sweep: Vec<(f64, f64)> = [100.0, 300.0, 700.0, 2_000.0, 10_000.0, 30_000.0, 60_000.0]
         .into_iter()
@@ -424,7 +436,10 @@ pub fn a4_harvest_sweeps() -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
 pub fn a5_environment_rates() -> Vec<Row> {
     let (budget, _) = x2_detection_budget();
     let scenarios: [(&str, EnvProfile); 3] = [
-        ("Paper indoor day (6 h light)", EnvProfile::paper_indoor_day()),
+        (
+            "Paper indoor day (6 h light)",
+            EnvProfile::paper_indoor_day(),
+        ),
         ("Office + commute (2 h outdoor)", {
             let mut p = EnvProfile::paper_indoor_day();
             p.segments[0].duration_s = 8.0 * 3600.0;
@@ -513,11 +528,14 @@ pub fn a6_local_vs_streaming() -> Vec<Row> {
     ]
 }
 
+/// Per-network Q15-vs-Q32 rows: `(platform, Q32 cycles, Q15 cycles)`.
+pub type Q15Comparison = Vec<(String, Vec<(String, u64, u64)>)>;
+
 /// **A7** — extension: 16-bit SIMD (Q15) kernels vs the paper's 32-bit
 /// fixed point. Returns `(net name, rows)` where rows compare cycles on
 /// the same platform with both quantisations.
 #[must_use]
-pub fn a7_q15_simd() -> Vec<(String, Vec<(String, u64, u64)>)> {
+pub fn a7_q15_simd() -> Q15Comparison {
     use iw_fann::Q15Net;
     use iw_kernels::{run_m4_q15, run_wolf_q15};
     let mut rng = StdRng::seed_from_u64(SEED);
@@ -596,8 +614,8 @@ pub fn a9_netb_weight_streaming() -> (u64, u64, Vec<(usize, u64, u64)>) {
             layers: vec![layer.clone()],
         };
         let zeros = vec![0i32; layer.in_count];
-        let run = run_fixed(FixedTarget::WolfCluster { cores: 8 }, &single, &zeros)
-            .expect("layer run");
+        let run =
+            run_fixed(FixedTarget::WolfCluster { cores: 8 }, &single, &zeros).expect("layer run");
         let compute = run.cycles.saturating_sub(offload);
         let dma_cycles = dma.transfer_cycles(layer.weights.len() * 4);
         breakdown.push((li, compute, dma_cycles));
@@ -612,11 +630,14 @@ pub fn a9_netb_weight_streaming() -> (u64, u64, Vec<(usize, u64, u64)>) {
     (direct, tiled, breakdown)
 }
 
+/// Per-target cycle breakdown: `(target, total, (class, cycles, share))`.
+pub type CycleBreakdown = Vec<(String, u64, Vec<(&'static str, u64, f64)>)>;
+
 /// **A10** — extension: where the cycles go. Per-class cycle breakdown of
 /// the Network A kernel on each paper target. Returns
 /// `(target name, total cycles, Vec<(class label, cycles, share)>)`.
 #[must_use]
-pub fn a10_cycle_breakdown() -> Vec<(String, u64, Vec<(&'static str, u64, f64)>)> {
+pub fn a10_cycle_breakdown() -> CycleBreakdown {
     let [(_, _, fixed, qin), _] = evaluation_nets();
     FixedTarget::paper_targets()
         .into_iter()
@@ -686,7 +707,10 @@ mod tests {
     #[test]
     fn x3_rows_reproduce() {
         let rows = x3_sustainability();
-        assert!((0.95..=1.05).contains(&rows[0].ratio().unwrap()), "{rows:?}");
+        assert!(
+            (0.95..=1.05).contains(&rows[0].ratio().unwrap()),
+            "{rows:?}"
+        );
         let rate = rows[2].ours;
         assert!((23.0..27.0).contains(&rate), "rate {rate}");
     }

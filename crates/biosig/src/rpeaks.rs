@@ -191,7 +191,9 @@ mod tests {
             .r_peaks
             .iter()
             .filter(|&&truth| {
-                peaks.iter().any(|&p| (p as i64 - truth as i64).abs() <= tol)
+                peaks
+                    .iter()
+                    .any(|&p| (p as i64 - truth as i64).abs() <= tol)
             })
             .count();
         let sensitivity = matched as f64 / seg.r_peaks.len() as f64;

@@ -80,7 +80,9 @@ impl InfiniWolf {
             }
             DeviceMode::Process => {
                 nrf_idle
-                    + self.wolf.power_w(iw_mrwolf::WolfMode::Cluster { active_cores: 8 })
+                    + self
+                        .wolf
+                        .power_w(iw_mrwolf::WolfMode::Cluster { active_cores: 8 })
             }
             DeviceMode::RawStreaming => {
                 let bytes_per_s = self.acquisition.ecg.bytes_for(1.0) as f64
@@ -97,7 +99,8 @@ impl InfiniWolf {
     /// Battery-side power in a mode (through the LDO + quiescent).
     #[must_use]
     pub fn battery_power_w(&self, mode: DeviceMode) -> f64 {
-        self.psu.battery_draw_w(self.mode_power_w(mode), &self.battery)
+        self.psu
+            .battery_draw_w(self.mode_power_w(mode), &self.battery)
     }
 
     /// Energy to report one detection result over BLE (a few bytes).
@@ -150,10 +153,7 @@ mod tests {
         // streaming the raw window.
         let local = dev.result_notification_j() + 2e-6; // + compute ~2 µJ
         let remote = dev.raw_window_streaming_j();
-        assert!(
-            remote > 5.0 * local,
-            "remote {remote} J vs local {local} J"
-        );
+        assert!(remote > 5.0 * local, "remote {remote} J vs local {local} J");
     }
 
     #[test]

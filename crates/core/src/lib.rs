@@ -58,7 +58,7 @@ mod sustain;
 
 pub use bundle::{read_bundle, write_bundle, DeployedDetector};
 pub use detection::{measure_detection_budget, DetectionBudget};
-pub use loso::{loso_evaluation, LosoReport};
 pub use device::{DeviceMode, InfiniWolf};
+pub use loso::{loso_evaluation, LosoReport};
 pub use pipeline::{train_stress_pipeline, PipelineConfig, StressPipeline};
 pub use sustain::{simulate_policy, sustainability, DetectionPolicy, SustainReport};

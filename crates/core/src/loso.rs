@@ -72,9 +72,7 @@ pub fn loso_evaluation(cfg: &PipelineConfig) -> Result<LosoReport, ExportError> 
 
         let correct = test
             .iter()
-            .filter(|(x, level)| {
-                fixed.classify(&fixed.quantize_input(x)) == level.class_index()
-            })
+            .filter(|(x, level)| fixed.classify(&fixed.quantize_input(x)) == level.class_index())
             .count();
         per_subject.push(correct as f32 / test.len() as f32);
     }

@@ -159,11 +159,7 @@ mod tests {
             0.0,
         );
         assert!(!sim.browned_out);
-        assert!(
-            sim.final_soc > 0.45,
-            "battery drained to {}",
-            sim.final_soc
-        );
+        assert!(sim.final_soc > 0.45, "battery drained to {}", sim.final_soc);
     }
 
     #[test]

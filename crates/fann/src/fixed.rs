@@ -65,7 +65,11 @@ pub struct FixedActivation {
 impl FixedActivation {
     /// Samples the float activation at six points covering its transition
     /// region, exactly as FANN's fixed export does.
-    pub(crate) fn from_float(activation: Activation, steepness: f32, dp: u8) -> Result<Self, ExportError> {
+    pub(crate) fn from_float(
+        activation: Activation,
+        steepness: f32,
+        dp: u8,
+    ) -> Result<Self, ExportError> {
         if activation == Activation::Linear {
             return Err(ExportError::UnboundedActivation);
         }
@@ -240,7 +244,10 @@ impl FixedNet {
     #[must_use]
     pub fn dequantize(&self, fixed: &[i32]) -> Vec<f32> {
         let mult = f64::from(self.multiplier());
-        fixed.iter().map(|&x| (f64::from(x) / mult) as f32).collect()
+        fixed
+            .iter()
+            .map(|&x| (f64::from(x) / mult) as f32)
+            .collect()
     }
 
     /// Runs the fixed-point network — **the golden reference** for every
@@ -363,8 +370,7 @@ mod tests {
 
     #[test]
     fn stepwise_is_monotone_and_bounded() {
-        let act =
-            FixedActivation::from_float(Activation::SigmoidSymmetric, 0.5, 12).unwrap();
+        let act = FixedActivation::from_float(Activation::SigmoidSymmetric, 0.5, 12).unwrap();
         let mut last = i32::MIN;
         for sum in (-80_000..80_000).step_by(97) {
             let y = act.eval(sum);

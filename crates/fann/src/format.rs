@@ -165,10 +165,9 @@ pub fn read_net(text: &str) -> Result<Mlp, ParseError> {
     let sizes_with_bias: Vec<usize> = field(text, "layer_sizes")?
         .split_whitespace()
         .map(|t| {
-            t.parse::<usize>()
-                .map_err(|_| ParseError::BadValue {
-                    field: "layer_sizes",
-                })
+            t.parse::<usize>().map_err(|_| ParseError::BadValue {
+                field: "layer_sizes",
+            })
         })
         .collect::<Result<_, _>>()?;
     if sizes_with_bias.len() < 2 || sizes_with_bias.iter().any(|&n| n < 2) {
@@ -178,7 +177,10 @@ pub fn read_net(text: &str) -> Result<Mlp, ParseError> {
     let mut net = Mlp::new(&sizes);
 
     // Neuron records give per-layer activation/steepness.
-    let neurons_body = field(text, "neurons (num_inputs, activation_function, activation_steepness)")?;
+    let neurons_body = field(
+        text,
+        "neurons (num_inputs, activation_function, activation_steepness)",
+    )?;
     let neuron_recs = parse_paren_pairs(neurons_body);
     let expected_neurons: usize = sizes_with_bias.iter().sum();
     if neuron_recs.len() != expected_neurons {
@@ -190,11 +192,12 @@ pub fn read_net(text: &str) -> Result<Mlp, ParseError> {
         if rec.len() != 3 {
             return Err(ParseError::Inconsistent("neuron record"));
         }
-        let code: u8 = rec[1]
-            .parse()
-            .map_err(|_| ParseError::BadValue { field: "activation" })?;
-        let act = Activation::from_fann_code(code)
-            .ok_or(ParseError::BadValue { field: "activation" })?;
+        let code: u8 = rec[1].parse().map_err(|_| ParseError::BadValue {
+            field: "activation",
+        })?;
+        let act = Activation::from_fann_code(code).ok_or(ParseError::BadValue {
+            field: "activation",
+        })?;
         let steep: f32 = rec[2]
             .parse()
             .map_err(|_| ParseError::BadValue { field: "steepness" })?;
@@ -293,16 +296,23 @@ pub fn read_data(text: &str) -> Result<TrainData, ParseError> {
     let no: usize = parts
         .next()
         .and_then(|t| t.parse().ok())
-        .ok_or(ParseError::BadValue { field: "num_output" })?;
+        .ok_or(ParseError::BadValue {
+            field: "num_output",
+        })?;
     let mut data = TrainData::new();
     for _ in 0..n {
-        let in_line = lines.next().ok_or(ParseError::Inconsistent("missing input line"))?;
+        let in_line = lines
+            .next()
+            .ok_or(ParseError::Inconsistent("missing input line"))?;
         let out_line = lines
             .next()
             .ok_or(ParseError::Inconsistent("missing output line"))?;
         let input: Vec<f32> = in_line
             .split_whitespace()
-            .map(|t| t.parse().map_err(|_| ParseError::BadValue { field: "input" }))
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| ParseError::BadValue { field: "input" })
+            })
             .collect::<Result<_, _>>()?;
         let output: Vec<f32> = out_line
             .split_whitespace()
@@ -360,9 +370,6 @@ mod tests {
     #[test]
     fn data_rejects_dimension_mismatch() {
         let text = "1 2 1\n0.5\n1.0\n";
-        assert!(matches!(
-            read_data(text),
-            Err(ParseError::Inconsistent(_))
-        ));
+        assert!(matches!(read_data(text), Err(ParseError::Inconsistent(_))));
     }
 }

@@ -119,9 +119,8 @@ pub fn read_fixed_net(text: &str) -> Result<FixedNet, ParseError> {
         let nums: Vec<i32> = body
             .split_whitespace()
             .map(|t| {
-                t.parse::<i32>().map_err(|_| ParseError::BadValue {
-                    field: "stepwise",
-                })
+                t.parse::<i32>()
+                    .map_err(|_| ParseError::BadValue { field: "stepwise" })
             })
             .collect::<Result<_, _>>()?;
         if nums.len() != 14 {

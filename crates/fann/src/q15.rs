@@ -99,8 +99,7 @@ impl Q15Net {
                 let in_count = layer.in_count();
                 let in_padded = in_count.div_ceil(2) * 2;
                 let row_len = layer.row_len();
-                let mut weights =
-                    Vec::with_capacity(layer.out_count() * (2 + in_padded));
+                let mut weights = Vec::with_capacity(layer.out_count() * (2 + in_padded));
                 for j in 0..layer.out_count() {
                     let row = &layer.weights()[j * row_len..(j + 1) * row_len];
                     let q = |w: f32| -> i16 {
@@ -114,9 +113,7 @@ impl Q15Net {
                     for &w in &row[1..] {
                         weights.push(q(w));
                     }
-                    for _ in in_count..in_padded {
-                        weights.push(0);
-                    }
+                    weights.extend(std::iter::repeat_n(0, in_padded.saturating_sub(in_count)));
                 }
                 Ok(Q15Layer {
                     in_count,

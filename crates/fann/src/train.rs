@@ -471,7 +471,10 @@ mod tests {
         let data = xor_data();
         let mut trainer = Rprop::new(&net);
         let (_, final_mse) = trainer.train_until(&mut net, &data, 0.01, 2000);
-        assert!(final_mse < 0.01, "rprop failed to learn xor: mse {final_mse}");
+        assert!(
+            final_mse < 0.01,
+            "rprop failed to learn xor: mse {final_mse}"
+        );
         for (input, target) in data.iter() {
             let out = net.forward(input)[0];
             assert_eq!(out.signum(), target[0].signum(), "input {input:?}");
@@ -489,7 +492,10 @@ mod tests {
             trainer.train_epoch(&mut net, &data);
         }
         let after = mse(&net, &data);
-        assert!(after < before, "incremental did not improve: {before} -> {after}");
+        assert!(
+            after < before,
+            "incremental did not improve: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -110,8 +110,7 @@ pub fn simulate_battery(
     let mut t = 0.0;
     let mut step = 0usize;
     for seg in &profile.segments {
-        let intake_w =
-            solar.battery_intake_w(&seg.light) + teg.battery_intake_w(&seg.thermal);
+        let intake_w = solar.battery_intake_w(&seg.light) + teg.battery_intake_w(&seg.thermal);
         let mut remaining = seg.duration_s;
         while remaining > 1e-9 {
             let h = dt_s.min(remaining);
@@ -125,7 +124,7 @@ pub fn simulate_battery(
                     report.browned_out = true;
                 }
             }
-            if step % decimate == 0 {
+            if step.is_multiple_of(decimate) {
                 report.trace.push(TracePoint {
                     t_s: t,
                     soc: battery.soc(),

@@ -77,7 +77,7 @@ fn widths_fixed(net: &FixedNet) -> usize {
 #[must_use]
 pub fn place_fixed(net: &FixedNet, weights_base: u32, buf_base: u32) -> Placement {
     let width = widths_fixed(net);
-    let buf_bytes = ((width * 4 + 15) / 16 * 16) as u32;
+    let buf_bytes = ((width * 4).div_ceil(16) * 16) as u32;
     let mut layer_weights = Vec::with_capacity(net.layers.len());
     let mut addr = weights_base;
     for layer in &net.layers {
@@ -120,7 +120,7 @@ pub fn place_float(net: &Mlp, weights_base: u32, buf_base: u32) -> Placement {
         .chain([net.num_inputs()])
         .max()
         .unwrap_or(0);
-    let buf_bytes = ((width * 4 + 15) / 16 * 16) as u32;
+    let buf_bytes = ((width * 4).div_ceil(16) * 16) as u32;
     let mut layer_weights = Vec::with_capacity(net.layers().len());
     let mut addr = weights_base;
     for layer in net.layers() {

@@ -57,6 +57,6 @@ pub use q15::{
 };
 pub use rv::{emit_fixed_kernel, RvKernelOpts, XpulpOpts};
 pub use targets::{
-    run_fixed, run_m4_fixed, run_m4_float, run_wolf_fixed_with, FixedRun, FixedTarget, FloatRun,
-    KernelError,
+    run_fixed, run_fixed_uncached, run_m4_fixed, run_m4_fixed_uncached, run_m4_float,
+    run_wolf_fixed_with, FixedRun, FixedTarget, FloatRun, KernelError, PreparedFixed,
 };

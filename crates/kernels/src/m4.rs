@@ -49,18 +49,18 @@ pub(crate) fn emit_stepwise_m4_public(asm: &mut ThumbAsm, act: &FixedActivation)
     asm.li(SCRATCH, act.v[0]);
     asm.cmp(ACC, SCRATCH);
     asm.b_to(Cond::Lt, lmin);
-    for k in 0..5 {
+    for (k, &seg) in segs.iter().enumerate() {
         asm.li(SCRATCH, act.v[k + 1]);
         asm.cmp(ACC, SCRATCH);
-        asm.b_to(Cond::Lt, segs[k]);
+        asm.b_to(Cond::Lt, seg);
     }
     asm.li(TMP_W, act.max);
     asm.b(done);
     asm.bind(lmin);
     asm.li(TMP_W, act.min);
     asm.b(done);
-    for k in 0..5 {
-        asm.bind(segs[k]);
+    for (k, &seg) in segs.iter().enumerate() {
+        asm.bind(seg);
         asm.li(SCRATCH, act.v[k]);
         asm.dp(DpOp::Sub, INTERP, ACC, SCRATCH);
         asm.li(SCRATCH, act.r[k + 1].wrapping_sub(act.r[k]));
@@ -93,8 +93,8 @@ pub fn emit_m4_fixed_kernel(asm: &mut ThumbAsm, net: &FixedNet, placement: &Plac
 
         let row_top = asm.here();
         asm.ldr_post(LsWidth::W, ACC, W_PTR, 4); // bias
-        // CMSIS-style ×2 unroll: same MAC order as the reference (so the
-        // result stays bit-exact), half the loop-control overhead.
+                                                 // CMSIS-style ×2 unroll: same MAC order as the reference (so the
+                                                 // result stays bit-exact), half the loop-control overhead.
         let mac = |asm: &mut ThumbAsm| {
             asm.ldr_post(LsWidth::W, TMP_W, W_PTR, 4);
             asm.ldr_post(LsWidth::W, TMP_X, X_PTR, 4);
@@ -167,7 +167,10 @@ fn emit_tanh(asm: &mut ThumbAsm) {
         sm: C_STEEP,
     });
     asm.emit(ThumbInstr::Vabs { sd: F_AZ, sm: F_Z });
-    asm.emit(ThumbInstr::Vcmp { sn: F_AZ, sm: C_NINE });
+    asm.emit(ThumbInstr::Vcmp {
+        sn: F_AZ,
+        sm: C_NINE,
+    });
     asm.emit(ThumbInstr::Vmrs);
     asm.b_to(Cond::Gt, sat);
     // y = 2·|z| ; k = ⌊y·log2e + ½⌋ ; r = y − k·ln2
@@ -187,7 +190,10 @@ fn emit_tanh(asm: &mut ThumbAsm) {
         sm: C_RND,
     });
     asm.emit(ThumbInstr::VcvtS32F32 { sd: F_K, sm: F_K });
-    asm.emit(ThumbInstr::VmovFromS { rt: SCRATCH, sm: F_K });
+    asm.emit(ThumbInstr::VmovFromS {
+        rt: SCRATCH,
+        sm: F_K,
+    });
     asm.emit(ThumbInstr::VcvtF32S32 { sd: F_TMP, sm: F_K });
     asm.emit(ThumbInstr::Vmul {
         sd: F_TMP,
@@ -272,7 +278,10 @@ fn emit_tanh(asm: &mut ThumbAsm) {
     asm.bind(sat);
     asm.emit(ThumbInstr::VmovF { sd: F_T, sm: C_ONE });
     asm.bind(sign);
-    asm.emit(ThumbInstr::Vcmp { sn: F_Z, sm: C_ZERO });
+    asm.emit(ThumbInstr::Vcmp {
+        sn: F_Z,
+        sm: C_ZERO,
+    });
     asm.emit(ThumbInstr::Vmrs);
     asm.b_to(Cond::Ge, store);
     asm.emit(ThumbInstr::Vneg { sd: F_T, sm: F_T });
@@ -382,7 +391,9 @@ mod tests {
             let out_addr = placement.output_addr(fixed.layers.len());
             for (i, &e) in expected.iter().enumerate() {
                 let got = i32::from_le_bytes(
-                    mem.read_bytes(out_addr + 4 * i as u32, 4).try_into().unwrap(),
+                    mem.read_bytes(out_addr + 4 * i as u32, 4)
+                        .try_into()
+                        .unwrap(),
                 );
                 assert_eq!(got, e, "sizes {sizes:?} output {i}");
             }
@@ -419,7 +430,9 @@ mod tests {
             let out_addr = placement.output_addr(net.layers().len());
             for (i, &e) in expected.iter().enumerate() {
                 let bits = u32::from_le_bytes(
-                    mem.read_bytes(out_addr + 4 * i as u32, 4).try_into().unwrap(),
+                    mem.read_bytes(out_addr + 4 * i as u32, 4)
+                        .try_into()
+                        .unwrap(),
                 );
                 let got = f32::from_bits(bits);
                 assert!(
@@ -445,7 +458,10 @@ mod tests {
         let mut asm_float = ThumbAsm::new();
         emit_m4_float_kernel(&mut asm_float, &net, &pl);
 
-        let run = |program: &[ThumbInstr], image: Vec<(u32, Vec<u8>)>, input_words: Vec<u32>, in_addr: u32| {
+        let run = |program: &[ThumbInstr],
+                   image: Vec<(u32, Vec<u8>)>,
+                   input_words: Vec<u32>,
+                   in_addr: u32| {
             let mut mem = Ram::new(FLASH_BASE, (RAM_BASE as usize) + 64 * 1024);
             for (addr, bytes) in image {
                 mem.write_bytes(addr, &bytes);

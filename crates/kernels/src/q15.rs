@@ -35,7 +35,7 @@ pub fn place_q15(net: &Q15Net, weights_base: u32, buf_base: u32) -> Placement {
         .chain([net.num_inputs.div_ceil(2) * 2])
         .max()
         .unwrap_or(0);
-    let buf_bytes = ((width * 2 + 15) / 16 * 16) as u32;
+    let buf_bytes = ((width * 2).div_ceil(16) * 16) as u32;
     let mut layer_weights = Vec::with_capacity(net.layers.len());
     let mut addr = weights_base;
     for layer in &net.layers {
@@ -326,7 +326,12 @@ pub fn run_wolf_q15(net: &Q15Net, input: &[i16], cores: usize) -> Result<Q15Run,
         instructions: run.instructions,
         outputs,
         energy_j: op
-            .energy(run.cycles, WolfMode::Cluster { active_cores: cores })
+            .energy(
+                run.cycles,
+                WolfMode::Cluster {
+                    active_cores: cores,
+                },
+            )
             .energy_j,
     })
 }
@@ -392,7 +397,11 @@ mod tests {
 
     #[test]
     fn riscy_q15_bit_exact() {
-        for (seed, sizes) in [(1u64, vec![5, 9, 3]), (2, vec![6, 14, 14, 2]), (3, vec![7, 7, 7, 7, 5])] {
+        for (seed, sizes) in [
+            (1u64, vec![5, 9, 3]),
+            (2, vec![6, 14, 14, 2]),
+            (3, vec![7, 7, 7, 7, 5]),
+        ] {
             let (q, qin) = net_and_input(seed, &sizes);
             let expected = q.forward(&qin);
             let run = run_wolf_q15(&q, &qin, 1).unwrap();

@@ -124,17 +124,17 @@ pub(crate) fn emit_stepwise_public(asm: &mut Asm, act: &FixedActivation) {
 
     asm.li(SCRATCH, act.v[0]);
     asm.blt_to(ACC, SCRATCH, lmin);
-    for k in 0..5 {
+    for (k, &seg) in segs.iter().enumerate() {
         asm.li(SCRATCH, act.v[k + 1]);
-        asm.blt_to(ACC, SCRATCH, segs[k]);
+        asm.blt_to(ACC, SCRATCH, seg);
     }
     asm.li(TMP_W, act.max);
     asm.jal_to(Reg::ZERO, done);
     asm.bind(lmin);
     asm.li(TMP_W, act.min);
     asm.jal_to(Reg::ZERO, done);
-    for k in 0..5 {
-        asm.bind(segs[k]);
+    for (k, &seg) in segs.iter().enumerate() {
+        asm.bind(seg);
         // (r[k+1]-r[k]) * (sum - v[k]) / (v[k+1]-v[k]) + r[k]
         asm.li(SCRATCH, act.v[k]);
         asm.sub(INTERP, ACC, SCRATCH);
@@ -157,7 +157,12 @@ pub(crate) fn emit_stepwise_public(asm: &mut Asm, act: &FixedActivation) {
 /// # Panics
 ///
 /// Panics if `opts.cores` is 0 or greater than 8.
-pub fn emit_fixed_kernel(asm: &mut Asm, net: &FixedNet, placement: &Placement, opts: &RvKernelOpts) {
+pub fn emit_fixed_kernel(
+    asm: &mut Asm,
+    net: &FixedNet,
+    placement: &Placement,
+    opts: &RvKernelOpts,
+) {
     assert!(
         (1..=8).contains(&opts.cores),
         "cores must be 1..=8, got {}",
@@ -307,12 +312,7 @@ mod tests {
                     self.b.load(addr, w)
                 }
             }
-            fn store(
-                &mut self,
-                addr: u32,
-                w: MemWidth,
-                v: u32,
-            ) -> Result<(), iw_rv32::BusError> {
+            fn store(&mut self, addr: u32, w: MemWidth, v: u32) -> Result<(), iw_rv32::BusError> {
                 if self.a.contains(addr, w.bytes()) {
                     self.a.store(addr, w, v)
                 } else {

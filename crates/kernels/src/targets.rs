@@ -2,7 +2,7 @@
 //! classification, and report cycles + energy.
 
 use iw_armv7m::asm::ThumbAsm;
-use iw_armv7m::M4Error;
+use iw_armv7m::{M4Error, ThumbInstr};
 use iw_fann::{FixedNet, Mlp};
 use iw_mrwolf::memmap::{L2_BASE, L2_SIZE, TCDM_BASE, TCDM_SIZE};
 use iw_mrwolf::{ClusterConfig, ClusterError, ClusterRun, MrWolf, OperatingPoint, WolfMode};
@@ -202,45 +202,285 @@ fn place_on_wolf(net: &FixedNet) -> Result<(Placement, bool), KernelError> {
     Ok((place_fixed(net, weights_base, TCDM_BASE), weights_in_tcdm))
 }
 
-fn stage_wolf(
-    wolf: &mut MrWolf,
-    net: &FixedNet,
-    placement: &Placement,
-    input: &[i32],
-    program: &[u8],
-) {
-    wolf.l2_mut().write_bytes(L2_BASE, program);
-    for (addr, bytes) in fixed_image(net, placement) {
-        if addr >= L2_BASE {
-            wolf.l2_mut().write_bytes(addr, &bytes);
-        } else {
-            wolf.tcdm_mut().write_bytes(addr, &bytes);
-        }
-    }
-    for (i, &v) in input.iter().enumerate() {
-        wolf.tcdm_mut()
-            .write_bytes(placement.input_addr() + 4 * i as u32, &v.to_le_bytes());
-    }
-}
-
-fn read_outputs_tcdm(wolf: &MrWolf, placement: &Placement, net: &FixedNet) -> Vec<i32> {
-    let addr = placement.output_addr(net.layers.len());
-    let n = net.layers.last().map_or(0, |l| l.out_count);
-    (0..n)
-        .map(|i| {
-            i32::from_le_bytes(
-                wolf.tcdm()
-                    .read_bytes(addr + 4 * i as u32, 4)
-                    .try_into()
-                    .expect("4 bytes"),
-            )
-        })
-        .collect()
-}
-
 /// Cycle budget for a single inference (Network B on Ibex is ~1 M cycles;
 /// leave ample headroom).
 const MAX_CYCLES: u64 = 500_000_000;
+
+/// Which simulator a [`PreparedFixed`] deployment drives.
+#[derive(Debug, Clone)]
+enum PreparedKind {
+    /// Cortex-M4: the pre-decoded program *is* the decode cache (flash is
+    /// immutable, so lines never invalidate); `code` is its halfword
+    /// encoding, decoded per dynamic instruction by the reference path.
+    M4 {
+        program: Vec<ThumbInstr>,
+        code: Vec<u16>,
+    },
+    /// Mr. Wolf: an assembled RV32 image loaded at `L2_BASE`, run either
+    /// on the Ibex fabric controller or on the RI5CY cluster.
+    Wolf {
+        program: Vec<u8>,
+        cfg: ClusterConfig,
+        on_fc: bool,
+        mode: WolfMode,
+    },
+}
+
+/// A fixed-point network deployed to one target.
+///
+/// Deployment work — kernel emission, assembly/encoding, pre-decoding and
+/// rendering the weight/bias image — happens once, in the constructors.
+/// Each [`PreparedFixed::run`] then stages fresh memories and simulates a
+/// single classification, so repeated inference (and the ISS-throughput
+/// bench, whose timed region is exactly one `run`) does not re-pay
+/// code generation.
+///
+/// # Examples
+///
+/// ```
+/// use iw_fann::{presets::network_a, FixedNet};
+/// use iw_kernels::{FixedTarget, PreparedFixed};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut net = network_a();
+/// net.randomize_weights(&mut StdRng::seed_from_u64(1), 0.1);
+/// let fixed = FixedNet::export(&net)?;
+/// let input = fixed.quantize_input(&[0.1, -0.3, 0.7, 0.2, -0.5]);
+/// let prep = PreparedFixed::new(FixedTarget::CortexM4, &fixed, &input)?;
+/// let first = prep.run()?;
+/// assert_eq!(prep.run()?, first); // deterministic, no re-deployment
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedFixed {
+    kind: PreparedKind,
+    placement: Placement,
+    image: Vec<(u32, Vec<u8>)>,
+    input: Vec<i32>,
+    out_count: usize,
+    num_layers: usize,
+}
+
+impl PreparedFixed {
+    /// Deploys `net` to `target` with the target's default kernel options.
+    ///
+    /// # Errors
+    ///
+    /// See [`KernelError`].
+    pub fn new(
+        target: FixedTarget,
+        net: &FixedNet,
+        input: &[i32],
+    ) -> Result<PreparedFixed, KernelError> {
+        match target {
+            FixedTarget::CortexM4 => PreparedFixed::m4(net, input),
+            FixedTarget::WolfIbex => {
+                PreparedFixed::wolf(net, input, &RvKernelOpts::ibex(), None, true)
+            }
+            FixedTarget::WolfRiscy => {
+                PreparedFixed::wolf(net, input, &RvKernelOpts::riscy(), None, false)
+            }
+            FixedTarget::WolfCluster { cores } => {
+                PreparedFixed::wolf(net, input, &RvKernelOpts::cluster(cores), None, false)
+            }
+        }
+    }
+
+    /// Deploys `net` to the nRF52832's Cortex-M4.
+    ///
+    /// # Errors
+    ///
+    /// See [`KernelError`].
+    pub fn m4(net: &FixedNet, input: &[i32]) -> Result<PreparedFixed, KernelError> {
+        check_input(net.num_inputs, input.len())?;
+        let placement = place_fixed(net, FLASH_BASE + 0x4000, RAM_BASE);
+        let mut asm = ThumbAsm::new();
+        emit_m4_fixed_kernel(&mut asm, net, &placement);
+        let program = asm
+            .finish()
+            .expect("fixed kernel generator binds every label");
+        let code = iw_armv7m::encode_program(&program).expect("generated kernels are encodable");
+        Ok(PreparedFixed {
+            kind: PreparedKind::M4 { program, code },
+            image: fixed_image(net, &placement),
+            placement,
+            input: input.to_vec(),
+            out_count: net.layers.last().map_or(0, |l| l.out_count),
+            num_layers: net.layers.len(),
+        })
+    }
+
+    /// Deploys `net` to Mr. Wolf with explicit kernel options (used
+    /// directly by the Xpulp/TCDM ablations).
+    ///
+    /// # Errors
+    ///
+    /// See [`KernelError`].
+    pub fn wolf(
+        net: &FixedNet,
+        input: &[i32],
+        opts: &RvKernelOpts,
+        cluster_cfg: Option<ClusterConfig>,
+        on_fc: bool,
+    ) -> Result<PreparedFixed, KernelError> {
+        check_input(net.num_inputs, input.len())?;
+        let (placement, _) = place_on_wolf(net)?;
+        let mut asm = Asm::new(L2_BASE);
+        emit_fixed_kernel(&mut asm, net, &placement, opts);
+        let program = asm.assemble()?;
+        assert!(program.len() < 0x2_0000, "program exceeds its L2 region");
+        let cfg = cluster_cfg.unwrap_or(ClusterConfig {
+            cores: opts.cores,
+            ..ClusterConfig::default()
+        });
+        let mode = if on_fc {
+            WolfMode::FcOnly
+        } else {
+            WolfMode::Cluster {
+                active_cores: opts.cores,
+            }
+        };
+        Ok(PreparedFixed {
+            kind: PreparedKind::Wolf {
+                program,
+                cfg,
+                on_fc,
+                mode,
+            },
+            image: fixed_image(net, &placement),
+            placement,
+            input: input.to_vec(),
+            out_count: net.layers.last().map_or(0, |l| l.out_count),
+            num_layers: net.layers.len(),
+        })
+    }
+
+    /// Simulates one classification through the pre-decoded/batched fast
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// See [`KernelError`].
+    pub fn run(&self) -> Result<FixedRun, KernelError> {
+        self.simulate(false)
+    }
+
+    /// Simulates one classification through the uncached reference
+    /// interpreters (per-instruction fetch + decode, no batching). Bit-
+    /// and cycle-identical to [`PreparedFixed::run`]; only slower — the
+    /// baseline side of the ISS-throughput bench.
+    ///
+    /// # Errors
+    ///
+    /// See [`KernelError`].
+    pub fn run_uncached(&self) -> Result<FixedRun, KernelError> {
+        self.simulate(true)
+    }
+
+    fn simulate(&self, reference: bool) -> Result<FixedRun, KernelError> {
+        match &self.kind {
+            PreparedKind::M4 { program, code } => {
+                let mut soc = Nrf52::new();
+                for (addr, bytes) in &self.image {
+                    soc.mem_mut().write_bytes(*addr, bytes);
+                }
+                for (i, &v) in self.input.iter().enumerate() {
+                    soc.mem_mut()
+                        .write_bytes(self.placement.input_addr() + 4 * i as u32, &v.to_le_bytes());
+                }
+                let run = if reference {
+                    soc.run_code(code, MAX_CYCLES)?
+                } else {
+                    soc.run(program, MAX_CYCLES)?
+                };
+                let out_addr = self.placement.output_addr(self.num_layers);
+                let outputs = (0..self.out_count)
+                    .map(|i| {
+                        i32::from_le_bytes(
+                            soc.mem()
+                                .read_bytes(out_addr + 4 * i as u32, 4)
+                                .try_into()
+                                .expect("4 bytes"),
+                        )
+                    })
+                    .collect();
+                Ok(FixedRun {
+                    cycles: run.result.cycles,
+                    instructions: run.result.instructions,
+                    outputs,
+                    energy_j: run.energy_j,
+                    cluster: None,
+                    profile: run.profile,
+                })
+            }
+            PreparedKind::Wolf {
+                program,
+                cfg,
+                on_fc,
+                mode,
+            } => {
+                let cfg = if reference {
+                    ClusterConfig {
+                        decode_cache: false,
+                        ..*cfg
+                    }
+                } else {
+                    *cfg
+                };
+                let mut wolf = MrWolf::with_cluster_config(cfg);
+                wolf.l2_mut().write_bytes(L2_BASE, program);
+                for (addr, bytes) in &self.image {
+                    if *addr >= L2_BASE {
+                        wolf.l2_mut().write_bytes(*addr, bytes);
+                    } else {
+                        wolf.tcdm_mut().write_bytes(*addr, bytes);
+                    }
+                }
+                for (i, &v) in self.input.iter().enumerate() {
+                    wolf.tcdm_mut()
+                        .write_bytes(self.placement.input_addr() + 4 * i as u32, &v.to_le_bytes());
+                }
+                let op = OperatingPoint::efficient();
+                let (cycles, instructions, cluster, profile) = if *on_fc {
+                    let run = if reference {
+                        wolf.run_fc_uncached(L2_BASE, MAX_CYCLES)?
+                    } else {
+                        wolf.run_fc(L2_BASE, MAX_CYCLES)?
+                    };
+                    (
+                        run.result.cycles,
+                        run.result.instructions,
+                        None,
+                        run.profile,
+                    )
+                } else {
+                    let run = wolf.run_cluster(L2_BASE, MAX_CYCLES)?;
+                    let profile = run.profile;
+                    (run.cycles, run.instructions, Some(run.clone()), profile)
+                };
+                let out_addr = self.placement.output_addr(self.num_layers);
+                let outputs = (0..self.out_count)
+                    .map(|i| {
+                        i32::from_le_bytes(
+                            wolf.tcdm()
+                                .read_bytes(out_addr + 4 * i as u32, 4)
+                                .try_into()
+                                .expect("4 bytes"),
+                        )
+                    })
+                    .collect();
+                Ok(FixedRun {
+                    cycles,
+                    instructions,
+                    outputs,
+                    energy_j: op.energy(cycles, *mode).energy_j,
+                    cluster,
+                    profile,
+                })
+            }
+        }
+    }
+}
 
 /// Runs one fixed-point classification on Mr. Wolf with explicit kernel
 /// options (used directly by the Xpulp/TCDM ablations).
@@ -255,54 +495,7 @@ pub fn run_wolf_fixed_with(
     cluster_cfg: Option<ClusterConfig>,
     on_fc: bool,
 ) -> Result<FixedRun, KernelError> {
-    check_input(net.num_inputs, input.len())?;
-    let (placement, _) = place_on_wolf(net)?;
-    let mut asm = Asm::new(L2_BASE);
-    emit_fixed_kernel(&mut asm, net, &placement, opts);
-    let program = asm.assemble()?;
-    assert!(program.len() < 0x2_0000, "program exceeds its L2 region");
-
-    let mut wolf = match cluster_cfg {
-        Some(cfg) => MrWolf::with_cluster_config(cfg),
-        None => MrWolf::with_cluster_config(ClusterConfig {
-            cores: opts.cores,
-            ..ClusterConfig::default()
-        }),
-    };
-    stage_wolf(&mut wolf, net, &placement, input, &program);
-
-    let op = OperatingPoint::efficient();
-    let (cycles, instructions, cluster, mode, profile) = if on_fc {
-        let run = wolf.run_fc(L2_BASE, MAX_CYCLES)?;
-        (
-            run.result.cycles,
-            run.result.instructions,
-            None,
-            WolfMode::FcOnly,
-            run.profile,
-        )
-    } else {
-        let run = wolf.run_cluster(L2_BASE, MAX_CYCLES)?;
-        let profile = run.profile;
-        (
-            run.cycles,
-            run.instructions,
-            Some(run.clone()),
-            WolfMode::Cluster {
-                active_cores: opts.cores,
-            },
-            profile,
-        )
-    };
-    let outputs = read_outputs_tcdm(&wolf, &placement, net);
-    Ok(FixedRun {
-        cycles,
-        instructions,
-        outputs,
-        energy_j: op.energy(cycles, mode).energy_j,
-        cluster,
-        profile,
-    })
+    PreparedFixed::wolf(net, input, opts, cluster_cfg, on_fc)?.run()
 }
 
 /// Runs one fixed-point classification on the nRF52832's Cortex-M4.
@@ -311,43 +504,18 @@ pub fn run_wolf_fixed_with(
 ///
 /// See [`KernelError`].
 pub fn run_m4_fixed(net: &FixedNet, input: &[i32]) -> Result<FixedRun, KernelError> {
-    check_input(net.num_inputs, input.len())?;
-    let placement = place_fixed(net, FLASH_BASE + 0x4000, RAM_BASE);
-    let mut asm = ThumbAsm::new();
-    emit_m4_fixed_kernel(&mut asm, net, &placement);
-    let program = asm
-        .finish()
-        .expect("fixed kernel generator binds every label");
+    PreparedFixed::m4(net, input)?.run()
+}
 
-    let mut soc = Nrf52::new();
-    for (addr, bytes) in fixed_image(net, &placement) {
-        soc.mem_mut().write_bytes(addr, &bytes);
-    }
-    for (i, &v) in input.iter().enumerate() {
-        soc.mem_mut()
-            .write_bytes(placement.input_addr() + 4 * i as u32, &v.to_le_bytes());
-    }
-    let run = soc.run(&program, MAX_CYCLES)?;
-    let out_addr = placement.output_addr(net.layers.len());
-    let n = net.layers.last().map_or(0, |l| l.out_count);
-    let outputs = (0..n)
-        .map(|i| {
-            i32::from_le_bytes(
-                soc.mem()
-                    .read_bytes(out_addr + 4 * i as u32, 4)
-                    .try_into()
-                    .expect("4 bytes"),
-            )
-        })
-        .collect();
-    Ok(FixedRun {
-        cycles: run.result.cycles,
-        instructions: run.result.instructions,
-        outputs,
-        energy_j: run.energy_j,
-        cluster: None,
-        profile: run.profile,
-    })
+/// Reference Cortex-M4 run: the generated kernel is lowered to halfword
+/// code and every dynamic instruction is decoded during execution —
+/// the uncached baseline for [`run_m4_fixed`], bit- and cycle-identical.
+///
+/// # Errors
+///
+/// See [`KernelError`].
+pub fn run_m4_fixed_uncached(net: &FixedNet, input: &[i32]) -> Result<FixedRun, KernelError> {
+    PreparedFixed::m4(net, input)?.run_uncached()
 }
 
 /// Runs one float (FPU) classification on the nRF52832's Cortex-M4F.
@@ -410,18 +578,23 @@ pub fn run_fixed(
     net: &FixedNet,
     input: &[i32],
 ) -> Result<FixedRun, KernelError> {
-    match target {
-        FixedTarget::CortexM4 => run_m4_fixed(net, input),
-        FixedTarget::WolfIbex => {
-            run_wolf_fixed_with(net, input, &RvKernelOpts::ibex(), None, true)
-        }
-        FixedTarget::WolfRiscy => {
-            run_wolf_fixed_with(net, input, &RvKernelOpts::riscy(), None, false)
-        }
-        FixedTarget::WolfCluster { cores } => {
-            run_wolf_fixed_with(net, input, &RvKernelOpts::cluster(cores), None, false)
-        }
-    }
+    PreparedFixed::new(target, net, input)?.run()
+}
+
+/// Runs one fixed-point classification on any target using the *uncached*
+/// reference interpreters (no pre-decoding, no batching). Results are bit-
+/// and cycle-identical to [`run_fixed`]; only the simulator is slower.
+/// Exists as the baseline for the ISS-throughput bench.
+///
+/// # Errors
+///
+/// See [`KernelError`].
+pub fn run_fixed_uncached(
+    target: FixedTarget,
+    net: &FixedNet,
+    input: &[i32],
+) -> Result<FixedRun, KernelError> {
+    PreparedFixed::new(target, net, input)?.run_uncached()
 }
 
 #[cfg(test)]
@@ -480,10 +653,55 @@ mod tests {
     }
 
     #[test]
+    fn uncached_reference_matches_cached_on_all_targets() {
+        let (_, fixed, qin) = small_net(108);
+        for target in FixedTarget::paper_targets() {
+            let fast = run_fixed(target, &fixed, &qin).unwrap();
+            let reference = run_fixed_uncached(target, &fixed, &qin).unwrap();
+            assert_eq!(fast, reference, "target {target:?}");
+        }
+    }
+
+    #[test]
+    fn m4_generated_kernel_survives_encoding_roundtrip() {
+        // The generated fixed kernel must be expressible in the halfword
+        // encoding, and the per-halfword-decode path must reproduce the
+        // pre-decoded run exactly (cycles, instructions, outputs).
+        let (_, fixed, qin) = small_net(107);
+        let placement = place_fixed(&fixed, FLASH_BASE + 0x4000, RAM_BASE);
+        let mut asm = ThumbAsm::new();
+        emit_m4_fixed_kernel(&mut asm, &fixed, &placement);
+        let program = asm.finish().unwrap();
+        let code = iw_armv7m::encode_program(&program).unwrap();
+        let decoded = iw_armv7m::DecodedProgram::decode(&code).unwrap();
+        assert_eq!(decoded.instrs(), &program[..]);
+
+        let mut soc = Nrf52::new();
+        for (addr, bytes) in fixed_image(&fixed, &placement) {
+            soc.mem_mut().write_bytes(addr, &bytes);
+        }
+        for (i, &v) in qin.iter().enumerate() {
+            soc.mem_mut()
+                .write_bytes(placement.input_addr() + 4 * i as u32, &v.to_le_bytes());
+        }
+        let encoded_run = soc.run_code(&code, MAX_CYCLES).unwrap();
+        let reference = run_m4_fixed(&fixed, &qin).unwrap();
+        assert_eq!(encoded_run.result.cycles, reference.cycles);
+        assert_eq!(encoded_run.result.instructions, reference.instructions);
+        assert_eq!(encoded_run.profile, reference.profile);
+    }
+
+    #[test]
     fn bad_input_rejected() {
         let (_, fixed, _) = small_net(104);
         let err = run_fixed(FixedTarget::CortexM4, &fixed, &[1, 2]).unwrap_err();
-        assert!(matches!(err, KernelError::BadInput { expected: 5, got: 2 }));
+        assert!(matches!(
+            err,
+            KernelError::BadInput {
+                expected: 5,
+                got: 2
+            }
+        ));
     }
 
     #[test]

@@ -49,14 +49,7 @@ impl DmaModel {
     /// # Panics
     ///
     /// Panics if either range falls outside its memory region.
-    pub fn copy(
-        &self,
-        src: &Ram,
-        src_addr: u32,
-        dst: &mut Ram,
-        dst_addr: u32,
-        len: usize,
-    ) -> u64 {
+    pub fn copy(&self, src: &Ram, src_addr: u32, dst: &mut Ram, dst_addr: u32, len: usize) -> u64 {
         let bytes = src.read_bytes(src_addr, len).to_vec();
         dst.write_bytes(dst_addr, &bytes);
         self.transfer_cycles(len)

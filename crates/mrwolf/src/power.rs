@@ -70,7 +70,9 @@ impl OperatingPoint {
                     (1..=8).contains(&active_cores),
                     "active_cores must be 1..=8"
                 );
-                self.soc_power_w + self.cluster_base_power_w + active_cores as f64 * self.core_power_w
+                self.soc_power_w
+                    + self.cluster_base_power_w
+                    + active_cores as f64 * self.core_power_w
             }
         }
     }

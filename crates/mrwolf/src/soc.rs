@@ -1,7 +1,9 @@
 //! The top-level Mr. Wolf SoC: L2 + TCDM memories, the Ibex fabric
 //! controller and the RI5CY cluster.
 
-use iw_rv32::{Bus, BusError, Cpu, CpuError, ExecProfile, MemWidth, Ram, Reg, RunResult, Timing};
+use iw_rv32::{
+    Bus, BusError, Cpu, CpuError, DecodeCache, ExecProfile, MemWidth, Ram, Reg, RunResult, Timing,
+};
 
 use crate::cluster::{run_cluster, ClusterConfig, ClusterError, ClusterRun};
 use crate::memmap::{region_of, Region, L2_BASE, L2_SIZE, TCDM_BASE, TCDM_SIZE};
@@ -131,19 +133,47 @@ impl MrWolf {
     /// Runs a program on the Ibex fabric controller (RV32IM, cluster off)
     /// until `ecall`.
     ///
-    /// The FC stack pointer starts at the top of L2.
+    /// The FC stack pointer starts at the top of L2. Execution uses the
+    /// batched pre-decoded path ([`Cpu::run_cached`]), which is bit- and
+    /// cycle-identical to the reference interpreter.
     ///
     /// # Errors
     ///
     /// Propagates [`CpuError`] (including the cycle limit).
     pub fn run_fc(&mut self, entry: u32, max_cycles: u64) -> Result<FcRun, CpuError> {
+        self.run_fc_inner(entry, max_cycles, true)
+    }
+
+    /// Reference fabric-controller run: fetch-and-decode every dynamic
+    /// instruction, no decode cache. Bit- and cycle-identical to
+    /// [`MrWolf::run_fc`]; exists as the uncached baseline for the
+    /// ISS-throughput bench and the differential tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuError`] (including the cycle limit).
+    pub fn run_fc_uncached(&mut self, entry: u32, max_cycles: u64) -> Result<FcRun, CpuError> {
+        self.run_fc_inner(entry, max_cycles, false)
+    }
+
+    fn run_fc_inner(
+        &mut self,
+        entry: u32,
+        max_cycles: u64,
+        decode_cache: bool,
+    ) -> Result<FcRun, CpuError> {
         let mut cpu = Cpu::new_rv32im(entry);
         cpu.set_reg(Reg::SP, L2_BASE + L2_SIZE as u32);
         let mut bus = FcBus {
             tcdm: &mut self.tcdm,
             l2: &mut self.l2,
         };
-        let result = cpu.run(&mut bus, &Timing::ibex(), max_cycles)?;
+        let result = if decode_cache {
+            let mut cache = DecodeCache::new(entry, 64 * 1024);
+            cpu.run_cached(&mut bus, &Timing::ibex(), max_cycles, &mut cache)?
+        } else {
+            cpu.run(&mut bus, &Timing::ibex(), max_cycles)?
+        };
         Ok(FcRun {
             result,
             a0: cpu.reg(Reg::A0),
@@ -209,6 +239,29 @@ mod tests {
         wolf.l2_mut().write_bytes(L2_BASE, &asm.assemble().unwrap());
         let run = wolf.run_fc(L2_BASE, 10_000).unwrap();
         assert_eq!(run.a0, 123);
+    }
+
+    #[test]
+    fn fc_uncached_matches_cached() {
+        let program = {
+            let mut asm = Asm::new(L2_BASE);
+            asm.li(Reg::A0, 0);
+            asm.li(Reg::T0, 200);
+            let top = asm.new_label();
+            asm.bind(top);
+            asm.add(Reg::A0, Reg::A0, Reg::T0);
+            asm.addi(Reg::T0, Reg::T0, -1);
+            asm.bne_to(Reg::T0, Reg::ZERO, top);
+            asm.ecall();
+            asm.assemble().unwrap()
+        };
+        let mut wolf_a = MrWolf::new();
+        wolf_a.l2_mut().write_bytes(L2_BASE, &program);
+        let cached = wolf_a.run_fc(L2_BASE, 100_000).unwrap();
+        let mut wolf_b = MrWolf::new();
+        wolf_b.l2_mut().write_bytes(L2_BASE, &program);
+        let reference = wolf_b.run_fc_uncached(L2_BASE, 100_000).unwrap();
+        assert_eq!(cached, reference);
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl Nrf52 {
             cpu: CortexM4::new(),
             // One flat region spanning flash..=RAM keeps the bus simple;
             // the gap between the regions is still unmapped-by-size.
-            mem: Ram::new(FLASH_BASE, (RAM_BASE as usize - FLASH_BASE as usize) + RAM_SIZE),
+            mem: Ram::new(
+                FLASH_BASE,
+                (RAM_BASE as usize - FLASH_BASE as usize) + RAM_SIZE,
+            ),
             timing: CortexM4Timing::default(),
             power: Nrf52Power::default(),
         }
@@ -117,18 +120,46 @@ impl Nrf52 {
     /// Runs `program` from its first instruction until `bkpt`, returning
     /// cycles and active-mode energy.
     ///
+    /// The `&[ThumbInstr]` slice is the pre-decoded program — the M4's
+    /// decode cache (code lives in immutable flash, so it never
+    /// invalidates). See [`Nrf52::run_code`] for the per-halfword-decode
+    /// reference path.
+    ///
     /// # Errors
     ///
     /// Propagates [`M4Error`] (including the cycle limit).
     pub fn run(&mut self, program: &[ThumbInstr], max_cycles: u64) -> Result<Nrf52Run, M4Error> {
         self.cpu.set_pc(0);
         self.cpu.reset_profile();
-        let result = self.cpu.run(program, &mut self.mem, &self.timing, max_cycles)?;
-        Ok(Nrf52Run {
+        let result = self
+            .cpu
+            .run(program, &mut self.mem, &self.timing, max_cycles)?;
+        Ok(self.finish_run(result))
+    }
+
+    /// Runs halfword-encoded `code` (see [`iw_armv7m::encode_program`]),
+    /// decoding every dynamic instruction — the uncached baseline for
+    /// [`Nrf52::run`], bit- and cycle-identical by differential test.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`M4Error`] (including decode faults and the cycle
+    /// limit).
+    pub fn run_code(&mut self, code: &[u16], max_cycles: u64) -> Result<Nrf52Run, M4Error> {
+        self.cpu.set_pc(0);
+        self.cpu.reset_profile();
+        let result = self
+            .cpu
+            .run_code(code, &mut self.mem, &self.timing, max_cycles)?;
+        Ok(self.finish_run(result))
+    }
+
+    fn finish_run(&self, result: RunResult) -> Nrf52Run {
+        Nrf52Run {
             result,
             energy_j: self.power.active_energy_j(result.cycles),
             profile: *self.cpu.profile(),
-        })
+        }
     }
 }
 
@@ -144,6 +175,32 @@ mod tests {
         soc.mem_mut().write_bytes(RAM_BASE + 0x10, &[8]);
         assert_eq!(soc.mem().read_bytes(FLASH_BASE + 0x100, 1), &[9]);
         assert_eq!(soc.mem().read_bytes(RAM_BASE + 0x10, 1), &[8]);
+    }
+
+    #[test]
+    fn encoded_run_matches_predecoded() {
+        let mut asm = ThumbAsm::new();
+        asm.li(R::R0, RAM_BASE as i32);
+        asm.li(R::R1, 9);
+        let top = asm.here();
+        asm.add_imm(R::R2, R::R2, 3);
+        asm.str(iw_armv7m::LsWidth::W, R::R2, R::R0, 0);
+        asm.subs(R::R1, R::R1, 1);
+        asm.b_to(iw_armv7m::Cond::Ne, top);
+        asm.bkpt();
+        let program = asm.finish().unwrap();
+        let code = iw_armv7m::encode_program(&program).unwrap();
+
+        let mut soc_a = Nrf52::new();
+        let run_a = soc_a.run(&program, 10_000).unwrap();
+        let mut soc_b = Nrf52::new();
+        let run_b = soc_b.run_code(&code, 10_000).unwrap();
+        assert_eq!(run_a, run_b);
+        assert_eq!(soc_a.cpu().reg(R::R2), soc_b.cpu().reg(R::R2));
+        assert_eq!(
+            soc_a.mem().read_bytes(RAM_BASE, 4),
+            soc_b.mem().read_bytes(RAM_BASE, 4)
+        );
     }
 
     #[test]

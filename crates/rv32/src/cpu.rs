@@ -1,11 +1,10 @@
 //! The instruction-set interpreter.
 
 use crate::bus::{Bus, BusError};
+use crate::cache::DecodeCache;
 use crate::decode::{decode, DecodeError};
+use crate::instr::{AluImmOp, AluOp, BranchCond, Instr, MemWidth, PulpAluOp, Reg, ShiftOp, SimdOp};
 use crate::profile::{ExecProfile, InstrClass};
-use crate::instr::{
-    AluImmOp, AluOp, BranchCond, Instr, MemWidth, PulpAluOp, Reg, ShiftOp, SimdOp,
-};
 use crate::timing::Timing;
 
 /// Error raised while executing.
@@ -192,15 +191,18 @@ impl Cpu {
     }
 
     /// Reads a register (`x0` always reads zero).
+    #[inline]
     #[must_use]
     pub fn reg(&self, r: Reg) -> u32 {
-        self.regs[r.index() as usize]
+        // `Reg` guarantees index < 32; the mask lets the bounds check fold.
+        self.regs[(r.index() & 31) as usize]
     }
 
     /// Writes a register (writes to `x0` are ignored).
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, value: u32) {
         if r.index() != 0 {
-            self.regs[r.index() as usize] = value;
+            self.regs[(r.index() & 31) as usize] = value;
         }
     }
 
@@ -239,7 +241,7 @@ impl Cpu {
         addr: u32,
         width: MemWidth,
     ) -> Result<u32, CpuError> {
-        if addr % width.bytes() != 0 {
+        if !addr.is_multiple_of(width.bytes()) {
             return Err(CpuError::Misaligned { addr, pc: self.pc });
         }
         let raw = bus.load(addr, width)?;
@@ -257,32 +259,26 @@ impl Cpu {
         width: MemWidth,
         value: u32,
     ) -> Result<(), CpuError> {
-        if addr % width.bytes() != 0 {
+        if !addr.is_multiple_of(width.bytes()) {
             return Err(CpuError::Misaligned { addr, pc: self.pc });
         }
         bus.store(addr, width, value)?;
         Ok(())
     }
 
-    /// Executes one instruction.
+    /// Executes one instruction, fetching and decoding it from the bus.
     ///
     /// Returns the retired instruction, its base cycle cost and the data
-    /// access it performed (if any). Once halted, further calls return a
-    /// zero-cost halted step.
+    /// access it performed (if any), or `None` if the core is already
+    /// halted (halt is a terminal state, not a retired instruction).
     ///
     /// # Errors
     ///
     /// Propagates decode faults, bus faults, alignment faults and illegal
     /// Xpulp usage; see [`CpuError`].
-    pub fn step<B: Bus>(&mut self, bus: &mut B, timing: &Timing) -> Result<Step, CpuError> {
+    pub fn step<B: Bus>(&mut self, bus: &mut B, timing: &Timing) -> Result<Option<Step>, CpuError> {
         if self.halted {
-            return Ok(Step {
-                instr: Instr::Ebreak,
-                pc: self.pc,
-                cycles: 0,
-                mem: None,
-                halted: true,
-            });
+            return Ok(None);
         }
         let pc = self.pc;
         let word = bus.fetch(pc)?;
@@ -292,6 +288,64 @@ impl Cpu {
                 ..e
             })
         })?;
+        let (cycles, mem) = self.execute_reference(instr, pc, bus, timing)?;
+        Ok(Some(Step {
+            instr,
+            pc,
+            cycles,
+            mem,
+            halted: self.halted,
+        }))
+    }
+
+    /// Like [`Cpu::step`], but fetches the pre-decoded instruction through
+    /// `cache` and reports any store back to it, keeping the cache coherent
+    /// with self-modifying code.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cpu::step`].
+    pub fn step_cached<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        timing: &Timing,
+        cache: &mut DecodeCache,
+    ) -> Result<Option<Step>, CpuError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let instr = cache.fetch_decode(bus, pc)?;
+        let (cycles, mem) = self.execute(instr, pc, bus, timing)?;
+        if let Some(m) = mem {
+            if m.write {
+                cache.invalidate_store(m.addr);
+            }
+        }
+        Ok(Some(Step {
+            instr,
+            pc,
+            cycles,
+            mem,
+            halted: self.halted,
+        }))
+    }
+
+    /// Reference implementation of one instruction, kept verbatim from the
+    /// original straightforward interpreter: a full dispatch match followed
+    /// by a separate classification match. [`Cpu::step`] and [`Cpu::run`]
+    /// use it, so the uncached path stays a frozen golden model against
+    /// which the optimised [`Cpu::execute`] is differentially tested —
+    /// property tests in this crate and the cluster/SoC differential tests
+    /// prove the two retire identical architectural state, cycles, memory
+    /// accesses and profiles.
+    fn execute_reference<B: Bus>(
+        &mut self,
+        instr: Instr,
+        pc: u32,
+        bus: &mut B,
+        timing: &Timing,
+    ) -> Result<(u32, Option<MemAccess>), CpuError> {
         if instr.is_xpulp() && !self.xpulp {
             return Err(CpuError::IllegalXpulp { pc });
         }
@@ -437,11 +491,7 @@ impl Cpu {
                     }
                     AluOp::Divu => {
                         cycles = timing.div;
-                        if b == 0 {
-                            u32::MAX
-                        } else {
-                            a / b
-                        }
+                        a.checked_div(b).unwrap_or(u32::MAX)
                     }
                     AluOp::Rem => {
                         cycles = timing.div;
@@ -627,9 +677,10 @@ impl Cpu {
                 AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => InstrClass::Div,
                 _ => InstrClass::Alu,
             },
-            Instr::Lui { .. } | Instr::Auipc { .. } | Instr::AluImm { .. } | Instr::Shift { .. } => {
-                InstrClass::Alu
-            }
+            Instr::Lui { .. }
+            | Instr::Auipc { .. }
+            | Instr::AluImm { .. }
+            | Instr::Shift { .. } => InstrClass::Alu,
             Instr::Load { .. } | Instr::LoadPost { .. } => InstrClass::Load,
             Instr::Store { .. } | Instr::StorePost { .. } => InstrClass::Store,
             Instr::Branch { .. } => {
@@ -655,16 +706,392 @@ impl Cpu {
         self.profile.record(class, cycles);
         self.pc = next_pc;
         self.retired += 1;
-        Ok(Step {
-            instr,
-            pc,
-            cycles,
-            mem,
-            halted: self.halted,
-        })
+        Ok((cycles, mem))
     }
 
-    /// Runs until the core halts (`ecall`/`ebreak`).
+    /// Executes an already-decoded instruction.
+    ///
+    /// `instr` must be the instruction fetched from `pc` (callers that
+    /// pre-decode are responsible for cache coherence — see
+    /// [`DecodeCache`]). Architectural state, the hardware-loop redirect,
+    /// the execution profile, `pc` and the retired count are all updated
+    /// exactly as [`Cpu::step`] would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus faults, alignment faults and illegal Xpulp usage.
+    pub fn execute<B: Bus>(
+        &mut self,
+        instr: Instr,
+        pc: u32,
+        bus: &mut B,
+        timing: &Timing,
+    ) -> Result<(u32, Option<MemAccess>), CpuError> {
+        // Test the flag first: on Xpulp-enabled cores (every RI5CY core in
+        // the cluster hot path) the per-instruction class test is skipped
+        // entirely.
+        if !self.xpulp && instr.is_xpulp() {
+            return Err(CpuError::IllegalXpulp { pc });
+        }
+
+        let mut next_pc = pc.wrapping_add(4);
+        let mut cycles = timing.alu;
+        let mut mem = None;
+        let mut loop_redirect_allowed = true;
+        // Classified inline by each arm (one dispatch, not a second match).
+        let mut class = InstrClass::Alu;
+
+        match instr {
+            Instr::Lui { rd, imm } => self.set_reg(rd, imm as u32),
+            Instr::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add(imm as u32)),
+            Instr::Jal { rd, offset } => {
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(offset as u32);
+                cycles = timing.jump;
+                class = InstrClass::Jump;
+                loop_redirect_allowed = false;
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = target;
+                cycles = timing.jump;
+                class = InstrClass::Jump;
+                loop_redirect_allowed = false;
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i32) < (b as i32),
+                    BranchCond::Ge => (a as i32) >= (b as i32),
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(offset as u32);
+                    cycles = timing.branch_taken;
+                    class = InstrClass::BranchTaken;
+                } else {
+                    cycles = timing.branch_not_taken;
+                    class = InstrClass::BranchNotTaken;
+                }
+            }
+            Instr::Load {
+                width,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let v = self.mem_load(bus, addr, width)?;
+                self.set_reg(rd, v);
+                cycles = timing.load;
+                class = InstrClass::Load;
+                mem = Some(MemAccess {
+                    addr,
+                    write: false,
+                    width,
+                });
+            }
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                self.mem_store(bus, addr, width, self.reg(rs2))?;
+                cycles = timing.store;
+                class = InstrClass::Store;
+                mem = Some(MemAccess {
+                    addr,
+                    write: true,
+                    width,
+                });
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let a = self.reg(rs1);
+                let v = match op {
+                    AluImmOp::Addi => a.wrapping_add(imm as u32),
+                    AluImmOp::Slti => u32::from((a as i32) < imm),
+                    AluImmOp::Sltiu => u32::from(a < imm as u32),
+                    AluImmOp::Xori => a ^ imm as u32,
+                    AluImmOp::Ori => a | imm as u32,
+                    AluImmOp::Andi => a & imm as u32,
+                };
+                self.set_reg(rd, v);
+            }
+            Instr::Shift { op, rd, rs1, shamt } => {
+                let a = self.reg(rs1);
+                let v = match op {
+                    ShiftOp::Slli => a << shamt,
+                    ShiftOp::Srli => a >> shamt,
+                    ShiftOp::Srai => ((a as i32) >> shamt) as u32,
+                };
+                self.set_reg(rd, v);
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Sll => a.wrapping_shl(b & 0x1f),
+                    AluOp::Slt => u32::from((a as i32) < (b as i32)),
+                    AluOp::Sltu => u32::from(a < b),
+                    AluOp::Xor => a ^ b,
+                    AluOp::Srl => a.wrapping_shr(b & 0x1f),
+                    AluOp::Sra => ((a as i32) >> (b & 0x1f)) as u32,
+                    AluOp::Or => a | b,
+                    AluOp::And => a & b,
+                    AluOp::Mul => {
+                        cycles = timing.mul;
+                        class = InstrClass::Mul;
+                        a.wrapping_mul(b)
+                    }
+                    AluOp::Mulh => {
+                        cycles = timing.mul;
+                        class = InstrClass::Mul;
+                        ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32
+                    }
+                    AluOp::Mulhsu => {
+                        cycles = timing.mul;
+                        class = InstrClass::Mul;
+                        ((i64::from(a as i32) * i64::from(b)) >> 32) as u32
+                    }
+                    AluOp::Mulhu => {
+                        cycles = timing.mul;
+                        class = InstrClass::Mul;
+                        ((u64::from(a) * u64::from(b)) >> 32) as u32
+                    }
+                    AluOp::Div => {
+                        cycles = timing.div;
+                        class = InstrClass::Div;
+                        let (a, b) = (a as i32, b as i32);
+                        if b == 0 {
+                            u32::MAX
+                        } else if a == i32::MIN && b == -1 {
+                            a as u32
+                        } else {
+                            (a / b) as u32
+                        }
+                    }
+                    AluOp::Divu => {
+                        cycles = timing.div;
+                        class = InstrClass::Div;
+                        a.checked_div(b).unwrap_or(u32::MAX)
+                    }
+                    AluOp::Rem => {
+                        cycles = timing.div;
+                        class = InstrClass::Div;
+                        let (a, b) = (a as i32, b as i32);
+                        if b == 0 {
+                            a as u32
+                        } else if a == i32::MIN && b == -1 {
+                            0
+                        } else {
+                            (a % b) as u32
+                        }
+                    }
+                    AluOp::Remu => {
+                        cycles = timing.div;
+                        class = InstrClass::Div;
+                        if b == 0 {
+                            a
+                        } else {
+                            a % b
+                        }
+                    }
+                };
+                self.set_reg(rd, v);
+            }
+            Instr::Ecall | Instr::Ebreak => {
+                self.halted = true;
+                next_pc = pc;
+                class = InstrClass::System;
+            }
+            Instr::Fence => class = InstrClass::System,
+            Instr::LoadPost {
+                width,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.reg(rs1);
+                let v = self.mem_load(bus, addr, width)?;
+                self.set_reg(rd, v);
+                // Post-increment happens after the load; if rd == rs1 the
+                // loaded value wins (as on RI5CY).
+                if rd != rs1 {
+                    self.set_reg(rs1, addr.wrapping_add(offset as u32));
+                }
+                cycles = timing.load;
+                class = InstrClass::Load;
+                mem = Some(MemAccess {
+                    addr,
+                    write: false,
+                    width,
+                });
+            }
+            Instr::StorePost {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let addr = self.reg(rs1);
+                self.mem_store(bus, addr, width, self.reg(rs2))?;
+                self.set_reg(rs1, addr.wrapping_add(offset as u32));
+                cycles = timing.store;
+                class = InstrClass::Store;
+                mem = Some(MemAccess {
+                    addr,
+                    write: true,
+                    width,
+                });
+            }
+            Instr::Mac { rd, rs1, rs2 } => {
+                let v = self
+                    .reg(rd)
+                    .wrapping_add(self.reg(rs1).wrapping_mul(self.reg(rs2)));
+                self.set_reg(rd, v);
+                cycles = timing.xpulp;
+                class = InstrClass::Dsp;
+            }
+            Instr::Msu { rd, rs1, rs2 } => {
+                let v = self
+                    .reg(rd)
+                    .wrapping_sub(self.reg(rs1).wrapping_mul(self.reg(rs2)));
+                self.set_reg(rd, v);
+                cycles = timing.xpulp;
+                class = InstrClass::Dsp;
+            }
+            Instr::Clip { rd, rs1, bits } => {
+                let a = self.reg(rs1) as i32;
+                let (lo, hi) = if bits == 0 {
+                    (-1i32, 0i32)
+                } else {
+                    (-(1i32 << (bits - 1)), (1i32 << (bits - 1)) - 1)
+                };
+                self.set_reg(rd, a.clamp(lo, hi) as u32);
+                cycles = timing.xpulp;
+                class = InstrClass::Dsp;
+            }
+            Instr::PulpAlu { op, rd, rs1, rs2 } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let v = match op {
+                    PulpAluOp::Abs => (a as i32).unsigned_abs(),
+                    PulpAluOp::Min => (a as i32).min(b as i32) as u32,
+                    PulpAluOp::Max => (a as i32).max(b as i32) as u32,
+                    PulpAluOp::Minu => a.min(b),
+                    PulpAluOp::Maxu => a.max(b),
+                    PulpAluOp::Exths => a as u16 as i16 as i32 as u32,
+                    PulpAluOp::Extuh => a & 0xffff,
+                };
+                self.set_reg(rd, v);
+                cycles = timing.xpulp;
+                class = InstrClass::Dsp;
+            }
+            Instr::Simd { op, rd, rs1, rs2 } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let (a0, a1) = (a as u16 as i16, (a >> 16) as u16 as i16);
+                let (b0, b1) = (b as u16 as i16, (b >> 16) as u16 as i16);
+                let pack = |lo: i16, hi: i16| (lo as u16 as u32) | ((hi as u16 as u32) << 16);
+                let v = match op {
+                    SimdOp::AddH => pack(a0.wrapping_add(b0), a1.wrapping_add(b1)),
+                    SimdOp::SubH => pack(a0.wrapping_sub(b0), a1.wrapping_sub(b1)),
+                    SimdOp::MinH => pack(a0.min(b0), a1.min(b1)),
+                    SimdOp::MaxH => pack(a0.max(b0), a1.max(b1)),
+                    SimdOp::DotspH => (i32::from(a0) * i32::from(b0))
+                        .wrapping_add(i32::from(a1) * i32::from(b1))
+                        as u32,
+                    SimdOp::SdotspH => self.reg(rd).wrapping_add(
+                        (i32::from(a0) * i32::from(b0)).wrapping_add(i32::from(a1) * i32::from(b1))
+                            as u32,
+                    ),
+                    SimdOp::PackH => pack(a0, b0),
+                };
+                self.set_reg(rd, v);
+                cycles = timing.xpulp;
+                class = InstrClass::Simd;
+            }
+            Instr::LpStarti { l, offset } => {
+                self.hwloops[l.index()].start = pc.wrapping_add(offset as u32);
+                cycles = timing.hwloop_setup;
+                class = InstrClass::LoopSetup;
+            }
+            Instr::LpEndi { l, offset } => {
+                self.hwloops[l.index()].end = pc.wrapping_add(offset as u32);
+                cycles = timing.hwloop_setup;
+                class = InstrClass::LoopSetup;
+            }
+            Instr::LpCount { l, rs1 } => {
+                self.hwloops[l.index()].count = self.reg(rs1);
+                cycles = timing.hwloop_setup;
+                class = InstrClass::LoopSetup;
+            }
+            Instr::LpCounti { l, count } => {
+                self.hwloops[l.index()].count = count.into();
+                cycles = timing.hwloop_setup;
+                class = InstrClass::LoopSetup;
+            }
+            Instr::LpSetup { l, rs1, offset } => {
+                self.hwloops[l.index()] = HwLoop {
+                    start: pc.wrapping_add(4),
+                    end: pc.wrapping_add(offset as u32),
+                    count: self.reg(rs1),
+                };
+                cycles = timing.hwloop_setup;
+                class = InstrClass::LoopSetup;
+            }
+            Instr::LpSetupi { l, count, offset } => {
+                self.hwloops[l.index()] = HwLoop {
+                    start: pc.wrapping_add(4),
+                    end: pc.wrapping_add(offset as u32),
+                    count: count.into(),
+                };
+                cycles = timing.hwloop_setup;
+                class = InstrClass::LoopSetup;
+            }
+        }
+
+        // Hardware-loop back edges: when sequential flow reaches a loop end
+        // with iterations remaining, jump back to the start for free.
+        // Innermost loop (L0) has priority, as on RI5CY.
+        if loop_redirect_allowed && !self.halted {
+            for l in 0..2 {
+                let hl = &mut self.hwloops[l];
+                if hl.count > 0 && next_pc == hl.end {
+                    if hl.count > 1 {
+                        hl.count -= 1;
+                        next_pc = hl.start;
+                    } else {
+                        hl.count = 0;
+                    }
+                    break;
+                }
+            }
+        }
+
+        self.profile.record(class, cycles);
+        self.pc = next_pc;
+        self.retired += 1;
+        Ok((cycles, mem))
+    }
+
+    /// Runs until the core halts (`ecall`/`ebreak`), fetching and decoding
+    /// every dynamic instruction. This is the reference interpreter;
+    /// [`Cpu::run_cached`] is the fast path.
     ///
     /// # Errors
     ///
@@ -678,8 +1105,80 @@ impl Cpu {
     ) -> Result<RunResult, CpuError> {
         let mut cycles = 0u64;
         let mut instructions = 0u64;
+        while let Some(step) = self.step(bus, timing)? {
+            cycles += u64::from(step.cycles);
+            instructions += 1;
+            if cycles > max_cycles {
+                return Err(CpuError::CycleLimit { limit: max_cycles });
+            }
+        }
+        Ok(RunResult {
+            cycles,
+            instructions,
+        })
+    }
+
+    /// Runs until the core halts, decoding each static instruction once
+    /// through `cache`.
+    ///
+    /// The hot loop keeps its counters in locals and builds no per-step
+    /// [`Step`] values; stores are reported to the cache so self-modifying
+    /// code stays coherent. Results are bit- and cycle-identical to
+    /// [`Cpu::run`]. Use [`Cpu::run_traced`] when per-step detail is
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cpu::run`].
+    pub fn run_cached<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        timing: &Timing,
+        max_cycles: u64,
+        cache: &mut DecodeCache,
+    ) -> Result<RunResult, CpuError> {
+        let mut cycles = 0u64;
+        let mut instructions = 0u64;
         while !self.halted {
-            let step = self.step(bus, timing)?;
+            let pc = self.pc;
+            let instr = cache.fetch_decode(bus, pc)?;
+            let (cost, mem) = self.execute(instr, pc, bus, timing)?;
+            if let Some(m) = mem {
+                if m.write {
+                    cache.invalidate_store(m.addr);
+                }
+            }
+            cycles += u64::from(cost);
+            instructions += 1;
+            if cycles > max_cycles {
+                return Err(CpuError::CycleLimit { limit: max_cycles });
+            }
+        }
+        Ok(RunResult {
+            cycles,
+            instructions,
+        })
+    }
+
+    /// Like [`Cpu::run_cached`], but invokes `hook` with every retired
+    /// [`Step`] — the profiling/tracing path, which pays the per-step
+    /// bookkeeping the batched loop avoids.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cpu::run`].
+    pub fn run_traced<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        timing: &Timing,
+        max_cycles: u64,
+        cache: &mut DecodeCache,
+        hook: &mut dyn FnMut(&Step),
+    ) -> Result<RunResult, CpuError> {
+        let mut cycles = 0u64;
+        let mut instructions = 0u64;
+        while let Some(step) = self.step_cached(bus, timing, cache)? {
+            hook(&step);
             cycles += u64::from(step.cycles);
             instructions += 1;
             if cycles > max_cycles {
@@ -803,7 +1302,7 @@ mod tests {
         asm.li(Reg::A1, 3);
         asm.li(Reg::A2, 4);
         asm.mac(Reg::A0, Reg::A1, Reg::A2); // 112
-        // SIMD: a = (2, -3), b = (10, 10) -> dot = 20 - 30 = -10
+                                            // SIMD: a = (2, -3), b = (10, 10) -> dot = 20 - 30 = -10
         asm.li(Reg::A3, (((-3i16 as u16 as u32) << 16) | 2) as i32);
         asm.li(Reg::A4, ((10u32 << 16) | 10) as i32);
         asm.li(Reg::A5, 5);
@@ -915,8 +1414,105 @@ mod tests {
         ram.write_bytes(0, &asm.assemble().unwrap());
         let mut cpu = Cpu::new(0);
         cpu.run(&mut ram, &Timing::riscy(), 100).unwrap();
-        let s = cpu.step(&mut ram, &Timing::riscy()).unwrap();
-        assert!(s.halted);
-        assert_eq!(s.cycles, 0);
+        // Halt is terminal: further steps retire nothing.
+        let retired = cpu.retired();
+        assert!(cpu.step(&mut ram, &Timing::riscy()).unwrap().is_none());
+        assert_eq!(cpu.retired(), retired);
+    }
+
+    #[test]
+    fn cached_run_matches_uncached() {
+        let mut asm = Asm::new(0);
+        asm.li(Reg::A0, 5);
+        asm.li(Reg::A1, 0);
+        let top = asm.here();
+        asm.addi(Reg::A1, Reg::A1, 2);
+        asm.addi(Reg::A0, Reg::A0, -1);
+        asm.bne_to(Reg::A0, Reg::ZERO, top);
+        asm.ecall();
+        let image = asm.assemble().unwrap();
+
+        let mut ram_a = Ram::new(0, 4096);
+        ram_a.write_bytes(0, &image);
+        let mut ref_cpu = Cpu::new(0);
+        let ref_res = ref_cpu
+            .run(&mut ram_a, &Timing::riscy(), 1_000_000)
+            .unwrap();
+
+        let mut ram_b = Ram::new(0, 4096);
+        ram_b.write_bytes(0, &image);
+        let mut cpu = Cpu::new(0);
+        let mut cache = DecodeCache::new(0, 4096);
+        let res = cpu
+            .run_cached(&mut ram_b, &Timing::riscy(), 1_000_000, &mut cache)
+            .unwrap();
+
+        assert_eq!(res, ref_res);
+        assert_eq!(cpu.regs, ref_cpu.regs);
+        assert_eq!(cpu.pc, ref_cpu.pc);
+        assert_eq!(cpu.profile, ref_cpu.profile);
+    }
+
+    #[test]
+    fn self_modifying_store_invalidates_cached_line() {
+        // Overwrite the *next* instruction (addi a0, a0, 1 -> addi a0, a0, 7)
+        // after it has already been executed (and therefore cached) once.
+        let mut asm = Asm::new(0);
+        asm.li(Reg::A0, 0); // 0x00
+        asm.li(Reg::T0, 2); // 0x04
+        let top = asm.here(); // 0x08: patch target below
+        asm.addi(Reg::A0, Reg::A0, 1); // 0x08 (patched to +7 on 2nd pass)
+        asm.store(MemWidth::W, Reg::T2, Reg::T1, 0); // 0x0c: overwrite 0x08
+        asm.addi(Reg::T0, Reg::T0, -1); // 0x10
+        asm.bne_to(Reg::T0, Reg::ZERO, top); // 0x14
+        asm.ecall(); // 0x18
+        let image = asm.assemble().unwrap();
+
+        // New encoding for address 0x08: addi a0, a0, 7.
+        let mut patch = Asm::new(0);
+        patch.addi(Reg::A0, Reg::A0, 7);
+        let patch_word = u32::from_le_bytes(patch.assemble().unwrap()[..4].try_into().unwrap());
+
+        let run = |cached: bool| {
+            let mut ram = Ram::new(0, 4096);
+            ram.write_bytes(0, &image);
+            let mut cpu = Cpu::new(0);
+            cpu.set_reg(Reg::T1, 0x08);
+            cpu.set_reg(Reg::T2, patch_word);
+            let res = if cached {
+                let mut cache = DecodeCache::new(0, 4096);
+                cpu.run_cached(&mut ram, &Timing::riscy(), 1_000_000, &mut cache)
+            } else {
+                cpu.run(&mut ram, &Timing::riscy(), 1_000_000)
+            }
+            .unwrap();
+            (cpu.reg(Reg::A0), res)
+        };
+
+        let (a0_ref, res_ref) = run(false);
+        let (a0_cached, res_cached) = run(true);
+        assert_eq!(a0_ref, 1 + 7, "first pass +1, second pass sees the patch");
+        assert_eq!(a0_cached, a0_ref);
+        assert_eq!(res_cached, res_ref);
+    }
+
+    #[test]
+    fn run_traced_reports_every_step() {
+        let mut asm = Asm::new(0);
+        asm.li(Reg::A0, 1);
+        asm.li(Reg::A1, 2);
+        asm.ecall();
+        let mut ram = Ram::new(0, 256);
+        ram.write_bytes(0, &asm.assemble().unwrap());
+        let mut cpu = Cpu::new(0);
+        let mut cache = DecodeCache::new(0, 256);
+        let mut pcs = Vec::new();
+        let res = cpu
+            .run_traced(&mut ram, &Timing::riscy(), 1_000, &mut cache, &mut |s| {
+                pcs.push(s.pc)
+            })
+            .unwrap();
+        assert_eq!(pcs.len() as u64, res.instructions);
+        assert_eq!(pcs.first(), Some(&0));
     }
 }

@@ -450,13 +450,7 @@ pub fn encode(instr: &Instr) -> Result<u32, EncodeError> {
         Instr::LpSetup { l, rs1, offset } => {
             let half = halfword_offset("lp.setup", offset)?;
             check_range("lp.setup", half as i64, 12)?;
-            i_type(
-                OP_HWLOOP,
-                l.index() as u32,
-                0b100,
-                rs1.index().into(),
-                half,
-            )
+            i_type(OP_HWLOOP, l.index() as u32, 0b100, rs1.index().into(), half)
         }
         Instr::LpSetupi { l, count, offset } => {
             check_urange("lp.setupi", count as i64, 5)?;

@@ -354,7 +354,12 @@ pub enum Instr {
         shamt: u8,
     },
     /// Register-register ALU operation (including M extension).
-    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Environment call — halts the simulated core.
     Ecall,
     /// Breakpoint — halts the simulated core.

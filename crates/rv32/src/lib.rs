@@ -20,6 +20,11 @@
 //! [`Step::mem`] so the SoC model (`iw-mrwolf`) can add TCDM bank-conflict
 //! stalls.
 //!
+//! Simulation throughput comes from pre-decoding: a [`DecodeCache`] decodes
+//! each static instruction once, and the batched [`Cpu::run_cached`] loop
+//! executes from it with bit- and cycle-identical results to the
+//! fetch-and-decode reference path ([`Cpu::run`]).
+//!
 //! # Examples
 //!
 //! Sum an array with a hardware loop and post-increment loads — the inner
@@ -55,6 +60,7 @@
 
 pub mod asm;
 mod bus;
+mod cache;
 mod cpu;
 mod decode;
 mod encode;
@@ -63,6 +69,7 @@ mod profile;
 mod timing;
 
 pub use bus::{Bus, BusError, Ram};
+pub use cache::DecodeCache;
 pub use cpu::{Cpu, CpuError, HwLoop, MemAccess, RunResult, Step};
 pub use decode::{decode, DecodeError};
 pub use encode::{encode, EncodeError};

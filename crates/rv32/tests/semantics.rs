@@ -3,9 +3,7 @@
 //! interface (`lp.starti`/`lp.endi`/`lp.count`) that the fused `lp.setup`
 //! tests don't cover.
 
-use iw_rv32::{
-    asm::Asm, AluOp, Cpu, LoopIdx, PulpAluOp, Ram, Reg, ShiftOp, SimdOp, Timing,
-};
+use iw_rv32::{asm::Asm, AluOp, Cpu, LoopIdx, PulpAluOp, Ram, Reg, ShiftOp, SimdOp, Timing};
 use proptest::prelude::*;
 
 fn run_binary_op(emit: impl Fn(&mut Asm), a: u32, b: u32) -> u32 {

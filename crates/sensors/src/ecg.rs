@@ -118,11 +118,11 @@ pub fn synth_rr_intervals_with<R: Rng + ?Sized>(
 fn beat_template(t: f64) -> f64 {
     const WAVES: [(f64, f64, f64); 5] = [
         // (offset s, amplitude mV, width s)
-        (-0.20, 0.12, 0.025), // P
+        (-0.20, 0.12, 0.025),   // P
         (-0.035, -0.14, 0.010), // Q
-        (0.0, 1.10, 0.011),   // R
-        (0.035, -0.22, 0.011), // S
-        (0.25, 0.28, 0.045),  // T
+        (0.0, 1.10, 0.011),     // R
+        (0.035, -0.22, 0.011),  // S
+        (0.25, 0.28, 0.045),    // T
     ];
     WAVES
         .iter()

@@ -39,7 +39,9 @@ mod subject;
 
 pub use afe::{Acquisition, Afe, AfeState};
 pub use dataset::{generate_dataset, DatasetConfig, WindowRecord};
-pub use ecg::{synth_ecg, synth_ecg_with, synth_rr_intervals, synth_rr_intervals_with, EcgConfig, EcgSegment};
+pub use ecg::{
+    synth_ecg, synth_ecg_with, synth_rr_intervals, synth_rr_intervals_with, EcgConfig, EcgSegment,
+};
 pub use gsr::{synth_gsr, synth_gsr_with, GsrConfig, GsrSegment};
 pub use stress::StressLevel;
 pub use subject::Subject;

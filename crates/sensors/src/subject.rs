@@ -97,9 +97,7 @@ mod tests {
             let s = Subject::sample(&mut rng);
             assert!(s.mean_hr_bpm(StressLevel::High) > s.mean_hr_bpm(StressLevel::None));
             assert!(s.rr_delta_sd_s(StressLevel::High) < s.rr_delta_sd_s(StressLevel::None));
-            assert!(
-                s.scr_rate_per_min(StressLevel::High) > s.scr_rate_per_min(StressLevel::None)
-            );
+            assert!(s.scr_rate_per_min(StressLevel::High) > s.scr_rate_per_min(StressLevel::None));
         }
     }
 

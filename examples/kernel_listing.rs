@@ -10,9 +10,7 @@
 use iw_armv7m::asm::ThumbAsm;
 use iw_fann::{FixedNet, Mlp};
 use iw_kernels::layout::{place_fixed, Placement};
-use iw_kernels::{
-    emit_fixed_kernel, emit_m4_fixed_kernel, run_fixed, FixedTarget, RvKernelOpts,
-};
+use iw_kernels::{emit_fixed_kernel, emit_m4_fixed_kernel, run_fixed, FixedTarget, RvKernelOpts};
 use iw_mrwolf::memmap::{L2_BASE, TCDM_BASE};
 use iw_nrf52::{FLASH_BASE, RAM_BASE};
 use iw_rv32::asm::Asm;
@@ -44,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut thumb = ThumbAsm::new();
     emit_m4_fixed_kernel(&mut thumb, &fixed, &m4_placement);
     let program = thumb.finish()?;
-    println!("\n=== Cortex-M4 kernel ({} instructions) ===", program.len());
+    println!(
+        "\n=== Cortex-M4 kernel ({} instructions) ===",
+        program.len()
+    );
     for (i, instr) in program.iter().enumerate() {
         println!("{i:5}:  {instr}");
     }

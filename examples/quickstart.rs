@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use infiniwolf::{
-    measure_detection_budget, sustainability, train_stress_pipeline, PipelineConfig,
-};
+use infiniwolf::{measure_detection_budget, sustainability, train_stress_pipeline, PipelineConfig};
 use iw_harvest::{EnvProfile, SolarHarvester, TegHarvester};
 use iw_kernels::FixedTarget;
 use iw_sensors::{generate_dataset, DatasetConfig};
@@ -45,13 +43,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for window in &fresh {
         let predicted = pipeline.classify_window(window);
-        println!("  window labelled '{}' → classified '{predicted}'", window.level);
+        println!(
+            "  window labelled '{}' → classified '{predicted}'",
+            window.level
+        );
     }
 
     // 3. Energy budget of one detection, classification on 8 RI5CY cores.
     let input = pipeline.quantized_input(&fresh[0]);
-    let budget =
-        measure_detection_budget(&pipeline.fixed, &input, FixedTarget::WolfCluster { cores: 8 })?;
+    let budget = measure_detection_budget(
+        &pipeline.fixed,
+        &input,
+        FixedTarget::WolfCluster { cores: 8 },
+    )?;
     println!(
         "per-detection energy: {:.1} µJ (acquire {:.0} + features {:.1} + classify {:.2})",
         budget.total_uj(),
@@ -63,8 +67,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Persist the trained detector as a deployment bundle and reload it.
     let bundle = infiniwolf::write_bundle(&pipeline);
     let deployed = infiniwolf::read_bundle(&bundle)?;
-    assert_eq!(deployed.classify_window(&fresh[0]), pipeline.classify_window(&fresh[0]));
-    println!("deployment bundle: {} bytes, reloads and classifies identically", bundle.len());
+    assert_eq!(
+        deployed.classify_window(&fresh[0]),
+        pipeline.classify_window(&fresh[0])
+    );
+    println!(
+        "deployment bundle: {} bytes, reloads and classifies identically",
+        bundle.len()
+    );
 
     // 5. Self-sustainability in the paper's indoor scenario.
     let report = sustainability(

@@ -29,14 +29,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Save / reload through the FANN text format.
     let text = format::write_net(&net);
-    println!("FANN .net file: {} bytes, header: {}", text.len(), text.lines().next().unwrap());
+    println!(
+        "FANN .net file: {} bytes, header: {}",
+        text.len(),
+        text.lines().next().unwrap()
+    );
     let reloaded = format::read_net(&text)?;
     assert_eq!(reloaded, net);
     println!("round-trip through FANN_FLO_2.1 format: exact ✓");
 
     // Fixed-point export and deployment to every target.
     let fixed = FixedNet::export(&reloaded)?;
-    println!("fixed-point export: decimal point = {}", fixed.decimal_point);
+    println!(
+        "fixed-point export: decimal point = {}",
+        fixed.decimal_point
+    );
     let input = fixed.quantize_input(&[0.3, -0.4]);
     let reference = fixed.forward(&input);
     for target in FixedTarget::paper_targets() {

@@ -6,8 +6,9 @@
 //! ```
 
 use infiniwolf::{simulate_policy, sustainability, DetectionBudget, DetectionPolicy, InfiniWolf};
-use iw_harvest::{Battery, EnvProfile, EnvSegment, LightCondition, SolarHarvester, TegHarvester,
-    ThermalCondition};
+use iw_harvest::{
+    Battery, EnvProfile, EnvSegment, LightCondition, SolarHarvester, TegHarvester, ThermalCondition,
+};
 
 fn sparkline(socs: &[f64]) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -46,7 +47,11 @@ fn run_scenario(name: &str, profile: &EnvProfile, policy: DetectionPolicy, start
         sim.final_soc * 100.0,
         sim.stored_j,
         sim.consumed_j,
-        if sim.browned_out { "  ⚠ BROWN-OUT" } else { "" }
+        if sim.browned_out {
+            "  ⚠ BROWN-OUT"
+        } else {
+            ""
+        }
     );
 }
 

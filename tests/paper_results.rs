@@ -3,8 +3,8 @@
 //! ours. These are the EXPERIMENTS.md claims, executable.
 
 use iw_bench::{
-    a1_core_sweep, a2_xpulp_ablation, a3_tcdm_banks, a7_q15_simd, a9_netb_weight_streaming,
-    table1, table2, table3_and_4, x1_float_vs_fixed, x2_detection_budget, x3_sustainability,
+    a1_core_sweep, a2_xpulp_ablation, a3_tcdm_banks, a7_q15_simd, a9_netb_weight_streaming, table1,
+    table2, table3_and_4, x1_float_vs_fixed, x2_detection_budget, x3_sustainability,
 };
 
 #[test]
@@ -116,7 +116,10 @@ fn a2_each_xpulp_feature_helps() {
         assert!(rows[1].1 < plain, "{name}: hw loops did not help");
         assert!(rows[2].1 < plain, "{name}: post-increment did not help");
         let gain = plain as f64 / full as f64;
-        assert!((1.3..=2.5).contains(&gain), "{name}: full-Xpulp gain {gain}");
+        assert!(
+            (1.3..=2.5).contains(&gain),
+            "{name}: full-Xpulp gain {gain}"
+        );
     }
 }
 
@@ -138,8 +141,8 @@ fn a9_dma_tiling_beats_direct_l2() {
     let (direct, tiled, breakdown) = a9_netb_weight_streaming();
     assert!(tiled < direct, "tiled {tiled} !< direct {direct}");
     assert_eq!(breakdown.len(), 25); // Network B has 25 weight layers.
-    // DMA bandwidth must not be wildly off: total stream time within the
-    // same order as compute.
+                                     // DMA bandwidth must not be wildly off: total stream time within the
+                                     // same order as compute.
     let dma: u64 = breakdown.iter().map(|b| b.2).sum();
     let compute: u64 = breakdown.iter().map(|b| b.1).sum();
     assert!(dma < 2 * compute, "dma {dma} vs compute {compute}");
@@ -149,10 +152,7 @@ fn a9_dma_tiling_beats_direct_l2() {
 fn a3_more_banks_fewer_conflicts() {
     let rows = a3_tcdm_banks();
     for w in rows.windows(2) {
-        assert!(
-            w[1].2 <= w[0].2,
-            "conflicts rose with more banks: {rows:?}"
-        );
+        assert!(w[1].2 <= w[0].2, "conflicts rose with more banks: {rows:?}");
         assert!(w[1].1 <= w[0].1, "cycles rose with more banks: {rows:?}");
     }
     // A single bank must hurt badly on 8 cores.

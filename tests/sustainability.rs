@@ -72,10 +72,7 @@ fn office_week_is_comfortably_sustainable() {
         &TegHarvester::infiniwolf(),
         &DetectionBudget::paper(),
     );
-    assert!(
-        report.detections_per_minute > 50.0,
-        "{report:?}"
-    );
+    assert!(report.detections_per_minute > 50.0, "{report:?}");
     let dev = InfiniWolf::new();
     let mut battery = Battery::infiniwolf();
     battery.set_soc(0.3);
