@@ -1,9 +1,21 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints (warnings are errors), full test suite.
+# Repo gate: formatting, lints (warnings are errors), docs, full test
+# suite, and a smoke run of the headline experiment tables.
 # Run before pushing; CI runs exactly this.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Docs must build warning-free for our crates (the vendored offline
+# stubs under vendor/ are excluded — not ours to lint).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+  -p iw-rv32 -p iw-armv7m -p iw-mrwolf -p iw-nrf52 -p iw-fann \
+  -p iw-kernels -p iw-harvest -p iw-sensors -p iw-biosig \
+  -p infiniwolf -p iw-bench
 cargo test --workspace -q
+
+# Smoke: the registry-driven tables must regenerate the headline rows
+# (Tables III/IV plus the A2/A7 ablations) without faulting. Byte-level
+# drift is caught by bench/tests/golden_tables.rs.
+cargo run --release -q -p iw-bench --bin tables -- t3 t4 a2 a7 >/dev/null

@@ -9,19 +9,7 @@
 use iw_bench::Row;
 
 fn print_rows(title: &str, rows: &[Row]) {
-    println!("\n== {title} ==");
-    println!(
-        "  {:<34} {:>12} {:>12} {:>7}",
-        "condition / platform", "ours", "paper", "ratio"
-    );
-    for row in rows {
-        let paper = row.paper.map_or("—".to_string(), |p| format!("{p:.3}"));
-        let ratio = row.ratio().map_or("—".to_string(), |r| format!("{r:.2}"));
-        println!(
-            "  {:<34} {:>9.3} {:>2} {:>9} {:>9}",
-            row.label, row.ours, row.unit, paper, ratio
-        );
-    }
+    print!("{}", iw_bench::render_rows(title, rows));
 }
 
 fn t1() {
@@ -36,32 +24,7 @@ fn t2() {
 }
 
 fn t3t4() {
-    for (name, rows) in iw_bench::table3_and_4() {
-        let cycles: Vec<Row> = rows.iter().map(|(c, _)| c.clone()).collect();
-        let energy: Vec<Row> = rows.iter().map(|(_, e)| e.clone()).collect();
-        print_rows(&format!("Table III — runtime cycles, {name}"), &cycles);
-        print_rows(
-            &format!("Table IV — energy per classification, {name}"),
-            &energy,
-        );
-        // The headline speedups the paper quotes against the M4.
-        let m4 = cycles[0].ours;
-        println!("  speedup vs ARM Cortex-M4:");
-        for row in &cycles[1..] {
-            println!(
-                "    {:<32} {:.2}x (paper {:.2}x)",
-                row.label,
-                m4 / row.ours,
-                PAPER_M4_SPEEDUP(&cycles, row)
-            );
-        }
-    }
-}
-
-#[allow(non_snake_case)]
-fn PAPER_M4_SPEEDUP(cycles: &[Row], row: &Row) -> f64 {
-    let m4_paper = cycles[0].paper.unwrap_or(f64::NAN);
-    m4_paper / row.paper.unwrap_or(f64::NAN)
+    print!("{}", iw_bench::render_t3t4());
 }
 
 fn f3() {
@@ -101,17 +64,7 @@ fn a1() {
 }
 
 fn a2() {
-    println!("\n== A2 — Xpulp feature ablation (single RI5CY) ==");
-    for (name, rows) in iw_bench::a2_xpulp_ablation() {
-        println!("  {name}:");
-        let base = rows.last().map_or(1, |(_, c)| *c);
-        for (label, cycles) in &rows {
-            println!(
-                "    {label:<38} {cycles:>8} cycles  ({:.2}x vs plain RV32IM)",
-                base as f64 / *cycles as f64
-            );
-        }
-    }
+    print!("{}", iw_bench::render_a2());
 }
 
 fn a3() {
@@ -149,16 +102,7 @@ fn a6() {
 }
 
 fn a7() {
-    println!("\n== A7 — extension: 16-bit SIMD (Q15) vs 32-bit fixed ==");
-    for (name, rows) in iw_bench::a7_q15_simd() {
-        println!("  {name}:");
-        for (platform, q31, q15) in rows {
-            println!(
-                "    {platform:<28} q31 {q31:>8}  q15 {q15:>8}  ({:.2}x faster)",
-                q31 as f64 / q15 as f64
-            );
-        }
-    }
+    print!("{}", iw_bench::render_a7());
 }
 
 fn a8() {

@@ -14,12 +14,15 @@ use iw_harvest::{
     ThermalCondition,
 };
 use iw_kernels::{
-    run_fixed, run_m4_fixed, run_m4_float, run_wolf_fixed_with, FixedTarget, RvKernelOpts,
-    XpulpOpts,
+    run_fixed, run_fixed_on, run_m4_fixed, run_m4_float, run_wolf_fixed_with, targets_in,
+    FixedTarget, RvKernelOpts, TargetGroup,
 };
 use iw_mrwolf::ClusterConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+pub use render::{render_a2, render_a7, render_rows, render_t3t4};
+
+pub mod render;
 
 /// Seed used for every deterministic experiment.
 pub const SEED: u64 = 2020;
@@ -133,20 +136,20 @@ pub fn table3_and_4() -> Vec<(String, Vec<(Row, Row)>)> {
         .into_iter()
         .enumerate()
         .map(|(ni, (name, _, fixed, qin))| {
-            let rows = FixedTarget::paper_targets()
+            let rows = targets_in(TargetGroup::Paper)
                 .into_iter()
                 .enumerate()
-                .map(|(ti, target)| {
-                    let run = run_fixed(target, &fixed, &qin).expect("target runs");
+                .map(|(ti, entry)| {
+                    let run = run_fixed_on(&*entry.machine(), &fixed, &qin).expect("target runs");
                     (
                         Row {
-                            label: target.name(),
+                            label: entry.label.to_string(),
                             ours: run.cycles as f64,
                             paper: Some(PAPER_T3[ni][ti] as f64),
                             unit: "cycles",
                         },
                         Row {
-                            label: target.name(),
+                            label: entry.label.to_string(),
                             ours: run.energy_j * 1e6,
                             paper: Some(PAPER_T4[ni][ti]),
                             unit: "µJ",
@@ -332,40 +335,19 @@ pub fn a1_core_sweep() -> CoreSweep {
         .collect()
 }
 
-/// **A2** — ablation: Xpulp features on/off on a single RI5CY core.
+/// **A2** — ablation: Xpulp features on/off on a single RI5CY core. The
+/// variants are the [`TargetGroup::XpulpAblation`] rows of the machine
+/// registry.
 #[must_use]
 pub fn a2_xpulp_ablation() -> Vec<(String, Vec<(String, u64)>)> {
-    let variants = [
-        ("full Xpulp (hw loops + post-incr)", XpulpOpts::full()),
-        (
-            "hw loops only",
-            XpulpOpts {
-                hw_loops: true,
-                post_increment: false,
-            },
-        ),
-        (
-            "post-increment only",
-            XpulpOpts {
-                hw_loops: false,
-                post_increment: true,
-            },
-        ),
-        ("plain RV32IM", XpulpOpts::none()),
-    ];
     evaluation_nets()
         .into_iter()
         .map(|(name, _, fixed, qin)| {
-            let rows = variants
-                .iter()
-                .map(|(label, xpulp)| {
-                    let opts = RvKernelOpts {
-                        xpulp: *xpulp,
-                        cores: 1,
-                    };
-                    let run =
-                        run_wolf_fixed_with(&fixed, &qin, &opts, None, false).expect("riscy runs");
-                    (label.to_string(), run.cycles)
+            let rows = targets_in(TargetGroup::XpulpAblation)
+                .into_iter()
+                .map(|entry| {
+                    let run = run_fixed_on(&*entry.machine(), &fixed, &qin).expect("riscy runs");
+                    (entry.label.to_string(), run.cycles)
                 })
                 .collect();
             (name, rows)
@@ -537,7 +519,7 @@ pub type Q15Comparison = Vec<(String, Vec<(String, u64, u64)>)>;
 #[must_use]
 pub fn a7_q15_simd() -> Q15Comparison {
     use iw_fann::Q15Net;
-    use iw_kernels::{run_m4_q15, run_wolf_q15};
+    use iw_kernels::run_q15_on;
     let mut rng = StdRng::seed_from_u64(SEED);
     evaluation_nets()
         .into_iter()
@@ -547,21 +529,21 @@ pub fn a7_q15_simd() -> Q15Comparison {
                 .map(|_| rng.gen_range(-1.0..1.0))
                 .collect();
             let q15_in = q15.quantize_input(&input);
-            let mut rows = Vec::new();
-            // (platform, q31 cycles, q15 cycles)
-            let m4_q31 = run_m4_fixed(&fixed, &qin).expect("m4 q31").cycles;
-            let m4_q15 = run_m4_q15(&q15, &q15_in).expect("m4 q15").cycles;
-            rows.push(("ARM Cortex-M4 (smlad)".to_string(), m4_q31, m4_q15));
-            let r1_q31 = run_fixed(FixedTarget::WolfRiscy, &fixed, &qin)
-                .expect("riscy q31")
-                .cycles;
-            let r1_q15 = run_wolf_q15(&q15, &q15_in, 1).expect("riscy q15").cycles;
-            rows.push(("Single RI5CY (pv.sdotsp.h)".to_string(), r1_q31, r1_q15));
-            let r8_q31 = run_fixed(FixedTarget::WolfCluster { cores: 8 }, &fixed, &qin)
-                .expect("cluster q31")
-                .cycles;
-            let r8_q15 = run_wolf_q15(&q15, &q15_in, 8).expect("cluster q15").cycles;
-            rows.push(("Multi RI5CY ×8 (SIMD)".to_string(), r8_q31, r8_q15));
+            // Each registry row runs *both* quantisations on the same
+            // machine: (platform, q31 cycles, q15 cycles).
+            let rows = targets_in(TargetGroup::Q15)
+                .into_iter()
+                .map(|entry| {
+                    let machine = entry.machine();
+                    let q31 = run_fixed_on(&*machine, &fixed, &qin)
+                        .expect("q31 runs")
+                        .cycles;
+                    let q15c = run_q15_on(&*machine, &q15, &q15_in)
+                        .expect("q15 runs")
+                        .cycles;
+                    (entry.label.to_string(), q31, q15c)
+                })
+                .collect();
             (name, rows)
         })
         .collect()

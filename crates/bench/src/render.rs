@@ -1,0 +1,115 @@
+//! Text renderers for the experiment tables.
+//!
+//! The `tables` binary and the golden-output regression test share these,
+//! so "what the harness prints" is a single, testable artefact: the
+//! refactored execution layer must reproduce the frozen pre-refactor
+//! snapshot byte for byte.
+
+use std::fmt::Write;
+
+use crate::Row;
+
+/// Renders one titled table of [`Row`]s exactly as the `tables` binary
+/// prints it.
+#[must_use]
+pub fn render_rows(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "\n== {title} ==").expect("string write");
+    writeln!(
+        out,
+        "  {:<34} {:>12} {:>12} {:>7}",
+        "condition / platform", "ours", "paper", "ratio"
+    )
+    .expect("string write");
+    for row in rows {
+        let paper = row.paper.map_or("—".to_string(), |p| format!("{p:.3}"));
+        let ratio = row.ratio().map_or("—".to_string(), |r| format!("{r:.2}"));
+        writeln!(
+            out,
+            "  {:<34} {:>9.3} {:>2} {:>9} {:>9}",
+            row.label, row.ours, row.unit, paper, ratio
+        )
+        .expect("string write");
+    }
+    out
+}
+
+fn paper_m4_speedup(cycles: &[Row], row: &Row) -> f64 {
+    let m4_paper = cycles[0].paper.unwrap_or(f64::NAN);
+    m4_paper / row.paper.unwrap_or(f64::NAN)
+}
+
+/// Renders Tables III and IV (cycles + energy per classification) with the
+/// headline speedups the paper quotes against the M4.
+#[must_use]
+pub fn render_t3t4() -> String {
+    let mut out = String::new();
+    for (name, rows) in crate::table3_and_4() {
+        let cycles: Vec<Row> = rows.iter().map(|(c, _)| c.clone()).collect();
+        let energy: Vec<Row> = rows.iter().map(|(_, e)| e.clone()).collect();
+        out.push_str(&render_rows(
+            &format!("Table III — runtime cycles, {name}"),
+            &cycles,
+        ));
+        out.push_str(&render_rows(
+            &format!("Table IV — energy per classification, {name}"),
+            &energy,
+        ));
+        let m4 = cycles[0].ours;
+        writeln!(out, "  speedup vs ARM Cortex-M4:").expect("string write");
+        for row in &cycles[1..] {
+            writeln!(
+                out,
+                "    {:<32} {:.2}x (paper {:.2}x)",
+                row.label,
+                m4 / row.ours,
+                paper_m4_speedup(&cycles, row)
+            )
+            .expect("string write");
+        }
+    }
+    out
+}
+
+/// Renders the A2 Xpulp-feature ablation.
+#[must_use]
+pub fn render_a2() -> String {
+    let mut out = String::new();
+    writeln!(out, "\n== A2 — Xpulp feature ablation (single RI5CY) ==").expect("string write");
+    for (name, rows) in crate::a2_xpulp_ablation() {
+        writeln!(out, "  {name}:").expect("string write");
+        let base = rows.last().map_or(1, |(_, c)| *c);
+        for (label, cycles) in &rows {
+            writeln!(
+                out,
+                "    {label:<38} {cycles:>8} cycles  ({:.2}x vs plain RV32IM)",
+                base as f64 / *cycles as f64
+            )
+            .expect("string write");
+        }
+    }
+    out
+}
+
+/// Renders the A7 Q15-vs-Q31 comparison.
+#[must_use]
+pub fn render_a7() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "\n== A7 — extension: 16-bit SIMD (Q15) vs 32-bit fixed =="
+    )
+    .expect("string write");
+    for (name, rows) in crate::a7_q15_simd() {
+        writeln!(out, "  {name}:").expect("string write");
+        for (platform, q31, q15) in rows {
+            writeln!(
+                out,
+                "    {platform:<28} q31 {q31:>8}  q15 {q15:>8}  ({:.2}x faster)",
+                q31 as f64 / q15 as f64
+            )
+            .expect("string write");
+        }
+    }
+    out
+}

@@ -1,7 +1,7 @@
 //! Per-detection energy budget — the paper's 602.2 µJ breakdown.
 
 use iw_fann::FixedNet;
-use iw_kernels::{run_fixed, FeatureCost, FixedTarget, KernelError};
+use iw_kernels::{run_fixed_on, FeatureCost, FixedTarget, KernelError};
 use iw_mrwolf::OperatingPoint;
 use iw_sensors::Acquisition;
 
@@ -58,16 +58,13 @@ pub fn measure_detection_budget(
     let acquisition = Acquisition::default();
     let features = FeatureCost::default();
     let op = OperatingPoint::efficient();
-    let run = run_fixed(target, fixed, input)?;
-    let freq = match target {
-        FixedTarget::CortexM4 => 64e6,
-        _ => op.freq_hz,
-    };
+    let machine = target.machine();
+    let run = run_fixed_on(&*machine, fixed, input)?;
     Ok(DetectionBudget {
         acquisition_j: acquisition.energy_j(),
         features_j: features.energy_j(&op),
         classification_j: run.energy_j,
-        classification_s: run.cycles as f64 / freq,
+        classification_s: run.cycles as f64 / machine.clock_hz(),
     })
 }
 

@@ -45,18 +45,26 @@
 mod features;
 pub mod layout;
 pub mod m4;
+pub mod machine;
 mod q15;
 pub mod rv;
 mod targets;
+pub mod workloads;
 
-pub use features::FeatureCost;
+pub use features::{FeatureCost, FeatureSummary, FeatureWorkload};
 pub use m4::{emit_m4_fixed_kernel, emit_m4_float_kernel};
+pub use machine::{
+    registry, targets_in, Deployment, EnergyBreakdown, ExecPath, Isa, Machine, MachineError,
+    MachineRun, TargetEntry, TargetGroup, Workload, WorkloadFootprint,
+};
+pub use machine::{M4Machine, WolfMachine};
 pub use q15::{
-    emit_m4_q15_kernel, emit_riscy_q15_kernel, place_q15, q15_image, run_m4_q15, run_wolf_q15,
-    Q15Run,
+    emit_m4_q15_kernel, emit_riscy_q15_kernel, place_q15, q15_image, run_m4_q15, run_q15_on,
+    run_wolf_q15, Q15Run,
 };
 pub use rv::{emit_fixed_kernel, RvKernelOpts, XpulpOpts};
 pub use targets::{
-    run_fixed, run_fixed_uncached, run_m4_fixed, run_m4_fixed_uncached, run_m4_float,
+    run_fixed, run_fixed_on, run_fixed_uncached, run_m4_fixed, run_m4_fixed_uncached, run_m4_float,
     run_wolf_fixed_with, FixedRun, FixedTarget, FloatRun, KernelError, PreparedFixed,
 };
+pub use workloads::{FixedWorkload, FloatWorkload, Q15Workload};

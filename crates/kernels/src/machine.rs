@@ -1,0 +1,791 @@
+//! The unified execution layer: one trait-based target abstraction.
+//!
+//! Every compute target of the paper's evaluation matrix — the nRF52832's
+//! Cortex-M4, Mr. Wolf's Ibex fabric controller, a single RI5CY core and
+//! the 8-core RI5CY cluster — implements [`Machine`]; everything that can
+//! run on them (32-bit fixed inference, float inference, Q15 SIMD
+//! inference, feature extraction) implements [`Workload`]. Deployment is
+//! one call:
+//!
+//! ```text
+//! Machine::deploy(workload) -> Deployment       (place, lower, encode; once)
+//! Deployment::run(ExecPath) -> MachineRun       (stage memories, run-to-halt)
+//! ```
+//!
+//! Both execution paths of PR 1 are first-class: [`ExecPath::Cached`] is
+//! the pre-decoded/batched product path, [`ExecPath::Reference`] the
+//! frozen per-instruction interpreter, and the two are bit- and
+//! cycle-identical by the conformance tests.
+//!
+//! The target list itself is data: [`registry`] returns one row per
+//! registered backend (the four paper columns, the A2 Xpulp ablation
+//! variants and the A7 Q15 platforms), so experiments iterate the table
+//! instead of hard-coding per-target code paths.
+//!
+//! # Examples
+//!
+//! ```
+//! use iw_fann::{presets::network_a, FixedNet};
+//! use iw_kernels::machine::{ExecPath, Machine, WolfMachine};
+//! use iw_kernels::workloads::FixedWorkload;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut net = network_a();
+//! net.randomize_weights(&mut StdRng::seed_from_u64(1), 0.1);
+//! let fixed = FixedNet::export(&net)?;
+//! let input = fixed.quantize_input(&[0.1, -0.3, 0.7, 0.2, -0.5]);
+//! let workload = FixedWorkload::new(&fixed, &input)?;
+//! let deployment = WolfMachine::cluster(8).deploy(&workload)?;
+//! let fast = deployment.run(ExecPath::Cached)?;
+//! let reference = deployment.run(ExecPath::Reference)?;
+//! assert_eq!(fast, reference); // the frozen path agrees bit-for-bit
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use iw_armv7m::{M4Error, ThumbInstr};
+use iw_mrwolf::memmap::{L2_BASE, L2_SIZE, TCDM_BASE, TCDM_SIZE};
+use iw_mrwolf::{ClusterConfig, ClusterError, ClusterRun, MrWolf, OperatingPoint, WolfMode};
+use iw_nrf52::{Nrf52, FLASH_BASE, FLASH_SIZE, RAM_BASE, RAM_SIZE};
+use iw_rv32::asm::AsmError;
+use iw_rv32::{CpuError, ExecProfile};
+
+use crate::rv::RvKernelOpts;
+
+/// Error produced while deploying or running a workload on a machine.
+///
+/// This is the single error type of the execution layer — the per-simulator
+/// errors ([`AsmError`], [`CpuError`], [`ClusterError`], [`M4Error`]) all
+/// convert into it through one shared `From` ladder.
+#[derive(Debug)]
+pub enum MachineError {
+    /// The RISC-V program failed to assemble.
+    Asm(AsmError),
+    /// A fabric-controller run faulted.
+    Fc(CpuError),
+    /// A cluster run faulted.
+    Cluster(ClusterError),
+    /// The Cortex-M4 run faulted.
+    M4(M4Error),
+    /// The workload's image does not fit the machine's memories.
+    DoesNotFit {
+        /// Bytes required.
+        required: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// Input length does not match the workload.
+    BadInput {
+        /// Expected input count.
+        expected: usize,
+        /// Provided input count.
+        got: usize,
+    },
+    /// The workload has no kernel for the machine's instruction set (for
+    /// example float inference on a RISC-V target without an FPU model).
+    Unsupported {
+        /// The workload's name.
+        workload: &'static str,
+        /// The instruction set it was asked to lower for.
+        isa: &'static str,
+    },
+}
+
+impl core::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MachineError::Asm(e) => write!(f, "assembly failed: {e}"),
+            MachineError::Fc(e) => write!(f, "fabric controller fault: {e}"),
+            MachineError::Cluster(e) => write!(f, "cluster fault: {e}"),
+            MachineError::M4(e) => write!(f, "cortex-m4 fault: {e}"),
+            MachineError::DoesNotFit {
+                required,
+                available,
+            } => write!(f, "image needs {required} B, only {available} B available"),
+            MachineError::BadInput { expected, got } => {
+                write!(f, "network expects {expected} inputs, got {got}")
+            }
+            MachineError::Unsupported { workload, isa } => {
+                write!(f, "workload {workload} has no kernel for {isa}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<AsmError> for MachineError {
+    fn from(e: AsmError) -> Self {
+        MachineError::Asm(e)
+    }
+}
+impl From<CpuError> for MachineError {
+    fn from(e: CpuError) -> Self {
+        MachineError::Fc(e)
+    }
+}
+impl From<ClusterError> for MachineError {
+    fn from(e: ClusterError) -> Self {
+        MachineError::Cluster(e)
+    }
+}
+impl From<M4Error> for MachineError {
+    fn from(e: M4Error) -> Self {
+        MachineError::M4(e)
+    }
+}
+
+/// Which interpreter path a run uses. Both are bit- and cycle-identical;
+/// only the simulator's wall-clock speed differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPath {
+    /// The pre-decoded/batched product path (decode caches, horizon-burst
+    /// cluster scheduling).
+    Cached,
+    /// The frozen reference path: fetch and decode every dynamic
+    /// instruction, no batching.
+    Reference,
+}
+
+/// Per-domain energy of one run, joules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Host/SoC domain (the M4 on the nRF52832; FC + L2 + interconnect on
+    /// Mr. Wolf).
+    pub soc_j: f64,
+    /// Cluster domain (zero on single-domain machines and FC-only runs).
+    pub cluster_j: f64,
+    /// Total energy of the compute phase.
+    pub total_j: f64,
+}
+
+/// Raw result of one run-to-halt on a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineRun {
+    /// Wall-clock cycles of the run.
+    pub cycles: u64,
+    /// Instructions retired (all cores).
+    pub instructions: u64,
+    /// Per-domain energy of the compute phase.
+    pub energy: EnergyBreakdown,
+    /// Per-class execution profile (base cycles, stalls excluded).
+    pub profile: ExecProfile,
+    /// Cluster statistics when the machine was the cluster.
+    pub cluster: Option<ClusterRun>,
+    /// Raw little-endian bytes read back from the workload's output window.
+    pub output: Vec<u8>,
+}
+
+/// Instruction set (plus code-generation options) a [`Machine`] asks a
+/// [`Workload`] to lower its kernel for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// ARMv7-M Thumb-2 (+ VFP), as on the Cortex-M4F.
+    Thumb2,
+    /// RV32IM with optional Xpulp features, as on Ibex/RI5CY.
+    Rv32 {
+        /// Kernel-generation options (Xpulp toggles, SPMD core count).
+        opts: RvKernelOpts,
+        /// Address the program is assembled at.
+        entry: u32,
+    },
+}
+
+impl Isa {
+    /// Short ISA name for error messages.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Isa::Thumb2 => "thumb2",
+            Isa::Rv32 { .. } => "rv32",
+        }
+    }
+}
+
+/// A kernel lowered for one machine's instruction set.
+#[derive(Debug, Clone)]
+pub enum LoweredProgram {
+    /// A Thumb-2 program: the pre-decoded instructions *and* their
+    /// halfword encoding (the reference path decodes the latter).
+    Thumb {
+        /// Pre-decoded instruction stream.
+        program: Vec<ThumbInstr>,
+        /// Halfword encoding of the same program.
+        code: Vec<u16>,
+    },
+    /// An assembled RV32 image.
+    Rv32(Vec<u8>),
+}
+
+/// Addresses a machine assigns to a workload's data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataLayout {
+    /// Base address of the read-only block (weights/constants).
+    pub weights_base: u32,
+    /// Base address of the read-write block (activation buffers, inputs,
+    /// outputs).
+    pub buf_base: u32,
+}
+
+/// Byte footprint a workload needs, used by machines to choose placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadFootprint {
+    /// Bytes of read-only data (weights + biases).
+    pub weight_bytes: usize,
+    /// Bytes of read-write data (all activation buffers).
+    pub buf_bytes: usize,
+}
+
+/// Something that can be deployed to a [`Machine`]: an instruction image
+/// per supported ISA, a data image, input staging and output readback.
+pub trait Workload {
+    /// Short name for error messages and display.
+    fn name(&self) -> &'static str;
+
+    /// Byte footprint, used by the machine to place the data.
+    fn footprint(&self) -> WorkloadFootprint;
+
+    /// Emits and lowers the kernel for `isa` at the chosen layout.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::Unsupported`] when the workload has no kernel for
+    /// the ISA; [`MachineError::Asm`] when assembly fails.
+    fn lower(&self, isa: &Isa, layout: &DataLayout) -> Result<LoweredProgram, MachineError>;
+
+    /// Data segments (weights and staged inputs) as absolute
+    /// `(address, bytes)` chunks.
+    fn image(&self, layout: &DataLayout) -> Vec<(u32, Vec<u8>)>;
+
+    /// `(address, bytes)` window to read back after the run halts.
+    fn output_window(&self, layout: &DataLayout) -> (u32, usize);
+}
+
+/// An execution target: owns SoC construction, memory placement rules,
+/// both run-to-halt paths and the energy model.
+pub trait Machine {
+    /// Human-readable name matching the paper's column headers.
+    fn name(&self) -> String;
+
+    /// Core clock in hertz (used to convert cycles to latency).
+    fn clock_hz(&self) -> f64;
+
+    /// Deploys a workload: places its data, lowers its kernel and bakes
+    /// everything a repeated [`Deployment::run`] needs. All code
+    /// generation happens here, once.
+    ///
+    /// # Errors
+    ///
+    /// See [`MachineError`].
+    fn deploy(&self, workload: &dyn Workload) -> Result<Box<dyn Deployment>, MachineError>;
+}
+
+/// A workload deployed to one machine, ready to run repeatedly. Each
+/// [`Deployment::run`] stages fresh memories and simulates a single
+/// run-to-halt, so repeated execution does not re-pay code generation.
+pub trait Deployment {
+    /// Simulates one run-to-halt on the given interpreter path.
+    ///
+    /// # Errors
+    ///
+    /// See [`MachineError`].
+    fn run(&self, path: ExecPath) -> Result<MachineRun, MachineError>;
+}
+
+/// Cycle budget for a single run (Network B on Ibex is ~1 M cycles; leave
+/// ample headroom).
+pub const MAX_CYCLES: u64 = 500_000_000;
+
+// ---------------------------------------------------------------------------
+// Cortex-M4 backend
+// ---------------------------------------------------------------------------
+
+/// The nRF52832's ARM Cortex-M4(F) at 64 MHz.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct M4Machine;
+
+impl M4Machine {
+    /// Creates the machine.
+    #[must_use]
+    pub fn new() -> M4Machine {
+        M4Machine
+    }
+}
+
+impl Machine for M4Machine {
+    fn name(&self) -> String {
+        "ARM Cortex-M4".to_string()
+    }
+
+    fn clock_hz(&self) -> f64 {
+        iw_nrf52::Nrf52Power::default().freq_hz
+    }
+
+    fn deploy(&self, workload: &dyn Workload) -> Result<Box<dyn Deployment>, MachineError> {
+        let fp = workload.footprint();
+        let weights_avail = FLASH_SIZE - 0x4000;
+        if fp.weight_bytes > weights_avail {
+            return Err(MachineError::DoesNotFit {
+                required: fp.weight_bytes,
+                available: weights_avail,
+            });
+        }
+        if fp.buf_bytes > RAM_SIZE {
+            return Err(MachineError::DoesNotFit {
+                required: fp.buf_bytes,
+                available: RAM_SIZE,
+            });
+        }
+        let layout = DataLayout {
+            weights_base: FLASH_BASE + 0x4000,
+            buf_base: RAM_BASE,
+        };
+        let LoweredProgram::Thumb { program, code } = workload.lower(&Isa::Thumb2, &layout)? else {
+            return Err(MachineError::Unsupported {
+                workload: workload.name(),
+                isa: "thumb2",
+            });
+        };
+        Ok(Box::new(M4Deployment {
+            program,
+            code,
+            image: workload.image(&layout),
+            out: workload.output_window(&layout),
+        }))
+    }
+}
+
+struct M4Deployment {
+    program: Vec<ThumbInstr>,
+    code: Vec<u16>,
+    image: Vec<(u32, Vec<u8>)>,
+    out: (u32, usize),
+}
+
+impl Deployment for M4Deployment {
+    fn run(&self, path: ExecPath) -> Result<MachineRun, MachineError> {
+        let mut soc = Nrf52::new();
+        for (addr, bytes) in &self.image {
+            soc.mem_mut().write_bytes(*addr, bytes);
+        }
+        let run = match path {
+            ExecPath::Cached => soc.run(&self.program, MAX_CYCLES)?,
+            ExecPath::Reference => soc.run_code(&self.code, MAX_CYCLES)?,
+        };
+        let output = soc.mem().read_bytes(self.out.0, self.out.1).to_vec();
+        Ok(MachineRun {
+            cycles: run.result.cycles,
+            instructions: run.result.instructions,
+            energy: EnergyBreakdown {
+                soc_j: run.energy_j,
+                cluster_j: 0.0,
+                total_j: run.energy_j,
+            },
+            profile: run.profile,
+            cluster: None,
+            output,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mr. Wolf backend (Ibex FC / single RI5CY / cluster)
+// ---------------------------------------------------------------------------
+
+/// Mr. Wolf's data-placement policy, shared by every workload: activation
+/// buffers always live in TCDM; weights go to TCDM when they fit alongside
+/// buffers and stacks, else to L2 behind the program (Network B's 324 kB
+/// goes to L2, as on the die). Returns the layout and whether the
+/// read-only block landed in TCDM.
+///
+/// # Errors
+///
+/// [`MachineError::DoesNotFit`] when even the L2 spill region is too small.
+pub fn wolf_layout(fp: &WorkloadFootprint) -> Result<(DataLayout, bool), MachineError> {
+    let stacks = 8 * 512;
+    let tcdm_free = TCDM_SIZE.saturating_sub(fp.buf_bytes + stacks);
+    let weights_in_tcdm = fp.weight_bytes <= tcdm_free;
+    let weights_base = if weights_in_tcdm {
+        TCDM_BASE + fp.buf_bytes as u32
+    } else {
+        L2_BASE + 0x2_0000 // program region is the first 128 kB of L2
+    };
+    if !weights_in_tcdm && fp.weight_bytes > L2_SIZE - 0x2_0000 {
+        return Err(MachineError::DoesNotFit {
+            required: fp.weight_bytes,
+            available: L2_SIZE - 0x2_0000,
+        });
+    }
+    Ok((
+        DataLayout {
+            weights_base,
+            buf_base: TCDM_BASE,
+        },
+        weights_in_tcdm,
+    ))
+}
+
+/// Mr. Wolf running a workload on the Ibex fabric controller or on the
+/// RI5CY cluster, with explicit kernel options (the A2 ablation knobs).
+#[derive(Debug, Clone)]
+pub struct WolfMachine {
+    /// Display name (paper column header or ablation label).
+    pub label: String,
+    /// Kernel-generation options handed to the workload's RV32 emitter.
+    pub opts: RvKernelOpts,
+    /// Cluster configuration override (`None` derives it from `opts`).
+    pub cfg: Option<ClusterConfig>,
+    /// Run on the fabric controller (cluster power-gated) instead of the
+    /// cluster.
+    pub on_fc: bool,
+}
+
+impl WolfMachine {
+    /// The Ibex fabric controller (RV32IM, cluster power-gated).
+    #[must_use]
+    pub fn ibex() -> WolfMachine {
+        WolfMachine {
+            label: "PULP IBEX".to_string(),
+            opts: RvKernelOpts::ibex(),
+            cfg: None,
+            on_fc: true,
+        }
+    }
+
+    /// A single RI5CY cluster core with full Xpulp.
+    #[must_use]
+    pub fn riscy() -> WolfMachine {
+        WolfMachine {
+            label: "Single RI5CY".to_string(),
+            opts: RvKernelOpts::riscy(),
+            cfg: None,
+            on_fc: false,
+        }
+    }
+
+    /// The RI5CY cluster with `cores` active cores.
+    #[must_use]
+    pub fn cluster(cores: usize) -> WolfMachine {
+        WolfMachine {
+            label: format!("Multi RI5CY ({cores})"),
+            opts: RvKernelOpts::cluster(cores),
+            cfg: None,
+            on_fc: false,
+        }
+    }
+
+    /// A fully custom configuration (ablation variants).
+    #[must_use]
+    pub fn with_opts(
+        label: impl Into<String>,
+        opts: RvKernelOpts,
+        cfg: Option<ClusterConfig>,
+        on_fc: bool,
+    ) -> WolfMachine {
+        WolfMachine {
+            label: label.into(),
+            opts,
+            cfg,
+            on_fc,
+        }
+    }
+
+    /// The mode the energy model accounts the run in.
+    #[must_use]
+    pub fn mode(&self) -> WolfMode {
+        if self.on_fc {
+            WolfMode::FcOnly
+        } else {
+            WolfMode::Cluster {
+                active_cores: self.opts.cores,
+            }
+        }
+    }
+}
+
+impl Machine for WolfMachine {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn clock_hz(&self) -> f64 {
+        OperatingPoint::efficient().freq_hz
+    }
+
+    fn deploy(&self, workload: &dyn Workload) -> Result<Box<dyn Deployment>, MachineError> {
+        let (layout, _) = wolf_layout(&workload.footprint())?;
+        let isa = Isa::Rv32 {
+            opts: self.opts,
+            entry: L2_BASE,
+        };
+        let LoweredProgram::Rv32(program) = workload.lower(&isa, &layout)? else {
+            return Err(MachineError::Unsupported {
+                workload: workload.name(),
+                isa: "rv32",
+            });
+        };
+        assert!(program.len() < 0x2_0000, "program exceeds its L2 region");
+        let cfg = self.cfg.unwrap_or(ClusterConfig {
+            cores: self.opts.cores,
+            ..ClusterConfig::default()
+        });
+        Ok(Box::new(WolfDeployment {
+            program,
+            cfg,
+            on_fc: self.on_fc,
+            mode: self.mode(),
+            image: workload.image(&layout),
+            out: workload.output_window(&layout),
+        }))
+    }
+}
+
+struct WolfDeployment {
+    program: Vec<u8>,
+    cfg: ClusterConfig,
+    on_fc: bool,
+    mode: WolfMode,
+    image: Vec<(u32, Vec<u8>)>,
+    out: (u32, usize),
+}
+
+impl Deployment for WolfDeployment {
+    fn run(&self, path: ExecPath) -> Result<MachineRun, MachineError> {
+        let cfg = match path {
+            ExecPath::Cached => self.cfg,
+            ExecPath::Reference => ClusterConfig {
+                decode_cache: false,
+                ..self.cfg
+            },
+        };
+        let mut wolf = MrWolf::with_cluster_config(cfg);
+        wolf.l2_mut().write_bytes(L2_BASE, &self.program);
+        for (addr, bytes) in &self.image {
+            if *addr >= L2_BASE {
+                wolf.l2_mut().write_bytes(*addr, bytes);
+            } else {
+                wolf.tcdm_mut().write_bytes(*addr, bytes);
+            }
+        }
+        let op = OperatingPoint::efficient();
+        let (cycles, instructions, cluster, profile) = if self.on_fc {
+            let run = match path {
+                ExecPath::Cached => wolf.run_fc(L2_BASE, MAX_CYCLES)?,
+                ExecPath::Reference => wolf.run_fc_uncached(L2_BASE, MAX_CYCLES)?,
+            };
+            (
+                run.result.cycles,
+                run.result.instructions,
+                None,
+                run.profile,
+            )
+        } else {
+            let run = wolf.run_cluster(L2_BASE, MAX_CYCLES)?;
+            let profile = run.profile;
+            (run.cycles, run.instructions, Some(run.clone()), profile)
+        };
+        let output = if self.out.0 >= L2_BASE {
+            wolf.l2().read_bytes(self.out.0, self.out.1).to_vec()
+        } else {
+            wolf.tcdm().read_bytes(self.out.0, self.out.1).to_vec()
+        };
+        let energy = op.domain_energy(cycles, self.mode);
+        Ok(MachineRun {
+            cycles,
+            instructions,
+            energy: EnergyBreakdown {
+                soc_j: energy.soc_j,
+                cluster_j: energy.cluster_j,
+                total_j: energy.total_j,
+            },
+            profile,
+            cluster,
+            output,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Target registry
+// ---------------------------------------------------------------------------
+
+/// Experiment group a [`TargetEntry`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetGroup {
+    /// The four columns of the paper's Tables III/IV.
+    Paper,
+    /// The A2 Xpulp-feature ablation variants (single RI5CY core).
+    XpulpAblation,
+    /// The A7 Q15-SIMD comparison platforms.
+    Q15,
+}
+
+/// One row of the target registry: a named, buildable machine.
+pub struct TargetEntry {
+    /// Stable identifier (e.g. `"m4"`, `"riscy-hwloops"`).
+    pub id: &'static str,
+    /// Label the experiment tables print for this row.
+    pub label: &'static str,
+    /// Group the row belongs to.
+    pub group: TargetGroup,
+    /// Builds the machine.
+    pub build: fn() -> Box<dyn Machine>,
+}
+
+impl TargetEntry {
+    /// Builds the machine for this row.
+    #[must_use]
+    pub fn machine(&self) -> Box<dyn Machine> {
+        (self.build)()
+    }
+}
+
+use crate::rv::XpulpOpts;
+
+fn xpulp_variant(label: &str, xpulp: XpulpOpts) -> WolfMachine {
+    WolfMachine::with_opts(label, RvKernelOpts { xpulp, cores: 1 }, None, false)
+}
+
+/// The data-driven target table: every registered backend, one row each.
+/// The paper targets, the A2 Xpulp ablation variants and the A7 Q15
+/// platforms all come out of this one list.
+#[must_use]
+pub fn registry() -> Vec<TargetEntry> {
+    vec![
+        TargetEntry {
+            id: "m4",
+            label: "ARM Cortex-M4",
+            group: TargetGroup::Paper,
+            build: || Box::new(M4Machine::new()),
+        },
+        TargetEntry {
+            id: "ibex",
+            label: "PULP IBEX",
+            group: TargetGroup::Paper,
+            build: || Box::new(WolfMachine::ibex()),
+        },
+        TargetEntry {
+            id: "riscy",
+            label: "Single RI5CY",
+            group: TargetGroup::Paper,
+            build: || Box::new(WolfMachine::riscy()),
+        },
+        TargetEntry {
+            id: "cluster8",
+            label: "Multi RI5CY (8)",
+            group: TargetGroup::Paper,
+            build: || Box::new(WolfMachine::cluster(8)),
+        },
+        TargetEntry {
+            id: "riscy-full",
+            label: "full Xpulp (hw loops + post-incr)",
+            group: TargetGroup::XpulpAblation,
+            build: || {
+                Box::new(xpulp_variant(
+                    "full Xpulp (hw loops + post-incr)",
+                    XpulpOpts::full(),
+                ))
+            },
+        },
+        TargetEntry {
+            id: "riscy-hwloops",
+            label: "hw loops only",
+            group: TargetGroup::XpulpAblation,
+            build: || {
+                Box::new(xpulp_variant(
+                    "hw loops only",
+                    XpulpOpts {
+                        hw_loops: true,
+                        post_increment: false,
+                    },
+                ))
+            },
+        },
+        TargetEntry {
+            id: "riscy-postincr",
+            label: "post-increment only",
+            group: TargetGroup::XpulpAblation,
+            build: || {
+                Box::new(xpulp_variant(
+                    "post-increment only",
+                    XpulpOpts {
+                        hw_loops: false,
+                        post_increment: true,
+                    },
+                ))
+            },
+        },
+        TargetEntry {
+            id: "riscy-rv32im",
+            label: "plain RV32IM",
+            group: TargetGroup::XpulpAblation,
+            build: || Box::new(xpulp_variant("plain RV32IM", XpulpOpts::none())),
+        },
+        TargetEntry {
+            id: "m4-q15",
+            label: "ARM Cortex-M4 (smlad)",
+            group: TargetGroup::Q15,
+            build: || Box::new(M4Machine::new()),
+        },
+        TargetEntry {
+            id: "riscy-q15",
+            label: "Single RI5CY (pv.sdotsp.h)",
+            group: TargetGroup::Q15,
+            build: || Box::new(WolfMachine::riscy()),
+        },
+        TargetEntry {
+            id: "cluster8-q15",
+            label: "Multi RI5CY \u{d7}8 (SIMD)",
+            group: TargetGroup::Q15,
+            build: || Box::new(WolfMachine::cluster(8)),
+        },
+    ]
+}
+
+/// Registry rows belonging to `group`, in table order.
+#[must_use]
+pub fn targets_in(group: TargetGroup) -> Vec<TargetEntry> {
+    registry()
+        .into_iter()
+        .filter(|t| t.group == group)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique() {
+        let rows = registry();
+        for (i, a) in rows.iter().enumerate() {
+            for b in &rows[i + 1..] {
+                assert_ne!(a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_group_matches_table_order() {
+        let labels: Vec<&str> = targets_in(TargetGroup::Paper)
+            .iter()
+            .map(|t| t.label)
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "ARM Cortex-M4",
+                "PULP IBEX",
+                "Single RI5CY",
+                "Multi RI5CY (8)"
+            ]
+        );
+    }
+
+    #[test]
+    fn machines_report_clocks() {
+        for entry in registry() {
+            let m = entry.machine();
+            assert!(m.clock_hz() > 1e6, "{} clock", m.name());
+        }
+    }
+}

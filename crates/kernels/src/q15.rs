@@ -15,14 +15,14 @@
 use iw_armv7m::asm::ThumbAsm;
 use iw_armv7m::{Cond, LsWidth, ThumbInstr, R};
 use iw_fann::Q15Net;
-use iw_mrwolf::memmap::{BARRIER_ADDR, L2_BASE, L2_SIZE, TCDM_BASE, TCDM_SIZE};
-use iw_mrwolf::{ClusterConfig, MrWolf, OperatingPoint, WolfMode};
-use iw_nrf52::{Nrf52, FLASH_BASE, RAM_BASE};
+use iw_mrwolf::memmap::BARRIER_ADDR;
 use iw_rv32::asm::Asm;
 use iw_rv32::{BranchCond, LoopIdx, MemWidth, Reg, ShiftOp, SimdOp};
 
 use crate::layout::Placement;
+use crate::machine::{ExecPath, M4Machine, Machine, MachineRun, WolfMachine};
 use crate::targets::KernelError;
+use crate::workloads::Q15Workload;
 
 /// Assigns addresses for a Q15 network: halfword weights, halfword
 /// activation buffers (widths padded to even).
@@ -235,30 +235,33 @@ pub struct Q15Run {
     pub energy_j: f64,
 }
 
-fn stage_q15_input(
-    write: &mut dyn FnMut(u32, &[u8]),
-    placement: &Placement,
+impl Q15Run {
+    fn from_machine(run: MachineRun) -> Q15Run {
+        Q15Run {
+            cycles: run.cycles,
+            instructions: run.instructions,
+            outputs: Q15Workload::decode_outputs(&run.output),
+            energy_j: run.energy.total_j,
+        }
+    }
+}
+
+/// Runs a Q15 classification on an arbitrary [`Machine`] — the registry
+/// entry point experiment A7 iterates.
+///
+/// # Errors
+///
+/// See [`KernelError`].
+pub fn run_q15_on(
+    machine: &dyn Machine,
     net: &Q15Net,
     input: &[i16],
-) {
-    let padded = net.num_inputs.div_ceil(2) * 2;
-    for i in 0..padded {
-        let v = input.get(i).copied().unwrap_or(0);
-        write(placement.input_addr() + 2 * i as u32, &v.to_le_bytes());
-    }
+) -> Result<Q15Run, KernelError> {
+    let workload = Q15Workload::new(net, input)?;
+    Ok(Q15Run::from_machine(
+        machine.deploy(&workload)?.run(ExecPath::Cached)?,
+    ))
 }
-
-fn check_q15_input(net: &Q15Net, input: &[i16]) -> Result<(), KernelError> {
-    if net.num_inputs != input.len() {
-        return Err(KernelError::BadInput {
-            expected: net.num_inputs,
-            got: input.len(),
-        });
-    }
-    Ok(())
-}
-
-const MAX_CYCLES: u64 = 500_000_000;
 
 /// Runs a Q15 classification on the RI5CY cluster (`cores` = 1 for the
 /// single-core comparison).
@@ -267,73 +270,7 @@ const MAX_CYCLES: u64 = 500_000_000;
 ///
 /// See [`KernelError`].
 pub fn run_wolf_q15(net: &Q15Net, input: &[i16], cores: usize) -> Result<Q15Run, KernelError> {
-    check_q15_input(net, input)?;
-    // Weight placement mirrors the 32-bit path: TCDM when it fits, else L2.
-    let probe = place_q15(net, 0, 0);
-    let buf_bytes = (probe.bufs[1] - probe.bufs[0]) * 2;
-    let weights_in_tcdm = probe.weight_bytes <= TCDM_SIZE - buf_bytes as usize - 8 * 512;
-    let weights_base = if weights_in_tcdm {
-        TCDM_BASE + buf_bytes
-    } else {
-        L2_BASE + 0x2_0000
-    };
-    if !weights_in_tcdm && probe.weight_bytes > L2_SIZE - 0x2_0000 {
-        return Err(KernelError::DoesNotFit {
-            required: probe.weight_bytes,
-            available: L2_SIZE - 0x2_0000,
-        });
-    }
-    let placement = place_q15(net, weights_base, TCDM_BASE);
-
-    let mut asm = Asm::new(L2_BASE);
-    emit_riscy_q15_kernel(&mut asm, net, &placement, cores);
-    let program = asm.assemble()?;
-
-    let mut wolf = MrWolf::with_cluster_config(ClusterConfig {
-        cores,
-        ..ClusterConfig::default()
-    });
-    wolf.l2_mut().write_bytes(L2_BASE, &program);
-    for (addr, bytes) in q15_image(net, &placement) {
-        if addr >= L2_BASE {
-            wolf.l2_mut().write_bytes(addr, &bytes);
-        } else {
-            wolf.tcdm_mut().write_bytes(addr, &bytes);
-        }
-    }
-    {
-        let tcdm = wolf.tcdm_mut();
-        let mut write = |addr: u32, bytes: &[u8]| tcdm.write_bytes(addr, bytes);
-        stage_q15_input(&mut write, &placement, net, input);
-    }
-
-    let run = wolf.run_cluster(L2_BASE, MAX_CYCLES)?;
-    let out_addr = placement.output_addr(net.layers.len());
-    let out_n = net.layers.last().map_or(0, |l| l.out_count);
-    let outputs = (0..out_n)
-        .map(|i| {
-            i16::from_le_bytes(
-                wolf.tcdm()
-                    .read_bytes(out_addr + 2 * i as u32, 2)
-                    .try_into()
-                    .expect("2 bytes"),
-            )
-        })
-        .collect();
-    let op = OperatingPoint::efficient();
-    Ok(Q15Run {
-        cycles: run.cycles,
-        instructions: run.instructions,
-        outputs,
-        energy_j: op
-            .energy(
-                run.cycles,
-                WolfMode::Cluster {
-                    active_cores: cores,
-                },
-            )
-            .energy_j,
-    })
+    run_q15_on(&WolfMachine::cluster(cores), net, input)
 }
 
 /// Runs a Q15 classification on the nRF52832's Cortex-M4 (`smlad` path).
@@ -342,40 +279,7 @@ pub fn run_wolf_q15(net: &Q15Net, input: &[i16], cores: usize) -> Result<Q15Run,
 ///
 /// See [`KernelError`].
 pub fn run_m4_q15(net: &Q15Net, input: &[i16]) -> Result<Q15Run, KernelError> {
-    check_q15_input(net, input)?;
-    let placement = place_q15(net, FLASH_BASE + 0x4000, RAM_BASE);
-    let mut asm = ThumbAsm::new();
-    emit_m4_q15_kernel(&mut asm, net, &placement);
-    let program = asm.finish().expect("q15 kernel binds every label");
-
-    let mut soc = Nrf52::new();
-    for (addr, bytes) in q15_image(net, &placement) {
-        soc.mem_mut().write_bytes(addr, &bytes);
-    }
-    {
-        let mem = soc.mem_mut();
-        let mut write = |addr: u32, bytes: &[u8]| mem.write_bytes(addr, bytes);
-        stage_q15_input(&mut write, &placement, net, input);
-    }
-    let run = soc.run(&program, MAX_CYCLES)?;
-    let out_addr = placement.output_addr(net.layers.len());
-    let out_n = net.layers.last().map_or(0, |l| l.out_count);
-    let outputs = (0..out_n)
-        .map(|i| {
-            i16::from_le_bytes(
-                soc.mem()
-                    .read_bytes(out_addr + 2 * i as u32, 2)
-                    .try_into()
-                    .expect("2 bytes"),
-            )
-        })
-        .collect();
-    Ok(Q15Run {
-        cycles: run.result.cycles,
-        instructions: run.result.instructions,
-        outputs,
-        energy_j: run.energy_j,
-    })
+    run_q15_on(&M4Machine::new(), net, input)
 }
 
 #[cfg(test)]

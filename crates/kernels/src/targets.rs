@@ -1,86 +1,29 @@
 //! High-level runners: deploy a network to a platform, execute one
 //! classification, and report cycles + energy.
+//!
+//! These are thin, typed views over the execution layer in
+//! [`crate::machine`]: every target is a [`Machine`], every network+input
+//! pair a [`Workload`](crate::machine::Workload), and the per-target
+//! staging/run/energy logic that used to live here is gone — the same
+//! deployment path serves the paper tables, the ablations and the bench.
 
-use iw_armv7m::asm::ThumbAsm;
-use iw_armv7m::{M4Error, ThumbInstr};
 use iw_fann::{FixedNet, Mlp};
-use iw_mrwolf::memmap::{L2_BASE, L2_SIZE, TCDM_BASE, TCDM_SIZE};
-use iw_mrwolf::{ClusterConfig, ClusterError, ClusterRun, MrWolf, OperatingPoint, WolfMode};
-use iw_nrf52::{Nrf52, FLASH_BASE, RAM_BASE};
-use iw_rv32::asm::{Asm, AsmError};
-use iw_rv32::{CpuError, ExecProfile};
+use iw_mrwolf::ClusterRun;
+use iw_rv32::ExecProfile;
 
-use crate::layout::{fixed_image, float_image, place_fixed, place_float, Placement};
-use crate::m4::{emit_m4_fixed_kernel, emit_m4_float_kernel};
-use crate::rv::{emit_fixed_kernel, RvKernelOpts};
+use iw_mrwolf::ClusterConfig;
+
+use crate::machine::{
+    Deployment, ExecPath, M4Machine, Machine, MachineError, MachineRun, WolfMachine,
+};
+use crate::rv::RvKernelOpts;
+use crate::workloads::{FixedWorkload, FloatWorkload};
 
 /// Error produced while deploying or running a kernel.
-#[derive(Debug)]
-pub enum KernelError {
-    /// The RISC-V program failed to assemble.
-    Asm(AsmError),
-    /// A fabric-controller run faulted.
-    Fc(CpuError),
-    /// A cluster run faulted.
-    Cluster(ClusterError),
-    /// The Cortex-M4 run faulted.
-    M4(M4Error),
-    /// The network image does not fit the target's memories.
-    DoesNotFit {
-        /// Bytes required.
-        required: usize,
-        /// Bytes available.
-        available: usize,
-    },
-    /// Input length does not match the network.
-    BadInput {
-        /// Expected input count.
-        expected: usize,
-        /// Provided input count.
-        got: usize,
-    },
-}
-
-impl core::fmt::Display for KernelError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            KernelError::Asm(e) => write!(f, "assembly failed: {e}"),
-            KernelError::Fc(e) => write!(f, "fabric controller fault: {e}"),
-            KernelError::Cluster(e) => write!(f, "cluster fault: {e}"),
-            KernelError::M4(e) => write!(f, "cortex-m4 fault: {e}"),
-            KernelError::DoesNotFit {
-                required,
-                available,
-            } => write!(f, "image needs {required} B, only {available} B available"),
-            KernelError::BadInput { expected, got } => {
-                write!(f, "network expects {expected} inputs, got {got}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for KernelError {}
-
-impl From<AsmError> for KernelError {
-    fn from(e: AsmError) -> Self {
-        KernelError::Asm(e)
-    }
-}
-impl From<CpuError> for KernelError {
-    fn from(e: CpuError) -> Self {
-        KernelError::Fc(e)
-    }
-}
-impl From<ClusterError> for KernelError {
-    fn from(e: ClusterError) -> Self {
-        KernelError::Cluster(e)
-    }
-}
-impl From<M4Error> for KernelError {
-    fn from(e: M4Error) -> Self {
-        KernelError::M4(e)
-    }
-}
+///
+/// Alias of the execution layer's [`MachineError`] — the historical name,
+/// kept for the public API.
+pub type KernelError = MachineError;
 
 /// Result of one fixed-point classification on a target.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,19 +43,32 @@ pub struct FixedRun {
 }
 
 impl FixedRun {
-    /// Predicted class (argmax).
+    fn from_machine(run: MachineRun) -> FixedRun {
+        FixedRun {
+            cycles: run.cycles,
+            instructions: run.instructions,
+            outputs: FixedWorkload::decode_outputs(&run.output),
+            energy_j: run.energy.total_j,
+            cluster: run.cluster,
+            profile: run.profile,
+        }
+    }
+
+    /// Predicted class (argmax, first maximal index — FANN semantics).
     ///
     /// # Panics
     ///
     /// Panics if the output vector is empty.
     #[must_use]
     pub fn class(&self) -> usize {
-        self.outputs
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &v)| v)
-            .map(|(i, _)| i)
-            .expect("at least one output")
+        assert!(!self.outputs.is_empty(), "at least one output");
+        let mut best = 0;
+        for (i, &v) in self.outputs.iter().enumerate().skip(1) {
+            if v > self.outputs[best] {
+                best = i;
+            }
+        }
+        best
     }
 }
 
@@ -160,80 +116,51 @@ impl FixedTarget {
         ]
     }
 
+    /// Builds the [`Machine`] implementing this target.
+    #[must_use]
+    pub fn machine(&self) -> Box<dyn Machine> {
+        match self {
+            FixedTarget::CortexM4 => Box::new(M4Machine::new()),
+            FixedTarget::WolfIbex => Box::new(WolfMachine::ibex()),
+            FixedTarget::WolfRiscy => Box::new(WolfMachine::riscy()),
+            FixedTarget::WolfCluster { cores } => Box::new(WolfMachine::cluster(*cores)),
+        }
+    }
+
     /// Human-readable name matching the paper's column headers.
     #[must_use]
     pub fn name(&self) -> String {
-        match self {
-            FixedTarget::CortexM4 => "ARM Cortex-M4".to_string(),
-            FixedTarget::WolfIbex => "PULP IBEX".to_string(),
-            FixedTarget::WolfRiscy => "Single RI5CY".to_string(),
-            FixedTarget::WolfCluster { cores } => format!("Multi RI5CY ({cores})"),
-        }
+        self.machine().name()
     }
 }
 
-fn check_input(expected: usize, got: usize) -> Result<(), KernelError> {
-    if expected != got {
-        return Err(KernelError::BadInput { expected, got });
-    }
-    Ok(())
-}
-
-/// Places a fixed network on Mr. Wolf: activation buffers always in TCDM;
-/// weights in TCDM when they fit alongside buffers and stacks, else in L2
-/// behind the program (Network B's 324 kB goes to L2, as on the die).
-fn place_on_wolf(net: &FixedNet) -> Result<(Placement, bool), KernelError> {
+/// Places a fixed network on Mr. Wolf via the shared placement policy
+/// ([`wolf_layout`]). Returns the placement and whether the weights landed
+/// in TCDM.
+#[cfg(test)]
+fn place_on_wolf(net: &FixedNet) -> Result<(crate::layout::Placement, bool), KernelError> {
+    use crate::layout::place_fixed;
+    use crate::machine::{wolf_layout, WorkloadFootprint};
     let probe = place_fixed(net, 0, 0);
-    let buf_bytes = (probe.bufs[1] - probe.bufs[0]) * 2;
-    let stacks = 8 * 512;
-    let tcdm_free = TCDM_SIZE - buf_bytes as usize - stacks;
-    let weights_in_tcdm = probe.weight_bytes <= tcdm_free;
-    let weights_base = if weights_in_tcdm {
-        TCDM_BASE + buf_bytes
-    } else {
-        L2_BASE + 0x2_0000 // program region is the first 128 kB of L2
+    let fp = WorkloadFootprint {
+        weight_bytes: probe.weight_bytes,
+        buf_bytes: ((probe.bufs[1] - probe.bufs[0]) * 2) as usize,
     };
-    if !weights_in_tcdm && probe.weight_bytes > L2_SIZE - 0x2_0000 {
-        return Err(KernelError::DoesNotFit {
-            required: probe.weight_bytes,
-            available: L2_SIZE - 0x2_0000,
-        });
-    }
-    Ok((place_fixed(net, weights_base, TCDM_BASE), weights_in_tcdm))
-}
-
-/// Cycle budget for a single inference (Network B on Ibex is ~1 M cycles;
-/// leave ample headroom).
-const MAX_CYCLES: u64 = 500_000_000;
-
-/// Which simulator a [`PreparedFixed`] deployment drives.
-#[derive(Debug, Clone)]
-enum PreparedKind {
-    /// Cortex-M4: the pre-decoded program *is* the decode cache (flash is
-    /// immutable, so lines never invalidate); `code` is its halfword
-    /// encoding, decoded per dynamic instruction by the reference path.
-    M4 {
-        program: Vec<ThumbInstr>,
-        code: Vec<u16>,
-    },
-    /// Mr. Wolf: an assembled RV32 image loaded at `L2_BASE`, run either
-    /// on the Ibex fabric controller or on the RI5CY cluster.
-    Wolf {
-        program: Vec<u8>,
-        cfg: ClusterConfig,
-        on_fc: bool,
-        mode: WolfMode,
-    },
+    let (layout, in_tcdm) = wolf_layout(&fp)?;
+    Ok((
+        place_fixed(net, layout.weights_base, layout.buf_base),
+        in_tcdm,
+    ))
 }
 
 /// A fixed-point network deployed to one target.
 ///
 /// Deployment work — kernel emission, assembly/encoding, pre-decoding and
-/// rendering the weight/bias image — happens once, in the constructors.
-/// Each [`PreparedFixed::run`] then stages fresh memories and simulates a
-/// single classification, so repeated inference (and the ISS-throughput
-/// bench, whose timed region is exactly one `run`) does not re-pay
-/// code generation.
+/// rendering the weight/bias image — happens once, in the constructors
+/// (one [`Machine::deploy`] call). Each [`PreparedFixed::run`] then stages
+/// fresh memories and simulates a single classification, so repeated
+/// inference (and the ISS-throughput bench, whose timed region is exactly
+/// one `run`) does not re-pay code generation.
 ///
 /// # Examples
 ///
@@ -251,14 +178,8 @@ enum PreparedKind {
 /// assert_eq!(prep.run()?, first); // deterministic, no re-deployment
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
 pub struct PreparedFixed {
-    kind: PreparedKind,
-    placement: Placement,
-    image: Vec<(u32, Vec<u8>)>,
-    input: Vec<i32>,
-    out_count: usize,
-    num_layers: usize,
+    deployment: Box<dyn Deployment>,
 }
 
 impl PreparedFixed {
@@ -272,18 +193,23 @@ impl PreparedFixed {
         net: &FixedNet,
         input: &[i32],
     ) -> Result<PreparedFixed, KernelError> {
-        match target {
-            FixedTarget::CortexM4 => PreparedFixed::m4(net, input),
-            FixedTarget::WolfIbex => {
-                PreparedFixed::wolf(net, input, &RvKernelOpts::ibex(), None, true)
-            }
-            FixedTarget::WolfRiscy => {
-                PreparedFixed::wolf(net, input, &RvKernelOpts::riscy(), None, false)
-            }
-            FixedTarget::WolfCluster { cores } => {
-                PreparedFixed::wolf(net, input, &RvKernelOpts::cluster(cores), None, false)
-            }
-        }
+        PreparedFixed::on(&*target.machine(), net, input)
+    }
+
+    /// Deploys `net` to any [`Machine`] — registry rows included.
+    ///
+    /// # Errors
+    ///
+    /// See [`KernelError`].
+    pub fn on(
+        machine: &dyn Machine,
+        net: &FixedNet,
+        input: &[i32],
+    ) -> Result<PreparedFixed, KernelError> {
+        let workload = FixedWorkload::new(net, input)?;
+        Ok(PreparedFixed {
+            deployment: machine.deploy(&workload)?,
+        })
     }
 
     /// Deploys `net` to the nRF52832's Cortex-M4.
@@ -292,22 +218,7 @@ impl PreparedFixed {
     ///
     /// See [`KernelError`].
     pub fn m4(net: &FixedNet, input: &[i32]) -> Result<PreparedFixed, KernelError> {
-        check_input(net.num_inputs, input.len())?;
-        let placement = place_fixed(net, FLASH_BASE + 0x4000, RAM_BASE);
-        let mut asm = ThumbAsm::new();
-        emit_m4_fixed_kernel(&mut asm, net, &placement);
-        let program = asm
-            .finish()
-            .expect("fixed kernel generator binds every label");
-        let code = iw_armv7m::encode_program(&program).expect("generated kernels are encodable");
-        Ok(PreparedFixed {
-            kind: PreparedKind::M4 { program, code },
-            image: fixed_image(net, &placement),
-            placement,
-            input: input.to_vec(),
-            out_count: net.layers.last().map_or(0, |l| l.out_count),
-            num_layers: net.layers.len(),
-        })
+        PreparedFixed::on(&M4Machine::new(), net, input)
     }
 
     /// Deploys `net` to Mr. Wolf with explicit kernel options (used
@@ -323,36 +234,8 @@ impl PreparedFixed {
         cluster_cfg: Option<ClusterConfig>,
         on_fc: bool,
     ) -> Result<PreparedFixed, KernelError> {
-        check_input(net.num_inputs, input.len())?;
-        let (placement, _) = place_on_wolf(net)?;
-        let mut asm = Asm::new(L2_BASE);
-        emit_fixed_kernel(&mut asm, net, &placement, opts);
-        let program = asm.assemble()?;
-        assert!(program.len() < 0x2_0000, "program exceeds its L2 region");
-        let cfg = cluster_cfg.unwrap_or(ClusterConfig {
-            cores: opts.cores,
-            ..ClusterConfig::default()
-        });
-        let mode = if on_fc {
-            WolfMode::FcOnly
-        } else {
-            WolfMode::Cluster {
-                active_cores: opts.cores,
-            }
-        };
-        Ok(PreparedFixed {
-            kind: PreparedKind::Wolf {
-                program,
-                cfg,
-                on_fc,
-                mode,
-            },
-            image: fixed_image(net, &placement),
-            placement,
-            input: input.to_vec(),
-            out_count: net.layers.last().map_or(0, |l| l.out_count),
-            num_layers: net.layers.len(),
-        })
+        let machine = WolfMachine::with_opts("Mr. Wolf (custom)", *opts, cluster_cfg, on_fc);
+        PreparedFixed::on(&machine, net, input)
     }
 
     /// Simulates one classification through the pre-decoded/batched fast
@@ -362,7 +245,9 @@ impl PreparedFixed {
     ///
     /// See [`KernelError`].
     pub fn run(&self) -> Result<FixedRun, KernelError> {
-        self.simulate(false)
+        Ok(FixedRun::from_machine(
+            self.deployment.run(ExecPath::Cached)?,
+        ))
     }
 
     /// Simulates one classification through the uncached reference
@@ -374,112 +259,24 @@ impl PreparedFixed {
     ///
     /// See [`KernelError`].
     pub fn run_uncached(&self) -> Result<FixedRun, KernelError> {
-        self.simulate(true)
+        Ok(FixedRun::from_machine(
+            self.deployment.run(ExecPath::Reference)?,
+        ))
     }
+}
 
-    fn simulate(&self, reference: bool) -> Result<FixedRun, KernelError> {
-        match &self.kind {
-            PreparedKind::M4 { program, code } => {
-                let mut soc = Nrf52::new();
-                for (addr, bytes) in &self.image {
-                    soc.mem_mut().write_bytes(*addr, bytes);
-                }
-                for (i, &v) in self.input.iter().enumerate() {
-                    soc.mem_mut()
-                        .write_bytes(self.placement.input_addr() + 4 * i as u32, &v.to_le_bytes());
-                }
-                let run = if reference {
-                    soc.run_code(code, MAX_CYCLES)?
-                } else {
-                    soc.run(program, MAX_CYCLES)?
-                };
-                let out_addr = self.placement.output_addr(self.num_layers);
-                let outputs = (0..self.out_count)
-                    .map(|i| {
-                        i32::from_le_bytes(
-                            soc.mem()
-                                .read_bytes(out_addr + 4 * i as u32, 4)
-                                .try_into()
-                                .expect("4 bytes"),
-                        )
-                    })
-                    .collect();
-                Ok(FixedRun {
-                    cycles: run.result.cycles,
-                    instructions: run.result.instructions,
-                    outputs,
-                    energy_j: run.energy_j,
-                    cluster: None,
-                    profile: run.profile,
-                })
-            }
-            PreparedKind::Wolf {
-                program,
-                cfg,
-                on_fc,
-                mode,
-            } => {
-                let cfg = if reference {
-                    ClusterConfig {
-                        decode_cache: false,
-                        ..*cfg
-                    }
-                } else {
-                    *cfg
-                };
-                let mut wolf = MrWolf::with_cluster_config(cfg);
-                wolf.l2_mut().write_bytes(L2_BASE, program);
-                for (addr, bytes) in &self.image {
-                    if *addr >= L2_BASE {
-                        wolf.l2_mut().write_bytes(*addr, bytes);
-                    } else {
-                        wolf.tcdm_mut().write_bytes(*addr, bytes);
-                    }
-                }
-                for (i, &v) in self.input.iter().enumerate() {
-                    wolf.tcdm_mut()
-                        .write_bytes(self.placement.input_addr() + 4 * i as u32, &v.to_le_bytes());
-                }
-                let op = OperatingPoint::efficient();
-                let (cycles, instructions, cluster, profile) = if *on_fc {
-                    let run = if reference {
-                        wolf.run_fc_uncached(L2_BASE, MAX_CYCLES)?
-                    } else {
-                        wolf.run_fc(L2_BASE, MAX_CYCLES)?
-                    };
-                    (
-                        run.result.cycles,
-                        run.result.instructions,
-                        None,
-                        run.profile,
-                    )
-                } else {
-                    let run = wolf.run_cluster(L2_BASE, MAX_CYCLES)?;
-                    let profile = run.profile;
-                    (run.cycles, run.instructions, Some(run.clone()), profile)
-                };
-                let out_addr = self.placement.output_addr(self.num_layers);
-                let outputs = (0..self.out_count)
-                    .map(|i| {
-                        i32::from_le_bytes(
-                            wolf.tcdm()
-                                .read_bytes(out_addr + 4 * i as u32, 4)
-                                .try_into()
-                                .expect("4 bytes"),
-                        )
-                    })
-                    .collect();
-                Ok(FixedRun {
-                    cycles,
-                    instructions,
-                    outputs,
-                    energy_j: op.energy(cycles, *mode).energy_j,
-                    cluster,
-                    profile,
-                })
-            }
-        }
-    }
+/// Runs one fixed-point classification on an arbitrary [`Machine`] — the
+/// primary entry point for registry-driven experiments.
+///
+/// # Errors
+///
+/// See [`KernelError`].
+pub fn run_fixed_on(
+    machine: &dyn Machine,
+    net: &FixedNet,
+    input: &[i32],
+) -> Result<FixedRun, KernelError> {
+    PreparedFixed::on(machine, net, input)?.run()
 }
 
 /// Runs one fixed-point classification on Mr. Wolf with explicit kernel
@@ -527,43 +324,15 @@ pub fn run_m4_fixed_uncached(net: &FixedNet, input: &[i32]) -> Result<FixedRun, 
 /// # Panics
 ///
 /// Panics if the network uses non-tanh activations (see
-/// [`emit_m4_float_kernel`]).
+/// [`crate::emit_m4_float_kernel`]).
 pub fn run_m4_float(net: &Mlp, input: &[f32]) -> Result<FloatRun, KernelError> {
-    check_input(net.num_inputs(), input.len())?;
-    let placement = place_float(net, FLASH_BASE + 0x4000, RAM_BASE);
-    let mut asm = ThumbAsm::new();
-    emit_m4_float_kernel(&mut asm, net, &placement);
-    let program = asm
-        .finish()
-        .expect("float kernel generator binds every label");
-
-    let mut soc = Nrf52::new();
-    for (addr, bytes) in float_image(net, &placement) {
-        soc.mem_mut().write_bytes(addr, &bytes);
-    }
-    for (i, x) in input.iter().enumerate() {
-        soc.mem_mut().write_bytes(
-            placement.input_addr() + 4 * i as u32,
-            &x.to_bits().to_le_bytes(),
-        );
-    }
-    let run = soc.run(&program, MAX_CYCLES)?;
-    let out_addr = placement.output_addr(net.layers().len());
-    let outputs = (0..net.num_outputs())
-        .map(|i| {
-            f32::from_bits(u32::from_le_bytes(
-                soc.mem()
-                    .read_bytes(out_addr + 4 * i as u32, 4)
-                    .try_into()
-                    .expect("4 bytes"),
-            ))
-        })
-        .collect();
+    let workload = FloatWorkload::new(net, input)?;
+    let run = M4Machine::new().deploy(&workload)?.run(ExecPath::Cached)?;
     Ok(FloatRun {
-        cycles: run.result.cycles,
-        instructions: run.result.instructions,
-        outputs,
-        energy_j: run.energy_j,
+        cycles: run.cycles,
+        instructions: run.instructions,
+        outputs: FloatWorkload::decode_outputs(&run.output),
+        energy_j: run.energy.total_j,
         profile: run.profile,
     })
 }
@@ -600,6 +369,7 @@ pub fn run_fixed_uncached(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iw_mrwolf::memmap::L2_BASE;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -667,6 +437,12 @@ mod tests {
         // The generated fixed kernel must be expressible in the halfword
         // encoding, and the per-halfword-decode path must reproduce the
         // pre-decoded run exactly (cycles, instructions, outputs).
+        use crate::layout::{fixed_image, place_fixed};
+        use crate::m4::emit_m4_fixed_kernel;
+        use crate::machine::MAX_CYCLES;
+        use iw_armv7m::asm::ThumbAsm;
+        use iw_nrf52::{Nrf52, FLASH_BASE, RAM_BASE};
+
         let (_, fixed, qin) = small_net(107);
         let placement = place_fixed(&fixed, FLASH_BASE + 0x4000, RAM_BASE);
         let mut asm = ThumbAsm::new();
@@ -702,6 +478,31 @@ mod tests {
                 got: 2
             }
         ));
+    }
+
+    #[test]
+    fn argmax_ties_break_to_first_index() {
+        // FANN's argmax keeps the first maximal output; `max_by_key` keeps
+        // the last. The tie must resolve to the first index.
+        let run = FixedRun {
+            cycles: 1,
+            instructions: 1,
+            outputs: vec![3, 7, 7, 2],
+            energy_j: 0.0,
+            cluster: None,
+            profile: ExecProfile::default(),
+        };
+        assert_eq!(run.class(), 1);
+        let all_equal = FixedRun {
+            outputs: vec![5, 5, 5],
+            ..run.clone()
+        };
+        assert_eq!(all_equal.class(), 0);
+        let single = FixedRun {
+            outputs: vec![-1],
+            ..run
+        };
+        assert_eq!(single.class(), 0);
     }
 
     #[test]

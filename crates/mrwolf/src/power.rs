@@ -89,6 +89,33 @@ impl OperatingPoint {
             energy_j: seconds * power_w,
         }
     }
+
+    /// Energy to execute `cycles` cycles in `mode`, split by power domain.
+    /// The total is computed exactly as [`OperatingPoint::energy`] computes
+    /// `energy_j` (same float operations), so the two never disagree.
+    #[must_use]
+    pub fn domain_energy(&self, cycles: u64, mode: WolfMode) -> DomainEnergy {
+        let seconds = cycles as f64 / self.freq_hz;
+        let total_j = seconds * self.power_w(mode);
+        let soc_j = seconds * self.soc_power_w;
+        DomainEnergy {
+            soc_j,
+            cluster_j: total_j - soc_j,
+            total_j,
+        }
+    }
+}
+
+/// Per-domain split of one run's energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainEnergy {
+    /// SoC-domain share (FC + L2 + interconnect), joules.
+    pub soc_j: f64,
+    /// Cluster-domain share (zero when the cluster is power-gated), joules.
+    pub cluster_j: f64,
+    /// Total energy, joules — bit-identical to
+    /// [`EnergyReport::energy_j`] for the same run.
+    pub total_j: f64,
 }
 
 /// Energy accounting for one run.
