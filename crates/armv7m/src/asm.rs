@@ -44,6 +44,7 @@ enum Item {
 pub struct ThumbAsm {
     items: Vec<Item>,
     labels: Vec<Option<usize>>,
+    symbols: Vec<(u32, String)>,
 }
 
 impl ThumbAsm {
@@ -51,6 +52,23 @@ impl ThumbAsm {
     #[must_use]
     pub fn new() -> ThumbAsm {
         ThumbAsm::default()
+    }
+
+    /// Names the region starting at the current instruction index. Marks
+    /// are pure metadata — they emit nothing — and feed the trace
+    /// layer's symbolized hotspot/region reports. Positions are in
+    /// *instruction index* units, matching the PC of the pre-decoded
+    /// [`crate::CortexM4::run`] path.
+    pub fn mark(&mut self, name: &str) {
+        self.symbols
+            .push((self.items.len() as u32, name.to_string()));
+    }
+
+    /// The `(instruction_index, name)` marks recorded so far, in
+    /// emission order.
+    #[must_use]
+    pub fn symbols(&self) -> &[(u32, String)] {
+        &self.symbols
     }
 
     /// Number of instructions emitted so far.

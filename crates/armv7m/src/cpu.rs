@@ -1,6 +1,7 @@
 //! The Cortex-M4F interpreter.
 
 use iw_rv32::{Bus, BusError, ExecProfile, InstrClass, MemWidth};
+use iw_trace::{NoopSink, TraceSink, TrackId};
 
 use crate::instr::{AddrMode, Cond, DpOp, LsWidth, ThumbInstr, R, S};
 use crate::timing::CortexM4Timing;
@@ -717,14 +718,57 @@ impl CortexM4 {
         t: &CortexM4Timing,
         max_cycles: u64,
     ) -> Result<RunResult, M4Error> {
+        self.run_sink(
+            program,
+            bus,
+            t,
+            max_cycles,
+            &mut NoopSink,
+            TrackId::default(),
+        )
+    }
+
+    /// [`CortexM4::run`] with an instrumentation sink attached.
+    ///
+    /// With the default [`NoopSink`] every emission site folds away and
+    /// this *is* the pre-decoded hot loop. With a recording sink it
+    /// emits one PC sample per retired instruction (PC in *instruction
+    /// index* units — the same units [`crate::asm::ThumbAsm::mark`]
+    /// records symbols in) plus a single `exec-batch` span covering the
+    /// whole run: nRF52832 code executes from flash, which stores cannot
+    /// reach, so the pre-decoded program is never invalidated and the
+    /// batch never breaks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CortexM4::run`].
+    pub fn run_sink<B: Bus, S: TraceSink>(
+        &mut self,
+        program: &[ThumbInstr],
+        bus: &mut B,
+        t: &CortexM4Timing,
+        max_cycles: u64,
+        sink: &mut S,
+        track: TrackId,
+    ) -> Result<RunResult, M4Error> {
         let mut cycles = 0u64;
         let mut instructions = 0u64;
-        while let Some(cost) = self.step(program, bus, t)? {
+        loop {
+            let pc = self.pc;
+            let Some(cost) = self.step(program, bus, t)? else {
+                break;
+            };
+            if S::ENABLED {
+                sink.pc_sample(track, pc as u32, cycles, cost);
+            }
             cycles += u64::from(cost);
             instructions += 1;
             if cycles > max_cycles {
                 return Err(M4Error::CycleLimit { limit: max_cycles });
             }
+        }
+        if S::ENABLED && cycles > 0 {
+            sink.span(track, "exec-batch", 0, cycles);
         }
         Ok(RunResult {
             cycles,

@@ -7,7 +7,7 @@
 use std::time::Instant;
 
 use iw_bench::evaluation_nets;
-use iw_kernels::{FixedTarget, PreparedFixed};
+use iw_kernels::{registry, PreparedFixed, TargetGroup};
 use iw_rv32::{decode, Bus, MemWidth, Ram};
 
 fn time<R>(label: &str, per: u64, mut f: impl FnMut() -> R) -> f64 {
@@ -78,17 +78,17 @@ fn main() {
     });
 
     // --- Full workloads --------------------------------------------------
+    // Every paper-group registry target on Network B (the heavyweight
+    // workload); the same rows `iss_bench` measures.
     let nets = evaluation_nets();
     let (_, _, fixed, qin) = &nets[1]; // Network B
-    for target in [
-        FixedTarget::WolfIbex,
-        FixedTarget::WolfRiscy,
-        FixedTarget::WolfCluster { cores: 8 },
-        FixedTarget::CortexM4,
-    ] {
-        let prep = PreparedFixed::new(target, fixed, qin).expect("deploys");
+    for entry in registry() {
+        if entry.group != TargetGroup::Paper {
+            continue;
+        }
+        let prep = PreparedFixed::on(&*entry.machine(), fixed, qin).expect("deploys");
         let instructions = prep.run().expect("runs").instructions;
-        let name = target.name();
+        let name = entry.label;
         let c = time(&format!("{name}: predecoded run"), instructions, || {
             prep.run().expect("runs")
         });

@@ -131,6 +131,10 @@ fn a9() {
     );
 }
 
+fn d1() {
+    print!("{}", iw_bench::render_d1());
+}
+
 fn a10() {
     println!("\n== A10 — extension: cycle breakdown, Network A per target ==");
     for (target, wall_cycles, rows) in iw_bench::a10_cycle_breakdown() {
@@ -203,5 +207,8 @@ fn main() {
     }
     if want("a10") {
         a10();
+    }
+    if want("d1") {
+        d1();
     }
 }

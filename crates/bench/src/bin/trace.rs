@@ -1,0 +1,100 @@
+//! Records one registry target with the tracing layer attached and
+//! writes both observability artifacts:
+//!
+//! * `<stem>.trace.json` — Chrome trace-event timeline; open at
+//!   <https://ui.perfetto.dev> (one track per cluster core plus derived
+//!   per-layer `code` tracks, SoC energy counters and the harvest track).
+//! * `<stem>.folded` — folded-stack hotspot report of the *simulated*
+//!   program; feed to `inferno-flamegraph` / `flamegraph.pl`.
+//!
+//! ```text
+//! cargo run --release -p iw-bench --bin trace -- neta cl8
+//! cargo run --release -p iw-bench --bin trace -- netb m4 --out /tmp/traces
+//! ```
+//!
+//! `--check` additionally validates the artifacts (well-formed JSON, one
+//! track per cluster core, non-empty hotspot report) and exits non-zero
+//! on failure — the CI smoke mode.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: trace <neta|netb> <target-id> [--check] [--out DIR]");
+    exit(2);
+}
+
+fn main() {
+    let mut positional = Vec::new();
+    let mut check = false;
+    let mut out_dir = PathBuf::from("target/trace");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => fail("--out needs a directory"),
+            },
+            _ => positional.push(arg),
+        }
+    }
+    let [net, target] = positional.as_slice() else {
+        fail("expected exactly two arguments: <neta|netb> <target-id>");
+    };
+
+    let art = match iw_bench::trace_target(net, target) {
+        Ok(art) => art,
+        Err(e) => fail(&e),
+    };
+
+    if check {
+        if let Err(e) = iw_trace::validate_json(&art.chrome_json) {
+            fail(&format!("trace JSON is malformed: {e}"));
+        }
+        if art.run.cluster.is_some() {
+            let cores = art
+                .run
+                .cluster
+                .as_ref()
+                .map_or(0, |c| c.per_core_cycles.len());
+            for core in 0..cores {
+                let name = format!("\"cluster/core{core}\"");
+                if !art.chrome_json.contains(&name) {
+                    fail(&format!("trace JSON is missing the {name} track"));
+                }
+            }
+        }
+        if art.folded.trim().is_empty() {
+            fail("folded-stack report is empty");
+        }
+        println!("check ok: valid JSON, all per-core tracks present, hotspots non-empty");
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        fail(&format!("cannot create {}: {e}", out_dir.display()));
+    }
+    let json_path = out_dir.join(format!("{}.trace.json", art.stem));
+    let folded_path = out_dir.join(format!("{}.folded", art.stem));
+    if let Err(e) = std::fs::write(&json_path, &art.chrome_json) {
+        fail(&format!("cannot write {}: {e}", json_path.display()));
+    }
+    if let Err(e) = std::fs::write(&folded_path, &art.folded) {
+        fail(&format!("cannot write {}: {e}", folded_path.display()));
+    }
+
+    println!(
+        "{}: {} cycles, {} instructions",
+        art.stem, art.run.cycles, art.run.instructions
+    );
+    println!(
+        "  timeline : {} (open in https://ui.perfetto.dev)",
+        json_path.display()
+    );
+    println!(
+        "  hotspots : {} (inferno-flamegraph {} > flame.svg)",
+        folded_path.display(),
+        folded_path.display()
+    );
+}

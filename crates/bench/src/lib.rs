@@ -20,9 +20,11 @@ use iw_kernels::{
 use iw_mrwolf::ClusterConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-pub use render::{render_a2, render_a7, render_rows, render_t3t4};
+pub use render::{render_a2, render_a7, render_d1, render_rows, render_t3t4};
+pub use traceflow::{trace_target, TraceArtifacts};
 
 pub mod render;
+pub mod traceflow;
 
 /// Seed used for every deterministic experiment.
 pub const SEED: u64 = 2020;
@@ -639,6 +641,56 @@ pub fn a10_cycle_breakdown() -> CycleBreakdown {
                 })
                 .collect();
             (target.name(), run.cycles, rows)
+        })
+        .collect()
+}
+
+/// One cluster memory-system diagnostic row (see
+/// [`d1_cluster_diagnostics`]). All cycle figures are summed across the
+/// active cores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterDiag {
+    /// Active cores of the run.
+    pub cores: usize,
+    /// Sum of every core's completion time — the cycle pool the other
+    /// fields partition exactly.
+    pub core_cycles: u64,
+    /// Cycles spent executing instructions (base cost).
+    pub busy_cycles: u64,
+    /// Cycles lost to TCDM bank conflicts.
+    pub tcdm_conflict_stalls: u64,
+    /// Cycles lost waiting for the shared L2 port.
+    pub l2_port_stalls: u64,
+    /// Cycles parked at event-unit barriers.
+    pub barrier_wait_cycles: u64,
+    /// Barrier episodes executed.
+    pub barriers: u64,
+}
+
+/// **D1** — diagnostics: where the cluster's core-cycles go on the 8-core
+/// kernel. Surfaces the [`iw_mrwolf::ClusterRun`] stall/barrier counters
+/// for both networks; the five cycle classes partition the summed
+/// per-core cycles exactly (the conservation identity the conformance
+/// tests assert).
+#[must_use]
+pub fn d1_cluster_diagnostics() -> Vec<(String, ClusterDiag)> {
+    evaluation_nets()
+        .into_iter()
+        .map(|(name, _, fixed, qin)| {
+            let cores = 8;
+            let run =
+                run_fixed(FixedTarget::WolfCluster { cores }, &fixed, &qin).expect("cluster runs");
+            let stats = run.cluster.expect("cluster stats");
+            let diag = ClusterDiag {
+                cores,
+                core_cycles: stats.per_core_cycles.iter().sum(),
+                busy_cycles: stats.busy_cycles,
+                tcdm_conflict_stalls: stats.tcdm_conflict_stalls,
+                l2_port_stalls: stats.l2_port_stalls,
+                barrier_wait_cycles: stats.barrier_wait_cycles,
+                barriers: stats.barriers,
+            };
+            (name, diag)
         })
         .collect()
 }

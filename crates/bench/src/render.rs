@@ -91,6 +91,37 @@ pub fn render_a2() -> String {
     out
 }
 
+/// Renders the D1 cluster stall diagnostics (8-core kernel, both nets):
+/// each cycle class with its share of the summed per-core cycles.
+#[must_use]
+pub fn render_d1() -> String {
+    let mut out = String::new();
+    writeln!(out, "\n== D1 — cluster cycle accounting (8 cores) ==").expect("string write");
+    for (name, d) in crate::d1_cluster_diagnostics() {
+        let total = d.core_cycles.max(1) as f64;
+        writeln!(
+            out,
+            "  {name}: {} core-cycles across {} cores, {} barrier episodes",
+            d.core_cycles, d.cores, d.barriers
+        )
+        .expect("string write");
+        for (label, cycles) in [
+            ("busy (instruction base cost)", d.busy_cycles),
+            ("TCDM bank-conflict stalls", d.tcdm_conflict_stalls),
+            ("L2 port stalls", d.l2_port_stalls),
+            ("barrier wait", d.barrier_wait_cycles),
+        ] {
+            writeln!(
+                out,
+                "    {label:<30} {cycles:>8} cycles  {:>5.1}%",
+                cycles as f64 / total * 100.0
+            )
+            .expect("string write");
+        }
+    }
+    out
+}
+
 /// Renders the A7 Q15-vs-Q31 comparison.
 #[must_use]
 pub fn render_a7() -> String {

@@ -1,18 +1,19 @@
 //! Byte-for-byte regression test for the headline tables.
 //!
-//! `golden_tables.txt` was captured from the `tables t3 t4 a2 a7` output
-//! before the execution layer was refactored onto the `Machine` trait.
-//! Any drift in cycles, energy, formatting, or target labels fails here —
-//! the registry-driven path must reproduce the enum-dispatch numbers
-//! exactly.
+//! `golden_tables.txt` was captured from the `tables t3 t4 a2 a7 d1`
+//! output (the paper tables before the execution layer was refactored
+//! onto the `Machine` trait; the D1 cluster-diagnostics block when the
+//! tracing layer landed). Any drift in cycles, energy, stall accounting,
+//! formatting, or target labels fails here.
 
 #[test]
-fn tables_t3_t4_a2_a7_match_frozen_snapshot() {
+fn tables_t3_t4_a2_a7_d1_match_frozen_snapshot() {
     let got = format!(
-        "{}{}{}",
+        "{}{}{}{}",
         iw_bench::render_t3t4(),
         iw_bench::render_a2(),
-        iw_bench::render_a7()
+        iw_bench::render_a7(),
+        iw_bench::render_d1()
     );
     let want = include_str!("golden_tables.txt");
     assert_eq!(

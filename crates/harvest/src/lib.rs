@@ -46,6 +46,8 @@ pub use battery::{Battery, EmptyBatteryError, FuelGauge};
 pub use bq257x::{Bq25505, Bq25570};
 pub use env::{EnvProfile, EnvSegment, Illuminant, LightCondition, ThermalCondition};
 pub use psu::PowerSupply;
-pub use sim::{daily_intake, simulate_battery, IntakeReport, SimReport, TracePoint};
+pub use sim::{
+    daily_intake, record_harvest, simulate_battery, IntakeReport, SimReport, TracePoint,
+};
 pub use solar::{SolarHarvester, SolarPanel};
 pub use teg::{Teg, TegHarvester};

@@ -1,5 +1,7 @@
 //! Time-stepped harvesting/consumption simulation.
 
+use iw_trace::TraceSink;
+
 use crate::battery::Battery;
 use crate::env::EnvProfile;
 use crate::solar::SolarHarvester;
@@ -61,6 +63,12 @@ pub struct TracePoint {
     pub t_s: f64,
     /// Battery state of charge.
     pub soc: f64,
+    /// Instantaneous battery-side solar intake, watts.
+    pub solar_w: f64,
+    /// Instantaneous battery-side TEG intake, watts.
+    pub teg_w: f64,
+    /// Instantaneous battery-side load power actually drawn, watts.
+    pub consumed_w: f64,
 }
 
 /// Result of a battery-coupled simulation.
@@ -110,24 +118,30 @@ pub fn simulate_battery(
     let mut t = 0.0;
     let mut step = 0usize;
     for seg in &profile.segments {
-        let intake_w = solar.battery_intake_w(&seg.light) + teg.battery_intake_w(&seg.thermal);
+        let solar_w = solar.battery_intake_w(&seg.light);
+        let teg_w = teg.battery_intake_w(&seg.thermal);
+        let intake_w = solar_w + teg_w;
         let mut remaining = seg.duration_s;
         while remaining > 1e-9 {
             let h = dt_s.min(remaining);
             report.stored_j += battery.charge(intake_w * h);
             let demand = load_w(t, battery.soc()) * h;
-            match battery.discharge(demand) {
-                Ok(()) => report.consumed_j += demand,
+            let drawn = match battery.discharge(demand) {
+                Ok(()) => demand,
                 Err(e) => {
-                    report.consumed_j += e.available_j;
                     let _ = battery.discharge(e.available_j);
                     report.browned_out = true;
+                    e.available_j
                 }
-            }
+            };
+            report.consumed_j += drawn;
             if step.is_multiple_of(decimate) {
                 report.trace.push(TracePoint {
                     t_s: t,
                     soc: battery.soc(),
+                    solar_w,
+                    teg_w,
+                    consumed_w: drawn / h,
                 });
             }
             step += 1;
@@ -137,6 +151,26 @@ pub fn simulate_battery(
     }
     report.final_soc = battery.soc();
     report
+}
+
+/// Replays a [`SimReport`] trajectory into a trace sink as counter
+/// samples on a `harvest` track: state of charge (percent) plus the
+/// per-source intake and the consumed power, in milliwatts. Ticks on the
+/// track are whole simulated seconds (`ticks_per_us = 1e-6`), so a
+/// day-long trajectory lines up with cycle-stamped compute tracks in the
+/// same recording.
+pub fn record_harvest<S: TraceSink>(report: &SimReport, sink: &mut S) {
+    if !S::ENABLED {
+        return;
+    }
+    let track = sink.track("harvest", 1e-6);
+    for p in &report.trace {
+        let t = p.t_s as u64;
+        sink.counter(track, "soc_pct", t, p.soc * 100.0);
+        sink.counter(track, "solar_mw", t, p.solar_w * 1e3);
+        sink.counter(track, "teg_mw", t, p.teg_w * 1e3);
+        sink.counter(track, "load_mw", t, p.consumed_w * 1e3);
+    }
 }
 
 #[cfg(test)]
@@ -228,5 +262,35 @@ mod tests {
         for w in report.trace.windows(2) {
             assert!(w[1].t_s > w[0].t_s);
         }
+        // Per-source instantaneous power is carried on every point, and
+        // at least one daylight sample splits solar from TEG.
+        assert!(report.trace.iter().all(|p| p.consumed_w > 0.0));
+        assert!(report.trace.iter().any(|p| p.solar_w > p.teg_w));
+        assert!(report.trace.iter().any(|p| p.teg_w > 0.0));
+    }
+
+    #[test]
+    fn record_harvest_emits_counters_in_seconds() {
+        use iw_trace::{Event, Recorder};
+
+        let profile = EnvProfile::paper_indoor_day();
+        let mut battery = Battery::infiniwolf();
+        let report = simulate_battery(
+            &profile,
+            &SolarHarvester::infiniwolf(),
+            &TegHarvester::infiniwolf(),
+            &mut battery,
+            |_, _| 1e-3,
+            60.0,
+        );
+        let mut rec = Recorder::new();
+        record_harvest(&report, &mut rec);
+        let track = rec.find_track("harvest").expect("harvest track");
+        let counters = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::Counter { track: t, .. } if *t == track))
+            .count();
+        assert_eq!(counters, report.trace.len() * 4);
     }
 }

@@ -366,15 +366,24 @@ impl Workload for FeatureWorkload {
             Isa::Thumb2 => {
                 let mut asm = ThumbAsm::new();
                 self.emit_thumb(&mut asm, layout);
+                let symbols = asm.symbols().to_vec();
                 let program = asm.finish().expect("feature kernel binds every label");
                 let code =
                     iw_armv7m::encode_program(&program).expect("feature kernel is encodable");
-                Ok(LoweredProgram::Thumb { program, code })
+                Ok(LoweredProgram::Thumb {
+                    program,
+                    code,
+                    symbols,
+                })
             }
             Isa::Rv32 { opts, entry } => {
                 let mut asm = Asm::new(*entry);
                 self.emit_rv(&mut asm, layout, opts.cores);
-                Ok(LoweredProgram::Rv32(asm.assemble()?))
+                let image = asm.assemble()?;
+                Ok(LoweredProgram::Rv32 {
+                    image,
+                    symbols: asm.symbols().to_vec(),
+                })
             }
         }
     }

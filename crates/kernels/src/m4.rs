@@ -86,11 +86,13 @@ pub fn emit_m4_fixed_kernel(asm: &mut ThumbAsm, net: &FixedNet, placement: &Plac
         let in_count = layer.in_count as i32;
         let out_count = layer.out_count as i32;
 
+        asm.mark(&format!("layer{li};setup"));
         asm.li(W_PTR, w_addr);
         asm.li(OUT_PTR, out_buf);
         asm.li(OUT_END, out_buf + 4 * out_count);
         asm.li(X_PTR, in_buf);
 
+        asm.mark(&format!("layer{li};dot"));
         let row_top = asm.here();
         asm.ldr_post(LsWidth::W, ACC, W_PTR, 4); // bias
                                                  // CMSIS-style ×2 unroll: same MAC order as the reference (so the
@@ -115,13 +117,16 @@ pub fn emit_m4_fixed_kernel(asm: &mut ThumbAsm, net: &FixedNet, placement: &Plac
             mac(asm);
         }
 
+        asm.mark(&format!("layer{li};act"));
         emit_stepwise_m4(asm, &layer.activation);
 
+        asm.mark(&format!("layer{li};store"));
         asm.str_post(LsWidth::W, TMP_W, OUT_PTR, 4);
         add_const(asm, X_PTR, -(4 * in_count));
         asm.cmp(OUT_PTR, OUT_END);
         asm.b_to(Cond::Lo, row_top);
     }
+    asm.mark("halt");
     asm.bkpt();
 }
 

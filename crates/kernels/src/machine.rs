@@ -48,6 +48,7 @@ use iw_mrwolf::{ClusterConfig, ClusterError, ClusterRun, MrWolf, OperatingPoint,
 use iw_nrf52::{Nrf52, FLASH_BASE, FLASH_SIZE, RAM_BASE, RAM_SIZE};
 use iw_rv32::asm::AsmError;
 use iw_rv32::{CpuError, ExecProfile};
+use iw_trace::{NoopSink, Recorder, TraceSink, TrackId, CYCLES};
 
 use crate::rv::RvKernelOpts;
 
@@ -211,9 +212,18 @@ pub enum LoweredProgram {
         program: Vec<ThumbInstr>,
         /// Halfword encoding of the same program.
         code: Vec<u16>,
+        /// `(instruction_index, name)` region marks for the trace layer
+        /// (see [`iw_armv7m::asm::ThumbAsm::mark`]).
+        symbols: Vec<(u32, String)>,
     },
     /// An assembled RV32 image.
-    Rv32(Vec<u8>),
+    Rv32 {
+        /// Little-endian instruction bytes.
+        image: Vec<u8>,
+        /// `(address, name)` region marks for the trace layer (see
+        /// [`iw_rv32::asm::Asm::mark`]).
+        symbols: Vec<(u32, String)>,
+    },
 }
 
 /// Addresses a machine assigns to a workload's data.
@@ -289,6 +299,23 @@ pub trait Deployment {
     ///
     /// See [`MachineError`].
     fn run(&self, path: ExecPath) -> Result<MachineRun, MachineError>;
+
+    /// Simulates one run-to-halt on the *product* ([`ExecPath::Cached`])
+    /// path with `rec` recording the full timeline: execution tracks and
+    /// PC samples from the backend, the workload's symbol table, the
+    /// machine clock, and end-of-run energy counters on an `soc` track.
+    /// The recorded run is observationally identical to
+    /// [`Deployment::run`] — recording never perturbs the simulation.
+    ///
+    /// The default implementation records nothing (backends opt in).
+    ///
+    /// # Errors
+    ///
+    /// See [`MachineError`].
+    fn run_recorded(&self, rec: &mut Recorder) -> Result<MachineRun, MachineError> {
+        let _ = rec;
+        self.run(ExecPath::Cached)
+    }
 }
 
 /// Cycle budget for a single run (Network B on Ibex is ~1 M cycles; leave
@@ -339,7 +366,12 @@ impl Machine for M4Machine {
             weights_base: FLASH_BASE + 0x4000,
             buf_base: RAM_BASE,
         };
-        let LoweredProgram::Thumb { program, code } = workload.lower(&Isa::Thumb2, &layout)? else {
+        let LoweredProgram::Thumb {
+            program,
+            code,
+            symbols,
+        } = workload.lower(&Isa::Thumb2, &layout)?
+        else {
             return Err(MachineError::Unsupported {
                 workload: workload.name(),
                 isa: "thumb2",
@@ -348,6 +380,7 @@ impl Machine for M4Machine {
         Ok(Box::new(M4Deployment {
             program,
             code,
+            symbols,
             image: workload.image(&layout),
             out: workload.output_window(&layout),
         }))
@@ -357,20 +390,24 @@ impl Machine for M4Machine {
 struct M4Deployment {
     program: Vec<ThumbInstr>,
     code: Vec<u16>,
+    symbols: Vec<(u32, String)>,
     image: Vec<(u32, Vec<u8>)>,
     out: (u32, usize),
 }
 
-impl Deployment for M4Deployment {
-    fn run(&self, path: ExecPath) -> Result<MachineRun, MachineError> {
+impl M4Deployment {
+    /// Product-path run with a sink attached; `run(Cached)` is this with
+    /// the [`NoopSink`], `run_recorded` this with the [`Recorder`].
+    fn run_cached_sink<S: TraceSink>(
+        &self,
+        sink: &mut S,
+        track: TrackId,
+    ) -> Result<MachineRun, MachineError> {
         let mut soc = Nrf52::new();
         for (addr, bytes) in &self.image {
             soc.mem_mut().write_bytes(*addr, bytes);
         }
-        let run = match path {
-            ExecPath::Cached => soc.run(&self.program, MAX_CYCLES)?,
-            ExecPath::Reference => soc.run_code(&self.code, MAX_CYCLES)?,
-        };
+        let run = soc.run_sink(&self.program, MAX_CYCLES, sink, track)?;
         let output = soc.mem().read_bytes(self.out.0, self.out.1).to_vec();
         Ok(MachineRun {
             cycles: run.result.cycles,
@@ -384,6 +421,44 @@ impl Deployment for M4Deployment {
             cluster: None,
             output,
         })
+    }
+}
+
+impl Deployment for M4Deployment {
+    fn run(&self, path: ExecPath) -> Result<MachineRun, MachineError> {
+        match path {
+            ExecPath::Cached => self.run_cached_sink(&mut NoopSink, TrackId::default()),
+            ExecPath::Reference => {
+                let mut soc = Nrf52::new();
+                for (addr, bytes) in &self.image {
+                    soc.mem_mut().write_bytes(*addr, bytes);
+                }
+                let run = soc.run_code(&self.code, MAX_CYCLES)?;
+                let output = soc.mem().read_bytes(self.out.0, self.out.1).to_vec();
+                Ok(MachineRun {
+                    cycles: run.result.cycles,
+                    instructions: run.result.instructions,
+                    energy: EnergyBreakdown {
+                        soc_j: run.energy_j,
+                        cluster_j: 0.0,
+                        total_j: run.energy_j,
+                    },
+                    profile: run.profile,
+                    cluster: None,
+                    output,
+                })
+            }
+        }
+    }
+
+    fn run_recorded(&self, rec: &mut Recorder) -> Result<MachineRun, MachineError> {
+        rec.set_cycles_per_us(iw_nrf52::Nrf52Power::default().freq_hz / 1e6);
+        rec.set_symbols(self.symbols.clone());
+        let track = rec.track("m4", CYCLES);
+        let run = self.run_cached_sink(rec, track)?;
+        let soc = rec.track("soc", CYCLES);
+        rec.counter(soc, "soc_uj", run.cycles, run.energy.soc_j * 1e6);
+        Ok(run)
     }
 }
 
@@ -517,7 +592,11 @@ impl Machine for WolfMachine {
             opts: self.opts,
             entry: L2_BASE,
         };
-        let LoweredProgram::Rv32(program) = workload.lower(&isa, &layout)? else {
+        let LoweredProgram::Rv32 {
+            image: program,
+            symbols,
+        } = workload.lower(&isa, &layout)?
+        else {
             return Err(MachineError::Unsupported {
                 workload: workload.name(),
                 isa: "rv32",
@@ -530,6 +609,7 @@ impl Machine for WolfMachine {
         });
         Ok(Box::new(WolfDeployment {
             program,
+            symbols,
             cfg,
             on_fc: self.on_fc,
             mode: self.mode(),
@@ -541,6 +621,7 @@ impl Machine for WolfMachine {
 
 struct WolfDeployment {
     program: Vec<u8>,
+    symbols: Vec<(u32, String)>,
     cfg: ClusterConfig,
     on_fc: bool,
     mode: WolfMode,
@@ -548,8 +629,16 @@ struct WolfDeployment {
     out: (u32, usize),
 }
 
-impl Deployment for WolfDeployment {
-    fn run(&self, path: ExecPath) -> Result<MachineRun, MachineError> {
+impl WolfDeployment {
+    /// Shared run body with a sink attached; `run` is this with the
+    /// [`NoopSink`], `run_recorded` this with the [`Recorder`]. The FC
+    /// reference path carries no instrumentation (it is the differential
+    /// baseline).
+    fn run_sinked<S: TraceSink>(
+        &self,
+        path: ExecPath,
+        sink: &mut S,
+    ) -> Result<MachineRun, MachineError> {
         let cfg = match path {
             ExecPath::Cached => self.cfg,
             ExecPath::Reference => ClusterConfig {
@@ -569,7 +658,10 @@ impl Deployment for WolfDeployment {
         let op = OperatingPoint::efficient();
         let (cycles, instructions, cluster, profile) = if self.on_fc {
             let run = match path {
-                ExecPath::Cached => wolf.run_fc(L2_BASE, MAX_CYCLES)?,
+                ExecPath::Cached => {
+                    let track = sink.track("fc", CYCLES);
+                    wolf.run_fc_sink(L2_BASE, MAX_CYCLES, true, sink, track)?
+                }
                 ExecPath::Reference => wolf.run_fc_uncached(L2_BASE, MAX_CYCLES)?,
             };
             (
@@ -579,7 +671,7 @@ impl Deployment for WolfDeployment {
                 run.profile,
             )
         } else {
-            let run = wolf.run_cluster(L2_BASE, MAX_CYCLES)?;
+            let run = wolf.run_cluster_sink(L2_BASE, MAX_CYCLES, sink)?;
             let profile = run.profile;
             (run.cycles, run.instructions, Some(run.clone()), profile)
         };
@@ -601,6 +693,22 @@ impl Deployment for WolfDeployment {
             cluster,
             output,
         })
+    }
+}
+
+impl Deployment for WolfDeployment {
+    fn run(&self, path: ExecPath) -> Result<MachineRun, MachineError> {
+        self.run_sinked(path, &mut NoopSink)
+    }
+
+    fn run_recorded(&self, rec: &mut Recorder) -> Result<MachineRun, MachineError> {
+        rec.set_cycles_per_us(OperatingPoint::efficient().freq_hz / 1e6);
+        rec.set_symbols(self.symbols.clone());
+        let run = self.run_sinked(ExecPath::Cached, rec)?;
+        let soc = rec.track("soc", CYCLES);
+        rec.counter(soc, "soc_uj", run.cycles, run.energy.soc_j * 1e6);
+        rec.counter(soc, "cluster_uj", run.cycles, run.energy.cluster_j * 1e6);
+        Ok(run)
     }
 }
 

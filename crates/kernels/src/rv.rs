@@ -180,6 +180,7 @@ pub fn emit_fixed_kernel(
         let out_count = layer.out_count as i32;
         let row_stride = (layer.row_len() * 4) as i32;
 
+        asm.mark(&format!("layer{li};setup"));
         asm.li(W_PTR, w_addr);
         asm.li(OUT_PTR, out_buf);
         asm.li(OUT_END, out_buf + 4 * out_count);
@@ -198,6 +199,7 @@ pub fn emit_fixed_kernel(
             // Core may have no rows at all in narrow layers.
             asm.branch_to(BranchCond::Geu, OUT_PTR, OUT_END, layer_end);
         }
+        asm.mark(&format!("layer{li};dot"));
         let row_top = asm.here();
 
         // Bias (stored first in the row): acc = w_bias.
@@ -245,8 +247,10 @@ pub fn emit_fixed_kernel(
             asm.bne_to(COUNT, Reg::ZERO, inner_top);
         }
 
+        asm.mark(&format!("layer{li};act"));
         emit_stepwise(asm, &layer.activation);
 
+        asm.mark(&format!("layer{li};store"));
         asm.sw(TMP_W, OUT_PTR, 0);
         add_const(asm, OUT_PTR, 4 * n);
         // Rewind the input pointer for the next row.
@@ -260,10 +264,12 @@ pub fn emit_fixed_kernel(
 
         // Synchronise before the next layer reads this one's outputs.
         if n > 1 && li + 1 < num_layers {
+            asm.mark(&format!("layer{li};barrier"));
             asm.li(SCRATCH, BARRIER_ADDR as i32);
             asm.sw(Reg::ZERO, SCRATCH, 0);
         }
     }
+    asm.mark("halt");
     asm.ecall();
 }
 

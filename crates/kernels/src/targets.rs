@@ -263,6 +263,18 @@ impl PreparedFixed {
             self.deployment.run(ExecPath::Reference)?,
         ))
     }
+
+    /// Simulates one classification through the fast path with `rec`
+    /// recording the full timeline (see
+    /// [`Deployment::run_recorded`]). Observationally identical to
+    /// [`PreparedFixed::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`KernelError`].
+    pub fn run_recorded(&self, rec: &mut iw_trace::Recorder) -> Result<FixedRun, KernelError> {
+        Ok(FixedRun::from_machine(self.deployment.run_recorded(rec)?))
+    }
 }
 
 /// Runs one fixed-point classification on an arbitrary [`Machine`] — the

@@ -35,9 +35,22 @@ fn placement_buf_bytes(p: &Placement) -> usize {
 }
 
 fn thumb_lowering(asm: ThumbAsm) -> LoweredProgram {
+    let symbols = asm.symbols().to_vec();
     let program = asm.finish().expect("kernel generator binds every label");
     let code = iw_armv7m::encode_program(&program).expect("generated kernels are encodable");
-    LoweredProgram::Thumb { program, code }
+    LoweredProgram::Thumb {
+        program,
+        code,
+        symbols,
+    }
+}
+
+fn rv32_lowering(asm: Asm) -> Result<LoweredProgram, MachineError> {
+    let image = asm.assemble()?;
+    Ok(LoweredProgram::Rv32 {
+        image,
+        symbols: asm.symbols().to_vec(),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -103,7 +116,7 @@ impl Workload for FixedWorkload<'_> {
             Isa::Rv32 { opts, entry } => {
                 let mut asm = Asm::new(*entry);
                 emit_fixed_kernel(&mut asm, self.net, &placement, opts);
-                Ok(LoweredProgram::Rv32(asm.assemble()?))
+                rv32_lowering(asm)
             }
         }
     }
@@ -275,7 +288,7 @@ impl Workload for Q15Workload<'_> {
             Isa::Rv32 { opts, entry } => {
                 let mut asm = Asm::new(*entry);
                 emit_riscy_q15_kernel(&mut asm, self.net, &placement, opts.cores);
-                Ok(LoweredProgram::Rv32(asm.assemble()?))
+                rv32_lowering(asm)
             }
         }
     }

@@ -159,6 +159,62 @@ fn feature_workload_conforms_on_every_backend() {
     }
 }
 
+/// Profile conservation: on every backend, the per-class execution
+/// profile must account for every retired instruction; on cluster
+/// targets, the busy/stall/barrier counters must partition the summed
+/// per-core cycles exactly and the profile's base cycles must equal the
+/// busy cycles.
+#[test]
+fn profile_counts_account_for_every_instruction_and_cycle() {
+    let fixed = fixed_net(16);
+    let input = fixed.quantize_input(&[0.3, -0.2, 0.8, 0.1, -0.6]);
+    for entry in registry() {
+        let machine = entry.machine();
+        let workload = FixedWorkload::new(&fixed, &input).expect("valid input");
+        let run = machine
+            .deploy(&workload)
+            .expect("deploy")
+            .run(ExecPath::Cached)
+            .expect("run");
+        let total = run.profile.total();
+        assert_eq!(
+            total.instructions, run.instructions,
+            "{}: profile instruction counts must sum to retired instructions",
+            entry.id
+        );
+        if let Some(cluster) = &run.cluster {
+            let pool: u64 = cluster.per_core_cycles.iter().sum();
+            assert_eq!(
+                cluster.busy_cycles
+                    + cluster.tcdm_conflict_stalls
+                    + cluster.l2_port_stalls
+                    + cluster.barrier_wait_cycles,
+                pool,
+                "{}: cycle classes must partition the per-core cycle pool",
+                entry.id
+            );
+            assert_eq!(
+                total.cycles, cluster.busy_cycles,
+                "{}: profile base cycles must equal busy cycles",
+                entry.id
+            );
+            assert_eq!(
+                total.instructions, cluster.instructions,
+                "{}: profile vs cluster instruction count",
+                entry.id
+            );
+        } else {
+            // Single-core targets have no memory-system stalls in the
+            // model, so base cycles are wall cycles.
+            assert_eq!(
+                total.cycles, run.cycles,
+                "{}: profile cycles must sum to wall cycles",
+                entry.id
+            );
+        }
+    }
+}
+
 /// A mismatched input length must surface as [`MachineError::BadInput`]
 /// at workload construction, before any machine is involved.
 #[test]

@@ -26,6 +26,7 @@
 use iw_rv32::{
     Bus, BusError, Cpu, CpuError, DecodeCache, ExecProfile, Instr, MemWidth, Ram, Reg, Timing,
 };
+use iw_trace::{NoopSink, TraceSink, TrackId, CYCLES};
 
 use crate::memmap::{region_of, Region, BARRIER_ADDR};
 
@@ -135,6 +136,16 @@ pub struct ClusterRun {
     pub l2_port_stalls: u64,
     /// Number of barrier episodes executed.
     pub barriers: u64,
+    /// Cycles cores spent executing instructions (all cores; per-access
+    /// base cost, memory-system stalls excluded). Together with the two
+    /// stall counters and [`ClusterRun::barrier_wait_cycles`] this
+    /// accounts for every cycle of every core:
+    /// `sum(per_core_cycles) == busy_cycles + tcdm_conflict_stalls
+    /// + l2_port_stalls + barrier_wait_cycles`.
+    pub busy_cycles: u64,
+    /// Cycles cores spent parked at an event-unit barrier, from arrival
+    /// to release (all cores).
+    pub barrier_wait_cycles: u64,
     /// Aggregated per-class execution profile across all cores (base
     /// cycles; memory-system stalls are reported separately above).
     pub profile: ExecProfile,
@@ -219,6 +230,37 @@ pub fn run_cluster(
     entry: u32,
     max_cycles: u64,
 ) -> Result<ClusterRun, ClusterError> {
+    run_cluster_sink(cfg, tcdm, l2, entry, max_cycles, &mut NoopSink)
+}
+
+/// [`run_cluster`] with an instrumentation sink attached.
+///
+/// With the default [`NoopSink`] every emission site folds away and this
+/// *is* the event-driven scheduler. With a recording sink it registers
+/// one `cluster/core{i}` track per active core (stamped in cluster
+/// cycles) and emits:
+///
+/// * coalesced `busy` spans covering instruction execution (base cost),
+/// * `tcdm-stall` / `l2-stall` spans for every arbitration wait,
+/// * `barrier-wait` spans from each core's arrival to its release, with
+///   `barrier-arrive` instants, and a `halt` instant per core,
+/// * one PC sample per retired instruction (stall cycles included), on
+///   both the burst and the reference path.
+///
+/// The timeline accounts for every core cycle: per core, busy + stall +
+/// barrier-wait span ticks equal the core's completion time.
+///
+/// # Errors
+///
+/// See [`ClusterError`].
+pub fn run_cluster_sink<S: TraceSink>(
+    cfg: &ClusterConfig,
+    tcdm: &mut Ram,
+    l2: &mut Ram,
+    entry: u32,
+    max_cycles: u64,
+    sink: &mut S,
+) -> Result<ClusterRun, ClusterError> {
     if cfg.cores == 0 || cfg.cores > 8 || cfg.tcdm_banks == 0 {
         return Err(ClusterError::BadConfig);
     }
@@ -256,8 +298,21 @@ pub fn run_cluster(
         tcdm_conflict_stalls: 0,
         l2_port_stalls: 0,
         barriers: 0,
+        busy_cycles: 0,
+        barrier_wait_cycles: 0,
         profile: ExecProfile::new(),
     };
+
+    // Timeline state, dead code under the no-op sink: one track per
+    // core and the start of each core's open coalesced `busy` span.
+    let core_tracks: Vec<TrackId> = if S::ENABLED {
+        (0..n)
+            .map(|i| sink.track(&format!("cluster/core{i}"), CYCLES))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut busy_from = vec![0u64; n];
 
     // One decode cache shared by all cores: they run the same SPMD image,
     // so every core hits lines its siblings already filled.
@@ -353,6 +408,8 @@ pub fn run_cluster(
                     Err(_) => break,
                 };
                 let mut cost = u64::from(cycles);
+                let mut stall = 0u64;
+                let mut stall_kind = "";
                 if let Some(mem) = mem {
                     if mem.write {
                         cache.invalidate_store(mem.addr);
@@ -361,20 +418,33 @@ pub fn run_cluster(
                         Some(Region::Tcdm) => {
                             let bank = ((mem.addr >> 2) as usize) % cfg.tcdm_banks;
                             let grant = done_at.max(bank_free[bank]);
-                            let stall = grant - done_at;
+                            stall = grant - done_at;
                             bank_free[bank] = grant + 1;
                             run.tcdm_conflict_stalls += stall;
                             cost = stall + u64::from(cycles);
+                            stall_kind = "tcdm-stall";
                         }
                         Some(Region::L2) => {
                             let grant = done_at.max(l2_free);
-                            let stall = grant - done_at;
+                            stall = grant - done_at;
                             l2_free = grant + 1;
                             run.l2_port_stalls += stall;
                             cost = stall + u64::from(cfg.l2_latency);
+                            stall_kind = "l2-stall";
                         }
                         _ => {}
                     }
+                }
+                run.busy_cycles += cost - stall;
+                if S::ENABLED {
+                    if stall > 0 {
+                        if done_at > busy_from[i] {
+                            sink.span(core_tracks[i], "busy", busy_from[i], done_at);
+                        }
+                        sink.span(core_tracks[i], stall_kind, done_at, done_at + stall);
+                        busy_from[i] = done_at + stall;
+                    }
+                    sink.pc_sample(core_tracks[i], pc, done_at, cost as u32);
                 }
                 done_at += cost;
                 retired += 1;
@@ -414,28 +484,43 @@ pub fn run_cluster(
 
             // Charge memory-system stalls on top of the base cost.
             let mut cost = u64::from(step.cycles);
+            let mut stall = 0u64;
+            let mut stall_kind = "";
             if let Some(mem) = step.mem {
                 match region_of(mem.addr) {
                     Some(Region::Tcdm) => {
                         let bank = ((mem.addr >> 2) as usize) % cfg.tcdm_banks;
                         let grant = t.max(bank_free[bank]);
-                        let stall = grant - t;
+                        stall = grant - t;
                         bank_free[bank] = grant + 1;
                         run.tcdm_conflict_stalls += stall;
                         cost = stall + u64::from(step.cycles);
+                        stall_kind = "tcdm-stall";
                     }
                     Some(Region::L2) => {
                         let grant = t.max(l2_free);
-                        let stall = grant - t;
+                        stall = grant - t;
                         l2_free = grant + 1;
                         run.l2_port_stalls += stall;
                         cost = stall + u64::from(cfg.l2_latency);
+                        stall_kind = "l2-stall";
                     }
                     _ => {}
                 }
             } else if barrier_arrived && last_region == Some(Region::EventUnit) {
                 // Store to the event unit: base store cost only.
                 cost = u64::from(step.cycles);
+            }
+            run.busy_cycles += cost - stall;
+            if S::ENABLED {
+                if stall > 0 {
+                    if t > busy_from[i] {
+                        sink.span(core_tracks[i], "busy", busy_from[i], t);
+                    }
+                    sink.span(core_tracks[i], stall_kind, t, t + stall);
+                    busy_from[i] = t + stall;
+                }
+                sink.pc_sample(core_tracks[i], step.pc, t, cost as u32);
             }
             (t + cost, 1, step.halted, barrier_arrived)
         };
@@ -448,10 +533,23 @@ pub fn run_cluster(
         if halted {
             status[i] = CoreStatus::Halted;
             ready_key[i] = u64::MAX;
+            if S::ENABLED {
+                if done_at > busy_from[i] {
+                    sink.span(core_tracks[i], "busy", busy_from[i], done_at);
+                }
+                sink.instant(core_tracks[i], "halt", done_at);
+            }
         } else if barrier_arrived {
             status[i] = CoreStatus::AtBarrier;
             ready_key[i] = u64::MAX;
             arrived[i] = true;
+            if S::ENABLED {
+                if done_at > busy_from[i] {
+                    sink.span(core_tracks[i], "busy", busy_from[i], done_at);
+                }
+                sink.instant(core_tracks[i], "barrier-arrive", done_at);
+                busy_from[i] = done_at;
+            }
             // Everyone that has not halted must arrive before release.
             let all_arrived = (0..n).all(|k| arrived[k] || status[k] == CoreStatus::Halted);
             if all_arrived {
@@ -465,9 +563,17 @@ pub fn run_cluster(
                 for k in 0..n {
                     if status[k] == CoreStatus::AtBarrier {
                         status[k] = CoreStatus::Running;
+                        let waited_from = ready_at[k];
                         ready_at[k] = release.max(ready_at[k]);
+                        run.barrier_wait_cycles += ready_at[k] - waited_from;
                         ready_key[k] = (ready_at[k] << 3) | k as u64;
                         arrived[k] = false;
+                        if S::ENABLED {
+                            if ready_at[k] > waited_from {
+                                sink.span(core_tracks[k], "barrier-wait", waited_from, ready_at[k]);
+                            }
+                            busy_from[k] = ready_at[k];
+                        }
                     }
                 }
                 run.barriers += 1;
@@ -749,6 +855,76 @@ mod tests {
             "workload must actually contend: {run_ref:?}"
         );
         assert_eq!(run_ref.barriers, 1);
+    }
+
+    /// Every core cycle must be attributed: execution, arbitration
+    /// stalls, or barrier parking — on both scheduler paths.
+    #[test]
+    fn cycle_accounting_is_conservative() {
+        let image = contended_program().assemble().unwrap();
+        for decode_cache in [false, true] {
+            let (mut tcdm, mut l2) = fresh_mems();
+            l2.write_bytes(L2_BASE, &image);
+            let cfg = ClusterConfig {
+                decode_cache,
+                ..ClusterConfig::default()
+            };
+            let run = run_cluster(&cfg, &mut tcdm, &mut l2, L2_BASE, 100_000).unwrap();
+            let total: u64 = run.per_core_cycles.iter().sum();
+            assert_eq!(
+                total,
+                run.busy_cycles
+                    + run.tcdm_conflict_stalls
+                    + run.l2_port_stalls
+                    + run.barrier_wait_cycles,
+                "cache={decode_cache}: {run:?}"
+            );
+            assert!(run.busy_cycles > 0);
+            assert!(run.barrier_wait_cycles > 0, "uneven loads must park cores");
+        }
+    }
+
+    /// A recording sink must see the same run the no-op sink produces,
+    /// and its per-core timeline spans must add up to exactly that
+    /// core's completion time.
+    #[test]
+    fn recorded_timeline_accounts_for_every_core_cycle() {
+        use iw_trace::Recorder;
+
+        let image = contended_program().assemble().unwrap();
+        for decode_cache in [false, true] {
+            let run_plain = {
+                let (mut tcdm, mut l2) = fresh_mems();
+                l2.write_bytes(L2_BASE, &image);
+                let cfg = ClusterConfig {
+                    decode_cache,
+                    ..ClusterConfig::default()
+                };
+                run_cluster(&cfg, &mut tcdm, &mut l2, L2_BASE, 100_000).unwrap()
+            };
+            let (mut tcdm, mut l2) = fresh_mems();
+            l2.write_bytes(L2_BASE, &image);
+            let cfg = ClusterConfig {
+                decode_cache,
+                ..ClusterConfig::default()
+            };
+            let mut rec = Recorder::new();
+            let run =
+                run_cluster_sink(&cfg, &mut tcdm, &mut l2, L2_BASE, 100_000, &mut rec).unwrap();
+            assert_eq!(run, run_plain, "recording must not perturb the run");
+            rec.finish();
+            for (i, &per_core) in run.per_core_cycles.iter().enumerate() {
+                let track = rec
+                    .find_track(&format!("cluster/core{i}"))
+                    .expect("one track per core");
+                let spans = rec.span_ticks(track, "busy")
+                    + rec.span_ticks(track, "tcdm-stall")
+                    + rec.span_ticks(track, "l2-stall")
+                    + rec.span_ticks(track, "barrier-wait");
+                assert_eq!(spans, per_core, "core {i} (cache={decode_cache})");
+            }
+            assert!(!rec.pc_histogram().is_empty());
+        }
     }
 
     #[test]

@@ -5,7 +5,9 @@ use iw_rv32::{
     Bus, BusError, Cpu, CpuError, DecodeCache, ExecProfile, MemWidth, Ram, Reg, RunResult, Timing,
 };
 
-use crate::cluster::{run_cluster, ClusterConfig, ClusterError, ClusterRun};
+use iw_trace::{NoopSink, TraceSink, TrackId};
+
+use crate::cluster::{ClusterConfig, ClusterError, ClusterRun};
 use crate::memmap::{region_of, Region, L2_BASE, L2_SIZE, TCDM_BASE, TCDM_SIZE};
 
 /// Bus seen by the fabric controller: L2 and TCDM, no contention (the
@@ -162,6 +164,32 @@ impl MrWolf {
         max_cycles: u64,
         decode_cache: bool,
     ) -> Result<FcRun, CpuError> {
+        self.run_fc_sink(
+            entry,
+            max_cycles,
+            decode_cache,
+            &mut NoopSink,
+            TrackId::default(),
+        )
+    }
+
+    /// [`MrWolf::run_fc`] with an instrumentation sink attached; see
+    /// [`iw_rv32::Cpu::run_cached_sink`] for the events emitted on
+    /// `track`. The `decode_cache` flag selects the pre-decoded or the
+    /// reference interpreter (instrumentation is only batched on the
+    /// former; the reference path emits no events).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MrWolf::run_fc`].
+    pub fn run_fc_sink<S: TraceSink>(
+        &mut self,
+        entry: u32,
+        max_cycles: u64,
+        decode_cache: bool,
+        sink: &mut S,
+        track: TrackId,
+    ) -> Result<FcRun, CpuError> {
         let mut cpu = Cpu::new_rv32im(entry);
         cpu.set_reg(Reg::SP, L2_BASE + L2_SIZE as u32);
         let mut bus = FcBus {
@@ -170,7 +198,14 @@ impl MrWolf {
         };
         let result = if decode_cache {
             let mut cache = DecodeCache::new(entry, 64 * 1024);
-            cpu.run_cached(&mut bus, &Timing::ibex(), max_cycles, &mut cache)?
+            cpu.run_cached_sink(
+                &mut bus,
+                &Timing::ibex(),
+                max_cycles,
+                &mut cache,
+                sink,
+                track,
+            )?
         } else {
             cpu.run(&mut bus, &Timing::ibex(), max_cycles)?
         };
@@ -188,12 +223,29 @@ impl MrWolf {
     ///
     /// See [`ClusterError`].
     pub fn run_cluster(&mut self, entry: u32, max_cycles: u64) -> Result<ClusterRun, ClusterError> {
-        run_cluster(
+        self.run_cluster_sink(entry, max_cycles, &mut NoopSink)
+    }
+
+    /// [`MrWolf::run_cluster`] with an instrumentation sink attached:
+    /// each core gets a `cluster/core{i}` track carrying `busy`,
+    /// `tcdm-stall`, `l2-stall` and `barrier-wait` spans plus PC samples.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterError`].
+    pub fn run_cluster_sink<S: TraceSink>(
+        &mut self,
+        entry: u32,
+        max_cycles: u64,
+        sink: &mut S,
+    ) -> Result<ClusterRun, ClusterError> {
+        crate::cluster::run_cluster_sink(
             &self.cluster_cfg.clone(),
             &mut self.tcdm,
             &mut self.l2,
             entry,
             max_cycles,
+            sink,
         )
     }
 }

@@ -3,6 +3,7 @@
 
 use iw_armv7m::{CortexM4, CortexM4Timing, M4Error, RunResult, ThumbInstr};
 use iw_rv32::{ExecProfile, Ram};
+use iw_trace::{NoopSink, TraceSink, TrackId};
 
 use crate::power::Nrf52Power;
 
@@ -129,11 +130,32 @@ impl Nrf52 {
     ///
     /// Propagates [`M4Error`] (including the cycle limit).
     pub fn run(&mut self, program: &[ThumbInstr], max_cycles: u64) -> Result<Nrf52Run, M4Error> {
+        self.run_sink(program, max_cycles, &mut NoopSink, TrackId::default())
+    }
+
+    /// [`Nrf52::run`] with an instrumentation sink attached; see
+    /// [`CortexM4::run_sink`] for the events emitted on `track`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Nrf52::run`].
+    pub fn run_sink<S: TraceSink>(
+        &mut self,
+        program: &[ThumbInstr],
+        max_cycles: u64,
+        sink: &mut S,
+        track: TrackId,
+    ) -> Result<Nrf52Run, M4Error> {
         self.cpu.set_pc(0);
         self.cpu.reset_profile();
-        let result = self
-            .cpu
-            .run(program, &mut self.mem, &self.timing, max_cycles)?;
+        let result = self.cpu.run_sink(
+            program,
+            &mut self.mem,
+            &self.timing,
+            max_cycles,
+            sink,
+            track,
+        )?;
         Ok(self.finish_run(result))
     }
 

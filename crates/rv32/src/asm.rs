@@ -103,6 +103,7 @@ pub struct Asm {
     base: u32,
     items: Vec<Item>,
     labels: Vec<Option<usize>>,
+    symbols: Vec<(u32, String)>,
 }
 
 impl Asm {
@@ -113,7 +114,23 @@ impl Asm {
             base,
             items: Vec::new(),
             labels: Vec::new(),
+            symbols: Vec::new(),
         }
+    }
+
+    /// Names the region starting at the current address. Marks are pure
+    /// metadata — they emit nothing and change no addresses — and feed
+    /// the trace layer's symbolized hotspot/region reports: a PC belongs
+    /// to the mark with the greatest start address not exceeding it.
+    pub fn mark(&mut self, name: &str) {
+        self.symbols.push((self.current_addr(), name.to_string()));
+    }
+
+    /// The `(start_address, name)` marks recorded so far, in emission
+    /// order.
+    #[must_use]
+    pub fn symbols(&self) -> &[(u32, String)] {
+        &self.symbols
     }
 
     /// Base address of the program.

@@ -123,10 +123,14 @@ impl DecodeCache {
     ///
     /// Stores are naturally aligned, so one store affects at most one
     /// word and hence one line; stores outside the window are no-ops.
-    pub fn invalidate_store(&mut self, addr: u32) {
+    /// Returns whether a populated line was actually dropped — the trace
+    /// layer uses this to emit invalidation instants only for stores that
+    /// really punched a hole in the pre-decoded window.
+    pub fn invalidate_store(&mut self, addr: u32) -> bool {
         if let Some(i) = self.line_index(addr & !3) {
-            self.lines[i] = None;
+            return self.lines[i].take().is_some();
         }
+        false
     }
 
     /// Drops every cached line.

@@ -6,6 +6,7 @@ use crate::decode::{decode, DecodeError};
 use crate::instr::{AluImmOp, AluOp, BranchCond, Instr, MemWidth, PulpAluOp, Reg, ShiftOp, SimdOp};
 use crate::profile::{ExecProfile, InstrClass};
 use crate::timing::Timing;
+use iw_trace::{NoopSink, TraceSink, TrackId};
 
 /// Error raised while executing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1137,22 +1138,69 @@ impl Cpu {
         max_cycles: u64,
         cache: &mut DecodeCache,
     ) -> Result<RunResult, CpuError> {
+        self.run_cached_sink(
+            bus,
+            timing,
+            max_cycles,
+            cache,
+            &mut NoopSink,
+            TrackId::default(),
+        )
+    }
+
+    /// [`Cpu::run_cached`] with an instrumentation sink attached.
+    ///
+    /// With the default [`NoopSink`] (`S::ENABLED == false`) every
+    /// emission site folds away and this *is* the batched hot loop.
+    /// With a recording sink it emits, on `track`:
+    ///
+    /// * one `exec-batch` span per uninterrupted stretch of pre-decoded
+    ///   execution (batches end at stores that actually dropped a cached
+    ///   line, flagged by a `decode-invalidate` instant),
+    /// * one PC sample per retired instruction, feeding the hotspot
+    ///   histogram and the symbolized region timeline.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cpu::run`].
+    pub fn run_cached_sink<B: Bus, S: TraceSink>(
+        &mut self,
+        bus: &mut B,
+        timing: &Timing,
+        max_cycles: u64,
+        cache: &mut DecodeCache,
+        sink: &mut S,
+        track: TrackId,
+    ) -> Result<RunResult, CpuError> {
         let mut cycles = 0u64;
         let mut instructions = 0u64;
+        let mut batch_start = 0u64;
         while !self.halted {
             let pc = self.pc;
             let instr = cache.fetch_decode(bus, pc)?;
             let (cost, mem) = self.execute(instr, pc, bus, timing)?;
             if let Some(m) = mem {
                 if m.write {
-                    cache.invalidate_store(m.addr);
+                    let dropped = cache.invalidate_store(m.addr);
+                    if S::ENABLED && dropped {
+                        let end = cycles + u64::from(cost);
+                        sink.span(track, "exec-batch", batch_start, end);
+                        sink.instant(track, "decode-invalidate", end);
+                        batch_start = end;
+                    }
                 }
+            }
+            if S::ENABLED {
+                sink.pc_sample(track, pc, cycles, cost);
             }
             cycles += u64::from(cost);
             instructions += 1;
             if cycles > max_cycles {
                 return Err(CpuError::CycleLimit { limit: max_cycles });
             }
+        }
+        if S::ENABLED && cycles > batch_start {
+            sink.span(track, "exec-batch", batch_start, cycles);
         }
         Ok(RunResult {
             cycles,

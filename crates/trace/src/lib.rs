@@ -1,0 +1,612 @@
+//! # iw-trace — unified tracing & metrics layer
+//!
+//! Observability substrate for the InfiniWolf reproduction: a
+//! zero-overhead-when-disabled instrumentation contract shared by every
+//! simulator in the workspace, plus a recording sink with two exporters.
+//!
+//! * [`TraceSink`] — the event vocabulary: timed **spans**, point
+//!   **instants**, sampled **counters** and per-PC **cycle samples**, all
+//!   stamped in *ticks* (simulated cycles or seconds, per track).
+//! * [`NoopSink`] — the default sink. `ENABLED == false` and every method
+//!   is an empty `#[inline]` body, so instrumented hot loops guarded by
+//!   `if S::ENABLED` monomorphize to exactly the uninstrumented code.
+//! * [`Recorder`] — the recording sink: keeps every event, a per-PC cycle
+//!   histogram and an optional symbol table, and derives per-region
+//!   ("layer") timeline spans from the samples.
+//! * [`Recorder::chrome_trace_json`] — Chrome trace-event JSON, loadable
+//!   in Perfetto (<https://ui.perfetto.dev>), one named track per
+//!   registered track.
+//! * [`Recorder::folded_stacks`] — the folded-stack hotspot report of the
+//!   *simulated* program, directly consumable by `inferno` /
+//!   `flamegraph.pl`.
+//! * [`validate_json`] — a dependency-free JSON well-formedness check
+//!   used by the trace smoke tests (the workspace builds offline, so no
+//!   serde).
+//!
+//! # Examples
+//!
+//! ```
+//! use iw_trace::{Recorder, TraceSink};
+//!
+//! let mut rec = Recorder::new();
+//! rec.set_cycles_per_us(100.0); // 100 MHz simulated clock
+//! let core = rec.track("core0", iw_trace::CYCLES);
+//! rec.span(core, "busy", 0, 400);
+//! rec.counter(core, "soc_uj", 400, 1.25);
+//! let json = rec.chrome_trace_json();
+//! iw_trace::validate_json(&json).unwrap();
+//! assert!(json.contains("\"busy\""));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+mod json;
+
+pub use json::validate_json;
+
+/// Handle to a named timeline track inside a sink.
+///
+/// Obtained from [`TraceSink::track`]; opaque to callers. The
+/// [`NoopSink`] always hands back the same dummy id.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrackId(u32);
+
+impl TrackId {
+    /// Index of the track inside the recorder (also the exported `tid`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Sentinel tick rate: the track is stamped in **simulated cycles** and
+/// scaled by the recorder's [`Recorder::set_cycles_per_us`] clock.
+pub const CYCLES: f64 = 0.0;
+
+/// The instrumentation contract every simulator layer codes against.
+///
+/// All timestamps are in *ticks*; what a tick means is declared per track
+/// (`ticks_per_us` — pass [`CYCLES`] for "simulated cycles at the
+/// machine clock", or an explicit rate such as `1e-6` for one-second
+/// ticks).
+///
+/// # Zero-cost guarantee
+///
+/// Implementations expose `const ENABLED`. Instrumented hot loops guard
+/// every emission site with `if S::ENABLED { ... }`; with the default
+/// [`NoopSink`] the guard is a compile-time `false`, the branch folds
+/// away, and the monomorphized loop is the uninstrumented one. The
+/// `iss_bench` throughput gate runs on exactly that path.
+pub trait TraceSink {
+    /// Whether this sink records anything at all (compile-time constant).
+    const ENABLED: bool;
+
+    /// Registers (or re-uses, by name) a timeline track.
+    fn track(&mut self, name: &str, ticks_per_us: f64) -> TrackId;
+
+    /// A closed interval of work `[start, end)` on `track`.
+    fn span(&mut self, track: TrackId, name: &'static str, start: u64, end: u64);
+
+    /// A point event at tick `t`.
+    fn instant(&mut self, track: TrackId, name: &'static str, t: u64);
+
+    /// A sampled counter value at tick `t` (energy, power, state of
+    /// charge, ...).
+    fn counter(&mut self, track: TrackId, name: &'static str, t: u64, value: f64);
+
+    /// One retired instruction of the *simulated* program: `cycles`
+    /// spent at `pc`, starting at tick `t`. Feeds the hotspot histogram
+    /// and, when a symbol table is attached, the per-region timeline.
+    fn pc_sample(&mut self, track: TrackId, pc: u32, t: u64, cycles: u32);
+}
+
+/// The do-nothing sink: `ENABLED == false`, every method an empty inline
+/// body. This is the default sink of every instrumented entry point, so
+/// the un-traced build pays nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn track(&mut self, _name: &str, _ticks_per_us: f64) -> TrackId {
+        TrackId(0)
+    }
+
+    #[inline(always)]
+    fn span(&mut self, _track: TrackId, _name: &'static str, _start: u64, _end: u64) {}
+
+    #[inline(always)]
+    fn instant(&mut self, _track: TrackId, _name: &'static str, _t: u64) {}
+
+    #[inline(always)]
+    fn counter(&mut self, _track: TrackId, _name: &'static str, _t: u64, _value: f64) {}
+
+    #[inline(always)]
+    fn pc_sample(&mut self, _track: TrackId, _pc: u32, _t: u64, _cycles: u32) {}
+}
+
+/// One recorded trace event (see [`Recorder::events`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Work interval `[start, end)` in track ticks.
+    Span {
+        /// Owning track.
+        track: TrackId,
+        /// Event name.
+        name: String,
+        /// First tick of the interval.
+        start: u64,
+        /// One past the last tick of the interval.
+        end: u64,
+    },
+    /// Point event.
+    Instant {
+        /// Owning track.
+        track: TrackId,
+        /// Event name.
+        name: String,
+        /// Tick of the event.
+        t: u64,
+    },
+    /// Counter sample.
+    Counter {
+        /// Owning track.
+        track: TrackId,
+        /// Counter name (one Perfetto counter track per name).
+        name: String,
+        /// Tick of the sample.
+        t: u64,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+#[derive(Debug)]
+struct Track {
+    name: String,
+    ticks_per_us: f64,
+}
+
+/// Histogram cell of [`Recorder::pc_histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcStat {
+    /// Instructions retired at this PC.
+    pub count: u64,
+    /// Simulated cycles spent at this PC (stalls included).
+    pub cycles: u64,
+}
+
+/// Open per-track region run, closed into a span on the derived
+/// `<track> code` track when the region changes.
+#[derive(Debug)]
+struct RegionCursor {
+    /// Index into `symbols`; `usize::MAX` when the PC is unsymbolized.
+    sym: usize,
+    start: u64,
+    end: u64,
+}
+
+const NO_SYM: usize = usize::MAX;
+
+/// The recording [`TraceSink`]: stores events, aggregates the per-PC
+/// cycle histogram, and exports Perfetto / flamegraph artifacts.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    tracks: Vec<Track>,
+    events: Vec<Event>,
+    cycles_per_us: f64,
+    /// Sorted `(start_addr, name)` regions of the simulated program.
+    symbols: Vec<(u32, String)>,
+    pc_hist: BTreeMap<u32, PcStat>,
+    /// Open region run per sampled track (indexed by track id).
+    cursors: BTreeMap<u32, RegionCursor>,
+    /// Derived `<name> code` track per sampled track.
+    code_tracks: BTreeMap<u32, TrackId>,
+}
+
+impl Recorder {
+    /// An empty recorder with a 1 cycle/µs (1 MHz) default clock.
+    #[must_use]
+    pub fn new() -> Recorder {
+        Recorder {
+            cycles_per_us: 1.0,
+            ..Recorder::default()
+        }
+    }
+
+    /// Declares the simulated clock used to scale [`CYCLES`] tracks,
+    /// in cycles per microsecond (i.e. MHz).
+    pub fn set_cycles_per_us(&mut self, cycles_per_us: f64) {
+        assert!(
+            cycles_per_us.is_finite() && cycles_per_us > 0.0,
+            "clock must be positive"
+        );
+        self.cycles_per_us = cycles_per_us;
+    }
+
+    /// Attaches the symbol table of the simulated program: `(start, name)`
+    /// regions in the same PC units the backend samples in (byte
+    /// addresses for RV32, instruction indices for the pre-decoded
+    /// Thumb-2 path). A PC maps to the region with the greatest start
+    /// not exceeding it.
+    pub fn set_symbols(&mut self, mut symbols: Vec<(u32, String)>) {
+        symbols.sort();
+        self.symbols = symbols;
+    }
+
+    /// Number of registered tracks (derived `code` tracks included).
+    #[must_use]
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Name of a registered track.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `track` was not issued by this recorder.
+    #[must_use]
+    pub fn track_name(&self, track: TrackId) -> &str {
+        &self.tracks[track.index()].name
+    }
+
+    /// Looks a track up by exact name.
+    #[must_use]
+    pub fn find_track(&self, name: &str) -> Option<TrackId> {
+        self.tracks
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TrackId(u32::try_from(i).expect("track count fits u32")))
+    }
+
+    /// All recorded events, in emission order. Call
+    /// [`Recorder::finish`] first if derived region spans must be
+    /// flushed.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The per-PC cycle histogram accumulated from
+    /// [`TraceSink::pc_sample`] across all tracks.
+    #[must_use]
+    pub fn pc_histogram(&self) -> &BTreeMap<u32, PcStat> {
+        &self.pc_hist
+    }
+
+    /// Total ticks covered by spans named `name` on `track` — the test
+    /// harness' accounting view.
+    #[must_use]
+    pub fn span_ticks(&self, track: TrackId, name: &str) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span {
+                    track: tr,
+                    name: n,
+                    start,
+                    end,
+                } if *tr == track && n == name => Some(end - start),
+                _ => None,
+            })
+            .sum()
+    }
+
+    fn symbol_for(&self, pc: u32) -> usize {
+        match self.symbols.binary_search_by(|(a, _)| a.cmp(&pc)) {
+            Ok(i) => i,
+            Err(0) => NO_SYM,
+            Err(i) => i - 1,
+        }
+    }
+
+    fn flush_cursor(&mut self, track: u32) {
+        if let Some(cur) = self.cursors.remove(&track) {
+            if cur.sym != NO_SYM && cur.end > cur.start {
+                let code = self.code_tracks[&track];
+                self.events.push(Event::Span {
+                    track: code,
+                    name: self.symbols[cur.sym].1.clone(),
+                    start: cur.start,
+                    end: cur.end,
+                });
+            }
+        }
+    }
+
+    /// Closes any open derived region spans. Idempotent; called
+    /// automatically by the exporters.
+    pub fn finish(&mut self) {
+        let open: Vec<u32> = self.cursors.keys().copied().collect();
+        for track in open {
+            self.flush_cursor(track);
+        }
+    }
+
+    fn resolved_ticks_per_us(&self, track: usize) -> f64 {
+        let tpu = self.tracks[track].ticks_per_us;
+        if tpu == CYCLES {
+            self.cycles_per_us
+        } else {
+            tpu
+        }
+    }
+
+    /// Exports the recording as Chrome trace-event JSON (the
+    /// `traceEvents` array form), loadable in Perfetto. One named thread
+    /// per track; spans become `"X"` complete events, instants `"i"`,
+    /// counters `"C"`. Timestamps are microseconds of simulated time.
+    #[must_use]
+    pub fn chrome_trace_json(&mut self) -> String {
+        self.finish();
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let push = |out: &mut String, first: &mut bool, ev: String| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push('\n');
+            out.push_str(&ev);
+        };
+        for (i, track) in self.tracks.iter().enumerate() {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{i},\
+                     \"args\":{{\"name\":{}}}}}",
+                    json::quote(&track.name)
+                ),
+            );
+        }
+        for ev in &self.events {
+            let line = match ev {
+                Event::Span {
+                    track,
+                    name,
+                    start,
+                    end,
+                } => {
+                    let tpu = self.resolved_ticks_per_us(track.index());
+                    format!(
+                        "{{\"name\":{},\"ph\":\"X\",\"pid\":0,\"tid\":{},\
+                         \"ts\":{:.3},\"dur\":{:.3}}}",
+                        json::quote(name),
+                        track.index(),
+                        *start as f64 / tpu,
+                        (*end - *start) as f64 / tpu,
+                    )
+                }
+                Event::Instant { track, name, t } => {
+                    let tpu = self.resolved_ticks_per_us(track.index());
+                    format!(
+                        "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\
+                         \"ts\":{:.3}}}",
+                        json::quote(name),
+                        track.index(),
+                        *t as f64 / tpu,
+                    )
+                }
+                Event::Counter {
+                    track,
+                    name,
+                    t,
+                    value,
+                } => {
+                    let tpu = self.resolved_ticks_per_us(track.index());
+                    let v = if value.is_finite() { *value } else { 0.0 };
+                    format!(
+                        "{{\"name\":{},\"ph\":\"C\",\"pid\":0,\"tid\":{},\
+                         \"ts\":{:.3},\"args\":{{\"value\":{v}}}}}",
+                        json::quote(name),
+                        track.index(),
+                        *t as f64 / tpu,
+                    )
+                }
+            };
+            push(&mut out, &mut first, line);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Exports the hotspot histogram in folded-stack format: one
+    /// `root;region cycles` line per symbolized region (unsymbolized PCs
+    /// fall into 64-entry `pc:0x...` buckets), hottest first. Feed
+    /// directly to `inferno-flamegraph` / `flamegraph.pl`.
+    #[must_use]
+    pub fn folded_stacks(&mut self, root: &str) -> String {
+        self.finish();
+        let mut regions: BTreeMap<String, u64> = BTreeMap::new();
+        for (&pc, stat) in &self.pc_hist {
+            let sym = self.symbol_for(pc);
+            let name = if sym == NO_SYM {
+                format!("pc:0x{:08x}", pc & !0x3f)
+            } else {
+                self.symbols[sym].1.clone()
+            };
+            *regions.entry(name).or_insert(0) += stat.cycles;
+        }
+        let mut rows: Vec<(String, u64)> = regions.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut out = String::new();
+        for (name, cycles) in rows {
+            let _ = writeln!(out, "{root};{name} {cycles}");
+        }
+        out
+    }
+}
+
+impl TraceSink for Recorder {
+    const ENABLED: bool = true;
+
+    fn track(&mut self, name: &str, ticks_per_us: f64) -> TrackId {
+        if let Some(id) = self.find_track(name) {
+            return id;
+        }
+        self.tracks.push(Track {
+            name: name.to_string(),
+            ticks_per_us,
+        });
+        TrackId(u32::try_from(self.tracks.len() - 1).expect("track count fits u32"))
+    }
+
+    fn span(&mut self, track: TrackId, name: &'static str, start: u64, end: u64) {
+        self.events.push(Event::Span {
+            track,
+            name: name.to_string(),
+            start,
+            end,
+        });
+    }
+
+    fn instant(&mut self, track: TrackId, name: &'static str, t: u64) {
+        self.events.push(Event::Instant {
+            track,
+            name: name.to_string(),
+            t,
+        });
+    }
+
+    fn counter(&mut self, track: TrackId, name: &'static str, t: u64, value: f64) {
+        self.events.push(Event::Counter {
+            track,
+            name: name.to_string(),
+            t,
+            value,
+        });
+    }
+
+    fn pc_sample(&mut self, track: TrackId, pc: u32, t: u64, cycles: u32) {
+        let stat = self.pc_hist.entry(pc).or_default();
+        stat.count += 1;
+        stat.cycles += u64::from(cycles);
+        let sym = self.symbol_for(pc);
+        let end = t + u64::from(cycles);
+        match self.cursors.get_mut(&track.0) {
+            Some(cur) if cur.sym == sym => cur.end = end,
+            _ => {
+                self.flush_cursor(track.0);
+                if !self.code_tracks.contains_key(&track.0) {
+                    let name = format!("{} code", self.tracks[track.index()].name);
+                    let tpu = self.tracks[track.index()].ticks_per_us;
+                    let code = self.track(&name, tpu);
+                    self.code_tracks.insert(track.0, code);
+                }
+                self.cursors
+                    .insert(track.0, RegionCursor { sym, start: t, end });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        const { assert!(!NoopSink::ENABLED) };
+        let mut sink = NoopSink;
+        let t = sink.track("anything", CYCLES);
+        sink.span(t, "x", 0, 10);
+        sink.instant(t, "x", 0);
+        sink.counter(t, "x", 0, 1.0);
+        sink.pc_sample(t, 0, 0, 1);
+    }
+
+    #[test]
+    fn tracks_are_deduplicated_by_name() {
+        let mut rec = Recorder::new();
+        let a = rec.track("core0", CYCLES);
+        let b = rec.track("core0", CYCLES);
+        assert_eq!(a, b);
+        assert_eq!(rec.track_count(), 1);
+        assert_eq!(rec.track_name(a), "core0");
+    }
+
+    #[test]
+    fn span_ticks_accumulates_per_name() {
+        let mut rec = Recorder::new();
+        let t = rec.track("core0", CYCLES);
+        rec.span(t, "busy", 0, 10);
+        rec.span(t, "stall", 10, 13);
+        rec.span(t, "busy", 13, 20);
+        assert_eq!(rec.span_ticks(t, "busy"), 17);
+        assert_eq!(rec.span_ticks(t, "stall"), 3);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_scaled_timestamps() {
+        let mut rec = Recorder::new();
+        rec.set_cycles_per_us(100.0);
+        let t = rec.track("core0", CYCLES);
+        let h = rec.track("harvest", 1e-6); // 1 tick = 1 s
+        rec.span(t, "busy", 0, 200);
+        rec.instant(t, "halt", 200);
+        rec.counter(h, "soc_pct", 3600, 75.0);
+        let json = rec.chrome_trace_json();
+        validate_json(&json).expect("well-formed");
+        // 200 cycles at 100 MHz = 2 µs; 3600 s = 3.6e9 µs.
+        assert!(json.contains("\"dur\":2.000"), "{json}");
+        assert!(json.contains("\"ts\":3600000000.000"), "{json}");
+        assert!(json.contains("\"name\":\"core0\""));
+        assert!(json.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn pc_samples_aggregate_and_symbolize() {
+        let mut rec = Recorder::new();
+        rec.set_symbols(vec![(0x100, "layer0".into()), (0x200, "layer1".into())]);
+        let t = rec.track("core0", CYCLES);
+        rec.pc_sample(t, 0x104, 0, 2);
+        rec.pc_sample(t, 0x104, 2, 2);
+        rec.pc_sample(t, 0x204, 4, 5);
+        rec.pc_sample(t, 0x10, 9, 1); // before the first symbol
+        assert_eq!(
+            rec.pc_histogram()[&0x104],
+            PcStat {
+                count: 2,
+                cycles: 4
+            }
+        );
+        let folded = rec.folded_stacks("neta/cl8");
+        assert!(folded.contains("neta/cl8;layer1 5"), "{folded}");
+        assert!(folded.contains("neta/cl8;layer0 4"), "{folded}");
+        assert!(folded.contains("neta/cl8;pc:0x00000000 1"), "{folded}");
+        // Region change emitted derived spans on the "core0 code" track.
+        let code = rec.find_track("core0 code").expect("derived track");
+        assert_eq!(rec.span_ticks(code, "layer0"), 4);
+        assert_eq!(rec.span_ticks(code, "layer1"), 5);
+    }
+
+    #[test]
+    fn folded_output_sorts_hottest_first() {
+        let mut rec = Recorder::new();
+        rec.set_symbols(vec![(0, "cold".into()), (4, "hot".into())]);
+        let t = rec.track("c", CYCLES);
+        rec.pc_sample(t, 0, 0, 1);
+        rec.pc_sample(t, 4, 1, 10);
+        let folded = rec.folded_stacks("r");
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines, ["r;hot 10", "r;cold 1"]);
+    }
+
+    #[test]
+    fn unsymbolized_samples_do_not_emit_region_spans() {
+        let mut rec = Recorder::new();
+        let t = rec.track("c", CYCLES);
+        rec.pc_sample(t, 0x40, 0, 3);
+        rec.finish();
+        assert!(rec.find_track("c code").is_some());
+        let code = rec.find_track("c code").unwrap();
+        assert_eq!(rec.events().iter().len(), 0, "no span for unknown region");
+        assert_eq!(rec.span_ticks(code, "pc:0x00000040"), 0);
+    }
+}
