@@ -1,11 +1,12 @@
 //! Criterion benches for the harvesting models (Tables I/II drivers) and
-//! the day-scale battery simulation.
+//! the day-scale battery simulation on the discrete-event engine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use infiniwolf::{detection_costs, DetectionBudget};
 use iw_harvest::{
-    daily_intake, simulate_battery, Battery, EnvProfile, LightCondition, SolarHarvester,
-    TegHarvester, ThermalCondition,
+    daily_intake, EnvProfile, LightCondition, SolarHarvester, TegHarvester, ThermalCondition,
 };
+use iw_sim::{DetectionPolicy, DeviceConfig};
 
 fn bench_models(c: &mut Criterion) {
     let solar = SolarHarvester::infiniwolf();
@@ -22,22 +23,18 @@ fn bench_models(c: &mut Criterion) {
 }
 
 fn bench_day_simulation(c: &mut Criterion) {
-    let solar = SolarHarvester::infiniwolf();
-    let teg = TegHarvester::infiniwolf();
+    let costs = detection_costs(&DetectionBudget::paper());
     let mut group = c.benchmark_group("battery_day_sim");
     group.sample_size(10);
-    group.bench_function("dt_10s", |b| {
+    group.bench_function("event_engine_24min", |b| {
         b.iter(|| {
-            let mut battery = Battery::infiniwolf();
-            battery.set_soc(0.5);
-            simulate_battery(
-                &EnvProfile::paper_indoor_day(),
-                &solar,
-                &teg,
-                &mut battery,
-                |_, _| 250e-6,
-                10.0,
-            )
+            let mut cfg = DeviceConfig::new(
+                EnvProfile::paper_indoor_day(),
+                DetectionPolicy::FixedRate { per_minute: 24.0 },
+                costs,
+            );
+            cfg.battery.set_soc(0.5);
+            cfg.run()
         });
     });
     group.finish();

@@ -1,0 +1,121 @@
+//! Parallel fleet runner CLI: sweep N simulated bracelets across
+//! environments × wearers × policies and report aggregated
+//! sustainability statistics.
+//!
+//! ```text
+//! cargo run --release -p iw-bench --bin fleet -- --devices 64
+//! cargo run --release -p iw-bench --bin fleet -- --devices 64 --check
+//! ```
+//!
+//! `--check` runs the same sweep serially and on all requested threads
+//! and exits non-zero unless the two aggregate digests match — the CI
+//! determinism gate.
+
+use std::time::Instant;
+
+use iw_sim::FleetReport;
+
+struct Args {
+    devices: usize,
+    threads: usize,
+    seed: u64,
+    check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        devices: 64,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+        seed: iw_bench::SEED,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad {name}: {e}"))
+        };
+        match flag.as_str() {
+            "--devices" => args.devices = value("--devices")? as usize,
+            "--threads" => args.threads = (value("--threads")? as usize).max(1),
+            "--seed" => args.seed = value("--seed")?,
+            "--check" => args.check = true,
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' (expected --devices N, --threads N, --seed N, --check)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn run_once(devices: usize, threads: usize, seed: u64) -> (FleetReport, f64) {
+    let cfg = iw_bench::d2_fleet_config(devices, threads, seed);
+    let start = Instant::now();
+    let report = cfg.run();
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn print_report(report: &FleetReport, threads: usize, wall_s: f64) {
+    println!(
+        "fleet: {} devices on {} thread(s): {:.1} simulated days, {} events in {:.2} s wall",
+        report.devices.len(),
+        threads,
+        report.simulated_s / 86_400.0,
+        report.events,
+        wall_s
+    );
+    println!(
+        "  throughput: {:.0} simulated-seconds per wall-second",
+        report.simulated_s / wall_s.max(1e-9)
+    );
+    for stats in report.policies.iter().filter(|s| s.devices > 0) {
+        println!(
+            "  {:<10} {:>3} devices  {:>9.0} det/day  {:>5.1}% brown-out  {:>5.1}% mean final SoC",
+            stats.name,
+            stats.devices,
+            stats.detections_per_day,
+            stats.brown_out_rate * 100.0,
+            stats.mean_final_soc * 100.0
+        );
+    }
+    println!("  digest: {:016x}", report.digest);
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let (report, wall_s) = run_once(args.devices, args.threads, args.seed);
+    print_report(&report, args.threads, wall_s);
+
+    if args.check {
+        let (serial, serial_wall) = run_once(args.devices, 1, args.seed);
+        println!(
+            "check: serial rerun {:.2} s wall ({:.0} sim-s/wall-s, {:.2}x parallel speedup)",
+            serial_wall,
+            serial.simulated_s / serial_wall.max(1e-9),
+            serial_wall / wall_s.max(1e-9)
+        );
+        if serial.digest == report.digest {
+            println!(
+                "check: OK — digest {:016x} identical on 1 and {} thread(s)",
+                report.digest, args.threads
+            );
+        } else {
+            eprintln!(
+                "check: FAILED — digest {:016x} on {} thread(s) vs {:016x} serial",
+                report.digest, args.threads, serial.digest
+            );
+            std::process::exit(1);
+        }
+    }
+}

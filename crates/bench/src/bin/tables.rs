@@ -135,6 +135,11 @@ fn d1() {
     print!("{}", iw_bench::render_d1());
 }
 
+fn d2() {
+    // 18 devices cover the full env × subject × policy cross product.
+    print!("{}", iw_bench::render_d2(18, 4));
+}
+
 fn a10() {
     println!("\n== A10 — extension: cycle breakdown, Network A per target ==");
     for (target, wall_cycles, rows) in iw_bench::a10_cycle_breakdown() {
@@ -210,5 +215,8 @@ fn main() {
     }
     if want("d1") {
         d1();
+    }
+    if want("d2") {
+        d2();
     }
 }

@@ -18,9 +18,10 @@ use iw_kernels::{
     FixedTarget, RvKernelOpts, TargetGroup,
 };
 use iw_mrwolf::ClusterConfig;
+use iw_sim::{FleetConfig, FleetReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-pub use render::{render_a2, render_a7, render_d1, render_rows, render_t3t4};
+pub use render::{render_a2, render_a7, render_d1, render_d2, render_rows, render_t3t4};
 pub use traceflow::{trace_target, TraceArtifacts};
 
 pub mod render;
@@ -693,6 +694,62 @@ pub fn d1_cluster_diagnostics() -> Vec<(String, ClusterDiag)> {
             (name, diag)
         })
         .collect()
+}
+
+/// The paper-flavoured fleet sweep used by D2 and the `fleet` binary:
+/// `devices` simulated bracelets across the three environments × three
+/// wearer archetypes × two policies, using the *measured* X2 detection
+/// budget (not the published one) so the sweep exercises the full
+/// machine-registry → event-engine path.
+#[must_use]
+pub fn d2_fleet_config(devices: usize, threads: usize, seed: u64) -> FleetConfig {
+    let (budget, _) = x2_detection_budget();
+    FleetConfig::paper(devices, threads, seed, infiniwolf::detection_costs(&budget))
+}
+
+/// **D2** — fleet sweep: per-policy detections/day, brown-out rate and
+/// final state of charge across the sweep, plus the X3 reproduction row
+/// (the indoor baseline fixed-24 device must deliver the paper's
+/// ~24 detections/minute). Returns the raw [`FleetReport`] and the rows.
+#[must_use]
+pub fn d2_fleet_sweep(devices: usize, threads: usize) -> (FleetReport, Vec<Row>) {
+    let report = d2_fleet_config(devices, threads, SEED).run();
+    let mut rows = Vec::new();
+    for stats in &report.policies {
+        rows.push(Row {
+            label: format!("{} — detections/day", stats.name),
+            ours: stats.detections_per_day,
+            paper: None,
+            unit: "/day",
+        });
+        rows.push(Row {
+            label: format!("{} — brown-out rate", stats.name),
+            ours: stats.brown_out_rate * 100.0,
+            paper: None,
+            unit: "%",
+        });
+        rows.push(Row {
+            label: format!("{} — mean final SoC", stats.name),
+            ours: stats.mean_final_soc * 100.0,
+            paper: None,
+            unit: "%",
+        });
+    }
+    // X3 through the fleet path: the indoor-day baseline wearer on the
+    // fixed 24/min policy sustains the paper's headline rate.
+    if let Some(dev) = report
+        .devices
+        .iter()
+        .find(|d| d.env == "indoor-6h" && d.subject == "baseline" && d.policy == "fixed-24")
+    {
+        rows.push(Row {
+            label: "X3 — indoor fixed-24 achieved".into(),
+            ours: dev.detections as f64 / dev.days / (24.0 * 60.0),
+            paper: Some(24.0),
+            unit: "/min",
+        });
+    }
+    (report, rows)
 }
 
 /// Checks the daily-intake figure directly (used by the `tables` binary's

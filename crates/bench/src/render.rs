@@ -122,6 +122,26 @@ pub fn render_d1() -> String {
     out
 }
 
+/// Renders the D2 fleet sweep: the per-policy aggregate rows plus the
+/// determinism digest and event-throughput footer.
+#[must_use]
+pub fn render_d2(devices: usize, threads: usize) -> String {
+    let (report, rows) = crate::d2_fleet_sweep(devices, threads);
+    let mut out = render_rows(
+        &format!("D2 — fleet sweep ({devices} devices, {threads} threads)"),
+        &rows,
+    );
+    writeln!(
+        out,
+        "  {} simulated days, {} engine events, digest {:016x}",
+        report.simulated_s / 86_400.0,
+        report.events,
+        report.digest
+    )
+    .expect("string write");
+    out
+}
+
 /// Renders the A7 Q15-vs-Q31 comparison.
 #[must_use]
 pub fn render_a7() -> String {

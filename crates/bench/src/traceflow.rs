@@ -3,10 +3,10 @@
 //! sink attached, and export both observability artifacts (Perfetto
 //! timeline + folded-stack hotspot report).
 
-use iw_harvest::{
-    record_harvest, simulate_battery, Battery, EnvProfile, SolarHarvester, TegHarvester,
-};
+use infiniwolf::{detection_costs, DetectionBudget};
+use iw_harvest::{record_harvest, EnvProfile};
 use iw_kernels::{registry, FixedRun, PreparedFixed};
+use iw_sim::{DetectionPolicy, DeviceConfig};
 use iw_trace::Recorder;
 
 use crate::evaluation_nets;
@@ -56,18 +56,17 @@ pub fn trace_target(net_key: &str, target_id: &str) -> Result<TraceArtifacts, St
     let run = prep.run_recorded(&mut rec).map_err(|e| e.to_string())?;
 
     // Energy context: a day of dual-source harvesting next to the compute
-    // timeline (per-source intake, load and SoC counters, 1 s ticks).
-    let mut battery = Battery::infiniwolf();
-    battery.set_soc(0.5);
-    let report = simulate_battery(
-        &EnvProfile::paper_indoor_day(),
-        &SolarHarvester::infiniwolf(),
-        &TegHarvester::infiniwolf(),
-        &mut battery,
-        |_, _| 1e-3,
-        60.0,
+    // timeline (per-source intake, load and SoC counters, 1 s ticks),
+    // simulated on the discrete-event engine at the paper's 24/min rate.
+    let mut day = DeviceConfig::new(
+        EnvProfile::paper_indoor_day(),
+        DetectionPolicy::FixedRate { per_minute: 24.0 },
+        detection_costs(&DetectionBudget::paper()),
     );
-    record_harvest(&report, &mut rec);
+    day.battery.set_soc(0.5);
+    day.detection_spans = false;
+    let report = day.run();
+    record_harvest(&report.sim, &mut rec);
 
     let net = if ni == 0 { "neta" } else { "netb" };
     let root = format!("{net}/{id}");

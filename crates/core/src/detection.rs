@@ -12,6 +12,8 @@ pub struct DetectionBudget {
     pub acquisition_j: f64,
     /// Feature extraction on the cluster, joules.
     pub features_j: f64,
+    /// Feature-extraction latency, seconds.
+    pub features_s: f64,
     /// MLP classification, joules.
     pub classification_j: f64,
     /// Classification latency, seconds.
@@ -38,6 +40,7 @@ impl DetectionBudget {
         DetectionBudget {
             acquisition_j: 600e-6,
             features_j: 1e-6,
+            features_s: 50e-6,
             classification_j: 1.2e-6,
             classification_s: 6126.0 / 100e6,
         }
@@ -63,6 +66,7 @@ pub fn measure_detection_budget(
     Ok(DetectionBudget {
         acquisition_j: acquisition.energy_j(),
         features_j: features.energy_j(&op),
+        features_s: features.seconds(&op),
         classification_j: run.energy_j,
         classification_s: run.cycles as f64 / machine.clock_hz(),
     })

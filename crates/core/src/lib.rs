@@ -15,7 +15,9 @@
 //!   executed on a simulated target;
 //! * [`sustainability`] / [`simulate_policy`] — the self-sustainability
 //!   analysis (21.44 J/day indoors → ~24 detections/minute) and
-//!   battery-coupled policy simulations.
+//!   battery-coupled policy simulations, run on the `iw-sim`
+//!   discrete-event engine ([`detection_costs`] maps a budget onto its
+//!   per-detection cost model).
 //!
 //! # Examples
 //!
@@ -61,4 +63,6 @@ pub use detection::{measure_detection_budget, DetectionBudget};
 pub use device::{DeviceMode, InfiniWolf};
 pub use loso::{loso_evaluation, LosoReport};
 pub use pipeline::{train_stress_pipeline, PipelineConfig, StressPipeline};
-pub use sustain::{simulate_policy, sustainability, DetectionPolicy, SustainReport};
+pub use sustain::{
+    detection_costs, simulate_policy, sustainability, DetectionPolicy, SustainReport,
+};

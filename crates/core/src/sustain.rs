@@ -1,12 +1,14 @@
 //! Self-sustainability analysis — the paper's "up to 24 detections per
 //! minute in indoor conditions" result, plus policy-level battery
-//! simulations.
+//! simulations on the `iw-sim` discrete-event engine.
 
-use iw_harvest::{
-    daily_intake, simulate_battery, Battery, EnvProfile, SimReport, SolarHarvester, TegHarvester,
-};
+use iw_harvest::{daily_intake, Battery, EnvProfile, SimReport, SolarHarvester, TegHarvester};
+use iw_sensors::Acquisition;
+use iw_sim::{ComputeJob, DetectionCosts, DeviceConfig};
 
 use crate::detection::DetectionBudget;
+
+pub use iw_sim::DetectionPolicy;
 
 /// Result of the steady-state sustainability analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,28 +58,28 @@ pub fn sustainability(
     }
 }
 
-/// A detection-scheduling policy for the battery-coupled simulation.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum DetectionPolicy {
-    /// Fixed detection rate, detections per minute.
-    FixedRate {
-        /// Detections per minute.
-        per_minute: f64,
-    },
-    /// Energy-aware: scales a maximum rate by the battery state of charge
-    /// (the "opportunistic" acquisition the paper describes).
-    EnergyAware {
-        /// Rate at full battery, detections per minute.
-        max_per_minute: f64,
-        /// State of charge below which detection stops entirely.
-        min_soc: f64,
-    },
+/// Maps a [`DetectionBudget`] onto the event engine's per-detection cost
+/// model: the acquisition energy spread over the sensor window, and
+/// features + classification merged into one compute job.
+#[must_use]
+pub fn detection_costs(budget: &DetectionBudget) -> DetectionCosts {
+    DetectionCosts {
+        acquisition_j: budget.acquisition_j,
+        acquisition_s: Acquisition::default().window_s,
+        compute: ComputeJob::analytic(
+            budget.features_s + budget.classification_s,
+            budget.features_j + budget.classification_j,
+        ),
+    }
 }
 
-/// Simulates a policy over an environment profile and battery.
+/// Simulates a policy over an environment profile and battery on the
+/// discrete-event engine.
 ///
-/// The load combines the detection duty cycle with a small always-on sleep
-/// floor (BLE-off idle of both SoCs + PSU quiescent).
+/// The load combines the detection duty cycle (3 s acquisition windows
+/// feeding compute jobs, scheduled by `policy`) with a small always-on
+/// sleep floor (BLE-off idle of both SoCs). The battery is updated in
+/// place so callers can inspect its final state.
 #[must_use]
 pub fn simulate_policy(
     profile: &EnvProfile,
@@ -88,24 +90,14 @@ pub fn simulate_policy(
     policy: DetectionPolicy,
     sleep_floor_w: f64,
 ) -> SimReport {
-    let per_detection = budget.total_j();
-    let load = |_t: f64, soc: f64| -> f64 {
-        let rate_per_s = match policy {
-            DetectionPolicy::FixedRate { per_minute } => per_minute / 60.0,
-            DetectionPolicy::EnergyAware {
-                max_per_minute,
-                min_soc,
-            } => {
-                if soc <= min_soc {
-                    0.0
-                } else {
-                    max_per_minute / 60.0 * ((soc - min_soc) / (1.0 - min_soc))
-                }
-            }
-        };
-        sleep_floor_w + rate_per_s * per_detection
-    };
-    simulate_battery(profile, solar, teg, battery, load, 10.0)
+    let mut cfg = DeviceConfig::new(profile.clone(), policy, detection_costs(budget));
+    cfg.solar = *solar;
+    cfg.teg = *teg;
+    cfg.battery = *battery;
+    cfg.sleep_floor_w = sleep_floor_w;
+    let report = cfg.run();
+    *battery = report.battery;
+    report.sim
 }
 
 #[cfg(test)]
@@ -160,6 +152,8 @@ mod tests {
         );
         assert!(!sim.browned_out);
         assert!(sim.final_soc > 0.45, "battery drained to {}", sim.final_soc);
+        // The battery passed in reflects the run's final state.
+        assert_eq!(battery.soc(), sim.final_soc);
     }
 
     #[test]
@@ -186,5 +180,14 @@ mod tests {
             0.0,
         );
         assert!(sim.final_soc < 0.5, "soc should fall: {}", sim.final_soc);
+    }
+
+    #[test]
+    fn costs_mapping_preserves_the_total_budget() {
+        let budget = DetectionBudget::paper();
+        let costs = detection_costs(&budget);
+        assert!((costs.total_j() - budget.total_j()).abs() < 1e-15);
+        assert!((costs.acquisition_s - 3.0).abs() < 1e-12);
+        assert!(costs.compute.duration_s > 0.0);
     }
 }

@@ -12,9 +12,11 @@
 //! * **storage** — the 120 mAh LiPo and BQ27441 fuel gauge ([`Battery`],
 //!   [`FuelGauge`]),
 //! * **distribution** — the 1.8 V LDO rail ([`PowerSupply`]),
-//! * **environment & simulation** — lighting/thermal profiles and a
-//!   time-stepped battery simulation ([`EnvProfile`], [`simulate_battery`],
-//!   [`daily_intake`] — the paper's 21.44 J/day scenario).
+//! * **environment & intake** — lighting/thermal profiles and the
+//!   harvest-intake integral ([`EnvProfile`], [`daily_intake`] — the
+//!   paper's 21.44 J/day scenario). Battery-coupled *simulation* runs on
+//!   the discrete-event engine in the `iw-sim` crate, which fills in the
+//!   [`SimReport`]/[`TracePoint`] trajectory types defined here.
 //!
 //! Because the chains are calibrated to *battery-node* measurements taken
 //! with the device asleep, harvested power is already net of converter
@@ -46,8 +48,6 @@ pub use battery::{Battery, EmptyBatteryError, FuelGauge};
 pub use bq257x::{Bq25505, Bq25570};
 pub use env::{EnvProfile, EnvSegment, Illuminant, LightCondition, ThermalCondition};
 pub use psu::PowerSupply;
-pub use sim::{
-    daily_intake, record_harvest, simulate_battery, IntakeReport, SimReport, TracePoint,
-};
+pub use sim::{daily_intake, record_harvest, IntakeReport, SimReport, TracePoint};
 pub use solar::{SolarHarvester, SolarPanel};
 pub use teg::{Teg, TegHarvester};

@@ -12,6 +12,10 @@
 //! * Cluster powered, one RI5CY core active: ≈ 12.7 mW.
 //! * Cluster powered, eight cores active: ≈ 19.6 mW (matches the ~20 mW
 //!   the paper assumes for parallel execution).
+//!
+//! The calibration constants live in [`iw_power::mrwolf`] — the one table
+//! shared with the nRF52 model and the whole-device simulator — and this
+//! module builds the typed operating point from them.
 
 /// Which part of the SoC is doing the work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,11 +52,11 @@ impl OperatingPoint {
     #[must_use]
     pub fn efficient() -> OperatingPoint {
         OperatingPoint {
-            freq_hz: 100.0e6,
-            soc_power_w: 3.2e-3,
-            cluster_base_power_w: 8.5e-3,
-            core_power_w: 1.0e-3,
-            sleep_power_w: 72.0e-6,
+            freq_hz: iw_power::mrwolf::FREQ_HZ,
+            soc_power_w: iw_power::mrwolf::SOC_POWER_W,
+            cluster_base_power_w: iw_power::mrwolf::CLUSTER_BASE_POWER_W,
+            core_power_w: iw_power::mrwolf::CORE_POWER_W,
+            sleep_power_w: iw_power::mrwolf::SLEEP_POWER_W,
         }
     }
 
@@ -161,6 +165,25 @@ mod tests {
         assert!((e2.energy_j / e1.energy_j - 2.0).abs() < 1e-12);
         // 100k cycles @ 100 MHz = 1 ms @ 3.2 mW = 3.2 µJ.
         assert!((e1.microjoules() - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_matches_shared_power_table() {
+        // The typed model and the iw-power table must never disagree —
+        // they are the same constants by construction.
+        let op = OperatingPoint::efficient();
+        let t = iw_power::mrwolf::table();
+        assert_eq!(op.power_w(WolfMode::FcOnly), t.power_w("fc-only"));
+        assert_eq!(op.sleep_power_w, t.power_w("sleep"));
+        for cores in 1..=8 {
+            assert_eq!(
+                op.power_w(WolfMode::Cluster {
+                    active_cores: cores
+                }),
+                iw_power::mrwolf::cluster_power_w(cores),
+                "cluster power with {cores} cores"
+            );
+        }
     }
 
     #[test]

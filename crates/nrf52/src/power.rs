@@ -8,6 +8,10 @@
 //! system power, which reproduces Table IV from Table III cycle counts to
 //! within ~1 % — the discrepancy with the marketing figure is recorded in
 //! EXPERIMENTS.md.
+//!
+//! The calibration constants themselves live in [`iw_power::nrf52`] — the
+//! one table shared with the whole-device simulator — and this module
+//! builds the typed model from them.
 
 /// Power states of the nRF52832.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,11 +42,11 @@ pub struct Nrf52Power {
 impl Default for Nrf52Power {
     fn default() -> Nrf52Power {
         Nrf52Power {
-            freq_hz: 64.0e6,
-            supply_v: 3.0,
-            active_a: 3.6e-3,
-            idle_a: 1.9e-6,
-            system_off_a: 0.7e-6,
+            freq_hz: iw_power::nrf52::FREQ_HZ,
+            supply_v: iw_power::nrf52::SUPPLY_V,
+            active_a: iw_power::nrf52::ACTIVE_A,
+            idle_a: iw_power::nrf52::IDLE_A,
+            system_off_a: iw_power::nrf52::SYSTEM_OFF_A,
         }
     }
 }
@@ -72,7 +76,7 @@ impl Nrf52Power {
     /// ```
     #[must_use]
     pub fn active_energy_j(&self, cycles: u64) -> f64 {
-        cycles as f64 / self.freq_hz * self.power_w(Nrf52Mode::Active)
+        iw_power::active_energy_j(cycles, self.freq_hz, self.power_w(Nrf52Mode::Active))
     }
 }
 
@@ -95,6 +99,18 @@ mod tests {
         let net_b = p.active_energy_j(902_763) * 1e6;
         assert!((net_a - 5.1).abs() < 0.2, "Net A energy {net_a} µJ");
         assert!((net_b - 153.8).abs() < 3.0, "Net B energy {net_b} µJ");
+    }
+
+    #[test]
+    fn model_matches_shared_power_table() {
+        // The typed model and the iw-power table must never disagree —
+        // they are the same constants by construction.
+        let p = Nrf52Power::default();
+        let t = iw_power::nrf52::table();
+        assert_eq!(p.power_w(Nrf52Mode::Active), t.power_w("active"));
+        assert_eq!(p.power_w(Nrf52Mode::Idle), t.power_w("idle"));
+        assert_eq!(p.power_w(Nrf52Mode::SystemOff), t.power_w("system-off"));
+        assert_eq!(p.active_energy_j(30_210), t.energy_j(30_210, "active"));
     }
 
     #[test]

@@ -1,0 +1,860 @@
+//! The whole-device simulation: the InfiniWolf bracelet assembled from
+//! event-engine components.
+//!
+//! Component wiring (every event is broadcast; arrows show who schedules
+//! what):
+//!
+//! ```text
+//! EnvComponent      ── EnvSegment{i} ──▶ sets solar/TEG intake, End at t_end
+//! PolicyComponent   ── PolicyTick ─────▶ AcquireStart + next PolicyTick
+//! SensorComponent   ── AcquireStart ───▶ AFE load on, AcquireEnd at +3 s
+//!                   ── AcquireEnd ─────▶ AFE load off, ComputeStart
+//! ComputeComponent  ── ComputeStart ───▶ cluster load on, ComputeEnd at +T
+//!                   ── ComputeEnd ─────▶ one detection retired
+//! RadioComponent    ── ComputeEnd ─────▶ result-notification impulse
+//!                   ── BleSyncStart ───▶ radio load on, BleSyncEnd at +burst
+//! SamplerComponent  ── Sample ─────────▶ TracePoint + harvest counters
+//! ```
+//!
+//! Acquisition windows (and compute jobs) may overlap when the policy
+//! rate exceeds `1 / window`; each component tracks its multiplicity and
+//! sets its load slot to `count × unit_power`, so the integrated energy
+//! is exactly `completed_detections × per-detection energy` — the same
+//! arithmetic as the paper's steady-state analysis.
+
+use std::collections::VecDeque;
+
+use iw_harvest::{Battery, EnvProfile, SimReport, SolarHarvester, TegHarvester, TracePoint};
+use iw_kernels::{ExecPath, Machine, MachineError, MachineRun, Workload};
+use iw_nrf52::BleRadio;
+use iw_trace::TraceSink;
+
+use crate::engine::{secs_to_us, Component, Engine, Event, LoadSlot, SimCtx};
+use crate::policy::DetectionPolicy;
+
+/// One compute job dispatched per detection: duration and energy, derived
+/// from a cycle count on a simulated machine (or given analytically).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeJob {
+    /// Job duration, seconds.
+    pub duration_s: f64,
+    /// Job energy, joules.
+    pub energy_j: f64,
+    /// Cycle count behind `duration_s` (0 when analytic).
+    pub cycles: u64,
+}
+
+impl ComputeJob {
+    /// A job from an explicit duration and energy.
+    #[must_use]
+    pub fn analytic(duration_s: f64, energy_j: f64) -> ComputeJob {
+        ComputeJob {
+            duration_s,
+            energy_j,
+            cycles: 0,
+        }
+    }
+
+    /// A job from a finished [`MachineRun`]: cycles at `clock_hz` give the
+    /// event duration, the run's energy breakdown gives the burst energy.
+    #[must_use]
+    pub fn from_run(run: &MachineRun, clock_hz: f64) -> ComputeJob {
+        ComputeJob {
+            duration_s: run.cycles as f64 / clock_hz,
+            energy_j: run.energy.total_j,
+            cycles: run.cycles,
+        }
+    }
+
+    /// Deploys `workload` on `machine` (through the normal
+    /// [`Machine::deploy`] / [`iw_kernels::Deployment::run`] path), runs it
+    /// once, and turns the measured cycles and energy into a job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MachineError`] from deployment or the run.
+    pub fn deploy(
+        machine: &dyn Machine,
+        workload: &dyn Workload,
+        path: ExecPath,
+    ) -> Result<ComputeJob, MachineError> {
+        let deployment = machine.deploy(workload)?;
+        let run = deployment.run(path)?;
+        Ok(ComputeJob::from_run(&run, machine.clock_hz()))
+    }
+
+    /// Average power during the job, watts (zero for zero-duration jobs,
+    /// whose energy is drawn as an impulse instead).
+    #[must_use]
+    pub fn power_w(&self) -> f64 {
+        if self.duration_s > 0.0 {
+            self.energy_j / self.duration_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-detection costs: the sensor acquisition window plus the compute
+/// job it feeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionCosts {
+    /// Acquisition energy over the window (ECG + GSR front ends), joules.
+    pub acquisition_j: f64,
+    /// Acquisition window length, seconds (the paper's 3 s).
+    pub acquisition_s: f64,
+    /// The compute job (feature extraction + classification).
+    pub compute: ComputeJob,
+}
+
+impl DetectionCosts {
+    /// Total energy of one detection, joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.acquisition_j + self.compute.energy_j
+    }
+}
+
+/// A periodic BLE synchronisation burst: the radio keys on for `burst_s`
+/// every `interval_s`, drawing `power_w` on top of everything else.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BleSync {
+    /// Time between burst starts, seconds.
+    pub interval_s: f64,
+    /// Burst length, seconds.
+    pub burst_s: f64,
+    /// Battery-side burst power, watts.
+    pub power_w: f64,
+}
+
+impl BleSync {
+    /// A sync burst sized from the nRF52832 radio model: `payload` bytes
+    /// notified per burst, spread over one ~2.5 ms connection event.
+    #[must_use]
+    pub fn nrf52(radio: &BleRadio, interval_s: f64, payload: usize) -> BleSync {
+        let burst_s = 2.5e-3;
+        BleSync {
+            interval_s,
+            burst_s,
+            power_w: radio.notify_energy_j(payload) / burst_s,
+        }
+    }
+}
+
+/// Everything the engine run returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// The classic battery-trajectory report (same type the old
+    /// fixed-timestep simulator produced, so downstream tooling is
+    /// unchanged).
+    pub sim: SimReport,
+    /// Detections completed.
+    pub detections: u64,
+    /// Per-detection BLE result notifications sent.
+    pub notifications: u64,
+    /// Periodic BLE sync bursts completed.
+    pub sync_bursts: u64,
+    /// Events the engine processed (throughput accounting).
+    pub events: u64,
+    /// The battery in its final state.
+    pub battery: Battery,
+}
+
+/// Configuration of one whole-device run.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// The environment the device lives through.
+    pub env: EnvProfile,
+    /// Solar harvesting chain.
+    pub solar: SolarHarvester,
+    /// TEG harvesting chain.
+    pub teg: TegHarvester,
+    /// The battery, in its starting state.
+    pub battery: Battery,
+    /// Detection-scheduling policy.
+    pub policy: DetectionPolicy,
+    /// Per-detection costs.
+    pub costs: DetectionCosts,
+    /// Always-on battery-side sleep floor, watts.
+    pub sleep_floor_w: f64,
+    /// Energy to notify one detection result over BLE, joules (0 = off).
+    pub notify_j: f64,
+    /// Optional periodic BLE sync bursts.
+    pub sync: Option<BleSync>,
+    /// Target number of trace samples over the run (0 = no trace).
+    pub trace_points: usize,
+    /// Emit a span per acquisition window / compute job when tracing
+    /// (disable for day-scale traces where only the counters matter).
+    pub detection_spans: bool,
+}
+
+/// Battery-side sleep floor from the shared power tables: both SoCs idle
+/// (nRF52832 system-ON idle + Mr. Wolf deep sleep).
+#[must_use]
+pub fn default_sleep_floor_w() -> f64 {
+    iw_power::nrf52::table().power_w("idle") + iw_power::mrwolf::table().power_w("sleep")
+}
+
+impl DeviceConfig {
+    /// A paper-configured device: InfiniWolf harvesters and battery, the
+    /// shared-table sleep floor, no BLE, ~500 trace points.
+    #[must_use]
+    pub fn new(env: EnvProfile, policy: DetectionPolicy, costs: DetectionCosts) -> DeviceConfig {
+        DeviceConfig {
+            env,
+            solar: SolarHarvester::infiniwolf(),
+            teg: TegHarvester::infiniwolf(),
+            battery: Battery::infiniwolf(),
+            policy,
+            costs,
+            sleep_floor_w: default_sleep_floor_w(),
+            notify_j: 0.0,
+            sync: None,
+            trace_points: 500,
+            detection_spans: true,
+        }
+    }
+
+    /// Runs the device without tracing.
+    #[must_use]
+    pub fn run(&self) -> DeviceReport {
+        self.run_traced(&mut iw_trace::NoopSink)
+    }
+
+    /// Runs the device with every component emitting into `sink`:
+    /// `soc_pct` / `solar_mw` / `teg_mw` / `load_mw` counters on a
+    /// `harvest` track (1 s ticks) and, when [`Self::detection_spans`] is
+    /// set, `acquire` / `compute` / `ble-sync` spans plus `notify`
+    /// instants on a `device` track (1 µs ticks).
+    pub fn run_traced<S: TraceSink>(&self, sink: &mut S) -> DeviceReport {
+        let mut engine: Engine<S> = Engine::new(self.battery);
+        engine.state.base_load_w = self.sleep_floor_w;
+        engine.add(Box::new(EnvComponent::new(
+            &self.env,
+            &self.solar,
+            &self.teg,
+        )));
+        engine.add(Box::new(PolicyComponent::new(self.policy)));
+        engine.add(Box::new(SensorComponent::new(
+            self.costs.acquisition_j,
+            self.costs.acquisition_s,
+            self.detection_spans,
+        )));
+        engine.add(Box::new(ComputeComponent::new(
+            self.costs.compute,
+            self.detection_spans,
+        )));
+        if self.notify_j > 0.0 || self.sync.is_some() {
+            engine.add(Box::new(RadioComponent::new(
+                self.notify_j,
+                self.sync,
+                self.detection_spans,
+            )));
+        }
+        if self.trace_points > 0 {
+            engine.add(Box::new(SamplerComponent::new(
+                secs_to_us(self.env.duration_s()),
+                self.trace_points,
+            )));
+        }
+        let events = engine.run(sink);
+        let state = engine.state;
+        DeviceReport {
+            sim: SimReport {
+                stored_j: state.stored_j,
+                consumed_j: state.consumed_j,
+                trace: state.trace,
+                browned_out: state.browned_out,
+                final_soc: state.battery.soc(),
+            },
+            detections: state.detections,
+            notifications: state.notifications,
+            sync_bursts: state.sync_bursts,
+            events,
+            battery: state.battery,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Components
+// ---------------------------------------------------------------------------
+
+/// Plays an [`EnvProfile`] back: at each segment boundary it sets the
+/// battery-side intake of both harvesting chains, and it schedules
+/// [`Event::End`] at the profile's end.
+pub struct EnvComponent {
+    /// `(start_us, solar_w, teg_w)` per segment.
+    segments: Vec<(u64, f64, f64)>,
+    end_us: u64,
+}
+
+impl EnvComponent {
+    /// Precomputes the per-segment battery-side intakes.
+    #[must_use]
+    pub fn new(profile: &EnvProfile, solar: &SolarHarvester, teg: &TegHarvester) -> EnvComponent {
+        let mut segments = Vec::with_capacity(profile.segments.len());
+        let mut t_s = 0.0;
+        for seg in &profile.segments {
+            segments.push((
+                secs_to_us(t_s),
+                solar.battery_intake_w(&seg.light),
+                teg.battery_intake_w(&seg.thermal),
+            ));
+            t_s += seg.duration_s;
+        }
+        EnvComponent {
+            segments,
+            end_us: secs_to_us(t_s),
+        }
+    }
+}
+
+impl<S: TraceSink> Component<S> for EnvComponent {
+    fn name(&self) -> &'static str {
+        "environment"
+    }
+
+    fn start(&mut self, ctx: &mut SimCtx<'_, S>) {
+        // End is scheduled first: at a shared final timestamp it wins the
+        // sequence tie-break, so no new work starts exactly at t_end.
+        ctx.schedule_at(self.end_us, Event::End);
+        if !self.segments.is_empty() {
+            ctx.schedule_at(self.segments[0].0, Event::EnvSegment { index: 0 });
+        }
+    }
+
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_, S>) {
+        if let Event::EnvSegment { index } = ev {
+            let (_, solar_w, teg_w) = self.segments[index];
+            ctx.state.solar_w = solar_w;
+            ctx.state.teg_w = teg_w;
+            if let Some(&(next_us, ..)) = self.segments.get(index + 1) {
+                ctx.schedule_at(next_us, Event::EnvSegment { index: index + 1 });
+            }
+        }
+    }
+}
+
+/// Evaluates the [`DetectionPolicy`] and spaces acquisitions: at each
+/// tick it reads the state of charge, triggers an acquisition when the
+/// rate allows one, and schedules the next tick at the rate's period
+/// (or at a fixed re-check interval while detection is paused).
+pub struct PolicyComponent {
+    policy: DetectionPolicy,
+    idle_recheck_us: u64,
+    min_interval_us: u64,
+}
+
+impl PolicyComponent {
+    /// A component for `policy` with a 10 s paused-state re-check (the
+    /// old fixed-timestep simulator's granularity) and a 1 ms floor on
+    /// the detection period.
+    #[must_use]
+    pub fn new(policy: DetectionPolicy) -> PolicyComponent {
+        PolicyComponent {
+            policy,
+            idle_recheck_us: secs_to_us(10.0),
+            min_interval_us: 1_000,
+        }
+    }
+}
+
+impl<S: TraceSink> Component<S> for PolicyComponent {
+    fn name(&self) -> &'static str {
+        "policy"
+    }
+
+    fn start(&mut self, ctx: &mut SimCtx<'_, S>) {
+        ctx.schedule_at(0, Event::PolicyTick);
+    }
+
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_, S>) {
+        if ev != Event::PolicyTick {
+            return;
+        }
+        let rate = self.policy.rate_per_s(ctx.state.battery.soc());
+        if rate > 0.0 {
+            ctx.schedule_in(0, Event::AcquireStart);
+            let period_us = secs_to_us(1.0 / rate).max(self.min_interval_us);
+            ctx.schedule_in(period_us, Event::PolicyTick);
+        } else {
+            ctx.schedule_in(self.idle_recheck_us, Event::PolicyTick);
+        }
+    }
+}
+
+/// The ECG + GSR analog front ends: each [`Event::AcquireStart`] opens a
+/// fixed-length window drawing the acquisition power; windows may overlap
+/// (multiplicity-counted). Each closing window dispatches a compute job.
+pub struct SensorComponent {
+    energy_j: f64,
+    window_us: u64,
+    unit_power_w: f64,
+    trace_spans: bool,
+    slot: Option<LoadSlot>,
+    active: u32,
+    starts: VecDeque<u64>,
+}
+
+impl SensorComponent {
+    /// A front-end pair drawing `energy_j` over each `window_s` window.
+    #[must_use]
+    pub fn new(energy_j: f64, window_s: f64, trace_spans: bool) -> SensorComponent {
+        let window_us = secs_to_us(window_s);
+        SensorComponent {
+            energy_j,
+            window_us,
+            unit_power_w: if window_s > 0.0 {
+                energy_j / window_s
+            } else {
+                0.0
+            },
+            trace_spans,
+            slot: None,
+            active: 0,
+            starts: VecDeque::new(),
+        }
+    }
+}
+
+impl<S: TraceSink> Component<S> for SensorComponent {
+    fn name(&self) -> &'static str {
+        "sensors"
+    }
+
+    fn start(&mut self, ctx: &mut SimCtx<'_, S>) {
+        self.slot = Some(ctx.state.register_load("afe"));
+    }
+
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_, S>) {
+        let slot = self.slot.expect("started");
+        match ev {
+            Event::AcquireStart => {
+                if self.window_us == 0 {
+                    // Degenerate window: the energy is an impulse.
+                    ctx.consume_j(self.energy_j);
+                } else {
+                    self.active += 1;
+                    ctx.state
+                        .set_load(slot, f64::from(self.active) * self.unit_power_w);
+                }
+                self.starts.push_back(ctx.now_us);
+                ctx.schedule_in(self.window_us, Event::AcquireEnd);
+            }
+            Event::AcquireEnd => {
+                if self.window_us > 0 {
+                    self.active -= 1;
+                    ctx.state
+                        .set_load(slot, f64::from(self.active) * self.unit_power_w);
+                }
+                let started = self.starts.pop_front().expect("balanced windows");
+                if S::ENABLED && self.trace_spans {
+                    let track = ctx.tracks.device;
+                    ctx.sink.span(track, "acquire", started, ctx.now_us);
+                }
+                ctx.schedule_in(0, Event::ComputeStart);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The compute target: each [`Event::ComputeStart`] runs one
+/// [`ComputeJob`] (duration from its cycle count, power from its energy);
+/// each completion retires one detection.
+pub struct ComputeComponent {
+    job: ComputeJob,
+    duration_us: u64,
+    trace_spans: bool,
+    slot: Option<LoadSlot>,
+    active: u32,
+    starts: VecDeque<u64>,
+}
+
+impl ComputeComponent {
+    /// A compute target running `job` per detection.
+    #[must_use]
+    pub fn new(job: ComputeJob, trace_spans: bool) -> ComputeComponent {
+        ComputeComponent {
+            job,
+            duration_us: secs_to_us(job.duration_s),
+            trace_spans,
+            slot: None,
+            active: 0,
+            starts: VecDeque::new(),
+        }
+    }
+}
+
+impl<S: TraceSink> Component<S> for ComputeComponent {
+    fn name(&self) -> &'static str {
+        "compute"
+    }
+
+    fn start(&mut self, ctx: &mut SimCtx<'_, S>) {
+        self.slot = Some(ctx.state.register_load("compute"));
+    }
+
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_, S>) {
+        let slot = self.slot.expect("started");
+        match ev {
+            Event::ComputeStart => {
+                if self.duration_us == 0 {
+                    ctx.consume_j(self.job.energy_j);
+                } else {
+                    self.active += 1;
+                    ctx.state
+                        .set_load(slot, f64::from(self.active) * self.job.power_w());
+                }
+                self.starts.push_back(ctx.now_us);
+                ctx.schedule_in(self.duration_us, Event::ComputeEnd);
+            }
+            Event::ComputeEnd => {
+                if self.duration_us > 0 {
+                    self.active -= 1;
+                    ctx.state
+                        .set_load(slot, f64::from(self.active) * self.job.power_w());
+                }
+                let started = self.starts.pop_front().expect("balanced jobs");
+                if S::ENABLED && self.trace_spans {
+                    let track = ctx.tracks.device;
+                    ctx.sink.span(track, "compute", started, ctx.now_us);
+                }
+                ctx.state.detections += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The BLE radio: an energy impulse per retired detection (the 4-byte
+/// result notification) and, optionally, periodic sync bursts drawn as
+/// timed load pulses.
+pub struct RadioComponent {
+    notify_j: f64,
+    sync: Option<BleSync>,
+    trace_spans: bool,
+    slot: Option<LoadSlot>,
+    burst_started_us: u64,
+}
+
+impl RadioComponent {
+    /// A radio notifying `notify_j` per detection plus optional `sync`
+    /// bursts.
+    #[must_use]
+    pub fn new(notify_j: f64, sync: Option<BleSync>, trace_spans: bool) -> RadioComponent {
+        RadioComponent {
+            notify_j,
+            sync,
+            trace_spans,
+            slot: None,
+            burst_started_us: 0,
+        }
+    }
+}
+
+impl<S: TraceSink> Component<S> for RadioComponent {
+    fn name(&self) -> &'static str {
+        "radio"
+    }
+
+    fn start(&mut self, ctx: &mut SimCtx<'_, S>) {
+        self.slot = Some(ctx.state.register_load("ble"));
+        if let Some(sync) = self.sync {
+            ctx.schedule_in(secs_to_us(sync.interval_s), Event::BleSyncStart);
+        }
+    }
+
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_, S>) {
+        let slot = self.slot.expect("started");
+        match ev {
+            Event::ComputeEnd if self.notify_j > 0.0 => {
+                ctx.consume_j(self.notify_j);
+                ctx.state.notifications += 1;
+                if S::ENABLED && self.trace_spans {
+                    let track = ctx.tracks.device;
+                    ctx.sink.instant(track, "notify", ctx.now_us);
+                }
+            }
+            Event::BleSyncStart => {
+                let sync = self.sync.expect("sync configured");
+                ctx.state.set_load(slot, sync.power_w);
+                self.burst_started_us = ctx.now_us;
+                ctx.schedule_in(secs_to_us(sync.burst_s), Event::BleSyncEnd);
+            }
+            Event::BleSyncEnd => {
+                let sync = self.sync.expect("sync configured");
+                ctx.state.set_load(slot, 0.0);
+                ctx.state.sync_bursts += 1;
+                if S::ENABLED && self.trace_spans {
+                    let track = ctx.tracks.device;
+                    ctx.sink
+                        .span(track, "ble-sync", self.burst_started_us, ctx.now_us);
+                }
+                ctx.schedule_in(
+                    secs_to_us((sync.interval_s - sync.burst_s).max(0.0)),
+                    Event::BleSyncStart,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Samples the battery trajectory at a fixed cadence into
+/// [`crate::engine::DeviceState::trace`] and, when tracing, mirrors each
+/// sample as counters on the `harvest` track (second ticks, same names
+/// the fixed-timestep simulator used).
+pub struct SamplerComponent {
+    interval_us: u64,
+}
+
+impl SamplerComponent {
+    /// A sampler spreading ~`points` samples over `duration_us`.
+    #[must_use]
+    pub fn new(duration_us: u64, points: usize) -> SamplerComponent {
+        SamplerComponent {
+            interval_us: (duration_us / points.max(1) as u64).max(1),
+        }
+    }
+}
+
+impl<S: TraceSink> Component<S> for SamplerComponent {
+    fn name(&self) -> &'static str {
+        "sampler"
+    }
+
+    fn start(&mut self, ctx: &mut SimCtx<'_, S>) {
+        ctx.schedule_at(0, Event::Sample);
+    }
+
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_, S>) {
+        if ev != Event::Sample {
+            return;
+        }
+        let point = TracePoint {
+            t_s: ctx.now_s(),
+            soc: ctx.state.battery.soc(),
+            solar_w: ctx.state.solar_w,
+            teg_w: ctx.state.teg_w,
+            consumed_w: ctx.state.load_w(),
+        };
+        ctx.state.trace.push(point);
+        if S::ENABLED {
+            let track = ctx.tracks.harvest;
+            let t = point.t_s as u64;
+            ctx.sink.counter(track, "soc_pct", t, point.soc * 100.0);
+            ctx.sink.counter(track, "solar_mw", t, point.solar_w * 1e3);
+            ctx.sink.counter(track, "teg_mw", t, point.teg_w * 1e3);
+            ctx.sink
+                .counter(track, "load_mw", t, point.consumed_w * 1e3);
+        }
+        ctx.schedule_in(self.interval_us, Event::Sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_harvest::{EnvSegment, LightCondition, ThermalCondition};
+    use iw_trace::{Event as TraceEvent, Recorder};
+
+    fn micro_costs() -> DetectionCosts {
+        DetectionCosts {
+            acquisition_j: 600e-6,
+            acquisition_s: 3.0,
+            compute: ComputeJob::analytic(61e-6, 2.2e-6),
+        }
+    }
+
+    fn dark_day(duration_s: f64) -> EnvProfile {
+        EnvProfile {
+            segments: vec![EnvSegment {
+                duration_s,
+                light: LightCondition::dark(),
+                thermal: ThermalCondition::warm_room(),
+            }],
+        }
+    }
+
+    #[test]
+    fn consumed_energy_is_detections_times_budget() {
+        // In the dark with no sleep floor, everything consumed is
+        // detection work: consumed == detections × per-detection energy,
+        // exactly — the event engine's load multiplicity never loses or
+        // double-counts an overlapping window.
+        let costs = micro_costs();
+        let mut cfg = DeviceConfig::new(
+            dark_day(3600.0),
+            DetectionPolicy::FixedRate { per_minute: 24.0 },
+            costs,
+        );
+        cfg.sleep_floor_w = 0.0;
+        cfg.teg = TegHarvester {
+            // Dead TEG: no intake at all.
+            teg: iw_harvest::Teg {
+                seebeck_v_per_k: 0.0,
+                ..iw_harvest::Teg::matrix()
+            },
+            ..TegHarvester::infiniwolf()
+        };
+        cfg.battery.set_soc(0.9);
+        let report = cfg.run();
+        // 24/min with a 2.5 s period: windows started at 3597.5 s have not
+        // retired by t_end and contribute only the time they were open.
+        assert!(report.detections >= 24 * 60 - 2);
+        let retired = report.detections as f64 * costs.total_j();
+        assert!(
+            report.sim.consumed_j >= retired - 1e-9,
+            "consumed {} vs retired {retired}",
+            report.sim.consumed_j
+        );
+        // The open tail is at most two windows' worth of energy.
+        assert!(report.sim.consumed_j - retired < 2.0 * costs.total_j());
+        assert!(!report.sim.browned_out);
+    }
+
+    #[test]
+    fn overlapping_windows_draw_summed_power() {
+        // 60/min = 1 s period with 3 s windows: three windows overlap at
+        // any instant, so the average load must be ~3× the unit power.
+        let costs = micro_costs();
+        let mut cfg = DeviceConfig::new(
+            dark_day(600.0),
+            DetectionPolicy::FixedRate { per_minute: 60.0 },
+            costs,
+        );
+        cfg.sleep_floor_w = 0.0;
+        cfg.battery.set_soc(0.9);
+        let report = cfg.run();
+        let expected = 600.0 * costs.total_j(); // 1/s × 600 s
+        assert!(
+            (report.sim.consumed_j - expected).abs() / expected < 0.02,
+            "consumed {} vs expected {expected}",
+            report.sim.consumed_j
+        );
+    }
+
+    #[test]
+    fn energy_is_conserved_exactly() {
+        let cfg = DeviceConfig::new(
+            EnvProfile::paper_indoor_day(),
+            DetectionPolicy::FixedRate { per_minute: 20.0 },
+            micro_costs(),
+        );
+        let initial_j = cfg.battery.charge_j();
+        let report = cfg.run();
+        let final_j = report.battery.charge_j();
+        // stored − consumed == ΔE, to float roundoff.
+        let drift = (initial_j + report.sim.stored_j - report.sim.consumed_j) - final_j;
+        assert!(drift.abs() < 1e-6, "conservation drift {drift} J");
+    }
+
+    #[test]
+    fn trace_is_sampled_and_ordered() {
+        let mut cfg = DeviceConfig::new(
+            EnvProfile::paper_indoor_day(),
+            DetectionPolicy::FixedRate { per_minute: 6.0 },
+            micro_costs(),
+        );
+        cfg.battery.set_soc(0.5);
+        let report = cfg.run();
+        assert!(report.sim.trace.len() > 100);
+        for w in report.sim.trace.windows(2) {
+            assert!(w[1].t_s > w[0].t_s);
+        }
+        assert!(report.sim.trace.iter().all(|p| p.consumed_w > 0.0));
+        assert!(report.sim.trace.iter().any(|p| p.solar_w > p.teg_w));
+        assert!(report.sim.trace.iter().any(|p| p.teg_w > 0.0));
+    }
+
+    #[test]
+    fn tiny_battery_browns_out_under_load() {
+        let mut cfg = DeviceConfig::new(
+            dark_day(3600.0),
+            DetectionPolicy::FixedRate { per_minute: 60.0 },
+            micro_costs(),
+        );
+        cfg.battery = Battery::new(1.0);
+        cfg.sleep_floor_w = 10e-3;
+        let report = cfg.run();
+        assert!(report.sim.browned_out);
+        assert_eq!(report.sim.final_soc, 0.0);
+    }
+
+    #[test]
+    fn ble_components_notify_and_sync() {
+        let mut cfg = DeviceConfig::new(
+            dark_day(600.0),
+            DetectionPolicy::FixedRate { per_minute: 12.0 },
+            micro_costs(),
+        );
+        cfg.battery.set_soc(0.9);
+        cfg.notify_j = 1e-6;
+        cfg.sync = Some(BleSync {
+            interval_s: 60.0,
+            burst_s: 5e-3,
+            power_w: 5e-3,
+        });
+        let report = cfg.run();
+        assert_eq!(report.notifications, report.detections);
+        // Burst starts at 60, 120, ..., 540 s (the 600 s one ties with End).
+        assert!(report.sync_bursts >= 8 && report.sync_bursts <= 10);
+    }
+
+    #[test]
+    fn traced_run_emits_counters_and_spans() {
+        let mut cfg = DeviceConfig::new(
+            dark_day(120.0),
+            DetectionPolicy::FixedRate { per_minute: 4.0 },
+            micro_costs(),
+        );
+        cfg.battery.set_soc(0.8);
+        cfg.notify_j = 1e-6;
+        cfg.trace_points = 24;
+        let mut rec = Recorder::new();
+        let report = cfg.run_traced(&mut rec);
+        let harvest = rec.find_track("harvest").expect("harvest track");
+        let counters = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Counter { track, .. } if *track == harvest))
+            .count();
+        assert_eq!(counters, report.sim.trace.len() * 4);
+        let device = rec.find_track("device").expect("device track");
+        let spans: Vec<&str> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span { track, name, .. } if *track == device => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(spans.contains(&"acquire"));
+        assert!(spans.contains(&"compute"));
+        // Tracing must not perturb the simulation.
+        let untraced = cfg.run();
+        assert_eq!(untraced.detections, report.detections);
+        assert_eq!(untraced.sim.consumed_j, report.sim.consumed_j);
+        assert_eq!(untraced.sim.final_soc, report.sim.final_soc);
+    }
+
+    #[test]
+    fn energy_aware_policy_throttles_in_the_dark() {
+        let mut cfg = DeviceConfig::new(
+            dark_day(7.0 * 86_400.0),
+            DetectionPolicy::EnergyAware {
+                max_per_minute: 24.0,
+                min_soc: 0.15,
+            },
+            micro_costs(),
+        );
+        cfg.battery.set_soc(0.6);
+        cfg.sleep_floor_w = 0.0;
+        let report = cfg.run();
+        assert!(!report.sim.browned_out, "soc {}", report.sim.final_soc);
+        assert!(report.sim.final_soc > 0.14);
+        assert!(report.detections > 0);
+    }
+}

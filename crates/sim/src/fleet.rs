@@ -1,0 +1,389 @@
+//! Thread-parallel fleet runner: N devices × subjects × environments,
+//! deterministically seeded, with aggregated sustainability statistics.
+//!
+//! # Determinism
+//!
+//! Every device's configuration (environment, subject, policy, start
+//! state of charge, light-exposure jitter) is a pure function of the
+//! fleet seed and the device index — never of the worker thread it lands
+//! on. Workers claim devices by stride (`index % threads`), results are
+//! merged back in index order, and the [`FleetReport::digest`] hashes
+//! every per-device result bit-for-bit, so `--threads 1` and
+//! `--threads 8` must produce the same digest or something is wrong.
+
+use iw_harvest::EnvProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::device::{BleSync, DetectionCosts, DeviceConfig};
+use crate::policy::DetectionPolicy;
+
+/// A wearer archetype: scales the policy's detection rate.
+#[derive(Debug, Clone)]
+pub struct SubjectProfile {
+    /// Archetype name.
+    pub name: String,
+    /// Multiplier on the policy's detection rate.
+    pub activity: f64,
+}
+
+/// Configuration of a fleet sweep.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of simulated devices.
+    pub devices: usize,
+    /// Worker threads (1 = serial).
+    pub threads: usize,
+    /// Fleet seed: together with a device index it fully determines that
+    /// device's run.
+    pub seed: u64,
+    /// Environment profiles devices cycle through.
+    pub environments: Vec<(String, EnvProfile)>,
+    /// Wearer archetypes devices cycle through.
+    pub subjects: Vec<SubjectProfile>,
+    /// Detection policies devices cycle through.
+    pub policies: Vec<(String, DetectionPolicy)>,
+    /// Per-detection costs (same for every device).
+    pub costs: DetectionCosts,
+    /// Always-on battery-side sleep floor, watts.
+    pub sleep_floor_w: f64,
+    /// Per-detection BLE notification energy, joules (0 = off).
+    pub notify_j: f64,
+    /// Optional periodic BLE sync bursts.
+    pub sync: Option<BleSync>,
+}
+
+/// One device's result in the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceResult {
+    /// Device index in `0..devices`.
+    pub device: usize,
+    /// Environment name.
+    pub env: String,
+    /// Subject archetype name.
+    pub subject: String,
+    /// Policy name.
+    pub policy: String,
+    /// Simulated duration, days.
+    pub days: f64,
+    /// Detections completed.
+    pub detections: u64,
+    /// Whether the battery ever ran empty.
+    pub browned_out: bool,
+    /// Final state of charge.
+    pub final_soc: f64,
+    /// Energy stored from harvesting, joules.
+    pub stored_j: f64,
+    /// Energy consumed, joules.
+    pub consumed_j: f64,
+    /// Engine events processed.
+    pub events: u64,
+}
+
+/// Aggregated statistics for one policy across the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyStats {
+    /// Policy name.
+    pub name: String,
+    /// Devices that ran this policy.
+    pub devices: usize,
+    /// Mean detections per simulated day.
+    pub detections_per_day: f64,
+    /// Fraction of devices that browned out.
+    pub brown_out_rate: f64,
+    /// Mean final state of charge.
+    pub mean_final_soc: f64,
+}
+
+/// The merged fleet sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-device results, in device-index order.
+    pub devices: Vec<DeviceResult>,
+    /// Per-policy aggregates, in the config's policy order.
+    pub policies: Vec<PolicyStats>,
+    /// Order-independent determinism digest over every device result.
+    pub digest: u64,
+    /// Total simulated time across the fleet, seconds.
+    pub simulated_s: f64,
+    /// Total engine events processed across the fleet.
+    pub events: u64,
+}
+
+/// SplitMix64 finalizer: decorrelates consecutive device indices before
+/// they seed their xoshiro streams.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl FleetConfig {
+    /// The paper-flavoured sweep: indoor / sunny / dark days × sedentary,
+    /// baseline and active wearers × the fixed-24 and energy-aware
+    /// policies, with the 602.2 µJ detection budget shape in `costs`.
+    #[must_use]
+    pub fn paper(devices: usize, threads: usize, seed: u64, costs: DetectionCosts) -> FleetConfig {
+        let dark_day = EnvProfile {
+            segments: vec![iw_harvest::EnvSegment {
+                duration_s: 86_400.0,
+                light: iw_harvest::LightCondition::dark(),
+                thermal: iw_harvest::ThermalCondition::warm_room(),
+            }],
+        };
+        FleetConfig {
+            devices,
+            threads,
+            seed,
+            environments: vec![
+                ("indoor-6h".into(), EnvProfile::paper_indoor_day()),
+                ("sunny-40klx".into(), EnvProfile::sunny_day(40.0)),
+                ("dark".into(), dark_day),
+            ],
+            subjects: vec![
+                SubjectProfile {
+                    name: "sedentary".into(),
+                    activity: 0.5,
+                },
+                SubjectProfile {
+                    name: "baseline".into(),
+                    activity: 1.0,
+                },
+                SubjectProfile {
+                    name: "active".into(),
+                    activity: 1.5,
+                },
+            ],
+            policies: vec![
+                (
+                    "fixed-24".into(),
+                    DetectionPolicy::FixedRate { per_minute: 24.0 },
+                ),
+                (
+                    "aware-24".into(),
+                    DetectionPolicy::EnergyAware {
+                        max_per_minute: 24.0,
+                        min_soc: 0.10,
+                    },
+                ),
+            ],
+            costs,
+            sleep_floor_w: crate::device::default_sleep_floor_w(),
+            notify_j: 0.0,
+            sync: None,
+        }
+    }
+
+    /// Runs one device of the sweep. Pure function of `(self, index)` —
+    /// this is what makes the fleet digest thread-count invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the environment, subject or policy lists are empty.
+    #[must_use]
+    pub fn run_device(&self, index: usize) -> DeviceResult {
+        assert!(
+            !self.environments.is_empty() && !self.subjects.is_empty() && !self.policies.is_empty(),
+            "fleet sweep needs at least one environment, subject and policy"
+        );
+        // Cross-product assignment guarantees coverage of every
+        // env × subject × policy combination once the fleet is large
+        // enough; the RNG only jitters within a combination.
+        let (env_name, env) = &self.environments[index % self.environments.len()];
+        let subject = &self.subjects[(index / self.environments.len()) % self.subjects.len()];
+        let (policy_name, policy) = &self.policies
+            [(index / (self.environments.len() * self.subjects.len())) % self.policies.len()];
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, index as u64));
+        let start_soc = rng.gen_range(0.35..0.85);
+        let light_scale = rng.gen_range(0.8..1.2);
+
+        let mut jittered = env.clone();
+        for seg in &mut jittered.segments {
+            seg.light.lux *= light_scale;
+        }
+        let days = jittered.duration_s() / 86_400.0;
+
+        let mut cfg = DeviceConfig::new(jittered, policy.scaled(subject.activity), self.costs);
+        cfg.battery.set_soc(start_soc);
+        cfg.sleep_floor_w = self.sleep_floor_w;
+        cfg.notify_j = self.notify_j;
+        cfg.sync = self.sync;
+        cfg.trace_points = 0; // fleets aggregate; they do not keep traces
+        let report = cfg.run();
+        DeviceResult {
+            device: index,
+            env: env_name.clone(),
+            subject: subject.name.clone(),
+            policy: policy_name.clone(),
+            days,
+            detections: report.detections,
+            browned_out: report.sim.browned_out,
+            final_soc: report.sim.final_soc,
+            stored_j: report.sim.stored_j,
+            consumed_j: report.sim.consumed_j,
+            events: report.events,
+        }
+    }
+
+    /// Runs the whole sweep on [`Self::threads`] workers and merges the
+    /// results in device-index order.
+    #[must_use]
+    pub fn run(&self) -> FleetReport {
+        let mut results: Vec<DeviceResult> = if self.threads <= 1 {
+            (0..self.devices).map(|i| self.run_device(i)).collect()
+        } else {
+            let mut shards: Vec<Vec<DeviceResult>> = std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..self.threads)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            (t..self.devices)
+                                .step_by(self.threads)
+                                .map(|i| self.run_device(i))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("fleet worker panicked"))
+                    .collect()
+            });
+            let mut merged = Vec::with_capacity(self.devices);
+            for shard in &mut shards {
+                merged.append(shard);
+            }
+            merged
+        };
+        results.sort_by_key(|r| r.device);
+        self.aggregate(results)
+    }
+
+    fn aggregate(&self, devices: Vec<DeviceResult>) -> FleetReport {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        let mut simulated_s = 0.0;
+        let mut events = 0;
+        for r in &devices {
+            digest = fnv1a(digest, &(r.device as u64).to_le_bytes());
+            digest = fnv1a(digest, &r.detections.to_le_bytes());
+            digest = fnv1a(digest, &[u8::from(r.browned_out)]);
+            digest = fnv1a(digest, &r.final_soc.to_bits().to_le_bytes());
+            digest = fnv1a(digest, &r.stored_j.to_bits().to_le_bytes());
+            digest = fnv1a(digest, &r.consumed_j.to_bits().to_le_bytes());
+            simulated_s += r.days * 86_400.0;
+            events += r.events;
+        }
+        let policies = self
+            .policies
+            .iter()
+            .map(|(name, _)| {
+                let mine: Vec<&DeviceResult> =
+                    devices.iter().filter(|r| &r.policy == name).collect();
+                let n = mine.len();
+                let nf = n.max(1) as f64;
+                PolicyStats {
+                    name: name.clone(),
+                    devices: n,
+                    detections_per_day: mine
+                        .iter()
+                        .map(|r| r.detections as f64 / r.days.max(1e-9))
+                        .sum::<f64>()
+                        / nf,
+                    brown_out_rate: mine.iter().filter(|r| r.browned_out).count() as f64 / nf,
+                    mean_final_soc: mine.iter().map(|r| r.final_soc).sum::<f64>() / nf,
+                }
+            })
+            .collect();
+        FleetReport {
+            devices,
+            policies,
+            digest,
+            simulated_s,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::ComputeJob;
+
+    fn costs() -> DetectionCosts {
+        DetectionCosts {
+            acquisition_j: 600e-6,
+            acquisition_s: 3.0,
+            compute: ComputeJob::analytic(61e-6, 2.2e-6),
+        }
+    }
+
+    /// A small fleet over short days so the test stays fast.
+    fn small_fleet(threads: usize) -> FleetConfig {
+        let mut cfg = FleetConfig::paper(12, threads, 7, costs());
+        for (_, env) in &mut cfg.environments {
+            for seg in &mut env.segments {
+                seg.duration_s /= 24.0; // one-hour "days"
+            }
+        }
+        cfg
+    }
+
+    #[test]
+    fn digest_is_thread_count_invariant() {
+        let serial = small_fleet(1).run();
+        let parallel = small_fleet(4).run();
+        assert_eq!(serial.digest, parallel.digest);
+        assert_eq!(serial.devices, parallel.devices);
+    }
+
+    #[test]
+    fn same_seed_same_digest_different_seed_differs() {
+        let a = small_fleet(2).run();
+        let b = small_fleet(2).run();
+        assert_eq!(a.digest, b.digest);
+        let mut other = small_fleet(2);
+        other.seed = 8;
+        assert_ne!(a.digest, other.run().digest);
+    }
+
+    #[test]
+    fn cross_product_covers_every_combination() {
+        let mut cfg = small_fleet(2);
+        cfg.devices = 18; // 3 envs × 3 subjects × 2 policies
+        let report = cfg.run();
+        let mut combos: Vec<(String, String, String)> = report
+            .devices
+            .iter()
+            .map(|r| (r.env.clone(), r.subject.clone(), r.policy.clone()))
+            .collect();
+        combos.sort();
+        combos.dedup();
+        assert_eq!(combos.len(), 18);
+        for stats in &report.policies {
+            assert_eq!(stats.devices, 9);
+        }
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let report = small_fleet(3).run();
+        assert_eq!(report.devices.len(), 12);
+        assert!(report.simulated_s > 0.0);
+        assert!(report.events > 0);
+        let counted: usize = report.policies.iter().map(|p| p.devices).sum();
+        assert_eq!(counted, 12);
+        for stats in &report.policies {
+            assert!((0.0..=1.0).contains(&stats.brown_out_rate));
+            assert!((0.0..=1.0).contains(&stats.mean_final_soc));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Discrete-event whole-device co-simulation of the InfiniWolf bracelet.
+//!
+//! The crate replaces the old fixed-timestep battery loop with an event
+//! engine ([`Engine`]): a monotonic [`SimClock`], a binary-heap event
+//! queue with deterministic (time, sequence) ordering, and a set of
+//! [`Component`]s that react to [`Event`]s. Power is piecewise constant
+//! between events and integrated *exactly* over each interval, so the
+//! engine is both faster and more accurate than stepping a fixed `dt`.
+//!
+//! The device layer ([`DeviceConfig`]) wires the existing crates into
+//! components: dual-source harvesting (`iw-harvest`), sensor acquisition
+//! windows, compute jobs dispatched through the `iw-kernels`
+//! machine/deployment registry, BLE sync bursts (`iw-nrf52`) and the
+//! detection policies in [`DetectionPolicy`]. Runs can stream into any
+//! `iw-trace` [`iw_trace::TraceSink`].
+//!
+//! The fleet layer ([`FleetConfig`]) sweeps N devices × wearer subjects
+//! × environment profiles on scoped worker threads with deterministic
+//! per-device seeding, and aggregates sustainability statistics
+//! ([`FleetReport`]).
+
+#![warn(missing_docs)]
+
+mod device;
+mod engine;
+mod fleet;
+mod policy;
+
+pub use device::{
+    default_sleep_floor_w, BleSync, ComputeJob, DetectionCosts, DeviceConfig, DeviceReport,
+};
+pub use engine::{
+    secs_to_us, Component, DeviceState, Engine, Event, LoadSlot, SimClock, SimCtx, Tracks, US_PER_S,
+};
+pub use fleet::{DeviceResult, FleetConfig, FleetReport, PolicyStats, SubjectProfile};
+pub use policy::DetectionPolicy;

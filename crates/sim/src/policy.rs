@@ -1,0 +1,100 @@
+//! Detection-scheduling policies (moved here from `infiniwolf::sustain`
+//! when the whole-device layer was rebuilt on the event engine; the
+//! `infiniwolf` crate re-exports this type unchanged).
+
+/// A detection-scheduling policy for the battery-coupled simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectionPolicy {
+    /// Fixed detection rate, detections per minute.
+    FixedRate {
+        /// Detections per minute.
+        per_minute: f64,
+    },
+    /// Energy-aware: scales a maximum rate by the battery state of charge
+    /// (the "opportunistic" acquisition the paper describes).
+    EnergyAware {
+        /// Rate at full battery, detections per minute.
+        max_per_minute: f64,
+        /// State of charge below which detection stops entirely.
+        min_soc: f64,
+    },
+}
+
+impl DetectionPolicy {
+    /// Instantaneous detection rate at state of charge `soc`, per second.
+    /// Zero (or a non-positive value) means "do not detect now; re-check
+    /// later".
+    #[must_use]
+    pub fn rate_per_s(&self, soc: f64) -> f64 {
+        match *self {
+            DetectionPolicy::FixedRate { per_minute } => per_minute / 60.0,
+            DetectionPolicy::EnergyAware {
+                max_per_minute,
+                min_soc,
+            } => {
+                if soc <= min_soc || min_soc >= 1.0 {
+                    0.0
+                } else {
+                    max_per_minute / 60.0 * ((soc - min_soc) / (1.0 - min_soc))
+                }
+            }
+        }
+    }
+
+    /// Scales the policy's rate by `factor` (used by the fleet runner to
+    /// model per-subject activity levels).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> DetectionPolicy {
+        match *self {
+            DetectionPolicy::FixedRate { per_minute } => DetectionPolicy::FixedRate {
+                per_minute: per_minute * factor,
+            },
+            DetectionPolicy::EnergyAware {
+                max_per_minute,
+                min_soc,
+            } => DetectionPolicy::EnergyAware {
+                max_per_minute: max_per_minute * factor,
+                min_soc,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_ignores_soc() {
+        let p = DetectionPolicy::FixedRate { per_minute: 24.0 };
+        assert_eq!(p.rate_per_s(0.1), p.rate_per_s(0.9));
+        assert!((p.rate_per_s(0.5) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_aware_scales_and_cuts_off() {
+        let p = DetectionPolicy::EnergyAware {
+            max_per_minute: 60.0,
+            min_soc: 0.2,
+        };
+        assert_eq!(p.rate_per_s(0.2), 0.0);
+        assert_eq!(p.rate_per_s(0.05), 0.0);
+        assert!((p.rate_per_s(1.0) - 1.0).abs() < 1e-12);
+        assert!((p.rate_per_s(0.6) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_min_soc_never_detects() {
+        let p = DetectionPolicy::EnergyAware {
+            max_per_minute: 60.0,
+            min_soc: 1.0,
+        };
+        assert_eq!(p.rate_per_s(1.0), 0.0);
+    }
+
+    #[test]
+    fn scaling_multiplies_the_rate() {
+        let p = DetectionPolicy::FixedRate { per_minute: 10.0 }.scaled(1.5);
+        assert!((p.rate_per_s(0.5) - 0.25).abs() < 1e-12);
+    }
+}

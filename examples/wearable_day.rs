@@ -1,53 +1,70 @@
-//! A day on the wrist: battery-coupled simulation of detection policies
-//! under the paper's indoor scenario and a darker worst case.
+//! A day on the wrist: whole-device discrete-event simulation of
+//! detection policies under the paper's indoor scenario and a darker
+//! worst case.
 //!
 //! ```text
 //! cargo run --release --example wearable_day
 //! ```
 
-use infiniwolf::{simulate_policy, sustainability, DetectionBudget, DetectionPolicy, InfiniWolf};
+use infiniwolf::{detection_costs, sustainability, DetectionBudget, DetectionPolicy, InfiniWolf};
 use iw_harvest::{
-    Battery, EnvProfile, EnvSegment, LightCondition, SolarHarvester, TegHarvester, ThermalCondition,
+    EnvProfile, EnvSegment, LightCondition, SolarHarvester, TegHarvester, ThermalCondition,
 };
+use iw_sim::DeviceConfig;
 
 fn sparkline(socs: &[f64]) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     socs.iter()
-        .map(|&s| BARS[((s * 7.0).round() as usize).min(7)])
+        .map(|&s| {
+            if s.is_finite() {
+                // Clamp before indexing: SoC outside [0, 1] (or a rounding
+                // excursion) must never index past the bar table.
+                BARS[(s.clamp(0.0, 1.0) * 7.0).round() as usize]
+            } else {
+                '?'
+            }
+        })
         .collect()
+}
+
+/// Down-samples the trace to at most `max` evenly spaced points. A trace
+/// shorter than `max` is passed through untouched.
+fn downsample(socs: &[f64], max: usize) -> Vec<f64> {
+    if socs.len() <= max {
+        return socs.to_vec();
+    }
+    let step = socs.len().div_ceil(max);
+    socs.iter().step_by(step).copied().collect()
 }
 
 fn run_scenario(name: &str, profile: &EnvProfile, policy: DetectionPolicy, start_soc: f64) {
     let dev = InfiniWolf::new();
-    let budget = DetectionBudget::paper();
-    let mut battery = Battery::infiniwolf();
-    battery.set_soc(start_soc);
-    let sleep_floor = dev.battery_power_w(infiniwolf::DeviceMode::Sleep);
-    let sim = simulate_policy(
-        profile,
-        &dev.solar,
-        &dev.teg,
-        &mut battery,
-        &budget,
+    let mut cfg = DeviceConfig::new(
+        profile.clone(),
         policy,
-        sleep_floor,
+        detection_costs(&DetectionBudget::paper()),
     );
-    let socs: Vec<f64> = sim
-        .trace
-        .iter()
-        .step_by((sim.trace.len() / 48).max(1))
-        .map(|p| p.soc)
-        .collect();
+    cfg.solar = dev.solar;
+    cfg.teg = dev.teg;
+    cfg.battery.set_soc(start_soc);
+    cfg.sleep_floor_w = dev.battery_power_w(infiniwolf::DeviceMode::Sleep);
+    let report = cfg.run();
+    let socs: Vec<f64> = report.sim.trace.iter().map(|p| p.soc).collect();
     println!("\n{name}");
     println!("  policy: {policy:?}");
-    println!("  soc  {}", sparkline(&socs));
+    println!("  soc  {}", sparkline(&downsample(&socs, 48)));
     println!(
-        "  start {:.0}% → end {:.0}%   harvested {:.2} J, consumed {:.2} J{}",
+        "  start {:.0}% → end {:.0}%   harvested {:.2} J, consumed {:.2} J",
         start_soc * 100.0,
-        sim.final_soc * 100.0,
-        sim.stored_j,
-        sim.consumed_j,
-        if sim.browned_out {
+        report.sim.final_soc * 100.0,
+        report.sim.stored_j,
+        report.sim.consumed_j,
+    );
+    println!(
+        "  {} detections across {} engine events{}",
+        report.detections,
+        report.events,
+        if report.sim.browned_out {
             "  ⚠ BROWN-OUT"
         } else {
             ""

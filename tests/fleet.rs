@@ -1,0 +1,66 @@
+//! Fleet-runner determinism: the parallel sweep must be a pure function
+//! of (seed, device index) — never of thread scheduling.
+
+use infiniwolf::{detection_costs, DetectionBudget};
+use iw_sim::FleetConfig;
+
+/// A fleet sized for a test: paper environments shortened to one hour so
+/// 24 devices simulate in well under a second.
+fn test_fleet(threads: usize, seed: u64) -> FleetConfig {
+    let mut cfg = FleetConfig::paper(
+        24,
+        threads,
+        seed,
+        detection_costs(&DetectionBudget::paper()),
+    );
+    for (_, env) in &mut cfg.environments {
+        for seg in &mut env.segments {
+            seg.duration_s /= 24.0;
+        }
+    }
+    cfg
+}
+
+#[test]
+fn fleet_aggregate_is_identical_across_thread_counts() {
+    let serial = test_fleet(1, 42).run();
+    for threads in [2, 4, 8] {
+        let parallel = test_fleet(threads, 42).run();
+        assert_eq!(
+            serial.digest, parallel.digest,
+            "digest diverged at {threads} threads"
+        );
+        assert_eq!(serial.devices, parallel.devices);
+        assert_eq!(serial.policies, parallel.policies);
+    }
+}
+
+#[test]
+fn fleet_run_is_repeatable() {
+    let a = test_fleet(4, 7).run();
+    let b = test_fleet(4, 7).run();
+    assert_eq!(a.digest, b.digest);
+    assert_eq!(a.devices, b.devices);
+}
+
+#[test]
+fn different_seeds_give_different_fleets() {
+    let a = test_fleet(2, 1).run();
+    let b = test_fleet(2, 2).run();
+    assert_ne!(a.digest, b.digest);
+}
+
+#[test]
+fn paper_fleet_covers_all_policies_and_environments() {
+    let report = test_fleet(4, 3).run();
+    assert_eq!(report.devices.len(), 24);
+    assert!(report.events > 0);
+    assert!(report.simulated_s > 0.0);
+    for stats in &report.policies {
+        assert!(stats.devices > 0, "policy {} never assigned", stats.name);
+        assert!(stats.detections_per_day >= 0.0);
+    }
+    let envs: std::collections::BTreeSet<&str> =
+        report.devices.iter().map(|d| d.env.as_str()).collect();
+    assert_eq!(envs.len(), 3);
+}

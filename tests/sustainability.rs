@@ -1,10 +1,14 @@
-//! Integration tests of the harvesting + battery + policy stack.
+//! Integration tests of the harvesting + battery + policy stack, running
+//! on the `iw-sim` discrete-event engine.
 
-use infiniwolf::{simulate_policy, sustainability, DetectionBudget, DetectionPolicy, InfiniWolf};
-use iw_harvest::{
-    daily_intake, Battery, EnvProfile, EnvSegment, LightCondition, SolarHarvester, TegHarvester,
-    ThermalCondition,
+use infiniwolf::{
+    detection_costs, simulate_policy, sustainability, DetectionBudget, DetectionPolicy, InfiniWolf,
 };
+use iw_harvest::{
+    daily_intake, Battery, EnvProfile, EnvSegment, Illuminant, LightCondition, SolarHarvester,
+    TegHarvester, ThermalCondition,
+};
+use iw_sim::DeviceConfig;
 use proptest::prelude::*;
 
 #[test]
@@ -148,5 +152,67 @@ proptest! {
         // stored intake.
         let initial = start_soc * battery.capacity_j();
         prop_assert!(sim.consumed_j <= initial + sim.stored_j + 1e-6);
+    }
+
+    /// The event engine's energy book-keeping balances exactly: over any
+    /// random environment and policy, harvested-and-stored minus consumed
+    /// equals the battery's energy delta (converter/charge losses are
+    /// taken *before* `stored_j`, so the battery-side balance is exact).
+    #[test]
+    fn energy_balances_over_random_profiles(
+        start_soc in 0.1f64..1.0,
+        seg_hours in prop::collection::vec(0.2f64..4.0, 1..4),
+        lux in 0.0f64..5_000.0,
+        ambient_c in 15.0f64..30.0,
+        max_rate in 0.0f64..60.0,
+        min_soc in 0.0f64..0.5,
+        energy_aware in any::<bool>(),
+    ) {
+        let segments: Vec<EnvSegment> = seg_hours
+            .iter()
+            .enumerate()
+            .map(|(i, h)| EnvSegment {
+                duration_s: h * 3600.0,
+                // Alternate lit and dark segments.
+                light: if i % 2 == 0 {
+                    LightCondition { lux, illuminant: Illuminant::IndoorLed }
+                } else {
+                    LightCondition::dark()
+                },
+                thermal: ThermalCondition {
+                    ambient_c,
+                    skin_c: 34.0,
+                    wind_kmh: 0.0,
+                },
+            })
+            .collect();
+        let profile = EnvProfile { segments };
+        let policy = if energy_aware {
+            DetectionPolicy::EnergyAware { max_per_minute: max_rate, min_soc }
+        } else {
+            DetectionPolicy::FixedRate { per_minute: max_rate }
+        };
+        let mut cfg = DeviceConfig::new(
+            profile.clone(),
+            policy,
+            detection_costs(&DetectionBudget::paper()),
+        );
+        cfg.battery.set_soc(start_soc);
+        let initial_j = cfg.battery.charge_j();
+        let report = cfg.run();
+        // Stored − consumed = battery ΔE, to float roundoff.
+        let delta = report.battery.charge_j() - initial_j;
+        let balance = report.sim.stored_j - report.sim.consumed_j;
+        prop_assert!(
+            (balance - delta).abs() < 1e-6,
+            "stored {} − consumed {} != ΔE {delta}",
+            report.sim.stored_j,
+            report.sim.consumed_j,
+        );
+        // Stored never exceeds the charge-efficiency-adjusted gross intake
+        // (the 1 µJ slack covers the engine's microsecond-quantised
+        // segment boundaries vs the analytic integral).
+        let gross = daily_intake(&profile, &cfg.solar, &cfg.teg).total_j();
+        prop_assert!(report.sim.stored_j <= 0.95 * gross + 1e-6);
     }
 }
