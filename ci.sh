@@ -11,15 +11,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 # stubs under vendor/ are excluded — not ours to lint).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p iw-trace -p iw-power -p iw-rv32 -p iw-armv7m -p iw-mrwolf -p iw-nrf52 \
-  -p iw-fann -p iw-kernels -p iw-harvest -p iw-sensors -p iw-sim \
+  -p iw-fann -p iw-kernels -p iw-harvest -p iw-sensors -p iw-sim -p iw-fault \
   -p infiniwolf -p iw-biosig -p iw-bench
 cargo test --workspace -q
 
 # Smoke: the registry-driven tables must regenerate the headline rows
 # (Tables III/IV plus the A2/A7 ablations, the D1 cluster cycle
-# accounting and the D2 fleet sweep) without faulting. Byte-level drift
-# is caught by bench/tests/golden_tables.rs.
-cargo run --release -q -p iw-bench --bin tables -- t3 t4 a2 a7 d1 d2 >/dev/null
+# accounting and the D2 fleet sweep) without faulting, plus the D3
+# reliability sweep with fault injection. Byte-level drift is caught by
+# bench/tests/golden_tables.rs and bench/tests/golden_d3.rs.
+cargo run --release -q -p iw-bench --bin tables -- t3 t4 a2 a7 d1 d2 d3 >/dev/null
 
 # Smoke: the tracing layer must produce a valid Perfetto timeline with
 # one track per cluster core and a non-empty hotspot report for the
@@ -30,3 +31,8 @@ cargo run --release -q -p iw-bench --bin trace -- neta cl8 --check >/dev/null
 # aggregates on 1 and 8 worker threads (--check exits non-zero on any
 # digest mismatch) — the determinism gate for the co-simulation engine.
 cargo run --release -q -p iw-bench --bin fleet -- --devices 64 --threads 8 --check >/dev/null
+
+# Smoke: the same determinism gate with the harsh fault profile fully
+# enabled — fault plans, BLE loss/retry streams, gauge noise and the
+# brownout state machine must not break thread-count invariance.
+cargo run --release -q -p iw-bench --bin fleet -- --devices 64 --faults harsh --check >/dev/null

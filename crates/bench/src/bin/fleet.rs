@@ -5,20 +5,24 @@
 //! ```text
 //! cargo run --release -p iw-bench --bin fleet -- --devices 64
 //! cargo run --release -p iw-bench --bin fleet -- --devices 64 --check
+//! cargo run --release -p iw-bench --bin fleet -- --devices 64 --faults harsh
 //! ```
 //!
 //! `--check` runs the same sweep serially and on all requested threads
 //! and exits non-zero unless the two aggregate digests match — the CI
-//! determinism gate.
+//! determinism gate. `--faults clean|moderate|harsh` injects the named
+//! fault profile (electrode faults, occlusion, BLE loss, gauge noise)
+//! and reports the fleet reliability aggregates.
 
 use std::time::Instant;
 
-use iw_sim::FleetReport;
+use iw_sim::{FaultProfile, FleetReport};
 
 struct Args {
     devices: usize,
     threads: usize,
     seed: u64,
+    faults: FaultProfile,
     check: bool,
 }
 
@@ -27,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
         devices: 64,
         threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
         seed: iw_bench::SEED,
+        faults: FaultProfile::Clean,
         check: false,
     };
     let mut it = std::env::args().skip(1);
@@ -41,10 +46,16 @@ fn parse_args() -> Result<Args, String> {
             "--devices" => args.devices = value("--devices")? as usize,
             "--threads" => args.threads = (value("--threads")? as usize).max(1),
             "--seed" => args.seed = value("--seed")?,
+            "--faults" => {
+                let label = it.next().ok_or("--faults needs a value")?;
+                args.faults = FaultProfile::parse(&label)
+                    .ok_or_else(|| format!("bad --faults '{label}' (clean|moderate|harsh)"))?;
+            }
             "--check" => args.check = true,
             other => {
                 return Err(format!(
-                    "unknown flag '{other}' (expected --devices N, --threads N, --seed N, --check)"
+                    "unknown flag '{other}' (expected --devices N, --threads N, --seed N, \
+                     --faults clean|moderate|harsh, --check)"
                 ))
             }
         }
@@ -52,8 +63,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run_once(devices: usize, threads: usize, seed: u64) -> (FleetReport, f64) {
-    let cfg = iw_bench::d2_fleet_config(devices, threads, seed);
+fn run_once(devices: usize, threads: usize, seed: u64, faults: FaultProfile) -> (FleetReport, f64) {
+    let cfg = iw_bench::d3_fleet_config(devices, threads, seed, faults);
     let start = Instant::now();
     let report = cfg.run();
     (report, start.elapsed().as_secs_f64())
@@ -74,14 +85,42 @@ fn print_report(report: &FleetReport, threads: usize, wall_s: f64) {
     );
     for stats in report.policies.iter().filter(|s| s.devices > 0) {
         println!(
-            "  {:<10} {:>3} devices  {:>9.0} det/day  {:>5.1}% brown-out  {:>5.1}% mean final SoC",
+            "  {:<10} {:>3} devices  {:>9.0} det/day  {:>5.1}% brown-out  {:>5.1}% mean final SoC  {:>6.2}% uptime",
             stats.name,
             stats.devices,
             stats.detections_per_day,
             stats.brown_out_rate * 100.0,
-            stats.mean_final_soc * 100.0
+            stats.mean_final_soc * 100.0,
+            stats.mean_uptime * 100.0
         );
     }
+    let rel = &report.reliability;
+    println!(
+        "  reliability: {:.2}% mean uptime, {} gated windows, {} skipped acquisitions, {} brownouts (mean recovery {:.1} s)",
+        report.mean_uptime * 100.0,
+        rel.degraded_windows,
+        rel.skipped_acquisitions,
+        rel.brownouts,
+        rel.mean_recovery_s()
+    );
+    if rel.sync_episodes > 0 {
+        println!(
+            "  ble sync: {} episodes, {} ok ({} retried), {} dropped",
+            rel.sync_episodes, rel.sync_ok, rel.sync_retried, rel.sync_dropped
+        );
+    }
+    let episodes: Vec<String> = report
+        .faults
+        .iter_nonzero()
+        .map(|(kind, count)| format!("{} {count}", kind.label()))
+        .collect();
+    if !episodes.is_empty() {
+        println!("  fault episodes: {}", episodes.join(", "));
+    }
+    println!(
+        "  max |conservation drift|: {:.1e} J",
+        report.max_conservation_j
+    );
     println!("  digest: {:016x}", report.digest);
 }
 
@@ -94,11 +133,11 @@ fn main() {
         }
     };
 
-    let (report, wall_s) = run_once(args.devices, args.threads, args.seed);
+    let (report, wall_s) = run_once(args.devices, args.threads, args.seed, args.faults);
     print_report(&report, args.threads, wall_s);
 
     if args.check {
-        let (serial, serial_wall) = run_once(args.devices, 1, args.seed);
+        let (serial, serial_wall) = run_once(args.devices, 1, args.seed, args.faults);
         println!(
             "check: serial rerun {:.2} s wall ({:.0} sim-s/wall-s, {:.2}x parallel speedup)",
             serial_wall,

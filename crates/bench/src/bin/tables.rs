@@ -140,6 +140,12 @@ fn d2() {
     print!("{}", iw_bench::render_d2(18, 4));
 }
 
+fn d3() {
+    // 27 devices cover the cross product with the third (duty-cycled)
+    // policy in the reliability sweep.
+    print!("{}", iw_bench::render_d3(27, 4));
+}
+
 fn a10() {
     println!("\n== A10 — extension: cycle breakdown, Network A per target ==");
     for (target, wall_cycles, rows) in iw_bench::a10_cycle_breakdown() {
@@ -218,5 +224,8 @@ fn main() {
     }
     if want("d2") {
         d2();
+    }
+    if want("d3") {
+        d3();
     }
 }

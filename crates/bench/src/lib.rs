@@ -18,10 +18,11 @@ use iw_kernels::{
     FixedTarget, RvKernelOpts, TargetGroup,
 };
 use iw_mrwolf::ClusterConfig;
-use iw_sim::{FleetConfig, FleetReport};
+use iw_nrf52::BleRadio;
+use iw_sim::{BleSync, DetectionPolicy, FaultProfile, FleetConfig, FleetReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-pub use render::{render_a2, render_a7, render_d1, render_d2, render_rows, render_t3t4};
+pub use render::{render_a2, render_a7, render_d1, render_d2, render_d3, render_rows, render_t3t4};
 pub use traceflow::{trace_target, TraceArtifacts};
 
 pub mod render;
@@ -750,6 +751,51 @@ pub fn d2_fleet_sweep(devices: usize, threads: usize) -> (FleetReport, Vec<Row>)
         });
     }
     (report, rows)
+}
+
+/// The D3 fleet configuration: the D2 sweep wired for reliability — BLE
+/// result notifications at the measured per-result cost, periodic sync
+/// bursts, a third duty-cycled sync policy (results batched and flushed
+/// at the burst), and `profile`-intensity fault injection.
+#[must_use]
+pub fn d3_fleet_config(
+    devices: usize,
+    threads: usize,
+    seed: u64,
+    profile: FaultProfile,
+) -> FleetConfig {
+    let dev = infiniwolf::InfiniWolf::new();
+    let mut cfg = d2_fleet_config(devices, threads, seed);
+    // A reliability-stress cell: small enough that a dark day can drain
+    // it through the LDO cutoff, so the brownout state machine (and the
+    // fixed-rate vs energy-aware contrast) is visible within one day.
+    cfg.battery = iw_harvest::Battery::new(40.0);
+    cfg.notify_j = dev.result_notification_j();
+    cfg.sync = Some(BleSync::nrf52(&BleRadio::default(), 300.0, 32));
+    cfg.policies.push((
+        "duty-300s".into(),
+        DetectionPolicy::DutyCycledSync {
+            per_minute: 24.0,
+            sync_interval_s: 300.0,
+        },
+    ));
+    cfg.faults = profile;
+    cfg
+}
+
+/// **D3** — reliability sweep: the D3 fleet under each fault profile, in
+/// increasing severity. Returns `(profile, report)` pairs; the renderer
+/// and the reliability tests read the per-policy uptime / degradation /
+/// sync-outcome aggregates out of each report.
+#[must_use]
+pub fn d3_reliability_sweep(devices: usize, threads: usize) -> Vec<(FaultProfile, FleetReport)> {
+    FaultProfile::ALL
+        .into_iter()
+        .map(|profile| {
+            let report = d3_fleet_config(devices, threads, SEED, profile).run();
+            (profile, report)
+        })
+        .collect()
 }
 
 /// Checks the daily-intake figure directly (used by the `tables` binary's

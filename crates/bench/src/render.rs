@@ -142,6 +142,61 @@ pub fn render_d2(devices: usize, threads: usize) -> String {
     out
 }
 
+/// Renders the D3 reliability sweep: per fault profile, the per-policy
+/// uptime / signal-gating / sync-delivery aggregates, the fleet-wide
+/// fault-episode counters, and the determinism digest.
+#[must_use]
+pub fn render_d3(devices: usize, threads: usize) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "\n== D3 — reliability under fault injection ({devices} devices, {threads} threads) =="
+    )
+    .expect("string write");
+    for (profile, report) in crate::d3_reliability_sweep(devices, threads) {
+        writeln!(
+            out,
+            "  profile {:<8}  mean uptime {:>6.2}%  max |conservation drift| {:.1e} J",
+            profile.label(),
+            report.mean_uptime * 100.0,
+            report.max_conservation_j
+        )
+        .expect("string write");
+        for stats in &report.policies {
+            let rel = &stats.reliability;
+            let delivered = if rel.sync_episodes > 0 {
+                rel.sync_ok as f64 / rel.sync_episodes as f64 * 100.0
+            } else {
+                100.0
+            };
+            writeln!(
+                out,
+                "    {:<10} uptime {:>6.2}%  {:>7.0} det/day  {:>4} gated  sync {:>5.1}% ok ({} retried, {} dropped)  {} brownouts, mean recovery {:.1} s",
+                stats.name,
+                stats.mean_uptime * 100.0,
+                stats.detections_per_day,
+                rel.degraded_windows,
+                delivered,
+                rel.sync_retried,
+                rel.sync_dropped,
+                rel.brownouts,
+                rel.mean_recovery_s()
+            )
+            .expect("string write");
+        }
+        let episodes: Vec<String> = report
+            .faults
+            .iter_nonzero()
+            .map(|(kind, count)| format!("{} {count}", kind.label()))
+            .collect();
+        if !episodes.is_empty() {
+            writeln!(out, "    fault episodes: {}", episodes.join(", ")).expect("string write");
+        }
+        writeln!(out, "    digest {:016x}", report.digest).expect("string write");
+    }
+    out
+}
+
 /// Renders the A7 Q15-vs-Q31 comparison.
 #[must_use]
 pub fn render_a7() -> String {

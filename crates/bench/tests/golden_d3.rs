@@ -1,0 +1,46 @@
+//! Byte-for-byte regression test for the D3 reliability sweep.
+//!
+//! `golden_d3.txt` was captured from `tables d3` under the frozen
+//! default seed (2020) when the fault-injection subsystem landed. The
+//! sweep is a pure function of the seed — fault plans, BLE loss draws,
+//! gauge noise and the brownout state machine included — so any drift in
+//! fault arrival, retry/backoff behaviour, reliability accounting,
+//! digest folding, or formatting fails here.
+
+#[test]
+fn d3_reliability_sweep_matches_frozen_snapshot() {
+    let got = iw_bench::render_d3(27, 4);
+    let want = include_str!("golden_d3.txt");
+    assert_eq!(
+        got, want,
+        "D3 reliability output drifted from the frozen snapshot"
+    );
+}
+
+#[test]
+fn d3_harsh_degrades_but_never_violates_conservation() {
+    let sweep = iw_bench::d3_reliability_sweep(27, 2);
+    let harsh = &sweep
+        .iter()
+        .find(|(p, _)| p.label() == "harsh")
+        .expect("harsh profile in sweep")
+        .1;
+    assert!(harsh.mean_uptime < 1.0, "harsh must cost uptime");
+    assert!(harsh.mean_uptime > 0.5, "harsh must not kill the fleet");
+    assert!(harsh.reliability.degraded_windows > 0);
+    assert!(harsh.reliability.sync_dropped > 0);
+    assert!(harsh.max_conservation_j < 1e-6, "energy books must balance");
+    // The energy-aware policy throttles above the LDO cutoff, so it keeps
+    // full uptime where the fixed-rate policies brown out.
+    let aware = harsh
+        .policies
+        .iter()
+        .find(|p| p.name == "aware-24")
+        .expect("aware policy");
+    let fixed = harsh
+        .policies
+        .iter()
+        .find(|p| p.name == "fixed-24")
+        .expect("fixed policy");
+    assert!(aware.mean_uptime > fixed.mean_uptime);
+}

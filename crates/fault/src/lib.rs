@@ -1,0 +1,29 @@
+//! # iw-fault — deterministic fault injection & reliability accounting
+//!
+//! InfiniWolf's operating regime *is* adversity: lead-off ECG electrodes,
+//! occluded solar panels, collapsed TEG gradients, lost BLE syncs and
+//! battery brownouts. This crate gives the `iw-sim` engine a fault model
+//! with two hard properties:
+//!
+//! 1. **Determinism.** A [`FaultPlan`] is materialised *before* the run
+//!    as a pure function of `(profile, seed, duration)` — SplitMix64
+//!    streams ([`SplitMix64`], [`mix`]) per fault kind, so the fleet
+//!    digest stays bit-identical across worker thread counts.
+//! 2. **Exact accounting.** [`FaultCounters`] and
+//!    [`ReliabilityCounters`] are integer/microsecond-exact, so uptime,
+//!    degraded-window and sync-outcome statistics can be folded into the
+//!    fleet's FNV-1a digest without float-ordering hazards.
+//!
+//! The device-layer *responses* (signal-quality gating, BLE retry with
+//! exponential backoff, the brownout-safe state machine) live in
+//! `iw-sim`; this crate defines what fails, when, and what gets counted.
+
+#![warn(missing_docs)]
+
+mod plan;
+mod rng;
+mod stats;
+
+pub use plan::{BrownoutModel, FaultKind, FaultPlan, FaultProfile, FaultWindow};
+pub use rng::{mix, SplitMix64};
+pub use stats::{FaultCounters, ReliabilityCounters, SyncOutcome};

@@ -1,0 +1,458 @@
+//! Fault plans: what goes wrong, when, and how badly.
+//!
+//! A [`FaultPlan`] is generated *before* a run as a pure function of a
+//! seed and a [`FaultProfile`] — the simulation itself never draws fault
+//! arrival times, so a device run stays a deterministic function of its
+//! configuration and the fleet digest survives fault injection. Windowed
+//! faults (electrode lead-off, motion artifacts, solar occlusion, TEG
+//! ΔT collapse) are materialised as sorted [`FaultWindow`]s; per-attempt
+//! faults (BLE sync loss) and continuous ones (fuel-gauge noise) are
+//! parameters consumed by seeded streams inside the device components.
+
+use crate::rng::{mix, SplitMix64};
+
+/// Microseconds per second (matches the event engine's tick rate).
+const US_PER_S: f64 = 1e6;
+
+fn secs_to_us(seconds: f64) -> u64 {
+    (seconds * US_PER_S).round() as u64
+}
+
+/// Every fault class the subsystem models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// ECG electrode lead-off: the acquisition window is unusable.
+    EcgLeadOff,
+    /// Motion artifact corrupting the ECG/GSR window.
+    MotionArtifact,
+    /// GSR electrode detach: the acquisition window is unusable.
+    GsrDetach,
+    /// Solar panel occluded (sleeve, shade): intake scaled down.
+    SolarOcclusion,
+    /// TEG ΔT collapse (bracelet off wrist, ambient = skin).
+    TegCollapse,
+    /// A BLE sync attempt failed and must be retried or dropped.
+    BleLoss,
+    /// Fuel-gauge read noise is perturbing the observed state of charge.
+    GaugeNoise,
+    /// Battery crossed the LDO cutoff: brownout episode.
+    Brownout,
+}
+
+impl FaultKind {
+    /// Number of fault kinds (array-size for per-kind counters).
+    pub const COUNT: usize = 8;
+
+    /// All kinds, in counter order.
+    pub const ALL: [FaultKind; FaultKind::COUNT] = [
+        FaultKind::EcgLeadOff,
+        FaultKind::MotionArtifact,
+        FaultKind::GsrDetach,
+        FaultKind::SolarOcclusion,
+        FaultKind::TegCollapse,
+        FaultKind::BleLoss,
+        FaultKind::GaugeNoise,
+        FaultKind::Brownout,
+    ];
+
+    /// Stable index into per-kind counter arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::EcgLeadOff => 0,
+            FaultKind::MotionArtifact => 1,
+            FaultKind::GsrDetach => 2,
+            FaultKind::SolarOcclusion => 3,
+            FaultKind::TegCollapse => 4,
+            FaultKind::BleLoss => 5,
+            FaultKind::GaugeNoise => 6,
+            FaultKind::Brownout => 7,
+        }
+    }
+
+    /// Short label (also the trace instant name for windowed faults).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::EcgLeadOff => "ecg-lead-off",
+            FaultKind::MotionArtifact => "motion-artifact",
+            FaultKind::GsrDetach => "gsr-detach",
+            FaultKind::SolarOcclusion => "solar-occlusion",
+            FaultKind::TegCollapse => "teg-collapse",
+            FaultKind::BleLoss => "ble-loss",
+            FaultKind::GaugeNoise => "gauge-noise",
+            FaultKind::Brownout => "brownout",
+        }
+    }
+
+    /// Whether this kind corrupts an open acquisition window (the
+    /// signal-quality gate skips classification on such windows).
+    #[must_use]
+    pub fn corrupts_signal(self) -> bool {
+        matches!(
+            self,
+            FaultKind::EcgLeadOff | FaultKind::MotionArtifact | FaultKind::GsrDetach
+        )
+    }
+}
+
+/// One scheduled fault episode: `kind` is active over `[start_us, end_us)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// What fails.
+    pub kind: FaultKind,
+    /// Window start, engine microseconds.
+    pub start_us: u64,
+    /// Window end, engine microseconds.
+    pub end_us: u64,
+    /// Kind-specific severity: remaining intake fraction for
+    /// [`FaultKind::SolarOcclusion`] / [`FaultKind::TegCollapse`]
+    /// (0 = fully lost), unused (0) for signal faults.
+    pub severity: f64,
+}
+
+/// The LDO-cutoff / cold-start model (BQ25570-style): below `cutoff_soc`
+/// the device drops to acquisition-off; once the battery recovers past
+/// `restart_soc` the charger cold-starts for `cold_start_s` before the
+/// device resumes. While browned out the load falls to
+/// `leakage_fraction` of the sleep floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownoutModel {
+    /// State of charge at which the LDO cuts out.
+    pub cutoff_soc: f64,
+    /// State of charge required before a restart is attempted.
+    pub restart_soc: f64,
+    /// Cold-start delay between reaching `restart_soc` and resuming, s.
+    pub cold_start_s: f64,
+    /// Fraction of the sleep floor still drawn while browned out.
+    pub leakage_fraction: f64,
+}
+
+impl Default for BrownoutModel {
+    fn default() -> BrownoutModel {
+        BrownoutModel {
+            cutoff_soc: 0.02,
+            restart_soc: 0.05,
+            cold_start_s: 30.0,
+            leakage_fraction: 0.1,
+        }
+    }
+}
+
+/// A complete, pre-materialised fault plan for one device run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed the plan (and the in-run BLE / gauge streams) derive from.
+    pub seed: u64,
+    /// Scheduled fault windows, sorted by `start_us`.
+    pub windows: Vec<FaultWindow>,
+    /// Per-attempt BLE sync loss probability.
+    pub ble_loss_prob: f64,
+    /// Retries before a sync episode is dropped.
+    pub ble_max_retries: u32,
+    /// Initial retry backoff, seconds (doubles per retry).
+    pub ble_backoff_s: f64,
+    /// Amplitude of the uniform fuel-gauge SoC read error (0 = exact).
+    pub gauge_noise_soc: f64,
+    /// Gauge resample cadence, seconds.
+    pub gauge_interval_s: f64,
+    /// The brownout / cold-start state machine parameters.
+    pub brownout: BrownoutModel,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: no windows, lossless BLE, exact gauge. The
+    /// brownout model stays armed — running out of energy is a fault
+    /// regardless of profile.
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            windows: Vec::new(),
+            ble_loss_prob: 0.0,
+            ble_max_retries: 2,
+            ble_backoff_s: 0.5,
+            gauge_noise_soc: 0.0,
+            gauge_interval_s: 10.0,
+            brownout: BrownoutModel::default(),
+        }
+    }
+
+    /// Whether the plan injects anything beyond the always-armed
+    /// brownout machine.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.windows.is_empty() && self.ble_loss_prob == 0.0 && self.gauge_noise_soc == 0.0
+    }
+}
+
+/// Arrival-process parameters for one windowed fault kind.
+struct WindowSpec {
+    kind: FaultKind,
+    mean_gap_s: f64,
+    min_len_s: f64,
+    max_len_s: f64,
+    min_severity: f64,
+    max_severity: f64,
+}
+
+impl WindowSpec {
+    /// Materialises this spec's windows over `[0, duration_s)` from its
+    /// own derived stream (so adding a kind never shifts another kind's
+    /// arrivals).
+    fn generate(&self, seed: u64, duration_s: f64, out: &mut Vec<FaultWindow>) {
+        let mut rng = SplitMix64::new(mix(seed, self.kind.index() as u64 + 1));
+        let mut t_s = rng.exp_f64(self.mean_gap_s);
+        while t_s < duration_s {
+            let len_s = rng.range_f64(self.min_len_s, self.max_len_s);
+            let end_s = (t_s + len_s).min(duration_s);
+            out.push(FaultWindow {
+                kind: self.kind,
+                start_us: secs_to_us(t_s),
+                end_us: secs_to_us(end_s),
+                severity: rng.range_f64(self.min_severity, self.max_severity),
+            });
+            // Next arrival: after this window closes, plus a fresh gap —
+            // windows of one kind never overlap by construction.
+            t_s = end_s + rng.exp_f64(self.mean_gap_s);
+        }
+    }
+}
+
+/// Named fault intensity levels for sweeps and the `fleet --faults` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultProfile {
+    /// No injected faults (brownout machine still armed).
+    #[default]
+    Clean,
+    /// Everyday adversity: occasional lead-off and artifacts, shaded
+    /// light, 10 % BLE loss, mild gauge noise.
+    Moderate,
+    /// Hostile day: frequent electrode and motion faults, long occlusion
+    /// and ΔT-collapse episodes, 35 % BLE loss, noisy gauge.
+    Harsh,
+}
+
+impl FaultProfile {
+    /// All profiles, in increasing severity.
+    pub const ALL: [FaultProfile; 3] = [
+        FaultProfile::Clean,
+        FaultProfile::Moderate,
+        FaultProfile::Harsh,
+    ];
+
+    /// The profile's CLI / table label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultProfile::Clean => "clean",
+            FaultProfile::Moderate => "moderate",
+            FaultProfile::Harsh => "harsh",
+        }
+    }
+
+    /// Parses a CLI label (`clean` / `moderate` / `harsh`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<FaultProfile> {
+        match s {
+            "clean" => Some(FaultProfile::Clean),
+            "moderate" => Some(FaultProfile::Moderate),
+            "harsh" => Some(FaultProfile::Harsh),
+            _ => None,
+        }
+    }
+
+    fn window_specs(self) -> Vec<WindowSpec> {
+        match self {
+            FaultProfile::Clean => Vec::new(),
+            FaultProfile::Moderate => vec![
+                WindowSpec {
+                    kind: FaultKind::EcgLeadOff,
+                    mean_gap_s: 2.0 * 3600.0,
+                    min_len_s: 30.0,
+                    max_len_s: 120.0,
+                    min_severity: 0.0,
+                    max_severity: 0.0,
+                },
+                WindowSpec {
+                    kind: FaultKind::MotionArtifact,
+                    mean_gap_s: 20.0 * 60.0,
+                    min_len_s: 5.0,
+                    max_len_s: 30.0,
+                    min_severity: 0.0,
+                    max_severity: 0.0,
+                },
+                WindowSpec {
+                    kind: FaultKind::GsrDetach,
+                    mean_gap_s: 4.0 * 3600.0,
+                    min_len_s: 60.0,
+                    max_len_s: 300.0,
+                    min_severity: 0.0,
+                    max_severity: 0.0,
+                },
+                WindowSpec {
+                    kind: FaultKind::SolarOcclusion,
+                    mean_gap_s: 3600.0,
+                    min_len_s: 5.0 * 60.0,
+                    max_len_s: 20.0 * 60.0,
+                    min_severity: 0.0,
+                    max_severity: 0.3,
+                },
+                WindowSpec {
+                    kind: FaultKind::TegCollapse,
+                    mean_gap_s: 3.0 * 3600.0,
+                    min_len_s: 10.0 * 60.0,
+                    max_len_s: 30.0 * 60.0,
+                    min_severity: 0.0,
+                    max_severity: 0.2,
+                },
+            ],
+            FaultProfile::Harsh => vec![
+                WindowSpec {
+                    kind: FaultKind::EcgLeadOff,
+                    mean_gap_s: 30.0 * 60.0,
+                    min_len_s: 60.0,
+                    max_len_s: 300.0,
+                    min_severity: 0.0,
+                    max_severity: 0.0,
+                },
+                WindowSpec {
+                    kind: FaultKind::MotionArtifact,
+                    mean_gap_s: 5.0 * 60.0,
+                    min_len_s: 10.0,
+                    max_len_s: 60.0,
+                    min_severity: 0.0,
+                    max_severity: 0.0,
+                },
+                WindowSpec {
+                    kind: FaultKind::GsrDetach,
+                    mean_gap_s: 3600.0,
+                    min_len_s: 120.0,
+                    max_len_s: 600.0,
+                    min_severity: 0.0,
+                    max_severity: 0.0,
+                },
+                WindowSpec {
+                    kind: FaultKind::SolarOcclusion,
+                    mean_gap_s: 20.0 * 60.0,
+                    min_len_s: 10.0 * 60.0,
+                    max_len_s: 40.0 * 60.0,
+                    min_severity: 0.0,
+                    max_severity: 0.1,
+                },
+                WindowSpec {
+                    kind: FaultKind::TegCollapse,
+                    mean_gap_s: 3600.0,
+                    min_len_s: 20.0 * 60.0,
+                    max_len_s: 3600.0,
+                    min_severity: 0.0,
+                    max_severity: 0.1,
+                },
+            ],
+        }
+    }
+
+    /// Materialises this profile over a run of `duration_s` seconds,
+    /// seeded with `seed`. Pure: same `(profile, seed, duration)` →
+    /// identical plan, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `duration_s` is negative or not finite.
+    #[must_use]
+    pub fn plan(self, seed: u64, duration_s: f64) -> FaultPlan {
+        assert!(
+            duration_s.is_finite() && duration_s >= 0.0,
+            "fault plan duration must be a non-negative finite number of seconds"
+        );
+        let mut windows = Vec::new();
+        for spec in self.window_specs() {
+            spec.generate(seed, duration_s, &mut windows);
+        }
+        // Stable order: by start time, ties by kind index (each kind's
+        // windows are already internally sorted and non-overlapping).
+        windows.sort_by_key(|w| (w.start_us, w.kind.index()));
+        let (ble_loss_prob, gauge_noise_soc) = match self {
+            FaultProfile::Clean => (0.0, 0.0),
+            FaultProfile::Moderate => (0.10, 0.02),
+            FaultProfile::Harsh => (0.35, 0.05),
+        };
+        FaultPlan {
+            seed,
+            windows,
+            ble_loss_prob,
+            ble_max_retries: 2,
+            ble_backoff_s: 0.5,
+            gauge_noise_soc,
+            gauge_interval_s: 10.0,
+            brownout: BrownoutModel::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_seed_and_duration() {
+        let a = FaultProfile::Harsh.plan(2020, 86_400.0);
+        let b = FaultProfile::Harsh.plan(2020, 86_400.0);
+        assert_eq!(a, b);
+        let c = FaultProfile::Harsh.plan(2021, 86_400.0);
+        assert_ne!(a.windows, c.windows);
+    }
+
+    #[test]
+    fn clean_plan_is_trivial_and_harsh_is_not() {
+        assert!(FaultProfile::Clean.plan(1, 86_400.0).is_trivial());
+        let harsh = FaultProfile::Harsh.plan(1, 86_400.0);
+        assert!(!harsh.is_trivial());
+        assert!(harsh.windows.len() > 50, "{} windows", harsh.windows.len());
+    }
+
+    #[test]
+    fn windows_are_sorted_clipped_and_non_overlapping_per_kind() {
+        let plan = FaultProfile::Moderate.plan(7, 86_400.0);
+        let end_us = 86_400_000_000;
+        for w in plan.windows.windows(2) {
+            assert!(w[0].start_us <= w[1].start_us);
+        }
+        for kind in FaultKind::ALL {
+            let mut last_end = 0;
+            for w in plan.windows.iter().filter(|w| w.kind == kind) {
+                assert!(w.start_us >= last_end, "{kind:?} windows overlap");
+                assert!(w.end_us > w.start_us && w.end_us <= end_us);
+                assert!((0.0..1.0).contains(&w.severity) || w.severity == 0.0);
+                last_end = w.end_us;
+            }
+        }
+    }
+
+    #[test]
+    fn harsher_profiles_inject_more() {
+        let m = FaultProfile::Moderate.plan(3, 86_400.0);
+        let h = FaultProfile::Harsh.plan(3, 86_400.0);
+        assert!(h.windows.len() > m.windows.len());
+        assert!(h.ble_loss_prob > m.ble_loss_prob);
+        assert!(h.gauge_noise_soc > m.gauge_noise_soc);
+    }
+
+    #[test]
+    fn profile_labels_round_trip() {
+        for p in FaultProfile::ALL {
+            assert_eq!(FaultProfile::parse(p.label()), Some(p));
+        }
+        assert_eq!(FaultProfile::parse("bogus"), None);
+    }
+
+    #[test]
+    fn kind_indices_are_a_bijection() {
+        let mut seen = [false; FaultKind::COUNT];
+        for kind in FaultKind::ALL {
+            assert!(!seen[kind.index()]);
+            seen[kind.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,106 @@
+//! SplitMix64: the crate's only randomness source.
+//!
+//! Fault plans must be a pure function of `(seed, device index)` so the
+//! fleet digest stays invariant under thread count. SplitMix64 gives a
+//! high-quality 64-bit stream from a single word of state, and its
+//! finalizer doubles as the stream-derivation mix — the same one the
+//! fleet runner uses to decorrelate device indices.
+
+/// The SplitMix64 finalizer: decorrelates `index` under `seed` before it
+/// seeds a derived stream.
+#[must_use]
+pub fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A SplitMix64 generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator starting from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` (53-bit mantissa resolution).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// An exponentially distributed gap with the given mean (inverse-CDF
+    /// sampling), for Poisson-process fault arrival times.
+    pub fn exp_f64(&mut self, mean: f64) -> f64 {
+        // 1 − u is in (0, 1], so ln is finite.
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_stay_in_unit_interval() {
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let g = rng.range_f64(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn exponential_gaps_have_roughly_the_requested_mean() {
+        let mut rng = SplitMix64::new(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exp_f64(10.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((9.0..11.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn mix_decorrelates_consecutive_indices() {
+        let a = mix(2020, 0);
+        let b = mix(2020, 1);
+        assert_ne!(a, b);
+        assert_ne!(a & 0xffff, b & 0xffff);
+    }
+}

@@ -24,12 +24,16 @@
 
 use std::collections::VecDeque;
 
+use iw_fault::{
+    mix, FaultCounters, FaultKind, FaultPlan, ReliabilityCounters, SplitMix64, SyncOutcome,
+};
 use iw_harvest::{Battery, EnvProfile, SimReport, SolarHarvester, TegHarvester, TracePoint};
 use iw_kernels::{ExecPath, Machine, MachineError, MachineRun, Workload};
 use iw_nrf52::BleRadio;
 use iw_trace::TraceSink;
 
 use crate::engine::{secs_to_us, Component, Engine, Event, LoadSlot, SimCtx};
+use crate::faults::{finalize_reliability, FaultComponent, BLE_STREAM};
 use crate::policy::DetectionPolicy;
 
 /// One compute job dispatched per detection: duration and energy, derived
@@ -156,6 +160,12 @@ pub struct DeviceReport {
     pub sync_bursts: u64,
     /// Events the engine processed (throughput accounting).
     pub events: u64,
+    /// Per-fault-kind episode counters.
+    pub faults: FaultCounters,
+    /// Reliability accumulators (downtime, gated windows, sync outcomes).
+    pub reliability: ReliabilityCounters,
+    /// Fraction of the run the device was operational (not browned out).
+    pub uptime: f64,
     /// The battery in its final state.
     pub battery: Battery,
 }
@@ -181,6 +191,9 @@ pub struct DeviceConfig {
     pub notify_j: f64,
     /// Optional periodic BLE sync bursts.
     pub sync: Option<BleSync>,
+    /// The fault plan this run plays back ([`FaultPlan::none`] keeps
+    /// only the always-armed brownout state machine).
+    pub faults: FaultPlan,
     /// Target number of trace samples over the run (0 = no trace).
     pub trace_points: usize,
     /// Emit a span per acquisition window / compute job when tracing
@@ -210,6 +223,7 @@ impl DeviceConfig {
             sleep_floor_w: default_sleep_floor_w(),
             notify_j: 0.0,
             sync: None,
+            faults: FaultPlan::none(),
             trace_points: 500,
             detection_spans: true,
         }
@@ -229,6 +243,14 @@ impl DeviceConfig {
     pub fn run_traced<S: TraceSink>(&self, sink: &mut S) -> DeviceReport {
         let mut engine: Engine<S> = Engine::new(self.battery);
         engine.state.base_load_w = self.sleep_floor_w;
+        // The fault component goes first: state flips (brownout, signal
+        // corruption, harvest derates) land before any same-timestamp
+        // policy or sensor reads, which keeps runs order-deterministic.
+        engine.add(Box::new(FaultComponent::new(
+            self.faults.clone(),
+            self.sleep_floor_w,
+            self.detection_spans,
+        )));
         engine.add(Box::new(EnvComponent::new(
             &self.env,
             &self.solar,
@@ -244,11 +266,22 @@ impl DeviceConfig {
             self.costs.compute,
             self.detection_spans,
         )));
-        if self.notify_j > 0.0 || self.sync.is_some() {
+        // A duty-cycled policy always gets a radio: notifications are
+        // batched into the periodic sync burst even when `sync` is unset
+        // (a default nRF52 burst at the policy's interval).
+        let batch_interval_s = self.policy.sync_interval_s();
+        let sync = match (batch_interval_s, self.sync) {
+            (Some(interval_s), Some(sync)) => Some(BleSync { interval_s, ..sync }),
+            (Some(interval_s), None) => Some(BleSync::nrf52(&BleRadio::default(), interval_s, 32)),
+            (None, sync) => sync,
+        };
+        if self.notify_j > 0.0 || sync.is_some() {
             engine.add(Box::new(RadioComponent::new(
                 self.notify_j,
-                self.sync,
+                sync,
                 self.detection_spans,
+                batch_interval_s.is_some(),
+                &self.faults,
             )));
         }
         if self.trace_points > 0 {
@@ -258,7 +291,11 @@ impl DeviceConfig {
             )));
         }
         let events = engine.run(sink);
-        let state = engine.state;
+        let end_us = engine.now_us();
+        let mut state = engine.state;
+        finalize_reliability(&mut state, end_us);
+        let duration_us = secs_to_us(self.env.duration_s());
+        let uptime = state.reliability.uptime_fraction(duration_us);
         DeviceReport {
             sim: SimReport {
                 stored_j: state.stored_j,
@@ -271,6 +308,9 @@ impl DeviceConfig {
             notifications: state.notifications,
             sync_bursts: state.sync_bursts,
             events,
+            faults: state.faults,
+            reliability: state.reliability,
+            uptime,
             battery: state.battery,
         }
     }
@@ -373,7 +413,15 @@ impl<S: TraceSink> Component<S> for PolicyComponent {
         if ev != Event::PolicyTick {
             return;
         }
-        let rate = self.policy.rate_per_s(ctx.state.battery.soc());
+        if !ctx.state.acquisition_enabled {
+            // Browned out: no new work until the recovery state machine
+            // re-enables acquisition. Each skipped evaluation is counted.
+            ctx.state.reliability.skipped_acquisitions += 1;
+            ctx.schedule_in(self.idle_recheck_us, Event::PolicyTick);
+            return;
+        }
+        // The policy reads the fuel gauge, not the true cell state.
+        let rate = self.policy.rate_per_s(ctx.state.observed_soc());
         if rate > 0.0 {
             ctx.schedule_in(0, Event::AcquireStart);
             let period_us = secs_to_us(1.0 / rate).max(self.min_interval_us);
@@ -386,7 +434,10 @@ impl<S: TraceSink> Component<S> for PolicyComponent {
 
 /// The ECG + GSR analog front ends: each [`Event::AcquireStart`] opens a
 /// fixed-length window drawing the acquisition power; windows may overlap
-/// (multiplicity-counted). Each closing window dispatches a compute job.
+/// (multiplicity-counted). Each closing window dispatches a compute job —
+/// unless a signal-corrupting fault (lead-off, motion artifact, GSR
+/// detach) overlapped the window, in which case the acquisition energy is
+/// still paid but classification is skipped (signal-quality gating).
 pub struct SensorComponent {
     energy_j: f64,
     window_us: u64,
@@ -394,7 +445,8 @@ pub struct SensorComponent {
     trace_spans: bool,
     slot: Option<LoadSlot>,
     active: u32,
-    starts: VecDeque<u64>,
+    /// Open windows: `(start_us, corrupted)`.
+    starts: VecDeque<(u64, bool)>,
 }
 
 impl SensorComponent {
@@ -439,8 +491,17 @@ impl<S: TraceSink> Component<S> for SensorComponent {
                     ctx.state
                         .set_load(slot, f64::from(self.active) * self.unit_power_w);
                 }
-                self.starts.push_back(ctx.now_us);
+                self.starts
+                    .push_back((ctx.now_us, ctx.state.signal_faults > 0));
                 ctx.schedule_in(self.window_us, Event::AcquireEnd);
+            }
+            Event::FaultStart { .. } if ctx.state.signal_faults > 0 => {
+                // A signal-corrupting fault opened mid-window (the fault
+                // component runs first, so the flag is already set):
+                // every currently open window is now unusable.
+                for open in &mut self.starts {
+                    open.1 = true;
+                }
             }
             Event::AcquireEnd => {
                 if self.window_us > 0 {
@@ -448,12 +509,22 @@ impl<S: TraceSink> Component<S> for SensorComponent {
                     ctx.state
                         .set_load(slot, f64::from(self.active) * self.unit_power_w);
                 }
-                let started = self.starts.pop_front().expect("balanced windows");
+                let (started, corrupt) = self.starts.pop_front().expect("balanced windows");
                 if S::ENABLED && self.trace_spans {
                     let track = ctx.tracks.device;
                     ctx.sink.span(track, "acquire", started, ctx.now_us);
                 }
-                ctx.schedule_in(0, Event::ComputeStart);
+                if corrupt {
+                    // Signal-quality gate: the window's energy is spent
+                    // but its samples are garbage — skip classification.
+                    ctx.state.reliability.degraded_windows += 1;
+                    if S::ENABLED && self.trace_spans {
+                        let track = ctx.tracks.device;
+                        ctx.sink.instant(track, "acq-gated", ctx.now_us);
+                    }
+                } else {
+                    ctx.schedule_in(0, Event::ComputeStart);
+                }
             }
             _ => {}
         }
@@ -531,23 +602,54 @@ impl<S: TraceSink> Component<S> for ComputeComponent {
 /// The BLE radio: an energy impulse per retired detection (the 4-byte
 /// result notification) and, optionally, periodic sync bursts drawn as
 /// timed load pulses.
+///
+/// Under a fault plan with a non-zero sync-loss probability each burst
+/// may fail: the radio retries with exponential backoff
+/// (`backoff × 2^(attempt−1)`) up to the plan's retry budget, then
+/// records the episode as [`SyncOutcome::Dropped`] and waits for the next
+/// interval. Under a duty-cycled policy (`batch`) per-detection
+/// notifications are suppressed; results accumulate and their
+/// notification energy is flushed on the next *successful* sync (dropped
+/// episodes carry the backlog forward).
 pub struct RadioComponent {
     notify_j: f64,
     sync: Option<BleSync>,
     trace_spans: bool,
+    batch: bool,
+    loss_prob: f64,
+    max_retries: u32,
+    backoff_us: u64,
+    rng: SplitMix64,
+    attempt: u32,
+    pending: u64,
     slot: Option<LoadSlot>,
     burst_started_us: u64,
 }
 
 impl RadioComponent {
     /// A radio notifying `notify_j` per detection plus optional `sync`
-    /// bursts.
+    /// bursts. `batch` suppresses per-detection notifications in favour
+    /// of flush-on-sync; `plan` supplies the loss probability, retry
+    /// budget and backoff, and seeds the per-attempt loss stream.
     #[must_use]
-    pub fn new(notify_j: f64, sync: Option<BleSync>, trace_spans: bool) -> RadioComponent {
+    pub fn new(
+        notify_j: f64,
+        sync: Option<BleSync>,
+        trace_spans: bool,
+        batch: bool,
+        plan: &FaultPlan,
+    ) -> RadioComponent {
         RadioComponent {
             notify_j,
             sync,
             trace_spans,
+            batch,
+            loss_prob: plan.ble_loss_prob,
+            max_retries: plan.ble_max_retries,
+            backoff_us: secs_to_us(plan.ble_backoff_s).max(1),
+            rng: SplitMix64::new(mix(plan.seed, BLE_STREAM)),
+            attempt: 0,
+            pending: 0,
             slot: None,
             burst_started_us: 0,
         }
@@ -569,6 +671,10 @@ impl<S: TraceSink> Component<S> for RadioComponent {
     fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_, S>) {
         let slot = self.slot.expect("started");
         match ev {
+            Event::ComputeEnd if self.batch => {
+                // Duty-cycled: the result queues for the next sync.
+                self.pending += 1;
+            }
             Event::ComputeEnd if self.notify_j > 0.0 => {
                 ctx.consume_j(self.notify_j);
                 ctx.state.notifications += 1;
@@ -592,6 +698,41 @@ impl<S: TraceSink> Component<S> for RadioComponent {
                     ctx.sink
                         .span(track, "ble-sync", self.burst_started_us, ctx.now_us);
                 }
+                let lost = self.loss_prob > 0.0 && self.rng.chance(self.loss_prob);
+                if lost {
+                    ctx.state.faults.add(FaultKind::BleLoss);
+                    if self.attempt < self.max_retries {
+                        self.attempt += 1;
+                        if S::ENABLED && self.trace_spans {
+                            let track = ctx.tracks.device;
+                            ctx.sink.instant(track, "sync-retry", ctx.now_us);
+                        }
+                        ctx.schedule_in(self.backoff_us << (self.attempt - 1), Event::BleSyncStart);
+                        return;
+                    }
+                    // Retry budget exhausted: the episode is dropped; a
+                    // batched backlog stays pending for the next interval.
+                    ctx.state.reliability.record_sync(SyncOutcome::Dropped);
+                    if S::ENABLED && self.trace_spans {
+                        let track = ctx.tracks.device;
+                        ctx.sink.instant(track, "sync-drop", ctx.now_us);
+                    }
+                } else {
+                    let outcome = if self.attempt > 0 {
+                        SyncOutcome::Retried
+                    } else {
+                        SyncOutcome::Ok
+                    };
+                    ctx.state.reliability.record_sync(outcome);
+                    if self.batch && self.pending > 0 {
+                        // Flush the backlog: one notification impulse per
+                        // queued result, delivered inside this burst.
+                        ctx.consume_j(self.pending as f64 * self.notify_j);
+                        ctx.state.notifications += self.pending;
+                        self.pending = 0;
+                    }
+                }
+                self.attempt = 0;
                 ctx.schedule_in(
                     secs_to_us((sync.interval_s - sync.burst_s).max(0.0)),
                     Event::BleSyncStart,

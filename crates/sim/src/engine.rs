@@ -19,6 +19,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use iw_fault::{FaultCounters, ReliabilityCounters};
 use iw_harvest::{Battery, TracePoint};
 use iw_trace::{TraceSink, TrackId};
 
@@ -92,6 +93,21 @@ pub enum Event {
     BleSyncStart,
     /// The BLE sync burst ends.
     BleSyncEnd,
+    /// A scheduled fault window opens (index into the fault plan).
+    FaultStart {
+        /// Index into the plan's window list.
+        index: usize,
+    },
+    /// A scheduled fault window closes.
+    FaultEnd {
+        /// Index into the plan's window list.
+        index: usize,
+    },
+    /// Fuel-gauge noise resamples the observed state of charge.
+    GaugeTick,
+    /// Cold-start delay elapsed: the device attempts to resume from
+    /// brownout.
+    BrownoutRecover,
     /// Trace sampling tick: record a [`TracePoint`].
     Sample,
     /// End of simulation: integrate up to here, then stop.
@@ -122,8 +138,28 @@ pub struct DeviceState {
     pub solar_w: f64,
     /// Battery-side TEG intake, watts (set by the environment).
     pub teg_w: f64,
+    /// Remaining solar intake fraction under occlusion faults (1 = no
+    /// fault active).
+    pub solar_derate: f64,
+    /// Remaining TEG intake fraction under ΔT-collapse faults.
+    pub teg_derate: f64,
     /// Always-on baseline draw (sleep floor), watts.
     pub base_load_w: f64,
+    /// Fuel-gauge read error currently applied to [`Self::observed_soc`].
+    pub soc_bias: f64,
+    /// `false` while the brownout state machine holds the device in
+    /// acquisition-off (the policy must not start new work).
+    pub acquisition_enabled: bool,
+    /// Active signal-corrupting fault windows (ECG lead-off, motion
+    /// artifact, GSR detach). Non-zero means open acquisition windows
+    /// are unusable.
+    pub signal_faults: u32,
+    /// When browned out: the time the current episode began, µs.
+    pub down_since_us: Option<u64>,
+    /// Per-fault-kind episode counters.
+    pub faults: FaultCounters,
+    /// Reliability accumulators (downtime, gated windows, sync outcomes).
+    pub reliability: ReliabilityCounters,
     /// Detections completed so far.
     pub detections: u64,
     /// Per-detection BLE result notifications sent.
@@ -149,7 +185,15 @@ impl DeviceState {
             battery,
             solar_w: 0.0,
             teg_w: 0.0,
+            solar_derate: 1.0,
+            teg_derate: 1.0,
             base_load_w: 0.0,
+            soc_bias: 0.0,
+            acquisition_enabled: true,
+            signal_faults: 0,
+            down_since_us: None,
+            faults: FaultCounters::default(),
+            reliability: ReliabilityCounters::default(),
             detections: 0,
             notifications: 0,
             sync_bursts: 0,
@@ -188,10 +232,19 @@ impl DeviceState {
         self.base_load_w + self.loads.iter().map(|(_, w)| w).sum::<f64>()
     }
 
-    /// Total battery-side harvest intake right now, watts.
+    /// Total battery-side harvest intake right now, watts (occlusion /
+    /// ΔT-collapse derating applied).
     #[must_use]
     pub fn intake_w(&self) -> f64 {
-        self.solar_w + self.teg_w
+        self.solar_w * self.solar_derate + self.teg_w * self.teg_derate
+    }
+
+    /// The state of charge the *device* observes: the true SoC plus the
+    /// current fuel-gauge read error, clamped to `[0, 1]`. Policies read
+    /// this, never the true value.
+    #[must_use]
+    pub fn observed_soc(&self) -> f64 {
+        (self.battery.soc() + self.soc_bias).clamp(0.0, 1.0)
     }
 
     /// Integrates the piecewise-constant powers over `dt_s` seconds:

@@ -11,12 +11,17 @@
 //! every per-device result bit-for-bit, so `--threads 1` and
 //! `--threads 8` must produce the same digest or something is wrong.
 
-use iw_harvest::EnvProfile;
+use iw_fault::{mix, FaultCounters, FaultKind, FaultProfile, ReliabilityCounters};
+use iw_harvest::{Battery, EnvProfile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::device::{BleSync, DetectionCosts, DeviceConfig};
 use crate::policy::DetectionPolicy;
+
+/// Stream-derivation constant separating each device's fault-plan seed
+/// from its configuration-jitter seed.
+const FAULT_STREAM: u64 = 0xfa17_0000_0000_0001;
 
 /// A wearer archetype: scales the policy's detection rate.
 #[derive(Debug, Clone)]
@@ -45,12 +50,19 @@ pub struct FleetConfig {
     pub policies: Vec<(String, DetectionPolicy)>,
     /// Per-detection costs (same for every device).
     pub costs: DetectionCosts,
+    /// The cell every device starts from (the start state of charge is
+    /// still jittered per device). Smaller cells make brownout and the
+    /// recovery state machine reachable within a one-day sweep.
+    pub battery: Battery,
     /// Always-on battery-side sleep floor, watts.
     pub sleep_floor_w: f64,
     /// Per-detection BLE notification energy, joules (0 = off).
     pub notify_j: f64,
     /// Optional periodic BLE sync bursts.
     pub sync: Option<BleSync>,
+    /// Fault intensity every device's plan is materialised from (each
+    /// device gets its own plan seed derived from the fleet seed).
+    pub faults: FaultProfile,
 }
 
 /// One device's result in the sweep.
@@ -78,6 +90,16 @@ pub struct DeviceResult {
     pub consumed_j: f64,
     /// Engine events processed.
     pub events: u64,
+    /// Fraction of the run the device was operational.
+    pub uptime: f64,
+    /// Per-fault-kind episode counters.
+    pub faults: FaultCounters,
+    /// Reliability accumulators (downtime, gated windows, sync outcomes).
+    pub reliability: ReliabilityCounters,
+    /// Absolute energy-conservation drift
+    /// `|initial + stored − consumed − final|`, joules (must stay at
+    /// float roundoff even under fault injection).
+    pub conservation_j: f64,
 }
 
 /// Aggregated statistics for one policy across the fleet.
@@ -93,6 +115,10 @@ pub struct PolicyStats {
     pub brown_out_rate: f64,
     /// Mean final state of charge.
     pub mean_final_soc: f64,
+    /// Mean device uptime fraction.
+    pub mean_uptime: f64,
+    /// Summed reliability counters across this policy's devices.
+    pub reliability: ReliabilityCounters,
 }
 
 /// The merged fleet sweep result.
@@ -108,15 +134,14 @@ pub struct FleetReport {
     pub simulated_s: f64,
     /// Total engine events processed across the fleet.
     pub events: u64,
-}
-
-/// SplitMix64 finalizer: decorrelates consecutive device indices before
-/// they seed their xoshiro streams.
-fn mix(seed: u64, index: u64) -> u64 {
-    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    /// Summed per-fault-kind counters across the fleet.
+    pub faults: FaultCounters,
+    /// Summed reliability counters across the fleet.
+    pub reliability: ReliabilityCounters,
+    /// Mean device uptime fraction across the fleet.
+    pub mean_uptime: f64,
+    /// Largest per-device energy-conservation drift, joules.
+    pub max_conservation_j: f64,
 }
 
 fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
@@ -178,9 +203,11 @@ impl FleetConfig {
                 ),
             ],
             costs,
+            battery: Battery::infiniwolf(),
             sleep_floor_w: crate::device::default_sleep_floor_w(),
             notify_j: 0.0,
             sync: None,
+            faults: FaultProfile::Clean,
         }
     }
 
@@ -214,12 +241,23 @@ impl FleetConfig {
         let days = jittered.duration_s() / 86_400.0;
 
         let mut cfg = DeviceConfig::new(jittered, policy.scaled(subject.activity), self.costs);
+        cfg.battery = self.battery;
         cfg.battery.set_soc(start_soc);
         cfg.sleep_floor_w = self.sleep_floor_w;
         cfg.notify_j = self.notify_j;
         cfg.sync = self.sync;
+        // Each device draws its fault plan from its own derived seed — a
+        // pure function of (fleet seed, index), like everything else.
+        cfg.faults = self.faults.plan(
+            mix(self.seed ^ FAULT_STREAM, index as u64),
+            cfg.env.duration_s(),
+        );
         cfg.trace_points = 0; // fleets aggregate; they do not keep traces
+        let initial_j = cfg.battery.charge_j();
         let report = cfg.run();
+        let conservation_j =
+            (initial_j + report.sim.stored_j - report.sim.consumed_j - report.battery.charge_j())
+                .abs();
         DeviceResult {
             device: index,
             env: env_name.clone(),
@@ -232,6 +270,10 @@ impl FleetConfig {
             stored_j: report.sim.stored_j,
             consumed_j: report.sim.consumed_j,
             events: report.events,
+            uptime: report.uptime,
+            faults: report.faults,
+            reliability: report.reliability,
+            conservation_j,
         }
     }
 
@@ -272,6 +314,10 @@ impl FleetConfig {
         let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
         let mut simulated_s = 0.0;
         let mut events = 0;
+        let mut faults = FaultCounters::default();
+        let mut reliability = ReliabilityCounters::default();
+        let mut uptime_sum = 0.0;
+        let mut max_conservation_j: f64 = 0.0;
         for r in &devices {
             digest = fnv1a(digest, &(r.device as u64).to_le_bytes());
             digest = fnv1a(digest, &r.detections.to_le_bytes());
@@ -279,8 +325,32 @@ impl FleetConfig {
             digest = fnv1a(digest, &r.final_soc.to_bits().to_le_bytes());
             digest = fnv1a(digest, &r.stored_j.to_bits().to_le_bytes());
             digest = fnv1a(digest, &r.consumed_j.to_bits().to_le_bytes());
+            // Reliability results are part of the determinism contract:
+            // every counter is folded bit-for-bit.
+            for kind in FaultKind::ALL {
+                digest = fnv1a(digest, &r.faults.get(kind).to_le_bytes());
+            }
+            let rel = &r.reliability;
+            for v in [
+                rel.downtime_us,
+                rel.brownouts,
+                rel.recoveries,
+                rel.recovery_us,
+                rel.degraded_windows,
+                rel.skipped_acquisitions,
+                rel.sync_episodes,
+                rel.sync_ok,
+                rel.sync_retried,
+                rel.sync_dropped,
+            ] {
+                digest = fnv1a(digest, &v.to_le_bytes());
+            }
             simulated_s += r.days * 86_400.0;
             events += r.events;
+            faults.merge(&r.faults);
+            reliability.merge(&r.reliability);
+            uptime_sum += r.uptime;
+            max_conservation_j = max_conservation_j.max(r.conservation_j);
         }
         let policies = self
             .policies
@@ -290,6 +360,10 @@ impl FleetConfig {
                     devices.iter().filter(|r| &r.policy == name).collect();
                 let n = mine.len();
                 let nf = n.max(1) as f64;
+                let mut reliability = ReliabilityCounters::default();
+                for r in &mine {
+                    reliability.merge(&r.reliability);
+                }
                 PolicyStats {
                     name: name.clone(),
                     devices: n,
@@ -300,15 +374,22 @@ impl FleetConfig {
                         / nf,
                     brown_out_rate: mine.iter().filter(|r| r.browned_out).count() as f64 / nf,
                     mean_final_soc: mine.iter().map(|r| r.final_soc).sum::<f64>() / nf,
+                    mean_uptime: mine.iter().map(|r| r.uptime).sum::<f64>() / nf,
+                    reliability,
                 }
             })
             .collect();
+        let mean_uptime = uptime_sum / devices.len().max(1) as f64;
         FleetReport {
             devices,
             policies,
             digest,
             simulated_s,
             events,
+            faults,
+            reliability,
+            mean_uptime,
+            max_conservation_j,
         }
     }
 }
@@ -371,6 +452,37 @@ mod tests {
         for stats in &report.policies {
             assert_eq!(stats.devices, 9);
         }
+    }
+
+    #[test]
+    fn fault_digest_is_thread_count_invariant() {
+        let harsh = |threads| {
+            let mut cfg = small_fleet(threads);
+            cfg.faults = FaultProfile::Harsh;
+            cfg.notify_j = 1e-6;
+            cfg.run()
+        };
+        let serial = harsh(1);
+        for threads in [2, 4] {
+            let parallel = harsh(threads);
+            assert_eq!(serial.digest, parallel.digest, "threads {threads}");
+            assert_eq!(serial.devices, parallel.devices);
+        }
+        assert!(serial.faults.total() > 0);
+        assert!(serial.reliability.degraded_windows > 0);
+    }
+
+    #[test]
+    fn fault_profile_changes_the_digest_and_clean_matches_default() {
+        let base = small_fleet(2).run();
+        let mut harsh_cfg = small_fleet(2);
+        harsh_cfg.faults = FaultProfile::Harsh;
+        let harsh = harsh_cfg.run();
+        assert_ne!(base.digest, harsh.digest);
+        // Clean injects nothing: only brownout accounting may appear.
+        assert_eq!(base.reliability.degraded_windows, 0);
+        assert!((0.0..=1.0).contains(&harsh.mean_uptime));
+        assert!(harsh.max_conservation_j < 1e-6);
     }
 
     #[test]

@@ -18,11 +18,18 @@
 //! × environment profiles on scoped worker threads with deterministic
 //! per-device seeding, and aggregates sustainability statistics
 //! ([`FleetReport`]).
+//!
+//! The fault layer (crate `iw-fault`, replayed by [`FaultComponent`])
+//! injects deterministic fault plans — electrode lead-off, motion
+//! artifacts, harvest occlusion, BLE sync loss, fuel-gauge noise — and
+//! runs the brownout / cold-start degradation state machine; reliability
+//! counters surface in [`DeviceReport`] and the fleet aggregates.
 
 #![warn(missing_docs)]
 
 mod device;
 mod engine;
+mod faults;
 mod fleet;
 mod policy;
 
@@ -32,5 +39,10 @@ pub use device::{
 pub use engine::{
     secs_to_us, Component, DeviceState, Engine, Event, LoadSlot, SimClock, SimCtx, Tracks, US_PER_S,
 };
+pub use faults::FaultComponent;
 pub use fleet::{DeviceResult, FleetConfig, FleetReport, PolicyStats, SubjectProfile};
+pub use iw_fault::{
+    BrownoutModel, FaultCounters, FaultKind, FaultPlan, FaultProfile, FaultWindow,
+    ReliabilityCounters, SyncOutcome,
+};
 pub use policy::DetectionPolicy;

@@ -18,6 +18,17 @@ pub enum DetectionPolicy {
         /// State of charge below which detection stops entirely.
         min_soc: f64,
     },
+    /// Fixed detection rate with duty-cycled BLE sync: results are not
+    /// notified per detection but batched and delivered at the periodic
+    /// sync burst, amortising radio wake-ups (the ROADMAP's duty-cycled
+    /// sync policy). The device layer suppresses per-detection
+    /// notifications and flushes the batch on each *successful* sync.
+    DutyCycledSync {
+        /// Detections per minute.
+        per_minute: f64,
+        /// Interval between BLE sync bursts, seconds.
+        sync_interval_s: f64,
+    },
 }
 
 impl DetectionPolicy {
@@ -27,7 +38,8 @@ impl DetectionPolicy {
     #[must_use]
     pub fn rate_per_s(&self, soc: f64) -> f64 {
         match *self {
-            DetectionPolicy::FixedRate { per_minute } => per_minute / 60.0,
+            DetectionPolicy::FixedRate { per_minute }
+            | DetectionPolicy::DutyCycledSync { per_minute, .. } => per_minute / 60.0,
             DetectionPolicy::EnergyAware {
                 max_per_minute,
                 min_soc,
@@ -38,6 +50,17 @@ impl DetectionPolicy {
                     max_per_minute / 60.0 * ((soc - min_soc) / (1.0 - min_soc))
                 }
             }
+        }
+    }
+
+    /// The sync-batching interval, when this policy duty-cycles BLE sync.
+    #[must_use]
+    pub fn sync_interval_s(&self) -> Option<f64> {
+        match *self {
+            DetectionPolicy::DutyCycledSync {
+                sync_interval_s, ..
+            } => Some(sync_interval_s),
+            _ => None,
         }
     }
 
@@ -55,6 +78,13 @@ impl DetectionPolicy {
             } => DetectionPolicy::EnergyAware {
                 max_per_minute: max_per_minute * factor,
                 min_soc,
+            },
+            DetectionPolicy::DutyCycledSync {
+                per_minute,
+                sync_interval_s,
+            } => DetectionPolicy::DutyCycledSync {
+                per_minute: per_minute * factor,
+                sync_interval_s,
             },
         }
     }
@@ -96,5 +126,23 @@ mod tests {
     fn scaling_multiplies_the_rate() {
         let p = DetectionPolicy::FixedRate { per_minute: 10.0 }.scaled(1.5);
         assert!((p.rate_per_s(0.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_cycled_sync_rate_ignores_soc_and_keeps_interval() {
+        let p = DetectionPolicy::DutyCycledSync {
+            per_minute: 24.0,
+            sync_interval_s: 120.0,
+        };
+        assert_eq!(p.rate_per_s(0.1), p.rate_per_s(0.9));
+        assert!((p.rate_per_s(0.5) - 0.4).abs() < 1e-12);
+        assert_eq!(p.sync_interval_s(), Some(120.0));
+        assert_eq!(
+            DetectionPolicy::FixedRate { per_minute: 1.0 }.sync_interval_s(),
+            None
+        );
+        let scaled = p.scaled(0.5);
+        assert!((scaled.rate_per_s(0.5) - 0.2).abs() < 1e-12);
+        assert_eq!(scaled.sync_interval_s(), Some(120.0));
     }
 }

@@ -2,7 +2,8 @@
 //! of (seed, device index) — never of thread scheduling.
 
 use infiniwolf::{detection_costs, DetectionBudget};
-use iw_sim::FleetConfig;
+use iw_nrf52::BleRadio;
+use iw_sim::{BleSync, FaultProfile, FleetConfig};
 
 /// A fleet sized for a test: paper environments shortened to one hour so
 /// 24 devices simulate in well under a second.
@@ -32,6 +33,36 @@ fn fleet_aggregate_is_identical_across_thread_counts() {
         );
         assert_eq!(serial.devices, parallel.devices);
         assert_eq!(serial.policies, parallel.policies);
+    }
+}
+
+/// The test fleet with the harsh fault profile and a lossy BLE sync
+/// path enabled, so per-device fault plans, retry streams and the
+/// brownout machine all feed the digest.
+fn faulted_fleet(threads: usize, seed: u64) -> FleetConfig {
+    let mut cfg = test_fleet(threads, seed);
+    cfg.faults = FaultProfile::Harsh;
+    cfg.notify_j = 10e-6;
+    cfg.sync = Some(BleSync::nrf52(&BleRadio::default(), 120.0, 32));
+    cfg
+}
+
+#[test]
+fn faulted_fleet_digest_is_identical_across_thread_counts() {
+    let serial = faulted_fleet(1, 42).run();
+    // The harsh profile must actually exercise the fault layer, or the
+    // determinism claim is vacuous.
+    assert!(serial.faults.total() > 0);
+    assert!(serial.reliability.degraded_windows > 0);
+    assert!(serial.reliability.sync_episodes > 0);
+    for threads in [2, 4, 8] {
+        let parallel = faulted_fleet(threads, 42).run();
+        assert_eq!(
+            serial.digest, parallel.digest,
+            "faulted digest diverged at {threads} threads"
+        );
+        assert_eq!(serial.devices, parallel.devices);
+        assert_eq!(serial.reliability, parallel.reliability);
     }
 }
 
