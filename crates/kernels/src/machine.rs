@@ -12,10 +12,11 @@
 //! Deployment::run(ExecPath) -> MachineRun       (stage memories, run-to-halt)
 //! ```
 //!
-//! Both execution paths of PR 1 are first-class: [`ExecPath::Cached`] is
-//! the pre-decoded/batched product path, [`ExecPath::Reference`] the
-//! frozen per-instruction interpreter, and the two are bit- and
-//! cycle-identical by the conformance tests.
+//! All three execution paths are first-class: [`ExecPath::Cached`] is the
+//! pre-decoded/batched product path, [`ExecPath::Reference`] the frozen
+//! per-instruction interpreter, [`ExecPath::Blocks`] the block-compiled
+//! superinstruction path — and all are bit- and cycle-identical by the
+//! conformance tests.
 //!
 //! The target list itself is data: [`registry`] returns one row per
 //! registered backend (the four paper columns, the A2 Xpulp ablation
@@ -135,7 +136,7 @@ impl From<M4Error> for MachineError {
     }
 }
 
-/// Which interpreter path a run uses. Both are bit- and cycle-identical;
+/// Which interpreter path a run uses. All are bit- and cycle-identical;
 /// only the simulator's wall-clock speed differs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecPath {
@@ -145,6 +146,50 @@ pub enum ExecPath {
     /// The frozen reference path: fetch and decode every dynamic
     /// instruction, no batching.
     Reference,
+    /// The block-compiled superinstruction path: basic-block caches with
+    /// macro-op fusion on the RISC-V side, fusion-compiled programs on
+    /// the M4 (see `iw_rv32::BlockCache` / `iw_armv7m::BlockProgram`).
+    Blocks,
+}
+
+/// Block-path execution statistics of one [`ExecPath::Blocks`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockRunStats {
+    /// Block-cache hit rate (1.0 on the M4, whose program is compiled
+    /// once up front and never invalidated).
+    pub hit_rate: f64,
+    /// Mean instructions retired per dispatch-loop iteration.
+    pub avg_burst: f64,
+    /// Fused superinstructions executed during the run.
+    pub fused: u64,
+    /// Basic blocks (RISC-V) or fusion sites (M4) compiled.
+    pub compiled: u64,
+    /// Dispatch decisions: scheduler picks on the Mr. Wolf cluster,
+    /// dispatch-loop iterations elsewhere.
+    pub dispatches: u64,
+    /// Cluster bursts cut short by the lockstep runner-up gate (see
+    /// [`iw_mrwolf::SchedStats::gated_breaks`]); 0 on single-core
+    /// targets.
+    pub gated_breaks: u64,
+    /// Full RISC-V block-cache counters (per-pattern fusion sites,
+    /// dispatch-loop exits), when the target ran on one.
+    pub rv32: Option<iw_rv32::BlockStats>,
+    /// Full M4 fusion counters (per-pattern executed superinstructions),
+    /// when the target was the Cortex-M4.
+    pub m4: Option<iw_armv7m::FusedStats>,
+}
+
+/// Scheduler statistics of one pre-decoded ([`ExecPath::Cached`]) run on
+/// an event-driven multi-core backend — the baseline the block path's
+/// [`BlockRunStats::avg_burst`] is compared against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedSummary {
+    /// Scheduler picks (arbitration decisions).
+    pub picks: u64,
+    /// Bursts cut short by the lockstep runner-up gate.
+    pub gated_breaks: u64,
+    /// Mean instructions retired per scheduler pick.
+    pub avg_burst: f64,
 }
 
 /// Per-domain energy of one run, joules.
@@ -316,6 +361,29 @@ pub trait Deployment {
         let _ = rec;
         self.run(ExecPath::Cached)
     }
+
+    /// [`Deployment::run`] on [`ExecPath::Blocks`], additionally
+    /// returning block-path statistics when the backend collects them.
+    /// The default implementation runs the blocks path without statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`MachineError`].
+    fn run_blocks_stats(&self) -> Result<(MachineRun, Option<BlockRunStats>), MachineError> {
+        Ok((self.run(ExecPath::Blocks)?, None))
+    }
+
+    /// [`Deployment::run`] on [`ExecPath::Cached`], additionally
+    /// returning scheduler statistics when the backend has an
+    /// event-driven scheduler (the Mr. Wolf cluster). The default
+    /// implementation runs the cached path without statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`MachineError`].
+    fn run_decoded_stats(&self) -> Result<(MachineRun, Option<SchedSummary>), MachineError> {
+        Ok((self.run(ExecPath::Cached)?, None))
+    }
 }
 
 /// Cycle budget for a single run (Network B on Ibex is ~1 M cycles; leave
@@ -377,8 +445,10 @@ impl Machine for M4Machine {
                 isa: "thumb2",
             });
         };
+        let fused = iw_armv7m::BlockProgram::compile(&program);
         Ok(Box::new(M4Deployment {
             program,
+            fused,
             code,
             symbols,
             image: workload.image(&layout),
@@ -389,6 +459,7 @@ impl Machine for M4Machine {
 
 struct M4Deployment {
     program: Vec<ThumbInstr>,
+    fused: iw_armv7m::BlockProgram,
     code: Vec<u16>,
     symbols: Vec<(u32, String)>,
     image: Vec<(u32, Vec<u8>)>,
@@ -396,20 +467,17 @@ struct M4Deployment {
 }
 
 impl M4Deployment {
-    /// Product-path run with a sink attached; `run(Cached)` is this with
-    /// the [`NoopSink`], `run_recorded` this with the [`Recorder`].
-    fn run_cached_sink<S: TraceSink>(
-        &self,
-        sink: &mut S,
-        track: TrackId,
-    ) -> Result<MachineRun, MachineError> {
+    fn staged_soc(&self) -> Nrf52 {
         let mut soc = Nrf52::new();
         for (addr, bytes) in &self.image {
             soc.mem_mut().write_bytes(*addr, bytes);
         }
-        let run = soc.run_sink(&self.program, MAX_CYCLES, sink, track)?;
+        soc
+    }
+
+    fn machine_run(&self, soc: &Nrf52, run: iw_nrf52::Nrf52Run) -> MachineRun {
         let output = soc.mem().read_bytes(self.out.0, self.out.1).to_vec();
-        Ok(MachineRun {
+        MachineRun {
             cycles: run.result.cycles,
             instructions: run.result.instructions,
             energy: EnergyBreakdown {
@@ -420,7 +488,19 @@ impl M4Deployment {
             profile: run.profile,
             cluster: None,
             output,
-        })
+        }
+    }
+
+    /// Product-path run with a sink attached; `run(Cached)` is this with
+    /// the [`NoopSink`], `run_recorded` this with the [`Recorder`].
+    fn run_cached_sink<S: TraceSink>(
+        &self,
+        sink: &mut S,
+        track: TrackId,
+    ) -> Result<MachineRun, MachineError> {
+        let mut soc = self.staged_soc();
+        let run = soc.run_sink(&self.program, MAX_CYCLES, sink, track)?;
+        Ok(self.machine_run(&soc, run))
     }
 }
 
@@ -429,26 +509,29 @@ impl Deployment for M4Deployment {
         match path {
             ExecPath::Cached => self.run_cached_sink(&mut NoopSink, TrackId::default()),
             ExecPath::Reference => {
-                let mut soc = Nrf52::new();
-                for (addr, bytes) in &self.image {
-                    soc.mem_mut().write_bytes(*addr, bytes);
-                }
+                let mut soc = self.staged_soc();
                 let run = soc.run_code(&self.code, MAX_CYCLES)?;
-                let output = soc.mem().read_bytes(self.out.0, self.out.1).to_vec();
-                Ok(MachineRun {
-                    cycles: run.result.cycles,
-                    instructions: run.result.instructions,
-                    energy: EnergyBreakdown {
-                        soc_j: run.energy_j,
-                        cluster_j: 0.0,
-                        total_j: run.energy_j,
-                    },
-                    profile: run.profile,
-                    cluster: None,
-                    output,
-                })
+                Ok(self.machine_run(&soc, run))
             }
+            ExecPath::Blocks => Ok(self.run_blocks_stats()?.0),
         }
+    }
+
+    fn run_blocks_stats(&self) -> Result<(MachineRun, Option<BlockRunStats>), MachineError> {
+        let mut soc = self.staged_soc();
+        let mut stats = iw_armv7m::FusedStats::default();
+        let run = soc.run_blocks(&self.fused, MAX_CYCLES, &mut stats)?;
+        let block = BlockRunStats {
+            hit_rate: 1.0,
+            avg_burst: stats.avg_burst(),
+            fused: stats.fused_total(),
+            compiled: self.fused.fused_sites() as u64,
+            dispatches: stats.dispatches,
+            gated_breaks: 0,
+            rv32: None,
+            m4: Some(stats),
+        };
+        Ok((self.machine_run(&soc, run), Some(block)))
     }
 
     fn run_recorded(&self, rec: &mut Recorder) -> Result<MachineRun, MachineError> {
@@ -630,6 +713,47 @@ struct WolfDeployment {
 }
 
 impl WolfDeployment {
+    fn staged_wolf(&self, cfg: ClusterConfig) -> MrWolf {
+        let mut wolf = MrWolf::with_cluster_config(cfg);
+        wolf.l2_mut().write_bytes(L2_BASE, &self.program);
+        for (addr, bytes) in &self.image {
+            if *addr >= L2_BASE {
+                wolf.l2_mut().write_bytes(*addr, bytes);
+            } else {
+                wolf.tcdm_mut().write_bytes(*addr, bytes);
+            }
+        }
+        wolf
+    }
+
+    fn machine_run(
+        &self,
+        wolf: &MrWolf,
+        cycles: u64,
+        instructions: u64,
+        cluster: Option<ClusterRun>,
+        profile: ExecProfile,
+    ) -> MachineRun {
+        let output = if self.out.0 >= L2_BASE {
+            wolf.l2().read_bytes(self.out.0, self.out.1).to_vec()
+        } else {
+            wolf.tcdm().read_bytes(self.out.0, self.out.1).to_vec()
+        };
+        let energy = OperatingPoint::efficient().domain_energy(cycles, self.mode);
+        MachineRun {
+            cycles,
+            instructions,
+            energy: EnergyBreakdown {
+                soc_j: energy.soc_j,
+                cluster_j: energy.cluster_j,
+                total_j: energy.total_j,
+            },
+            profile,
+            cluster,
+            output,
+        }
+    }
+
     /// Shared run body with a sink attached; `run` is this with the
     /// [`NoopSink`], `run_recorded` this with the [`Recorder`]. The FC
     /// reference path carries no instrumentation (it is the differential
@@ -645,17 +769,12 @@ impl WolfDeployment {
                 decode_cache: false,
                 ..self.cfg
             },
+            ExecPath::Blocks => ClusterConfig {
+                block_fusion: true,
+                ..self.cfg
+            },
         };
-        let mut wolf = MrWolf::with_cluster_config(cfg);
-        wolf.l2_mut().write_bytes(L2_BASE, &self.program);
-        for (addr, bytes) in &self.image {
-            if *addr >= L2_BASE {
-                wolf.l2_mut().write_bytes(*addr, bytes);
-            } else {
-                wolf.tcdm_mut().write_bytes(*addr, bytes);
-            }
-        }
-        let op = OperatingPoint::efficient();
+        let mut wolf = self.staged_wolf(cfg);
         let (cycles, instructions, cluster, profile) = if self.on_fc {
             let run = match path {
                 ExecPath::Cached => {
@@ -663,6 +782,7 @@ impl WolfDeployment {
                     wolf.run_fc_sink(L2_BASE, MAX_CYCLES, true, sink, track)?
                 }
                 ExecPath::Reference => wolf.run_fc_uncached(L2_BASE, MAX_CYCLES)?,
+                ExecPath::Blocks => wolf.run_fc_blocks(L2_BASE, MAX_CYCLES)?.0,
             };
             (
                 run.result.cycles,
@@ -675,30 +795,91 @@ impl WolfDeployment {
             let profile = run.profile;
             (run.cycles, run.instructions, Some(run.clone()), profile)
         };
-        let output = if self.out.0 >= L2_BASE {
-            wolf.l2().read_bytes(self.out.0, self.out.1).to_vec()
-        } else {
-            wolf.tcdm().read_bytes(self.out.0, self.out.1).to_vec()
-        };
-        let energy = op.domain_energy(cycles, self.mode);
-        Ok(MachineRun {
-            cycles,
-            instructions,
-            energy: EnergyBreakdown {
-                soc_j: energy.soc_j,
-                cluster_j: energy.cluster_j,
-                total_j: energy.total_j,
-            },
-            profile,
-            cluster,
-            output,
-        })
+        Ok(self.machine_run(&wolf, cycles, instructions, cluster, profile))
     }
 }
 
 impl Deployment for WolfDeployment {
     fn run(&self, path: ExecPath) -> Result<MachineRun, MachineError> {
         self.run_sinked(path, &mut NoopSink)
+    }
+
+    fn run_blocks_stats(&self) -> Result<(MachineRun, Option<BlockRunStats>), MachineError> {
+        let cfg = ClusterConfig {
+            block_fusion: true,
+            ..self.cfg
+        };
+        let mut wolf = self.staged_wolf(cfg);
+        if self.on_fc {
+            let (run, stats) = wolf.run_fc_blocks(L2_BASE, MAX_CYCLES)?;
+            let dispatches = stats.hits + stats.misses + stats.fallback_steps;
+            let block = BlockRunStats {
+                hit_rate: stats.hit_rate(),
+                avg_burst: if dispatches == 0 {
+                    1.0
+                } else {
+                    run.result.instructions as f64 / dispatches as f64
+                },
+                fused: stats.fused_total(),
+                compiled: stats.blocks_compiled,
+                dispatches,
+                gated_breaks: 0,
+                rv32: Some(stats),
+                m4: None,
+            };
+            let mr = self.machine_run(
+                &wolf,
+                run.result.cycles,
+                run.result.instructions,
+                None,
+                run.profile,
+            );
+            Ok((mr, Some(block)))
+        } else {
+            let (run, sched) = wolf.run_cluster_stats(L2_BASE, MAX_CYCLES)?;
+            let stats = sched.block.unwrap_or_default();
+            let block = BlockRunStats {
+                hit_rate: stats.hit_rate(),
+                avg_burst: sched.avg_burst(),
+                fused: stats.fused_total(),
+                compiled: stats.blocks_compiled,
+                dispatches: sched.picks,
+                gated_breaks: sched.gated_breaks,
+                rv32: sched.block,
+                m4: None,
+            };
+            let profile = run.profile;
+            let mr = self.machine_run(
+                &wolf,
+                run.cycles,
+                run.instructions,
+                Some(run.clone()),
+                profile,
+            );
+            Ok((mr, Some(block)))
+        }
+    }
+
+    fn run_decoded_stats(&self) -> Result<(MachineRun, Option<SchedSummary>), MachineError> {
+        if self.on_fc {
+            return Ok((self.run(ExecPath::Cached)?, None));
+        }
+        let mut wolf = self.staged_wolf(self.cfg);
+        let (run, sched) = wolf.run_cluster_stats(L2_BASE, MAX_CYCLES)?;
+        let summary = SchedSummary {
+            picks: sched.picks,
+            gated_breaks: sched.gated_breaks,
+            avg_burst: sched.avg_burst(),
+        };
+        let profile = run.profile;
+        let mr = self.machine_run(
+            &wolf,
+            run.cycles,
+            run.instructions,
+            Some(run.clone()),
+            profile,
+        );
+        Ok((mr, Some(summary)))
     }
 
     fn run_recorded(&self, rec: &mut Recorder) -> Result<MachineRun, MachineError> {

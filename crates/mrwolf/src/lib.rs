@@ -48,7 +48,9 @@ pub mod memmap;
 mod power;
 mod soc;
 
-pub use cluster::{run_cluster, ClusterConfig, ClusterError, ClusterRun};
+pub use cluster::{
+    run_cluster, run_cluster_stats, ClusterConfig, ClusterError, ClusterRun, SchedStats,
+};
 pub use dma::DmaModel;
 pub use power::{EnergyReport, OperatingPoint, WolfMode};
 pub use soc::{FcRun, MrWolf};

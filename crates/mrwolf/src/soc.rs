@@ -2,12 +2,13 @@
 //! controller and the RI5CY cluster.
 
 use iw_rv32::{
-    Bus, BusError, Cpu, CpuError, DecodeCache, ExecProfile, MemWidth, Ram, Reg, RunResult, Timing,
+    BlockCache, BlockStats, Bus, BusError, Cpu, CpuError, DecodeCache, ExecProfile, FusionLevel,
+    MemWidth, Ram, Reg, RunResult, Timing,
 };
 
 use iw_trace::{NoopSink, TraceSink, TrackId};
 
-use crate::cluster::{ClusterConfig, ClusterError, ClusterRun};
+use crate::cluster::{ClusterConfig, ClusterError, ClusterRun, SchedStats};
 use crate::memmap::{region_of, Region, L2_BASE, L2_SIZE, TCDM_BASE, TCDM_SIZE};
 
 /// Bus seen by the fabric controller: L2 and TCDM, no contention (the
@@ -216,6 +217,39 @@ impl MrWolf {
         })
     }
 
+    /// Block-compiled fabric-controller run ([`Cpu::run_blocks`]): hot
+    /// basic blocks are translated once into flat handler arrays with
+    /// superinstruction fusion. Bit- and cycle-identical to
+    /// [`MrWolf::run_fc`]; also returns the block-cache counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuError`] (including the cycle limit).
+    pub fn run_fc_blocks(
+        &mut self,
+        entry: u32,
+        max_cycles: u64,
+    ) -> Result<(FcRun, BlockStats), CpuError> {
+        let mut cpu = Cpu::new_rv32im(entry);
+        cpu.set_reg(Reg::SP, L2_BASE + L2_SIZE as u32);
+        let mut bus = FcBus {
+            tcdm: &mut self.tcdm,
+            l2: &mut self.l2,
+        };
+        // The FC is alone on its bus, so full fusion is safe; xpulp=false
+        // compiles Xpulp encodings to faulting ops, as Ibex would.
+        let mut cache = BlockCache::new(entry, 64 * 1024, false, FusionLevel::Full);
+        let result = cpu.run_blocks(&mut bus, &Timing::ibex(), max_cycles, &mut cache)?;
+        Ok((
+            FcRun {
+                result,
+                a0: cpu.reg(Reg::A0),
+                profile: *cpu.profile(),
+            },
+            cache.stats(),
+        ))
+    }
+
     /// Runs an SPMD program on the RI5CY cluster; see
     /// [`crate::cluster::run_cluster`] for the execution model.
     ///
@@ -246,6 +280,26 @@ impl MrWolf {
             entry,
             max_cycles,
             sink,
+        )
+    }
+
+    /// [`MrWolf::run_cluster`] that also reports scheduler statistics
+    /// (picks, average burst length, block-cache counters).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterError`].
+    pub fn run_cluster_stats(
+        &mut self,
+        entry: u32,
+        max_cycles: u64,
+    ) -> Result<(ClusterRun, SchedStats), ClusterError> {
+        crate::cluster::run_cluster_stats(
+            &self.cluster_cfg.clone(),
+            &mut self.tcdm,
+            &mut self.l2,
+            entry,
+            max_cycles,
         )
     }
 }
@@ -314,6 +368,13 @@ mod tests {
         wolf_b.l2_mut().write_bytes(L2_BASE, &program);
         let reference = wolf_b.run_fc_uncached(L2_BASE, 100_000).unwrap();
         assert_eq!(cached, reference);
+
+        let mut wolf_c = MrWolf::new();
+        wolf_c.l2_mut().write_bytes(L2_BASE, &program);
+        let (blocks, stats) = wolf_c.run_fc_blocks(L2_BASE, 100_000).unwrap();
+        assert_eq!(blocks, reference);
+        assert!(stats.fused_addi_branch > 0, "{stats:?}");
+        assert!(stats.hit_rate() > 0.9, "{stats:?}");
     }
 
     #[test]

@@ -7,16 +7,20 @@
 //! filled lazily on first execution.
 //!
 //! Coherence: callers must report every store through
-//! [`DecodeCache::invalidate_store`]. Data stores are naturally aligned
-//! (the CPU faults otherwise), so a store touches exactly one word and
-//! therefore at most one cache line. Stores outside the window and
-//! program counters outside the window are both legal — lookups simply
-//! miss and the caller falls back to fetch + decode.
+//! [`DecodeCache::invalidate_store`], which drops every line whose word
+//! the byte range `[addr, addr + width)` overlaps. The CPU itself only
+//! issues naturally aligned stores (it faults otherwise), so a store
+//! from *this* core touches one word — but the invalidation API takes
+//! the width and walks the full span so that callers reporting writes
+//! from other agents (a DMA engine, another cluster core with laxer
+//! alignment) cannot leave a stale line behind. Stores outside the
+//! window and program counters outside the window are both legal —
+//! lookups simply miss and the caller falls back to fetch + decode.
 
 use crate::bus::Bus;
 use crate::cpu::CpuError;
 use crate::decode::{decode, DecodeError};
-use crate::instr::Instr;
+use crate::instr::{Instr, MemWidth};
 
 /// Direct-mapped cache of pre-decoded instructions over one program window.
 ///
@@ -119,18 +123,30 @@ impl DecodeCache {
         Ok(instr)
     }
 
-    /// Invalidates the line holding the word a store at `addr` touched.
+    /// Invalidates every line whose word a store of `width` bytes at
+    /// `addr` touched.
     ///
-    /// Stores are naturally aligned, so one store affects at most one
-    /// word and hence one line; stores outside the window are no-ops.
-    /// Returns whether a populated line was actually dropped — the trace
-    /// layer uses this to emit invalidation instants only for stores that
-    /// really punched a hole in the pre-decoded window.
-    pub fn invalidate_store(&mut self, addr: u32) -> bool {
-        if let Some(i) = self.line_index(addr & !3) {
-            return self.lines[i].take().is_some();
+    /// The byte range `[addr, addr + width)` can straddle a word boundary
+    /// when the store is not naturally aligned (writes reported on behalf
+    /// of other agents — the CPU's own stores fault on misalignment), so
+    /// both the first and the last covered word are dropped; stores
+    /// outside the window are no-ops. Returns whether a populated line
+    /// was actually dropped — the trace layer uses this to emit
+    /// invalidation instants only for stores that really punched a hole
+    /// in the pre-decoded window.
+    pub fn invalidate_store(&mut self, addr: u32, width: MemWidth) -> bool {
+        let first = addr & !3;
+        let last = addr.wrapping_add(width.bytes() - 1) & !3;
+        let mut dropped = false;
+        if let Some(i) = self.line_index(first) {
+            dropped |= self.lines[i].take().is_some();
         }
-        false
+        if last != first {
+            if let Some(i) = self.line_index(last) {
+                dropped |= self.lines[i].take().is_some();
+            }
+        }
+        dropped
     }
 
     /// Drops every cached line.
@@ -170,9 +186,40 @@ mod tests {
         cache.fetch_decode(&mut ram, 0).unwrap();
         cache.fetch_decode(&mut ram, 4).unwrap();
         // Byte store into the first word only drops that line.
-        cache.invalidate_store(1);
+        cache.invalidate_store(1, MemWidth::B);
         assert_eq!(cache.get(0), None);
         assert!(cache.get(4).is_some());
+    }
+
+    #[test]
+    fn misaligned_store_invalidates_both_spanned_words() {
+        // A word store at offset 2 overlaps bytes of words 0 and 4: both
+        // cached lines must drop, or a stale decode of the second word
+        // would survive the patch.
+        let mut asm = Asm::new(0);
+        asm.addi(Reg::A0, Reg::ZERO, 5);
+        asm.addi(Reg::A1, Reg::ZERO, 6);
+        let mut ram = Ram::new(0, 64);
+        ram.write_bytes(0, &asm.assemble().unwrap());
+        let mut cache = DecodeCache::new(0, 64);
+        cache.fetch_decode(&mut ram, 0).unwrap();
+        cache.fetch_decode(&mut ram, 4).unwrap();
+        assert!(cache.invalidate_store(2, MemWidth::W));
+        assert_eq!(cache.get(0), None);
+        assert_eq!(cache.get(4), None);
+    }
+
+    #[test]
+    fn spanning_store_at_window_edge_invalidates_inside_part() {
+        let mut asm = Asm::new(0);
+        asm.addi(Reg::A0, Reg::ZERO, 5);
+        let mut ram = Ram::new(0, 64);
+        ram.write_bytes(60, &asm.assemble().unwrap());
+        let mut cache = DecodeCache::new(0, 64);
+        cache.fetch_decode(&mut ram, 60).unwrap();
+        // Spans the last cached word and the first word past the window.
+        assert!(cache.invalidate_store(62, MemWidth::W));
+        assert_eq!(cache.get(60), None);
     }
 
     #[test]

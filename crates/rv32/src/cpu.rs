@@ -135,13 +135,13 @@ pub struct Step {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cpu {
-    regs: [u32; 32],
-    pc: u32,
-    hwloops: [HwLoop; 2],
-    xpulp: bool,
-    halted: bool,
-    retired: u64,
-    profile: ExecProfile,
+    pub(crate) regs: [u32; 32],
+    pub(crate) pc: u32,
+    pub(crate) hwloops: [HwLoop; 2],
+    pub(crate) xpulp: bool,
+    pub(crate) halted: bool,
+    pub(crate) retired: u64,
+    pub(crate) profile: ExecProfile,
 }
 
 /// Summary of a [`Cpu::run`].
@@ -236,7 +236,42 @@ impl Cpu {
         self.hwloops[idx]
     }
 
-    fn mem_load<B: Bus>(
+    /// Retires one instruction: applies the hardware-loop back-edge
+    /// redirect, records the profile and advances `pc`.
+    ///
+    /// This is the exact tail of [`Cpu::execute`], factored out so block
+    /// handlers (`block.rs`) that have already performed an instruction's
+    /// architectural effects can finish it identically — sub-instructions
+    /// of a fused macro-op each retire through here so a fault or budget
+    /// stop between them leaves state exactly as the reference path would.
+    #[inline]
+    pub(crate) fn retire(
+        &mut self,
+        class: InstrClass,
+        cycles: u32,
+        mut next_pc: u32,
+        loop_redirect_allowed: bool,
+    ) {
+        if loop_redirect_allowed && !self.halted {
+            for l in 0..2 {
+                let hl = &mut self.hwloops[l];
+                if hl.count > 0 && next_pc == hl.end {
+                    if hl.count > 1 {
+                        hl.count -= 1;
+                        next_pc = hl.start;
+                    } else {
+                        hl.count = 0;
+                    }
+                    break;
+                }
+            }
+        }
+        self.profile.record(class, cycles);
+        self.pc = next_pc;
+        self.retired += 1;
+    }
+
+    pub(crate) fn mem_load<B: Bus>(
         &mut self,
         bus: &mut B,
         addr: u32,
@@ -253,7 +288,7 @@ impl Cpu {
         })
     }
 
-    fn mem_store<B: Bus>(
+    pub(crate) fn mem_store<B: Bus>(
         &mut self,
         bus: &mut B,
         addr: u32,
@@ -320,7 +355,7 @@ impl Cpu {
         let (cycles, mem) = self.execute(instr, pc, bus, timing)?;
         if let Some(m) = mem {
             if m.write {
-                cache.invalidate_store(m.addr);
+                cache.invalidate_store(m.addr, m.width);
             }
         }
         Ok(Some(Step {
@@ -1181,7 +1216,7 @@ impl Cpu {
             let (cost, mem) = self.execute(instr, pc, bus, timing)?;
             if let Some(m) = mem {
                 if m.write {
-                    let dropped = cache.invalidate_store(m.addr);
+                    let dropped = cache.invalidate_store(m.addr, m.width);
                     if S::ENABLED && dropped {
                         let end = cycles + u64::from(cost);
                         sink.span(track, "exec-batch", batch_start, end);

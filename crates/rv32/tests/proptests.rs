@@ -1,12 +1,13 @@
 //! Property tests: every constructible instruction encodes to a word that
 //! decodes back to itself, decoding arbitrary words never panics, and the
-//! pre-decoded batched execution path ([`Cpu::run_cached`]) is bit- and
-//! cycle-identical to the fetch-and-decode reference ([`Cpu::run`]) —
+//! accelerated execution paths — pre-decoded ([`Cpu::run_cached`]) and
+//! block-compiled ([`Cpu::run_blocks`], both fusion levels) — are bit- and
+//! cycle-identical to the fetch-and-decode reference ([`Cpu::run`]),
 //! including on faults, cycle-limit exits and self-modifying stores.
 
 use iw_rv32::{
-    decode, encode, AluImmOp, AluOp, BranchCond, Cpu, CpuError, DecodeCache, Instr, LoopIdx,
-    MemWidth, PulpAluOp, Ram, Reg, RunResult, ShiftOp, SimdOp, Timing,
+    decode, encode, AluImmOp, AluOp, BlockCache, BranchCond, Cpu, CpuError, DecodeCache,
+    FusionLevel, Instr, LoopIdx, MemWidth, PulpAluOp, Ram, Reg, RunResult, ShiftOp, SimdOp, Timing,
 };
 use proptest::prelude::*;
 
@@ -253,6 +254,27 @@ fn run_cached(words: &[u32], regs: &[u32], window: u32) -> Outcome {
     outcome(cpu, &ram, result)
 }
 
+fn run_blocks(words: &[u32], regs: &[u32], window: u32, fusion: FusionLevel) -> Outcome {
+    let (mut cpu, mut ram) = fresh_machine(words, regs);
+    let mut cache = BlockCache::new(0, window, true, fusion);
+    let result = cpu.run_blocks(&mut ram, &Timing::riscy(), MAX_CYCLES, &mut cache);
+    outcome(cpu, &ram, result)
+}
+
+/// Asserts every accelerated path reproduces `reference` exactly.
+fn assert_all_paths_match(words: &[u32], regs: &[u32], reference: &Outcome) {
+    let cached = run_cached(words, regs, MEM_SIZE as u32);
+    assert_eq!(&cached, reference, "run_cached, full window");
+    let narrow = run_cached(words, regs, 0x40);
+    assert_eq!(&narrow, reference, "run_cached, narrow window");
+    for fusion in [FusionLevel::SharedMem, FusionLevel::Full] {
+        let blocks = run_blocks(words, regs, MEM_SIZE as u32, fusion);
+        assert_eq!(&blocks, reference, "run_blocks {fusion:?}, full window");
+        let narrow = run_blocks(words, regs, 0x40, fusion);
+        assert_eq!(&narrow, reference, "run_blocks {fusion:?}, narrow window");
+    }
+}
+
 /// Register values biased into the mapped address range so that random
 /// loads/stores frequently hit memory instead of faulting immediately.
 fn any_regs() -> impl Strategy<Value = Vec<u32>> {
@@ -284,9 +306,9 @@ proptest! {
     }
 
     /// Arbitrary programs — including ones that branch wildly, fault, or
-    /// spin until the cycle limit — behave identically on the cached and
-    /// uncached paths, with both a full-memory decode window and a narrow
-    /// one that forces out-of-window fallback fetches.
+    /// spin until the cycle limit — behave identically on the cached,
+    /// block-compiled and uncached paths, with both a full-memory window
+    /// and a narrow one that forces out-of-window fallback fetches.
     #[test]
     fn cached_execution_is_bit_exact(
         instrs in prop::collection::vec(any_instr(), 0..40),
@@ -299,10 +321,7 @@ proptest! {
         words.push(encode(&Instr::Ecall).unwrap());
 
         let reference = run_uncached(&words, &regs);
-        let cached = run_cached(&words, &regs, MEM_SIZE as u32);
-        prop_assert_eq!(&cached, &reference);
-        let narrow = run_cached(&words, &regs, 0x40);
-        prop_assert_eq!(&narrow, &reference);
+        assert_all_paths_match(&words, &regs, &reference);
     }
 
     /// Self-modifying code: a store patches one of the instructions ahead
@@ -344,10 +363,53 @@ proptest! {
         regs[Reg::T1.index() as usize - 1] = 4 * (1 + slot) as u32;
 
         let reference = run_uncached(&words, &regs);
-        let cached = run_cached(&words, &regs, MEM_SIZE as u32);
-        prop_assert_eq!(&cached, &reference);
-        // And the patch must actually have taken effect in both.
-        let a0 = cached.regs[Reg::A0.index() as usize];
+        assert_all_paths_match(&words, &regs, &reference);
+        // And the patch must actually have taken effect.
+        let a0 = reference.regs[Reg::A0.index() as usize];
         prop_assert_eq!(a0, ((SLOTS as i32 - 1) + k) as u32);
+    }
+
+    /// Self-modifying-code fuzzing: programs randomly interleaved with
+    /// stores aimed back into the code region, so compiled blocks are
+    /// demoted mid-run — sometimes the very block being executed. Every
+    /// accelerated path must track the reference bit-for-bit through the
+    /// demotions and recompiles.
+    #[test]
+    fn random_code_stores_stay_bit_exact(
+        prog in prop::collection::vec(
+            prop_oneof![
+                any_instr(),
+                any_instr(),
+                // Aligned word stores into the first 48 words: rewrite
+                // whole instructions, exercising demotion + recompile.
+                (any_reg(), 0i32..48).prop_map(|(rs2, w)| Instr::Store {
+                    width: MemWidth::W,
+                    rs2,
+                    rs1: Reg::ZERO,
+                    offset: w * 4,
+                }),
+                // Narrow/unaligned stores into the code bytes: chip at
+                // single instruction words, including spanning patterns.
+                (any_store_width(), any_reg(), 0i32..192).prop_map(
+                    |(width, rs2, offset)| Instr::Store {
+                        width,
+                        rs2,
+                        rs1: Reg::ZERO,
+                        offset,
+                    }
+                ),
+            ],
+            0..40,
+        ),
+        regs in any_regs(),
+    ) {
+        let mut words: Vec<u32> = prog
+            .iter()
+            .map(|i| encode(i).expect("generated instruction must encode"))
+            .collect();
+        words.push(encode(&Instr::Ecall).unwrap());
+
+        let reference = run_uncached(&words, &regs);
+        assert_all_paths_match(&words, &regs, &reference);
     }
 }
