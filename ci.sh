@@ -42,3 +42,10 @@ cargo run --release -q -p iw-bench --bin fleet -- --devices 64 --threads 8 --che
 # enabled — fault plans, BLE loss/retry streams, gauge noise and the
 # brownout state machine must not break thread-count invariance.
 cargo run --release -q -p iw-bench --bin fleet -- --devices 64 --faults harsh --check >/dev/null
+
+# Smoke: the streaming coordinator/worker service — two worker processes
+# stream 4096 devices as binary record frames, the coordinator re-folds
+# every record, merges the shard aggregates hierarchically, and the
+# digest must be bit-identical to the in-process single-thread reference
+# (--check exits non-zero otherwise).
+cargo run --release -q -p iw-bench --bin fleet -- --devices 4096 --workers 2 --check >/dev/null

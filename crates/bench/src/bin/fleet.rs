@@ -1,22 +1,46 @@
-//! Parallel fleet runner CLI: sweep N simulated bracelets across
-//! environments × wearers × policies and report aggregated
-//! sustainability statistics.
+//! Streaming fleet service CLI: sweep N simulated bracelets across
+//! environments × wearers × policies with bounded memory, either
+//! in-process (threads) or as a coordinator/worker process pair.
 //!
 //! ```text
 //! cargo run --release -p iw-bench --bin fleet -- --devices 64
-//! cargo run --release -p iw-bench --bin fleet -- --devices 64 --check
+//! cargo run --release -p iw-bench --bin fleet -- --devices 4096 --workers 2 --check
 //! cargo run --release -p iw-bench --bin fleet -- --devices 64 --faults harsh
+//! cargo run --release -p iw-bench --bin fleet -- --devices 64 --trace fleet.json
 //! ```
 //!
-//! `--check` runs the same sweep serially and on all requested threads
-//! and exits non-zero unless the two aggregate digests match — the CI
-//! determinism gate. `--faults clean|moderate|harsh` injects the named
-//! fault profile (electrode faults, occlusion, BLE loss, gauge noise)
-//! and reports the fleet reliability aggregates.
+//! `--workers N` re-spawns this binary N times in `--shard i/N` mode.
+//! Each worker serially folds its contiguous device-index shard,
+//! streaming every per-device record as a length-prefixed binary frame
+//! on stdout (`iw_sim::record`), followed by the end marker, its shard
+//! `FleetAggregate`, and a stats frame (peak RSS, wall seconds, record
+//! count). The coordinator counts records as they arrive — re-folding
+//! each one into an independent digest accumulator that must agree with
+//! the worker's shipped aggregate — then merges the shard aggregates
+//! hierarchically in shard order. No `Vec<DeviceResult>` exists
+//! anywhere: per-worker memory is independent of `--devices`.
+//!
+//! `--check` reruns the sweep serially in-process and exits non-zero
+//! unless the aggregate digests are bit-identical — the CI determinism
+//! gate. `--faults clean|moderate|harsh` injects the named fault
+//! profile. `--trace PATH` re-runs the first `--trace-devices K`
+//! devices with tracing enabled and writes one Perfetto timeline with a
+//! process group per device (off by default; never affects the
+//! aggregate). `--record PATH` appends every streamed record frame to a
+//! file (frames arrive interleaved across workers; each record carries
+//! its device index).
 
+use std::io::{BufWriter, Read, Write};
+use std::process::{Command, Stdio};
 use std::time::Instant;
 
-use iw_sim::{FaultProfile, FleetReport};
+use iw_sim::record::{
+    decode_aggregate, decode_result, encode_aggregate, encode_result, read_frame, write_end,
+    write_frame, RecordError,
+};
+use iw_sim::{DigestAccum, FleetAggregate, FleetConfig, FleetReport};
+
+use iw_sim::FaultProfile;
 
 struct Args {
     devices: usize,
@@ -24,6 +48,12 @@ struct Args {
     seed: u64,
     faults: FaultProfile,
     check: bool,
+    workers: usize,
+    shard: Option<(usize, usize)>,
+    sample: usize,
+    trace: Option<String>,
+    trace_devices: usize,
+    record: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +63,12 @@ fn parse_args() -> Result<Args, String> {
         seed: iw_bench::SEED,
         faults: FaultProfile::Clean,
         check: false,
+        workers: 0,
+        shard: None,
+        sample: 0,
+        trace: None,
+        trace_devices: 4,
+        record: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -46,16 +82,32 @@ fn parse_args() -> Result<Args, String> {
             "--devices" => args.devices = value("--devices")? as usize,
             "--threads" => args.threads = (value("--threads")? as usize).max(1),
             "--seed" => args.seed = value("--seed")?,
+            "--workers" => args.workers = value("--workers")? as usize,
+            "--sample" => args.sample = value("--sample")? as usize,
+            "--trace-devices" => args.trace_devices = value("--trace-devices")? as usize,
+            "--shard" => {
+                let spec = it.next().ok_or("--shard needs i/N")?;
+                let (i, n) = spec.split_once('/').ok_or("--shard format is i/N")?;
+                let i: usize = i.parse().map_err(|e| format!("bad shard index: {e}"))?;
+                let n: usize = n.parse().map_err(|e| format!("bad shard count: {e}"))?;
+                if n == 0 || i >= n {
+                    return Err(format!("shard {i}/{n} out of range"));
+                }
+                args.shard = Some((i, n));
+            }
             "--faults" => {
                 let label = it.next().ok_or("--faults needs a value")?;
                 args.faults = FaultProfile::parse(&label)
                     .ok_or_else(|| format!("bad --faults '{label}' (clean|moderate|harsh)"))?;
             }
+            "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?),
+            "--record" => args.record = Some(it.next().ok_or("--record needs a path")?),
             "--check" => args.check = true,
             other => {
                 return Err(format!(
                     "unknown flag '{other}' (expected --devices N, --threads N, --seed N, \
-                     --faults clean|moderate|harsh, --check)"
+                     --workers N, --shard i/N, --sample N, --faults clean|moderate|harsh, \
+                     --trace PATH, --trace-devices K, --record PATH, --check)"
                 ))
             }
         }
@@ -63,25 +115,253 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run_once(devices: usize, threads: usize, seed: u64, faults: FaultProfile) -> (FleetReport, f64) {
-    let cfg = iw_bench::d3_fleet_config(devices, threads, seed, faults);
+fn fleet_config(args: &Args, threads: usize) -> FleetConfig {
+    let mut cfg = iw_bench::d3_fleet_config(args.devices, threads, args.seed, args.faults);
+    cfg.sample_devices = args.sample;
+    cfg
+}
+
+/// Peak resident-set size of this process in bytes (Linux `VmHWM`);
+/// 0 where /proc is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Worker stats frame: peak RSS, wall seconds, records streamed.
+struct WorkerStats {
+    peak_rss_bytes: u64,
+    wall_s: f64,
+    records: u64,
+}
+
+fn encode_stats(s: &WorkerStats) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24);
+    out.extend_from_slice(&s.peak_rss_bytes.to_le_bytes());
+    out.extend_from_slice(&s.wall_s.to_bits().to_le_bytes());
+    out.extend_from_slice(&s.records.to_le_bytes());
+    out
+}
+
+fn decode_stats(buf: &[u8]) -> Result<WorkerStats, RecordError> {
+    if buf.len() != 24 {
+        return Err(RecordError::Truncated);
+    }
+    Ok(WorkerStats {
+        peak_rss_bytes: u64::from_le_bytes(buf[0..8].try_into().unwrap()),
+        wall_s: f64::from_bits(u64::from_le_bytes(buf[8..16].try_into().unwrap())),
+        records: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+    })
+}
+
+/// Worker mode: serially fold the shard, streaming each record as it is
+/// produced. Protocol: record frames… · end marker · aggregate frame ·
+/// stats frame.
+fn run_worker(args: &Args, shard: usize, of: usize) -> Result<(), RecordError> {
+    let cfg = fleet_config(args, 1);
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    let start = Instant::now();
+    let mut records = 0u64;
+    let mut stream_err: Option<RecordError> = None;
+    let agg = cfg.run_chunk_with(cfg.shard_range(shard, of), |r| {
+        if stream_err.is_none() {
+            records += 1;
+            if let Err(e) = write_frame(&mut out, &encode_result(r)) {
+                stream_err = Some(e);
+            }
+        }
+    });
+    if let Some(e) = stream_err {
+        return Err(e);
+    }
+    write_end(&mut out)?;
+    write_frame(&mut out, &encode_aggregate(&agg))?;
+    let stats = WorkerStats {
+        peak_rss_bytes: peak_rss_bytes(),
+        wall_s: start.elapsed().as_secs_f64(),
+        records,
+    };
+    write_frame(&mut out, &encode_stats(&stats))?;
+    out.flush()?;
+    Ok(())
+}
+
+/// One worker's decoded handoff on the coordinator side.
+struct ShardResult {
+    aggregate: FleetAggregate,
+    stats: WorkerStats,
+}
+
+/// Drains one worker's stdout: counts record frames (re-folding each
+/// decoded record into an independent digest accumulator), then decodes
+/// the aggregate and stats frames. The re-folded digest must match the
+/// worker's shipped aggregate — a per-shard integrity check on the wire
+/// format itself.
+fn read_worker<R: Read>(
+    shard: usize,
+    stream: &mut R,
+    mut record_sink: Option<&mut dyn Write>,
+) -> Result<ShardResult, String> {
+    let mut refold = DigestAccum::new();
+    let mut records = 0u64;
+    while let Some(frame) = read_frame(stream).map_err(|e| format!("shard {shard}: {e}"))? {
+        let result =
+            decode_result(&frame).map_err(|e| format!("shard {shard} record {records}: {e}"))?;
+        refold.fold(result.digest());
+        records += 1;
+        if let Some(sink) = record_sink.as_deref_mut() {
+            write_frame(sink, &frame).map_err(|e| format!("--record write: {e}"))?;
+        }
+    }
+    let agg_frame = read_frame(stream)
+        .map_err(|e| format!("shard {shard} aggregate: {e}"))?
+        .ok_or_else(|| format!("shard {shard}: stream ended before aggregate"))?;
+    let aggregate =
+        decode_aggregate(&agg_frame).map_err(|e| format!("shard {shard} aggregate: {e}"))?;
+    let stats_frame = read_frame(stream)
+        .map_err(|e| format!("shard {shard} stats: {e}"))?
+        .ok_or_else(|| format!("shard {shard}: stream ended before stats"))?;
+    let stats = decode_stats(&stats_frame).map_err(|e| format!("shard {shard} stats: {e}"))?;
+    if stats.records != records {
+        return Err(format!(
+            "shard {shard}: worker reported {} records, coordinator saw {records}",
+            stats.records
+        ));
+    }
+    if refold.digest() != aggregate.digest() {
+        return Err(format!(
+            "shard {shard}: streamed records re-fold to digest {:016x} but the shard \
+             aggregate says {:016x}",
+            refold.digest(),
+            aggregate.digest()
+        ));
+    }
+    Ok(ShardResult { aggregate, stats })
+}
+
+/// Coordinator mode: spawn `workers` copies of this binary in shard
+/// mode, drain their streams concurrently, verify and merge the shard
+/// aggregates in shard order.
+fn run_coordinator(args: &Args) -> Result<(FleetReport, f64, Vec<WorkerStats>), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let workers = args.workers.max(1).min(args.devices.max(1));
+    let start = Instant::now();
+    let mut children = Vec::new();
+    for shard in 0..workers {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--devices")
+            .arg(args.devices.to_string())
+            .arg("--seed")
+            .arg(args.seed.to_string())
+            .arg("--sample")
+            .arg(args.sample.to_string())
+            .arg("--faults")
+            .arg(args.faults.label())
+            .arg("--shard")
+            .arg(format!("{shard}/{workers}"))
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("spawn worker {shard}: {e}"))?;
+        children.push(child);
+    }
+    let record_file: Option<std::sync::Mutex<std::fs::File>> = match &args.record {
+        Some(path) => Some(std::sync::Mutex::new(
+            std::fs::File::create(path).map_err(|e| format!("--record {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    // One reader per worker so a fast shard never backs up behind a
+    // slow one's pipe buffer.
+    let shard_results: Vec<Result<ShardResult, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = children
+            .iter_mut()
+            .enumerate()
+            .map(|(shard, child)| {
+                let mut stdout = child.stdout.take().expect("piped stdout");
+                let record_file = record_file.as_ref();
+                scope.spawn(move || match record_file {
+                    Some(file) => {
+                        // Frames interleave across workers; each record
+                        // carries its device index, so order is
+                        // recoverable.
+                        let mut guard_adapter = LockedWriter(file);
+                        read_worker(shard, &mut stdout, Some(&mut guard_adapter))
+                    }
+                    None => read_worker(shard, &mut stdout, None),
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread panicked"))
+            .collect()
+    });
+    let mut stats = Vec::new();
+    let cfg = fleet_config(args, 1);
+    let mut merged = FleetAggregate::new(&cfg);
+    for (shard, result) in shard_results.into_iter().enumerate() {
+        let shard_result = result?;
+        let status = children[shard]
+            .wait()
+            .map_err(|e| format!("wait worker {shard}: {e}"))?;
+        if !status.success() {
+            return Err(format!("worker {shard} exited with {status}"));
+        }
+        // Shard aggregates merge in ascending shard order — device-index
+        // order, since shards are contiguous ranges.
+        merged.merge(shard_result.aggregate);
+        stats.push(shard_result.stats);
+    }
+    Ok((merged.into_report(), start.elapsed().as_secs_f64(), stats))
+}
+
+/// `Write` adapter taking the record-file mutex per frame.
+struct LockedWriter<'a>(&'a std::sync::Mutex<std::fs::File>);
+
+impl Write for LockedWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("record file lock").write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.lock().expect("record file lock").flush()
+    }
+}
+
+fn run_in_process(args: &Args, threads: usize) -> (FleetReport, f64) {
+    let cfg = fleet_config(args, threads);
     let start = Instant::now();
     let report = cfg.run();
     (report, start.elapsed().as_secs_f64())
 }
 
-fn print_report(report: &FleetReport, threads: usize, wall_s: f64) {
+fn print_report(report: &FleetReport, parallelism: &str, wall_s: f64) {
     println!(
-        "fleet: {} devices on {} thread(s): {:.1} simulated days, {} events in {:.2} s wall",
-        report.devices.len(),
-        threads,
+        "fleet: {} devices on {parallelism}: {:.1} simulated days, {} events in {:.2} s wall",
+        report.device_count,
         report.simulated_s / 86_400.0,
         report.events,
         wall_s
     );
     println!(
-        "  throughput: {:.0} simulated-seconds per wall-second",
-        report.simulated_s / wall_s.max(1e-9)
+        "  throughput: {:.0} simulated-seconds per wall-second ({:.1} device-days/s)",
+        report.simulated_s / wall_s.max(1e-9),
+        report.simulated_s / 86_400.0 / wall_s.max(1e-9)
     );
     for stats in report.policies.iter().filter(|s| s.devices > 0) {
         println!(
@@ -124,6 +404,14 @@ fn print_report(report: &FleetReport, threads: usize, wall_s: f64) {
     println!("  digest: {:016x}", report.digest);
 }
 
+fn human_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{:.2} GiB", bytes as f64 / (1u64 << 30) as f64)
+    } else {
+        format!("{:.1} MiB", bytes as f64 / (1u64 << 20) as f64)
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -133,26 +421,84 @@ fn main() {
         }
     };
 
-    let (report, wall_s) = run_once(args.devices, args.threads, args.seed, args.faults);
-    print_report(&report, args.threads, wall_s);
+    if let Some((shard, of)) = args.shard {
+        // Worker mode: frames on stdout, nothing else.
+        if let Err(e) = run_worker(&args, shard, of) {
+            eprintln!("fleet worker {shard}/{of}: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let (report, wall_s, parallelism) = if args.workers > 0 {
+        let (report, wall_s, worker_stats) = match run_coordinator(&args) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fleet: {e}");
+                std::process::exit(1);
+            }
+        };
+        let label = format!("{} worker process(es)", worker_stats.len());
+        print_report(&report, &label, wall_s);
+        let records: u64 = worker_stats.iter().map(|s| s.records).sum();
+        println!(
+            "  streamed: {records} records across {} workers (coordinator re-fold verified)",
+            worker_stats.len()
+        );
+        for (shard, s) in worker_stats.iter().enumerate() {
+            println!(
+                "  worker {shard}: {} records, peak RSS {}, {:.2} s wall ({:.1} device-days/s)",
+                s.records,
+                human_bytes(s.peak_rss_bytes),
+                s.wall_s,
+                s.records as f64
+                    * (report.simulated_s / 86_400.0 / report.device_count.max(1) as f64)
+                    / s.wall_s.max(1e-9),
+            );
+        }
+        println!(
+            "  coordinator peak RSS {} (records streamed, never retained)",
+            human_bytes(peak_rss_bytes())
+        );
+        (report, wall_s, label)
+    } else {
+        let (report, wall_s) = run_in_process(&args, args.threads);
+        let label = format!("{} thread(s)", args.threads);
+        print_report(&report, &label, wall_s);
+        (report, wall_s, label)
+    };
+
+    if let Some(path) = &args.trace {
+        let cfg = fleet_config(&args, 1);
+        let json = cfg.trace_timeline(args.trace_devices);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("fleet: --trace {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "  trace: {} device process group(s) written to {path} ({} bytes)",
+            args.trace_devices.min(args.devices),
+            json.len()
+        );
+    }
 
     if args.check {
-        let (serial, serial_wall) = run_once(args.devices, 1, args.seed, args.faults);
+        let (serial, serial_wall) = run_in_process(&args, 1);
         println!(
-            "check: serial rerun {:.2} s wall ({:.0} sim-s/wall-s, {:.2}x parallel speedup)",
+            "check: serial rerun {:.2} s wall ({:.0} sim-s/wall-s, {:.2}x speedup over serial)",
             serial_wall,
             serial.simulated_s / serial_wall.max(1e-9),
             serial_wall / wall_s.max(1e-9)
         );
         if serial.digest == report.digest {
             println!(
-                "check: OK — digest {:016x} identical on 1 and {} thread(s)",
-                report.digest, args.threads
+                "check: OK — digest {:016x} identical on 1 thread and {parallelism}",
+                report.digest
             );
         } else {
             eprintln!(
-                "check: FAILED — digest {:016x} on {} thread(s) vs {:016x} serial",
-                report.digest, args.threads, serial.digest
+                "check: FAILED — digest {:016x} on {parallelism} vs {:016x} serial",
+                report.digest, serial.digest
             );
             std::process::exit(1);
         }

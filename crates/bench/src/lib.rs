@@ -714,7 +714,12 @@ pub fn d2_fleet_config(devices: usize, threads: usize, seed: u64) -> FleetConfig
 /// ~24 detections/minute). Returns the raw [`FleetReport`] and the rows.
 #[must_use]
 pub fn d2_fleet_sweep(devices: usize, threads: usize) -> (FleetReport, Vec<Row>) {
-    let report = d2_fleet_config(devices, threads, SEED).run();
+    let mut cfg = d2_fleet_config(devices, threads, SEED);
+    // The X3 row below inspects an individual device, so this table (and
+    // only this table) opts into sampling the whole small sweep — the
+    // default fleet path retains nothing.
+    cfg.sample_devices = cfg.devices;
+    let report = cfg.run();
     let mut rows = Vec::new();
     for stats in &report.policies {
         rows.push(Row {

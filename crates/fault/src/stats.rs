@@ -22,6 +22,14 @@ impl FaultCounters {
         self.counts[kind.index()]
     }
 
+    /// Overwrites the episode count of `kind` — the deserialization
+    /// path (e.g. the fleet record codec rebuilding counters from a
+    /// byte stream). Simulation code records episodes with
+    /// [`FaultCounters::add`].
+    pub fn set(&mut self, kind: FaultKind, count: u64) {
+        self.counts[kind.index()] = count;
+    }
+
     /// Total episodes across every kind.
     #[must_use]
     pub fn total(&self) -> u64 {

@@ -180,7 +180,15 @@ impl<S: TraceSink> Component<S> for FaultComponent {
             Event::BrownoutRecover => self.try_resume(ctx),
             _ => {}
         }
-        self.poll_brownout(ctx);
+        // Trace sampling is pure observation: a `Sample` event exists
+        // only when a sampler/recorder is attached, so polling the
+        // brownout machine on it would let the *act of tracing* shift
+        // detection timestamps. Skipping it keeps a traced run
+        // bit-identical to the untraced one (every state-changing event
+        // still polls).
+        if ev != Event::Sample {
+            self.poll_brownout(ctx);
+        }
     }
 }
 

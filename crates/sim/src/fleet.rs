@@ -1,27 +1,58 @@
-//! Thread-parallel fleet runner: N devices × subjects × environments,
-//! deterministically seeded, with aggregated sustainability statistics.
+//! Streaming fleet runner: N devices × subjects × environments,
+//! deterministically seeded, folded into a bounded-memory, mergeable
+//! [`FleetAggregate`] as each device completes.
 //!
 //! # Determinism
 //!
 //! Every device's configuration (environment, subject, policy, start
 //! state of charge, light-exposure jitter) is a pure function of the
-//! fleet seed and the device index — never of the worker thread it lands
-//! on. Workers claim devices by stride (`index % threads`), results are
-//! merged back in index order, and the [`FleetReport::digest`] hashes
-//! every per-device result bit-for-bit, so `--threads 1` and
-//! `--threads 8` must produce the same digest or something is wrong.
+//! fleet seed and the device index — never of the worker thread or
+//! process it lands on. Workers own *contiguous* device-index ranges
+//! ([`FleetConfig::shard_range`]), fold each [`DeviceResult`] into a
+//! shard-local [`FleetAggregate`] the moment it is produced, and the
+//! shard aggregates are merged hierarchically in ascending shard order.
+//! The merge is associative and order-fixed (see [`DigestAccum`]), so
+//! `--threads 1`, `--threads 8` and a 4-process coordinator/worker run
+//! must all produce the same [`FleetReport::digest`] — bit for bit — or
+//! something is wrong.
+//!
+//! # Bounded memory
+//!
+//! No path in this module retains a `Vec<DeviceResult>` proportional to
+//! the fleet: per-device results exist only transiently (and may be
+//! streamed to a sink via [`FleetConfig::run_chunk_with`], e.g. encoded
+//! with [`crate::record`] onto a pipe). [`FleetReport::devices`] holds
+//! only the opt-in sample of the first [`FleetConfig::sample_devices`]
+//! devices (default 0). All floating-point aggregates accumulate in
+//! 96.32 fixed point ([`ExactSum`]), so sums are *exact* integers and
+//! therefore identical under any hierarchical merge tree — not just the
+//! digest but every reported mean is topology-invariant.
+
+use std::ops::Range;
 
 use iw_fault::{mix, FaultCounters, FaultKind, FaultProfile, ReliabilityCounters};
 use iw_harvest::{Battery, EnvProfile};
+use iw_trace::{Recorder, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::device::{BleSync, DetectionCosts, DeviceConfig};
+use crate::device::{BleSync, DetectionCosts, DeviceConfig, DeviceReport};
 use crate::policy::DetectionPolicy;
 
 /// Stream-derivation constant separating each device's fault-plan seed
 /// from its configuration-jitter seed.
 const FAULT_STREAM: u64 = 0xfa17_0000_0000_0001;
+
+/// FNV-1a 64-bit offset basis (digest starting state).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime; also the polynomial-merge radix of
+/// [`DigestAccum`] (odd, hence invertible mod 2⁶⁴).
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Trace samples per device on the observability path
+/// ([`FleetConfig::run_device_traced`]); the aggregate path traces
+/// nothing.
+const FLEET_TRACE_POINTS: usize = 256;
 
 /// A wearer archetype: scales the policy's detection rate.
 #[derive(Debug, Clone)]
@@ -63,6 +94,11 @@ pub struct FleetConfig {
     /// Fault intensity every device's plan is materialised from (each
     /// device gets its own plan seed derived from the fleet seed).
     pub faults: FaultProfile,
+    /// Retain the full [`DeviceResult`] of devices with index below this
+    /// cap in [`FleetReport::devices`] (0 = retain nothing; the default).
+    /// Aggregation never depends on the sample — it exists for tables
+    /// and tests that want to inspect individual devices.
+    pub sample_devices: usize,
 }
 
 /// One device's result in the sweep.
@@ -102,6 +138,46 @@ pub struct DeviceResult {
     pub conservation_j: f64,
 }
 
+impl DeviceResult {
+    /// The device's digest contribution: FNV-1a over the result's
+    /// determinism-relevant fields (index, detections, brown-out flag,
+    /// the exact bit patterns of the energy bookkeeping, and every
+    /// fault / reliability counter). Engine-event counts and trace
+    /// sampling are deliberately excluded, so an observability re-run
+    /// ([`FleetConfig::run_device_traced`]) digests identically.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv1a(h, &(self.device as u64).to_le_bytes());
+        h = fnv1a(h, &self.detections.to_le_bytes());
+        h = fnv1a(h, &[u8::from(self.browned_out)]);
+        h = fnv1a(h, &self.final_soc.to_bits().to_le_bytes());
+        h = fnv1a(h, &self.stored_j.to_bits().to_le_bytes());
+        h = fnv1a(h, &self.consumed_j.to_bits().to_le_bytes());
+        // Reliability results are part of the determinism contract:
+        // every counter is folded bit-for-bit.
+        for kind in FaultKind::ALL {
+            h = fnv1a(h, &self.faults.get(kind).to_le_bytes());
+        }
+        let rel = &self.reliability;
+        for v in [
+            rel.downtime_us,
+            rel.brownouts,
+            rel.recoveries,
+            rel.recovery_us,
+            rel.degraded_windows,
+            rel.skipped_acquisitions,
+            rel.sync_episodes,
+            rel.sync_ok,
+            rel.sync_retried,
+            rel.sync_dropped,
+        ] {
+            h = fnv1a(h, &v.to_le_bytes());
+        }
+        h
+    }
+}
+
 /// Aggregated statistics for one policy across the fleet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PolicyStats {
@@ -124,11 +200,16 @@ pub struct PolicyStats {
 /// The merged fleet sweep result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
-    /// Per-device results, in device-index order.
+    /// Devices aggregated into this report (the whole fleet).
+    pub device_count: usize,
+    /// The opt-in per-device sample: results of devices with index below
+    /// [`FleetConfig::sample_devices`], in device-index order. Empty by
+    /// default — the fleet never retains per-device results otherwise.
     pub devices: Vec<DeviceResult>,
     /// Per-policy aggregates, in the config's policy order.
     pub policies: Vec<PolicyStats>,
-    /// Order-independent determinism digest over every device result.
+    /// Order-fixed determinism digest over every device result (see
+    /// [`DigestAccum`] for the merge algebra).
     pub digest: u64,
     /// Total simulated time across the fleet, seconds.
     pub simulated_s: f64,
@@ -148,9 +229,349 @@ fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
     let mut h = hash;
     for &b in bytes {
         h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
+        h = h.wrapping_mul(FNV_PRIME);
     }
     h
+}
+
+/// The mergeable fleet digest: a polynomial hash over per-device FNV-1a
+/// digests in device-index order.
+///
+/// With radix `R` = the FNV prime and per-device digests `d₀ … dₙ₋₁`
+/// (see [`DeviceResult::digest`]), the fleet digest is
+///
+/// ```text
+/// digest = basis·Rⁿ + d₀·Rⁿ⁻¹ + d₁·Rⁿ⁻² + … + dₙ₋₁   (mod 2⁶⁴)
+/// ```
+///
+/// An accumulator carries `(h, pow)` where `h` is the polynomial of the
+/// devices folded so far (from 0) and `pow = Rⁿ`. Folding one device is
+/// `h ← h·R + d`, and merging the aggregate of range `A` with the
+/// aggregate of the *immediately following* range `B` is
+///
+/// ```text
+/// h ← h_A·pow_B + h_B        pow ← pow_A·pow_B
+/// ```
+///
+/// Both operations are exact wrapping integer arithmetic, so the merge
+/// is **associative** — any merge tree over contiguous, index-ordered
+/// shards yields the same digest as the serial fold — and **order
+/// fixed**: swapping two shards changes the digest (the polynomial is
+/// position-dependent). `R` is odd, so multiplication by `pow` is a
+/// bijection mod 2⁶⁴ and no device's contribution can vanish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestAccum {
+    h: u64,
+    pow: u64,
+}
+
+impl Default for DigestAccum {
+    fn default() -> DigestAccum {
+        DigestAccum { h: 0, pow: 1 }
+    }
+}
+
+impl DigestAccum {
+    /// The empty accumulator (identity of [`DigestAccum::merge`]).
+    #[must_use]
+    pub fn new() -> DigestAccum {
+        DigestAccum::default()
+    }
+
+    /// Rebuilds an accumulator from its raw `(h, pow)` pair (the codec
+    /// path; inverse of [`DigestAccum::raw`]).
+    #[must_use]
+    pub fn from_raw(h: u64, pow: u64) -> DigestAccum {
+        DigestAccum { h, pow }
+    }
+
+    /// The raw `(h, pow)` pair for serialization.
+    #[must_use]
+    pub fn raw(&self) -> (u64, u64) {
+        (self.h, self.pow)
+    }
+
+    /// Folds the next device digest (in index order).
+    pub fn fold(&mut self, device_digest: u64) {
+        self.h = self.h.wrapping_mul(FNV_PRIME).wrapping_add(device_digest);
+        self.pow = self.pow.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Appends `next` — the accumulator of the device-index range
+    /// immediately following this one.
+    pub fn merge(&mut self, next: &DigestAccum) {
+        self.h = self.h.wrapping_mul(next.pow).wrapping_add(next.h);
+        self.pow = self.pow.wrapping_mul(next.pow);
+    }
+
+    /// The finished digest (prefixes the FNV offset basis, so an empty
+    /// fleet digests to the basis itself).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        FNV_OFFSET.wrapping_mul(self.pow).wrapping_add(self.h)
+    }
+}
+
+/// Exact fixed-point accumulator for floating-point statistics: values
+/// are quantised to 2⁻³² and summed in an `i128`, so accumulation is
+/// exact integer arithmetic — associative and commutative — and every
+/// hierarchical merge tree produces bit-identical means. Quantisation
+/// error is ≤ 2⁻³³ per folded value, far below anything the reports
+/// print.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactSum {
+    q: i128,
+}
+
+/// One unit of the last place of an [`ExactSum`]: 2³² quanta per 1.0.
+const EXACT_ONE: f64 = 4_294_967_296.0;
+
+impl ExactSum {
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is not finite (a non-finite statistic would
+    /// poison the whole fleet aggregate).
+    pub fn add(&mut self, v: f64) {
+        assert!(v.is_finite(), "fleet statistics must be finite");
+        self.q += (v * EXACT_ONE).round() as i128;
+    }
+
+    /// Folds another accumulator in (exact).
+    pub fn merge(&mut self, other: &ExactSum) {
+        self.q += other.q;
+    }
+
+    /// The accumulated sum as `f64`.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.q as f64 / EXACT_ONE
+    }
+
+    /// Raw quantum count for serialization.
+    #[must_use]
+    pub fn raw(&self) -> i128 {
+        self.q
+    }
+
+    /// Rebuilds from a raw quantum count (the codec path).
+    #[must_use]
+    pub fn from_raw(q: i128) -> ExactSum {
+        ExactSum { q }
+    }
+}
+
+/// Streaming per-policy accumulator inside a [`FleetAggregate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyAccum {
+    /// Policy name (the merge key; aggregates must share policy order).
+    pub name: String,
+    /// Devices folded so far.
+    pub devices: usize,
+    /// Σ detections/day over this policy's devices.
+    pub det_per_day: ExactSum,
+    /// Devices that browned out.
+    pub brown_outs: u64,
+    /// Σ final state of charge.
+    pub final_soc: ExactSum,
+    /// Σ uptime fraction.
+    pub uptime: ExactSum,
+    /// Summed reliability counters.
+    pub reliability: ReliabilityCounters,
+}
+
+impl PolicyAccum {
+    fn new(name: &str) -> PolicyAccum {
+        PolicyAccum {
+            name: name.to_string(),
+            devices: 0,
+            det_per_day: ExactSum::default(),
+            brown_outs: 0,
+            final_soc: ExactSum::default(),
+            uptime: ExactSum::default(),
+            reliability: ReliabilityCounters::default(),
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        let nf = self.devices.max(1) as f64;
+        PolicyStats {
+            name: self.name.clone(),
+            devices: self.devices,
+            detections_per_day: self.det_per_day.value() / nf,
+            brown_out_rate: self.brown_outs as f64 / nf,
+            mean_final_soc: self.final_soc.value() / nf,
+            mean_uptime: self.uptime.value() / nf,
+            reliability: self.reliability,
+        }
+    }
+}
+
+/// The incremental, mergeable fleet aggregate: everything a
+/// [`FleetReport`] is made of, folded one [`DeviceResult`] at a time in
+/// bounded memory.
+///
+/// A worker folds each device of its contiguous index range as the
+/// device completes ([`FleetAggregate::fold`]); the coordinator merges
+/// shard aggregates in ascending shard order
+/// ([`FleetAggregate::merge`]). All counters are exact integers
+/// ([`ExactSum`] for float statistics, [`DigestAccum`] for the digest),
+/// so the merged result is bit-identical to the serial fold for *every*
+/// field, not just the digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAggregate {
+    /// Devices folded so far.
+    pub device_count: usize,
+    /// The order-fixed digest accumulator.
+    pub digest: DigestAccum,
+    /// Σ simulated seconds.
+    pub simulated_s: ExactSum,
+    /// Σ engine events.
+    pub events: u64,
+    /// Summed per-fault-kind counters.
+    pub faults: FaultCounters,
+    /// Summed reliability counters.
+    pub reliability: ReliabilityCounters,
+    /// Σ uptime fraction.
+    pub uptime: ExactSum,
+    /// Largest per-device conservation drift, joules.
+    pub max_conservation_j: f64,
+    /// Per-policy accumulators in config policy order.
+    pub policies: Vec<PolicyAccum>,
+    /// Devices with index below this cap are retained in
+    /// [`FleetAggregate::sample`].
+    pub sample_cap: usize,
+    /// The retained sample, in fold order (== index order for
+    /// contiguous shards merged in shard order).
+    pub sample: Vec<DeviceResult>,
+}
+
+impl FleetAggregate {
+    /// An empty aggregate shaped for `config` (policy order and sample
+    /// cap are taken from the config).
+    #[must_use]
+    pub fn new(config: &FleetConfig) -> FleetAggregate {
+        FleetAggregate::with_policies(
+            config.policies.iter().map(|(name, _)| name.as_str()),
+            config.sample_devices,
+        )
+    }
+
+    /// An empty aggregate over an explicit policy-name order (the codec
+    /// path).
+    pub fn with_policies<'a, I: IntoIterator<Item = &'a str>>(
+        names: I,
+        sample_cap: usize,
+    ) -> FleetAggregate {
+        FleetAggregate {
+            device_count: 0,
+            digest: DigestAccum::new(),
+            simulated_s: ExactSum::default(),
+            events: 0,
+            faults: FaultCounters::default(),
+            reliability: ReliabilityCounters::default(),
+            uptime: ExactSum::default(),
+            max_conservation_j: 0.0,
+            policies: names.into_iter().map(PolicyAccum::new).collect(),
+            sample_cap,
+            sample: Vec::new(),
+        }
+    }
+
+    /// Folds one device result. Devices must be folded in ascending
+    /// index order within an aggregate (the digest is order-fixed).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the result names a policy the aggregate was not
+    /// shaped for.
+    pub fn fold(&mut self, result: DeviceResult) {
+        self.device_count += 1;
+        self.digest.fold(result.digest());
+        self.simulated_s.add(result.days * 86_400.0);
+        self.events += result.events;
+        self.faults.merge(&result.faults);
+        self.reliability.merge(&result.reliability);
+        self.uptime.add(result.uptime);
+        self.max_conservation_j = self.max_conservation_j.max(result.conservation_j);
+        let policy = self
+            .policies
+            .iter_mut()
+            .find(|p| p.name == result.policy)
+            .unwrap_or_else(|| panic!("unknown policy '{}' in device result", result.policy));
+        policy.devices += 1;
+        policy
+            .det_per_day
+            .add(result.detections as f64 / result.days.max(1e-9));
+        policy.brown_outs += u64::from(result.browned_out);
+        policy.final_soc.add(result.final_soc);
+        policy.uptime.add(result.uptime);
+        policy.reliability.merge(&result.reliability);
+        if result.device < self.sample_cap {
+            self.sample.push(result);
+        }
+    }
+
+    /// Hierarchically merges `next` — the aggregate of the device-index
+    /// range immediately following this one. Associative; see
+    /// [`DigestAccum`] for the digest algebra. Every other field is an
+    /// exact integer sum (or a max), so the merged aggregate is
+    /// bit-identical to folding the union serially.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two aggregates were shaped for different policy
+    /// sets.
+    pub fn merge(&mut self, next: FleetAggregate) {
+        assert_eq!(
+            self.policies.len(),
+            next.policies.len(),
+            "aggregates shaped for different policy sets"
+        );
+        self.device_count += next.device_count;
+        self.digest.merge(&next.digest);
+        self.simulated_s.merge(&next.simulated_s);
+        self.events += next.events;
+        self.faults.merge(&next.faults);
+        self.reliability.merge(&next.reliability);
+        self.uptime.merge(&next.uptime);
+        self.max_conservation_j = self.max_conservation_j.max(next.max_conservation_j);
+        for (mine, theirs) in self.policies.iter_mut().zip(next.policies) {
+            assert_eq!(mine.name, theirs.name, "policy order mismatch in merge");
+            mine.devices += theirs.devices;
+            mine.det_per_day.merge(&theirs.det_per_day);
+            mine.brown_outs += theirs.brown_outs;
+            mine.final_soc.merge(&theirs.final_soc);
+            mine.uptime.merge(&theirs.uptime);
+            mine.reliability.merge(&theirs.reliability);
+        }
+        self.sample.extend(next.sample);
+    }
+
+    /// The finished fleet digest.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest.digest()
+    }
+
+    /// Finalises the aggregate into a [`FleetReport`].
+    #[must_use]
+    pub fn into_report(self) -> FleetReport {
+        let mean_uptime = self.uptime.value() / self.device_count.max(1) as f64;
+        FleetReport {
+            device_count: self.device_count,
+            policies: self.policies.iter().map(PolicyAccum::stats).collect(),
+            digest: self.digest.digest(),
+            simulated_s: self.simulated_s.value(),
+            events: self.events,
+            faults: self.faults,
+            reliability: self.reliability,
+            mean_uptime,
+            max_conservation_j: self.max_conservation_j,
+            devices: self.sample,
+        }
+    }
 }
 
 impl FleetConfig {
@@ -208,17 +629,18 @@ impl FleetConfig {
             notify_j: 0.0,
             sync: None,
             faults: FaultProfile::Clean,
+            sample_devices: 0,
         }
     }
 
-    /// Runs one device of the sweep. Pure function of `(self, index)` —
-    /// this is what makes the fleet digest thread-count invariant.
+    /// Builds the fully-derived configuration of one device: the
+    /// env/subject/policy assignment (cross product in index order) plus
+    /// the seeded per-device jitter and fault plan.
     ///
     /// # Panics
     ///
     /// Panics when the environment, subject or policy lists are empty.
-    #[must_use]
-    pub fn run_device(&self, index: usize) -> DeviceResult {
+    fn device_setup(&self, index: usize) -> (DeviceConfig, String, String, String, f64) {
         assert!(
             !self.environments.is_empty() && !self.subjects.is_empty() && !self.policies.is_empty(),
             "fleet sweep needs at least one environment, subject and policy"
@@ -252,17 +674,32 @@ impl FleetConfig {
             mix(self.seed ^ FAULT_STREAM, index as u64),
             cfg.env.duration_s(),
         );
-        cfg.trace_points = 0; // fleets aggregate; they do not keep traces
-        let initial_j = cfg.battery.charge_j();
-        let report = cfg.run();
+        (
+            cfg,
+            env_name.clone(),
+            subject.name.clone(),
+            policy_name.clone(),
+            days,
+        )
+    }
+
+    fn finish_device(
+        index: usize,
+        env: String,
+        subject: String,
+        policy: String,
+        days: f64,
+        initial_j: f64,
+        report: &DeviceReport,
+    ) -> DeviceResult {
         let conservation_j =
             (initial_j + report.sim.stored_j - report.sim.consumed_j - report.battery.charge_j())
                 .abs();
         DeviceResult {
             device: index,
-            env: env_name.clone(),
-            subject: subject.name.clone(),
-            policy: policy_name.clone(),
+            env,
+            subject,
+            policy,
             days,
             detections: report.detections,
             browned_out: report.sim.browned_out,
@@ -277,120 +714,128 @@ impl FleetConfig {
         }
     }
 
-    /// Runs the whole sweep on [`Self::threads`] workers and merges the
-    /// results in device-index order.
+    /// Runs one device of the sweep. Pure function of `(self, index)` —
+    /// this is what makes the fleet digest worker-topology invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the environment, subject or policy lists are empty.
     #[must_use]
-    pub fn run(&self) -> FleetReport {
-        let mut results: Vec<DeviceResult> = if self.threads <= 1 {
-            (0..self.devices).map(|i| self.run_device(i)).collect()
-        } else {
-            let mut shards: Vec<Vec<DeviceResult>> = std::thread::scope(|scope| {
-                let workers: Vec<_> = (0..self.threads)
-                    .map(|t| {
-                        scope.spawn(move || {
-                            (t..self.devices)
-                                .step_by(self.threads)
-                                .map(|i| self.run_device(i))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                workers
-                    .into_iter()
-                    .map(|w| w.join().expect("fleet worker panicked"))
-                    .collect()
-            });
-            let mut merged = Vec::with_capacity(self.devices);
-            for shard in &mut shards {
-                merged.append(shard);
-            }
-            merged
-        };
-        results.sort_by_key(|r| r.device);
-        self.aggregate(results)
+    pub fn run_device(&self, index: usize) -> DeviceResult {
+        let (mut cfg, env, subject, policy, days) = self.device_setup(index);
+        cfg.trace_points = 0; // the aggregate path keeps no traces
+        let initial_j = cfg.battery.charge_j();
+        let report = cfg.run();
+        FleetConfig::finish_device(index, env, subject, policy, days, initial_j, &report)
     }
 
-    fn aggregate(&self, devices: Vec<DeviceResult>) -> FleetReport {
-        let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
-        let mut simulated_s = 0.0;
-        let mut events = 0;
-        let mut faults = FaultCounters::default();
-        let mut reliability = ReliabilityCounters::default();
-        let mut uptime_sum = 0.0;
-        let mut max_conservation_j: f64 = 0.0;
-        for r in &devices {
-            digest = fnv1a(digest, &(r.device as u64).to_le_bytes());
-            digest = fnv1a(digest, &r.detections.to_le_bytes());
-            digest = fnv1a(digest, &[u8::from(r.browned_out)]);
-            digest = fnv1a(digest, &r.final_soc.to_bits().to_le_bytes());
-            digest = fnv1a(digest, &r.stored_j.to_bits().to_le_bytes());
-            digest = fnv1a(digest, &r.consumed_j.to_bits().to_le_bytes());
-            // Reliability results are part of the determinism contract:
-            // every counter is folded bit-for-bit.
-            for kind in FaultKind::ALL {
-                digest = fnv1a(digest, &r.faults.get(kind).to_le_bytes());
-            }
-            let rel = &r.reliability;
-            for v in [
-                rel.downtime_us,
-                rel.brownouts,
-                rel.recoveries,
-                rel.recovery_us,
-                rel.degraded_windows,
-                rel.skipped_acquisitions,
-                rel.sync_episodes,
-                rel.sync_ok,
-                rel.sync_retried,
-                rel.sync_dropped,
-            ] {
-                digest = fnv1a(digest, &v.to_le_bytes());
-            }
-            simulated_s += r.days * 86_400.0;
-            events += r.events;
-            faults.merge(&r.faults);
-            reliability.merge(&r.reliability);
-            uptime_sum += r.uptime;
-            max_conservation_j = max_conservation_j.max(r.conservation_j);
+    /// Runs one device with tracing enabled — the observability face of
+    /// the fleet, entirely off the aggregation path (the fleet digest is
+    /// always computed from untraced [`FleetConfig::run_device`] runs).
+    /// The device's spans and harvest counters stream into `sink`.
+    ///
+    /// Tracing is semantically non-perturbing: sample events never poll
+    /// the brownout machine, so every decision instant matches the
+    /// untraced run. Energy bookkeeping can still differ by float
+    /// roundoff (a sample timestamp subdivides one exact integration
+    /// interval into two), which is why traced results are *not* folded
+    /// into aggregates.
+    pub fn run_device_traced<S: TraceSink>(&self, index: usize, sink: &mut S) -> DeviceResult {
+        let (mut cfg, env, subject, policy, days) = self.device_setup(index);
+        cfg.trace_points = FLEET_TRACE_POINTS;
+        let initial_j = cfg.battery.charge_j();
+        let report = cfg.run_traced(sink);
+        FleetConfig::finish_device(index, env, subject, policy, days, initial_j, &report)
+    }
+
+    /// The contiguous device-index range of `shard` out of `of` equal
+    /// shards (balanced to within one device). Contiguity is what makes
+    /// the hierarchical digest merge order-fixed: merging shard
+    /// aggregates `0, 1, …, of−1` in order reproduces the serial fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= of` or `of == 0`.
+    #[must_use]
+    pub fn shard_range(&self, shard: usize, of: usize) -> Range<usize> {
+        assert!(of > 0 && shard < of, "shard {shard} out of range 0..{of}");
+        (self.devices * shard / of)..(self.devices * (shard + 1) / of)
+    }
+
+    /// Serially folds every device in `range`, calling `each` on every
+    /// result *before* it is folded (the streaming hook: encode it, pipe
+    /// it, count it — the aggregate itself never retains it). Memory is
+    /// O(sample + policies), independent of `range.len()`.
+    pub fn run_chunk_with<F: FnMut(&DeviceResult)>(
+        &self,
+        range: Range<usize>,
+        mut each: F,
+    ) -> FleetAggregate {
+        let mut agg = FleetAggregate::new(self);
+        for index in range {
+            let result = self.run_device(index);
+            each(&result);
+            agg.fold(result);
         }
-        let policies = self
-            .policies
-            .iter()
-            .map(|(name, _)| {
-                let mine: Vec<&DeviceResult> =
-                    devices.iter().filter(|r| &r.policy == name).collect();
-                let n = mine.len();
-                let nf = n.max(1) as f64;
-                let mut reliability = ReliabilityCounters::default();
-                for r in &mine {
-                    reliability.merge(&r.reliability);
-                }
-                PolicyStats {
-                    name: name.clone(),
-                    devices: n,
-                    detections_per_day: mine
-                        .iter()
-                        .map(|r| r.detections as f64 / r.days.max(1e-9))
-                        .sum::<f64>()
-                        / nf,
-                    brown_out_rate: mine.iter().filter(|r| r.browned_out).count() as f64 / nf,
-                    mean_final_soc: mine.iter().map(|r| r.final_soc).sum::<f64>() / nf,
-                    mean_uptime: mine.iter().map(|r| r.uptime).sum::<f64>() / nf,
-                    reliability,
-                }
+        agg
+    }
+
+    /// Runs shard `shard` of `of` on [`Self::threads`] worker threads
+    /// (each thread folds a contiguous sub-chunk; chunk aggregates merge
+    /// in index order) and returns the shard aggregate.
+    #[must_use]
+    pub fn run_shard(&self, shard: usize, of: usize) -> FleetAggregate {
+        let range = self.shard_range(shard, of);
+        let parts = self.threads.max(1).min(range.len().max(1));
+        if parts <= 1 {
+            return self.run_chunk_with(range, |_| {});
+        }
+        let lo = range.start;
+        let n = range.len();
+        let chunks: Vec<FleetAggregate> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..parts)
+                .map(|p| {
+                    let chunk = (lo + n * p / parts)..(lo + n * (p + 1) / parts);
+                    scope.spawn(move || self.run_chunk_with(chunk, |_| {}))
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("fleet worker panicked"))
+                .collect()
+        });
+        let mut merged = FleetAggregate::new(self);
+        for chunk in chunks {
+            merged.merge(chunk);
+        }
+        merged
+    }
+
+    /// Runs the whole sweep on [`Self::threads`] workers and finalises
+    /// the merged aggregate.
+    #[must_use]
+    pub fn run(&self) -> FleetReport {
+        self.run_shard(0, 1).into_report()
+    }
+
+    /// Renders the sampled fleet timeline: the first `devices` devices
+    /// re-run with tracing into one Chrome-trace/Perfetto JSON document,
+    /// one *process group* per device (`pid` = device index) with its
+    /// `device` span track and `harvest` counter track as threads.
+    /// Off the aggregation path entirely — results and digest are
+    /// unaffected.
+    #[must_use]
+    pub fn trace_timeline(&self, devices: usize) -> String {
+        let k = devices.min(self.devices);
+        let mut groups: Vec<(String, Recorder)> = (0..k)
+            .map(|index| {
+                let mut rec = Recorder::new();
+                let r = self.run_device_traced(index, &mut rec);
+                let name = format!("device {index} · {}/{}/{}", r.env, r.subject, r.policy);
+                (name, rec)
             })
             .collect();
-        let mean_uptime = uptime_sum / devices.len().max(1) as f64;
-        FleetReport {
-            devices,
-            policies,
-            digest,
-            simulated_s,
-            events,
-            faults,
-            reliability,
-            mean_uptime,
-            max_conservation_j,
-        }
+        iw_trace::merged_chrome_trace(&mut groups)
     }
 }
 
@@ -410,6 +855,7 @@ mod tests {
     /// A small fleet over short days so the test stays fast.
     fn small_fleet(threads: usize) -> FleetConfig {
         let mut cfg = FleetConfig::paper(12, threads, 7, costs());
+        cfg.sample_devices = cfg.devices;
         for (_, env) in &mut cfg.environments {
             for seg in &mut env.segments {
                 seg.duration_s /= 24.0; // one-hour "days"
@@ -423,7 +869,9 @@ mod tests {
         let serial = small_fleet(1).run();
         let parallel = small_fleet(4).run();
         assert_eq!(serial.digest, parallel.digest);
-        assert_eq!(serial.devices, parallel.devices);
+        // Exact aggregation: the whole report matches, not just the
+        // digest — sampled devices, policy means, everything.
+        assert_eq!(serial, parallel);
     }
 
     #[test]
@@ -437,9 +885,27 @@ mod tests {
     }
 
     #[test]
+    fn devices_are_retained_only_when_sampled() {
+        let mut cfg = small_fleet(2);
+        cfg.sample_devices = 0; // the default memory semantics
+        let report = cfg.run();
+        assert!(report.devices.is_empty());
+        assert_eq!(report.device_count, 12);
+        cfg.sample_devices = 5;
+        let sampled = cfg.run();
+        assert_eq!(sampled.devices.len(), 5);
+        let indices: Vec<usize> = sampled.devices.iter().map(|d| d.device).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+        // The sample never changes the aggregate.
+        assert_eq!(report.digest, sampled.digest);
+        assert_eq!(report.policies, sampled.policies);
+    }
+
+    #[test]
     fn cross_product_covers_every_combination() {
         let mut cfg = small_fleet(2);
         cfg.devices = 18; // 3 envs × 3 subjects × 2 policies
+        cfg.sample_devices = 18;
         let report = cfg.run();
         let mut combos: Vec<(String, String, String)> = report
             .devices
@@ -466,7 +932,7 @@ mod tests {
         for threads in [2, 4] {
             let parallel = harsh(threads);
             assert_eq!(serial.digest, parallel.digest, "threads {threads}");
-            assert_eq!(serial.devices, parallel.devices);
+            assert_eq!(serial, parallel, "threads {threads}");
         }
         assert!(serial.faults.total() > 0);
         assert!(serial.reliability.degraded_windows > 0);
@@ -488,7 +954,7 @@ mod tests {
     #[test]
     fn aggregates_are_consistent() {
         let report = small_fleet(3).run();
-        assert_eq!(report.devices.len(), 12);
+        assert_eq!(report.device_count, 12);
         assert!(report.simulated_s > 0.0);
         assert!(report.events > 0);
         let counted: usize = report.policies.iter().map(|p| p.devices).sum();
@@ -497,5 +963,119 @@ mod tests {
             assert!((0.0..=1.0).contains(&stats.brown_out_rate));
             assert!((0.0..=1.0).contains(&stats.mean_final_soc));
         }
+    }
+
+    #[test]
+    fn digest_merge_is_associative_and_order_fixed() {
+        let mut a = DigestAccum::new();
+        let mut b = DigestAccum::new();
+        let mut c = DigestAccum::new();
+        for d in [11, 22] {
+            a.fold(d);
+        }
+        for d in [33, 44, 55] {
+            b.fold(d);
+        }
+        c.fold(66);
+        // Serial reference.
+        let mut serial = DigestAccum::new();
+        for d in [11, 22, 33, 44, 55, 66] {
+            serial.fold(d);
+        }
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) == serial.
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left.digest(), serial.digest());
+        assert_eq!(right.digest(), serial.digest());
+        // Order-fixed: swapping shards changes the digest.
+        let mut swapped = b;
+        swapped.merge(&a);
+        swapped.merge(&c);
+        assert_ne!(swapped.digest(), serial.digest());
+    }
+
+    #[test]
+    fn exact_sums_are_merge_invariant() {
+        let values = [0.125, 0.7, 1.0 / 3.0, 0.99, 12.5, 1e-4];
+        let mut serial = ExactSum::default();
+        for v in values {
+            serial.add(v);
+        }
+        let mut left = ExactSum::default();
+        let mut right = ExactSum::default();
+        for v in &values[..3] {
+            left.add(*v);
+        }
+        for v in &values[3..] {
+            right.add(*v);
+        }
+        left.merge(&right);
+        assert_eq!(serial, left);
+        assert!((serial.value() - values.iter().sum::<f64>()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_fleet() {
+        let mut cfg = small_fleet(1);
+        cfg.devices = 37;
+        let mut covered = Vec::new();
+        for shard in 0..5 {
+            covered.extend(cfg.shard_range(shard, 5));
+        }
+        assert_eq!(covered, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_runs_reproduce_the_serial_digest() {
+        let cfg = small_fleet(1);
+        let serial = cfg.run();
+        for shards in [2, 3, 4] {
+            let mut merged = FleetAggregate::new(&cfg);
+            for shard in 0..shards {
+                merged.merge(cfg.run_shard(shard, shards));
+            }
+            let report = merged.into_report();
+            assert_eq!(report.digest, serial.digest, "{shards} shards");
+            assert_eq!(report, serial, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn traced_device_matches_untraced_run() {
+        let cfg = small_fleet(1);
+        let plain = cfg.run_device(3);
+        let mut rec = iw_trace::Recorder::new();
+        let traced = cfg.run_device_traced(3, &mut rec);
+        // Tracing never perturbs decisions: identical detections,
+        // brownout history and reliability counters. Energy bookkeeping
+        // may differ by roundoff only (sample timestamps subdivide
+        // integration intervals), which is why traced runs stay off the
+        // aggregation path.
+        assert_eq!(plain.detections, traced.detections);
+        assert_eq!(plain.browned_out, traced.browned_out);
+        assert_eq!(plain.reliability, traced.reliability);
+        assert_eq!(plain.faults.total(), traced.faults.total());
+        assert!((plain.final_soc - traced.final_soc).abs() < 1e-9);
+        assert!((plain.stored_j - traced.stored_j).abs() < 1e-9);
+        // The trace itself is non-empty.
+        assert!(rec.track_count() >= 2);
+    }
+
+    #[test]
+    fn fleet_timeline_is_valid_json_with_device_process_groups() {
+        let mut cfg = small_fleet(1);
+        cfg.notify_j = 1e-6;
+        let json = cfg.trace_timeline(3);
+        iw_trace::validate_json(&json).expect("well-formed timeline");
+        for pid in 0..3 {
+            assert!(json.contains(&format!("\"pid\":{pid},")), "pid {pid}");
+        }
+        assert!(json.contains("process_name"));
+        assert!(json.contains("device 2"));
     }
 }

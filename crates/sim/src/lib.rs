@@ -15,9 +15,13 @@
 //! `iw-trace` [`iw_trace::TraceSink`].
 //!
 //! The fleet layer ([`FleetConfig`]) sweeps N devices × wearer subjects
-//! × environment profiles on scoped worker threads with deterministic
-//! per-device seeding, and aggregates sustainability statistics
-//! ([`FleetReport`]).
+//! × environment profiles with deterministic per-device seeding. It is
+//! a *streaming* service: workers own contiguous device-index shards,
+//! fold every result into a bounded-memory, mergeable [`FleetAggregate`]
+//! as it is produced, and shard aggregates merge hierarchically in
+//! index order to a digest bit-identical to the serial fold
+//! ([`FleetReport`]). The [`record`] module gives results a compact
+//! binary wire form for multi-process runs.
 //!
 //! The fault layer (crate `iw-fault`, replayed by [`FaultComponent`])
 //! injects deterministic fault plans — electrode lead-off, motion
@@ -32,6 +36,7 @@ mod engine;
 mod faults;
 mod fleet;
 mod policy;
+pub mod record;
 
 pub use device::{
     default_sleep_floor_w, BleSync, ComputeJob, DetectionCosts, DeviceConfig, DeviceReport,
@@ -40,7 +45,10 @@ pub use engine::{
     secs_to_us, Component, DeviceState, Engine, Event, LoadSlot, SimClock, SimCtx, Tracks, US_PER_S,
 };
 pub use faults::FaultComponent;
-pub use fleet::{DeviceResult, FleetConfig, FleetReport, PolicyStats, SubjectProfile};
+pub use fleet::{
+    DeviceResult, DigestAccum, ExactSum, FleetAggregate, FleetConfig, FleetReport, PolicyAccum,
+    PolicyStats, SubjectProfile,
+};
 pub use iw_fault::{
     BrownoutModel, FaultCounters, FaultKind, FaultPlan, FaultProfile, FaultWindow,
     ReliabilityCounters, SyncOutcome,

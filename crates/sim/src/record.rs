@@ -1,0 +1,529 @@
+//! Compact binary codec for streaming fleet results over pipes and
+//! files.
+//!
+//! The fleet service never holds a `Vec<DeviceResult>` for a large
+//! population: workers encode each result with [`encode_result`] the
+//! moment it is produced and stream it out as a length-prefixed frame
+//! ([`write_frame`]), and at end of stream ship their whole shard
+//! [`FleetAggregate`] with [`encode_aggregate`].
+//!
+//! # Record layout (version 1)
+//!
+//! All integers are **little-endian**, all floats are IEEE-754 bit
+//! patterns (`f64::to_bits`), so encode → decode is *exact* — the
+//! decoded result digests identically to the original
+//! ([`DeviceResult::digest`]).
+//!
+//! ```text
+//! offset  size  field
+//!      0     1  RECORD_VERSION (0x01)
+//!      1     8  device index            u64
+//!      9     8  days                    f64 bits
+//!     17     8  detections              u64
+//!     25     1  browned_out             u8 (0/1)
+//!     26     8  final_soc               f64 bits
+//!     34     8  stored_j                f64 bits
+//!     42     8  consumed_j              f64 bits
+//!     50     8  events                  u64
+//!     58     8  uptime                  f64 bits
+//!     66     8  conservation_j          f64 bits
+//!     74  8×8   fault counters          u64 × FaultKind::ALL order
+//!    138 10×8   reliability counters    u64 × 10 (struct field order)
+//!    218     …  env, subject, policy    3 × (u16 len + UTF-8 bytes)
+//! ```
+//!
+//! Aggregate frames use the same primitives under [`AGGREGATE_VERSION`]
+//! (exact-sum accumulators travel as raw `i128` quanta, the digest as
+//! its raw `(h, pow)` pair), so a decoded aggregate merges
+//! bit-identically.
+//!
+//! # Framing
+//!
+//! A frame is `u32` little-endian payload length followed by the
+//! payload. A zero-length frame is the end-of-records marker
+//! ([`write_end`]): the worker protocol is *records… · end marker ·
+//! aggregate frame · stats frame*.
+
+use std::io::{Read, Write};
+
+use iw_fault::{FaultCounters, FaultKind, ReliabilityCounters};
+
+use crate::fleet::{DeviceResult, DigestAccum, ExactSum, FleetAggregate, PolicyAccum};
+
+/// Version byte of a [`DeviceResult`] record.
+pub const RECORD_VERSION: u8 = 0x01;
+
+/// Version byte of a [`FleetAggregate`] frame.
+pub const AGGREGATE_VERSION: u8 = 0x81;
+
+/// Decode / framing failure.
+#[derive(Debug)]
+pub enum RecordError {
+    /// The buffer ended before the field being read.
+    Truncated,
+    /// Unknown leading version byte.
+    Version(u8),
+    /// A string field was not valid UTF-8.
+    Utf8,
+    /// Bytes remained after the last field.
+    Trailing(usize),
+    /// Underlying pipe/file error while framing.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Truncated => write!(f, "record truncated"),
+            RecordError::Version(v) => write!(f, "unknown record version 0x{v:02x}"),
+            RecordError::Utf8 => write!(f, "record string is not UTF-8"),
+            RecordError::Trailing(n) => write!(f, "{n} trailing bytes after record"),
+            RecordError::Io(e) => write!(f, "record i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<std::io::Error> for RecordError {
+    fn from(e: std::io::Error) -> RecordError {
+        RecordError::Io(e)
+    }
+}
+
+/// The 10 reliability counters in wire order (struct field order; also
+/// the digest fold order in [`DeviceResult::digest`]).
+fn reliability_fields(rel: &ReliabilityCounters) -> [u64; 10] {
+    [
+        rel.downtime_us,
+        rel.brownouts,
+        rel.recoveries,
+        rel.recovery_us,
+        rel.degraded_windows,
+        rel.skipped_acquisitions,
+        rel.sync_episodes,
+        rel.sync_ok,
+        rel.sync_retried,
+        rel.sync_dropped,
+    ]
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_i128(out: &mut Vec<u8>, v: i128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("record string fits u16 length");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_reliability(out: &mut Vec<u8>, rel: &ReliabilityCounters) {
+    for v in reliability_fields(rel) {
+        put_u64(out, v);
+    }
+}
+
+fn put_faults(out: &mut Vec<u8>, faults: &FaultCounters) {
+    for kind in FaultKind::ALL {
+        put_u64(out, faults.get(kind));
+    }
+}
+
+/// Bounded-checked little-endian reader over a decode buffer.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RecordError> {
+        let end = self.pos.checked_add(n).ok_or(RecordError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(RecordError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, RecordError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, RecordError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, RecordError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, RecordError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i128(&mut self) -> Result<i128, RecordError> {
+        Ok(i128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, RecordError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, RecordError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| RecordError::Utf8)
+    }
+
+    fn faults(&mut self) -> Result<FaultCounters, RecordError> {
+        let mut faults = FaultCounters::default();
+        for kind in FaultKind::ALL {
+            faults.set(kind, self.u64()?);
+        }
+        Ok(faults)
+    }
+
+    fn reliability(&mut self) -> Result<ReliabilityCounters, RecordError> {
+        Ok(ReliabilityCounters {
+            downtime_us: self.u64()?,
+            brownouts: self.u64()?,
+            recoveries: self.u64()?,
+            recovery_us: self.u64()?,
+            degraded_windows: self.u64()?,
+            skipped_acquisitions: self.u64()?,
+            sync_episodes: self.u64()?,
+            sync_ok: self.u64()?,
+            sync_retried: self.u64()?,
+            sync_dropped: self.u64()?,
+        })
+    }
+
+    fn done(&self) -> Result<(), RecordError> {
+        if self.pos != self.buf.len() {
+            return Err(RecordError::Trailing(self.buf.len() - self.pos));
+        }
+        Ok(())
+    }
+}
+
+/// Encodes one device result into the version-1 wire layout (see the
+/// module docs for the exact offsets).
+#[must_use]
+pub fn encode_result(r: &DeviceResult) -> Vec<u8> {
+    let mut out = Vec::with_capacity(219 + r.env.len() + r.subject.len() + r.policy.len());
+    out.push(RECORD_VERSION);
+    put_u64(&mut out, r.device as u64);
+    put_f64(&mut out, r.days);
+    put_u64(&mut out, r.detections);
+    out.push(u8::from(r.browned_out));
+    put_f64(&mut out, r.final_soc);
+    put_f64(&mut out, r.stored_j);
+    put_f64(&mut out, r.consumed_j);
+    put_u64(&mut out, r.events);
+    put_f64(&mut out, r.uptime);
+    put_f64(&mut out, r.conservation_j);
+    put_faults(&mut out, &r.faults);
+    put_reliability(&mut out, &r.reliability);
+    put_str(&mut out, &r.env);
+    put_str(&mut out, &r.subject);
+    put_str(&mut out, &r.policy);
+    out
+}
+
+/// Decodes one device result; the whole buffer must be consumed.
+///
+/// # Errors
+///
+/// [`RecordError::Version`] on an unknown leading byte,
+/// [`RecordError::Truncated`] / [`RecordError::Utf8`] /
+/// [`RecordError::Trailing`] on corrupt input.
+pub fn decode_result(buf: &[u8]) -> Result<DeviceResult, RecordError> {
+    let mut cur = Cur::new(buf);
+    let version = cur.u8()?;
+    if version != RECORD_VERSION {
+        return Err(RecordError::Version(version));
+    }
+    let device = cur.u64()? as usize;
+    let days = cur.f64()?;
+    let detections = cur.u64()?;
+    let browned_out = cur.u8()? != 0;
+    let final_soc = cur.f64()?;
+    let stored_j = cur.f64()?;
+    let consumed_j = cur.f64()?;
+    let events = cur.u64()?;
+    let uptime = cur.f64()?;
+    let conservation_j = cur.f64()?;
+    let faults = cur.faults()?;
+    let reliability = cur.reliability()?;
+    let env = cur.string()?;
+    let subject = cur.string()?;
+    let policy = cur.string()?;
+    cur.done()?;
+    Ok(DeviceResult {
+        device,
+        env,
+        subject,
+        policy,
+        days,
+        detections,
+        browned_out,
+        final_soc,
+        stored_j,
+        consumed_j,
+        events,
+        uptime,
+        faults,
+        reliability,
+        conservation_j,
+    })
+}
+
+fn put_policy(out: &mut Vec<u8>, p: &PolicyAccum) {
+    put_str(out, &p.name);
+    put_u64(out, p.devices as u64);
+    put_i128(out, p.det_per_day.raw());
+    put_u64(out, p.brown_outs);
+    put_i128(out, p.final_soc.raw());
+    put_i128(out, p.uptime.raw());
+    put_reliability(out, &p.reliability);
+}
+
+/// Encodes a shard aggregate — the worker→coordinator handoff. All
+/// accumulators travel in their raw exact-integer form, so the decoded
+/// aggregate merges bit-identically to the in-process one.
+#[must_use]
+pub fn encode_aggregate(agg: &FleetAggregate) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.push(AGGREGATE_VERSION);
+    put_u64(&mut out, agg.device_count as u64);
+    let (h, pow) = agg.digest.raw();
+    put_u64(&mut out, h);
+    put_u64(&mut out, pow);
+    put_i128(&mut out, agg.simulated_s.raw());
+    put_u64(&mut out, agg.events);
+    put_faults(&mut out, &agg.faults);
+    put_reliability(&mut out, &agg.reliability);
+    put_i128(&mut out, agg.uptime.raw());
+    put_f64(&mut out, agg.max_conservation_j);
+    let n = u16::try_from(agg.policies.len()).expect("policy count fits u16");
+    out.extend_from_slice(&n.to_le_bytes());
+    for p in &agg.policies {
+        put_policy(&mut out, p);
+    }
+    put_u64(&mut out, agg.sample_cap as u64);
+    let s = u32::try_from(agg.sample.len()).expect("sample count fits u32");
+    out.extend_from_slice(&s.to_le_bytes());
+    for r in &agg.sample {
+        let rec = encode_result(r);
+        let len = u32::try_from(rec.len()).expect("record fits u32 frame");
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&rec);
+    }
+    out
+}
+
+/// Decodes a shard aggregate; the whole buffer must be consumed.
+///
+/// # Errors
+///
+/// Same failure modes as [`decode_result`].
+pub fn decode_aggregate(buf: &[u8]) -> Result<FleetAggregate, RecordError> {
+    let mut cur = Cur::new(buf);
+    let version = cur.u8()?;
+    if version != AGGREGATE_VERSION {
+        return Err(RecordError::Version(version));
+    }
+    let device_count = cur.u64()? as usize;
+    let h = cur.u64()?;
+    let pow = cur.u64()?;
+    let simulated_s = ExactSum::from_raw(cur.i128()?);
+    let events = cur.u64()?;
+    let faults = cur.faults()?;
+    let reliability = cur.reliability()?;
+    let uptime = ExactSum::from_raw(cur.i128()?);
+    let max_conservation_j = cur.f64()?;
+    let n_policies = cur.u16()? as usize;
+    let mut agg = FleetAggregate::with_policies(std::iter::empty(), 0);
+    agg.device_count = device_count;
+    agg.digest = DigestAccum::from_raw(h, pow);
+    agg.simulated_s = simulated_s;
+    agg.events = events;
+    agg.faults = faults;
+    agg.reliability = reliability;
+    agg.uptime = uptime;
+    agg.max_conservation_j = max_conservation_j;
+    for _ in 0..n_policies {
+        let name = cur.string()?;
+        let mut p = FleetAggregate::with_policies([name.as_str()], 0)
+            .policies
+            .pop()
+            .expect("one policy accumulator");
+        p.devices = cur.u64()? as usize;
+        p.det_per_day = ExactSum::from_raw(cur.i128()?);
+        p.brown_outs = cur.u64()?;
+        p.final_soc = ExactSum::from_raw(cur.i128()?);
+        p.uptime = ExactSum::from_raw(cur.i128()?);
+        p.reliability = cur.reliability()?;
+        agg.policies.push(p);
+    }
+    agg.sample_cap = cur.u64()? as usize;
+    let n_sample = cur.u32()? as usize;
+    for _ in 0..n_sample {
+        let len = cur.u32()? as usize;
+        let rec = cur.take(len)?;
+        agg.sample.push(decode_result(rec)?);
+    }
+    cur.done()?;
+    Ok(agg)
+}
+
+/// Writes one `u32`-length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates the underlying write failure.
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> Result<(), RecordError> {
+    let len = u32::try_from(payload.len()).expect("frame fits u32 length");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Writes the zero-length end-of-records marker.
+///
+/// # Errors
+///
+/// Propagates the underlying write failure.
+pub fn write_end<W: Write>(w: &mut W) -> Result<(), RecordError> {
+    w.write_all(&0u32.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads one frame. Returns `Ok(None)` on the zero-length end marker
+/// **and** on clean EOF at a frame boundary (a worker that streamed
+/// nothing).
+///
+/// # Errors
+///
+/// [`RecordError::Truncated`] when the stream ends mid-frame,
+/// [`RecordError::Io`] on pipe failure.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, RecordError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        let n = r.read(&mut len_buf[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None); // clean EOF at a frame boundary
+            }
+            return Err(RecordError::Truncated);
+        }
+        got += n;
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 {
+        return Ok(None);
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|_| RecordError::Truncated)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> DeviceResult {
+        let mut faults = FaultCounters::default();
+        for (i, kind) in FaultKind::ALL.into_iter().enumerate() {
+            faults.set(kind, (i as u64 + 1) * 3);
+        }
+        let reliability = ReliabilityCounters {
+            downtime_us: 123_456_789,
+            sync_dropped: 7,
+            ..ReliabilityCounters::default()
+        };
+        DeviceResult {
+            device: 42,
+            env: "indoor-6h".into(),
+            subject: "baseline".into(),
+            policy: "aware-24".into(),
+            days: 1.0 / 24.0,
+            detections: 987,
+            browned_out: true,
+            final_soc: 0.734_521,
+            stored_j: 12.5e-3,
+            consumed_j: f64::MIN_POSITIVE,
+            events: 100_000,
+            uptime: 0.999_999,
+            faults,
+            reliability,
+            conservation_j: 1.3e-12,
+        }
+    }
+
+    #[test]
+    fn result_round_trips_exactly() {
+        let r = sample_result();
+        let bytes = encode_result(&r);
+        assert_eq!(bytes[0], RECORD_VERSION);
+        let back = decode_result(&bytes).expect("round trip");
+        assert_eq!(r, back);
+        assert_eq!(r.digest(), back.digest());
+        assert_eq!(r.consumed_j.to_bits(), back.consumed_j.to_bits());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_inputs_error_cleanly() {
+        let bytes = encode_result(&sample_result());
+        for cut in [0, 1, 8, 73, 137, 218, bytes.len() - 1] {
+            assert!(
+                matches!(decode_result(&bytes[..cut]), Err(RecordError::Truncated)),
+                "cut {cut}"
+            );
+        }
+        let mut wrong = bytes.clone();
+        wrong[0] = 0x7f;
+        assert!(matches!(
+            decode_result(&wrong),
+            Err(RecordError::Version(0x7f))
+        ));
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            decode_result(&padded),
+            Err(RecordError::Trailing(1))
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_and_end_marker_terminates() {
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, b"abc").unwrap();
+        write_frame(&mut pipe, b"").unwrap(); // zero-length payload == end
+        let mut r = pipe.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"abc"[..]));
+        assert!(read_frame(&mut r).unwrap().is_none());
+        // Clean EOF at a boundary is also a terminator.
+        let mut empty: &[u8] = &[];
+        assert!(read_frame(&mut empty).unwrap().is_none());
+        // Mid-frame EOF is an error.
+        let mut cut = &pipe[..2];
+        assert!(matches!(read_frame(&mut cut), Err(RecordError::Truncated)));
+    }
+}

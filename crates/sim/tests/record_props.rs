@@ -1,0 +1,186 @@
+//! Property tests for the fleet record codec: encode → decode must be
+//! the identity on arbitrary `DeviceResult`s — bit-exact on every f64 —
+//! and corrupt input must fail cleanly, never panic or mis-decode.
+
+use iw_sim::record::{decode_result, encode_result, RecordError};
+use iw_sim::{DeviceResult, FaultCounters, FaultKind, ReliabilityCounters};
+use proptest::prelude::*;
+
+/// Full-range NaN-free f64s: exact bit patterns drawn from the whole
+/// u64 space (subnormals, ±0, ±∞, `MAX`, `MIN_POSITIVE`, …), with the
+/// NaN payloads remapped — NaN would break `PartialEq` round-trip
+/// comparison, and no fleet statistic can legitimately be NaN.
+fn extreme_f64() -> BoxedStrategy<f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::MAX),
+        Just(-f64::MAX),
+        Just(f64::MIN_POSITIVE),
+        Just(f64::EPSILON),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        (-1e9f64..1e9).boxed(),
+        any::<u64>().prop_map(|bits| {
+            let v = f64::from_bits(bits);
+            if v.is_nan() {
+                1.5e308
+            } else {
+                v
+            }
+        }),
+    ]
+    .boxed()
+}
+
+/// Label strings covering the empty string, non-ASCII UTF-8 and plain
+/// policy names.
+fn label() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("fixed-24".to_string()),
+        Just("aware-24".to_string()),
+        Just("bürö-ß·µW".to_string()),
+        (0u32..10_000).prop_map(|n| format!("env-{n}")),
+    ]
+    .boxed()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_result(
+    device: u64,
+    days: f64,
+    detections: u64,
+    browned: u8,
+    floats: &[f64],
+    events: u64,
+    fault_counts: &[u64],
+    rel_counts: &[u64],
+    env: String,
+    subject: String,
+    policy: String,
+) -> DeviceResult {
+    let mut faults = FaultCounters::default();
+    for (kind, &count) in FaultKind::ALL.into_iter().zip(fault_counts) {
+        faults.set(kind, count);
+    }
+    let reliability = ReliabilityCounters {
+        downtime_us: rel_counts[0],
+        brownouts: rel_counts[1],
+        recoveries: rel_counts[2],
+        recovery_us: rel_counts[3],
+        degraded_windows: rel_counts[4],
+        skipped_acquisitions: rel_counts[5],
+        sync_episodes: rel_counts[6],
+        sync_ok: rel_counts[7],
+        sync_retried: rel_counts[8],
+        sync_dropped: rel_counts[9],
+    };
+    DeviceResult {
+        device: device as usize,
+        env,
+        subject,
+        policy,
+        days,
+        detections,
+        browned_out: browned != 0,
+        final_soc: floats[0],
+        stored_j: floats[1],
+        consumed_j: floats[2],
+        events,
+        uptime: floats[3],
+        faults,
+        reliability,
+        conservation_j: floats[4],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn record_round_trip_is_exact(
+        device in any::<u64>(),
+        days in extreme_f64(),
+        detections in any::<u64>(),
+        browned in 0u8..2,
+        floats in prop::collection::vec(extreme_f64(), 5),
+        events in any::<u64>(),
+        fault_counts in prop::collection::vec(any::<u64>(), 8),
+        rel_counts in prop::collection::vec(any::<u64>(), 10),
+        env in label(),
+        subject in label(),
+        policy in label(),
+    ) {
+        let r = build_result(
+            device, days, detections, browned, &floats, events,
+            &fault_counts, &rel_counts, env, subject, policy,
+        );
+        let bytes = encode_result(&r);
+        let back = decode_result(&bytes).expect("well-formed record");
+        prop_assert_eq!(&r, &back);
+        // PartialEq treats -0.0 == 0.0; the codec contract is stronger:
+        // exact bit patterns.
+        prop_assert_eq!(r.days.to_bits(), back.days.to_bits());
+        prop_assert_eq!(r.final_soc.to_bits(), back.final_soc.to_bits());
+        prop_assert_eq!(r.stored_j.to_bits(), back.stored_j.to_bits());
+        prop_assert_eq!(r.consumed_j.to_bits(), back.consumed_j.to_bits());
+        prop_assert_eq!(r.uptime.to_bits(), back.uptime.to_bits());
+        prop_assert_eq!(r.conservation_j.to_bits(), back.conservation_j.to_bits());
+        for kind in FaultKind::ALL {
+            prop_assert_eq!(r.faults.get(kind), back.faults.get(kind));
+        }
+    }
+
+    #[test]
+    fn truncated_records_error_instead_of_panicking(
+        detections in any::<u64>(),
+        floats in prop::collection::vec(extreme_f64(), 5),
+        fault_counts in prop::collection::vec(any::<u64>(), 8),
+        rel_counts in prop::collection::vec(any::<u64>(), 10),
+        cut_seed in any::<u64>(),
+    ) {
+        let r = build_result(
+            7, 1.0, detections, 1, &floats, 3,
+            &fault_counts, &rel_counts,
+            "indoor-6h".into(), "baseline".into(), "aware-24".into(),
+        );
+        let bytes = encode_result(&r);
+        let cut = (cut_seed as usize) % bytes.len();
+        match decode_result(&bytes[..cut]) {
+            Err(RecordError::Truncated) => {}
+            other => {
+                return Err(format!(
+                    "cut at {cut}/{} gave {other:?}, expected Truncated",
+                    bytes.len()
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_version_and_trailing_bytes_are_rejected(
+        wrong_version in 2u8..=u8::MAX,
+        junk in 1usize..16,
+    ) {
+        let r = build_result(
+            1, 0.5, 10, 0, &[0.5, 1.0, 1.0, 1.0, 0.0], 2,
+            &[0; 8], &[0; 10],
+            "e".into(), "s".into(), "p".into(),
+        );
+        let mut bytes = encode_result(&r);
+        // Trailing garbage after a valid record.
+        let mut padded = bytes.clone();
+        padded.extend(std::iter::repeat_n(0xAAu8, junk));
+        match decode_result(&padded) {
+            Err(RecordError::Trailing(n)) => prop_assert_eq!(n, junk),
+            other => return Err(format!("expected Trailing, got {other:?}")),
+        }
+        // Unknown version byte.
+        bytes[0] = wrong_version;
+        match decode_result(&bytes) {
+            Err(RecordError::Version(v)) => prop_assert_eq!(v, wrong_version),
+            other => return Err(format!("expected Version, got {other:?}")),
+        }
+    }
+}

@@ -337,29 +337,16 @@ impl Recorder {
         }
     }
 
-    /// Exports the recording as Chrome trace-event JSON (the
-    /// `traceEvents` array form), loadable in Perfetto. One named thread
-    /// per track; spans become `"X"` complete events, instants `"i"`,
-    /// counters `"C"`. Timestamps are microseconds of simulated time.
-    #[must_use]
-    pub fn chrome_trace_json(&mut self) -> String {
-        self.finish();
-        let mut out = String::from("{\"traceEvents\":[");
-        let mut first = true;
-        let push = |out: &mut String, first: &mut bool, ev: String| {
-            if !*first {
-                out.push(',');
-            }
-            *first = false;
-            out.push('\n');
-            out.push_str(&ev);
-        };
+    /// Writes this recording's metadata + events into an open Chrome
+    /// trace-event array under process id `pid`. Callers must have
+    /// called [`Recorder::finish`] first.
+    fn write_chrome_events(&self, pid: usize, out: &mut String, first: &mut bool) {
         for (i, track) in self.tracks.iter().enumerate() {
-            push(
-                &mut out,
-                &mut first,
-                format!(
-                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{i},\
+            push_event(
+                out,
+                first,
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{i},\
                      \"args\":{{\"name\":{}}}}}",
                     json::quote(&track.name)
                 ),
@@ -375,7 +362,7 @@ impl Recorder {
                 } => {
                     let tpu = self.resolved_ticks_per_us(track.index());
                     format!(
-                        "{{\"name\":{},\"ph\":\"X\",\"pid\":0,\"tid\":{},\
+                        "{{\"name\":{},\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\
                          \"ts\":{:.3},\"dur\":{:.3}}}",
                         json::quote(name),
                         track.index(),
@@ -386,7 +373,7 @@ impl Recorder {
                 Event::Instant { track, name, t } => {
                     let tpu = self.resolved_ticks_per_us(track.index());
                     format!(
-                        "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\
+                        "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{},\
                          \"ts\":{:.3}}}",
                         json::quote(name),
                         track.index(),
@@ -402,7 +389,7 @@ impl Recorder {
                     let tpu = self.resolved_ticks_per_us(track.index());
                     let v = if value.is_finite() { *value } else { 0.0 };
                     format!(
-                        "{{\"name\":{},\"ph\":\"C\",\"pid\":0,\"tid\":{},\
+                        "{{\"name\":{},\"ph\":\"C\",\"pid\":{pid},\"tid\":{},\
                          \"ts\":{:.3},\"args\":{{\"value\":{v}}}}}",
                         json::quote(name),
                         track.index(),
@@ -410,8 +397,20 @@ impl Recorder {
                     )
                 }
             };
-            push(&mut out, &mut first, line);
+            push_event(out, first, &line);
         }
+    }
+
+    /// Exports the recording as Chrome trace-event JSON (the
+    /// `traceEvents` array form), loadable in Perfetto. One named thread
+    /// per track; spans become `"X"` complete events, instants `"i"`,
+    /// counters `"C"`. Timestamps are microseconds of simulated time.
+    #[must_use]
+    pub fn chrome_trace_json(&mut self) -> String {
+        self.finish();
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        self.write_chrome_events(0, &mut out, &mut first);
         out.push_str("\n]}\n");
         out
     }
@@ -441,6 +440,47 @@ impl Recorder {
         }
         out
     }
+}
+
+/// Appends one event object to an open Chrome trace-event array,
+/// comma-separating after the first.
+fn push_event(out: &mut String, first: &mut bool, ev: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('\n');
+    out.push_str(ev);
+}
+
+/// Merges several named recorders into one Chrome-trace/Perfetto JSON
+/// document, one **process group** per recorder: group `i` gets
+/// `pid = i`, a `process_name` metadata record carrying its name, and
+/// its tracks as named threads. This is how a fleet sweep renders K
+/// sampled devices side by side on one timeline — each device ran into
+/// its own [`Recorder`], so identically-named tracks (`device`,
+/// `harvest`) never collide.
+///
+/// Each recorder is [`Recorder::finish`]ed as it is written.
+#[must_use]
+pub fn merged_chrome_trace(groups: &mut [(String, Recorder)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (pid, (name, rec)) in groups.iter_mut().enumerate() {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
+                 \"args\":{{\"name\":{}}}}}",
+                json::quote(name)
+            ),
+        );
+        rec.finish();
+        rec.write_chrome_events(pid, &mut out, &mut first);
+    }
+    out.push_str("\n]}\n");
+    out
 }
 
 impl TraceSink for Recorder {
@@ -558,6 +598,52 @@ mod tests {
         assert!(json.contains("\"ts\":3600000000.000"), "{json}");
         assert!(json.contains("\"name\":\"core0\""));
         assert!(json.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn merged_trace_gives_each_recorder_a_process_group() {
+        let mut groups: Vec<(String, Recorder)> = (0..3)
+            .map(|i| {
+                let mut rec = Recorder::new();
+                let t = rec.track("device", 1.0);
+                rec.span(t, "busy", 0, 10 + i);
+                (format!("device {i}"), rec)
+            })
+            .collect();
+        let json = merged_chrome_trace(&mut groups);
+        validate_json(&json).expect("well-formed");
+        for pid in 0..3 {
+            assert!(json.contains(&format!("\"pid\":{pid},")), "{json}");
+            assert!(
+                json.contains(&format!(
+                    "\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"device {pid}\"}}"
+                )),
+                "{json}"
+            );
+        }
+        // Same-named tracks in different groups do not collide: each
+        // group carries its own thread_name record for "device".
+        assert_eq!(json.matches("{\"name\":\"device\"}").count(), 3);
+    }
+
+    #[test]
+    fn merged_trace_of_single_unnamed_group_matches_solo_export() {
+        let build = || {
+            let mut rec = Recorder::new();
+            let t = rec.track("core0", CYCLES);
+            rec.span(t, "busy", 0, 10);
+            rec.counter(t, "soc", 5, 0.5);
+            rec
+        };
+        let solo = build().chrome_trace_json();
+        let mut groups = vec![(String::from("g"), build())];
+        let merged = merged_chrome_trace(&mut groups);
+        // The merged form only adds the process_name record up front;
+        // every event line is byte-identical to the solo pid-0 export.
+        let solo_body = solo
+            .trim_start_matches("{\"traceEvents\":[")
+            .trim_end_matches("\n]}\n");
+        assert!(merged.contains(solo_body), "{merged}\nvs\n{solo}");
     }
 
     #[test]

@@ -1,12 +1,15 @@
-//! Fleet-runner determinism: the parallel sweep must be a pure function
-//! of (seed, device index) — never of thread scheduling.
+//! Fleet-runner determinism: the sweep must be a pure function of
+//! (seed, device index) — never of thread scheduling, shard topology or
+//! process boundaries.
 
 use infiniwolf::{detection_costs, DetectionBudget};
 use iw_nrf52::BleRadio;
-use iw_sim::{BleSync, FaultProfile, FleetConfig};
+use iw_sim::record::{decode_aggregate, encode_aggregate};
+use iw_sim::{BleSync, FaultProfile, FleetAggregate, FleetConfig};
 
 /// A fleet sized for a test: paper environments shortened to one hour so
-/// 24 devices simulate in well under a second.
+/// 24 devices simulate in well under a second. Samples every device so
+/// the per-device comparisons below stay meaningful.
 fn test_fleet(threads: usize, seed: u64) -> FleetConfig {
     let mut cfg = FleetConfig::paper(
         24,
@@ -14,6 +17,7 @@ fn test_fleet(threads: usize, seed: u64) -> FleetConfig {
         seed,
         detection_costs(&DetectionBudget::paper()),
     );
+    cfg.sample_devices = cfg.devices;
     for (_, env) in &mut cfg.environments {
         for seg in &mut env.segments {
             seg.duration_s /= 24.0;
@@ -85,6 +89,7 @@ fn different_seeds_give_different_fleets() {
 fn paper_fleet_covers_all_policies_and_environments() {
     let report = test_fleet(4, 3).run();
     assert_eq!(report.devices.len(), 24);
+    assert_eq!(report.device_count, 24);
     assert!(report.events > 0);
     assert!(report.simulated_s > 0.0);
     for stats in &report.policies {
@@ -94,4 +99,106 @@ fn paper_fleet_covers_all_policies_and_environments() {
     let envs: std::collections::BTreeSet<&str> =
         report.devices.iter().map(|d| d.env.as_str()).collect();
     assert_eq!(envs.len(), 3);
+}
+
+#[test]
+fn unsampled_fleet_retains_no_devices() {
+    let mut cfg = test_fleet(2, 42);
+    cfg.sample_devices = 0; // the default paper() memory semantics
+    let report = cfg.run();
+    assert!(report.devices.is_empty());
+    assert_eq!(report.device_count, 24);
+    // The aggregate is independent of sampling.
+    assert_eq!(report.digest, test_fleet(2, 42).run().digest);
+}
+
+/// A 256-device fleet on 15-minute "days": big enough that every shard
+/// split below is non-trivial, small enough to sweep 12 topologies.
+fn fleet_256(threads: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::paper(
+        256,
+        threads,
+        2026,
+        detection_costs(&DetectionBudget::paper()),
+    );
+    for (_, env) in &mut cfg.environments {
+        for seg in &mut env.segments {
+            seg.duration_s /= 96.0;
+        }
+    }
+    cfg
+}
+
+/// The satellite invariant: the same 256-device run split into 1/2/4/8
+/// shards × 1/2/4 threads — with every shard aggregate additionally
+/// bounced through the binary codec, like the worker protocol does —
+/// always lands on the serial reference digest, field-exact.
+#[test]
+fn digest_merge_is_associative_and_shard_topology_invariant() {
+    let reference = fleet_256(1).run();
+    for shards in [1usize, 2, 4, 8] {
+        for threads in [1usize, 2, 4] {
+            let cfg = fleet_256(threads);
+            let mut merged = FleetAggregate::new(&cfg);
+            for shard in 0..shards {
+                let agg = cfg.run_shard(shard, shards);
+                let wire = encode_aggregate(&agg);
+                let agg = decode_aggregate(&wire).expect("aggregate codec round-trip");
+                merged.merge(agg);
+            }
+            let report = merged.into_report();
+            assert_eq!(
+                report.digest, reference.digest,
+                "digest diverged at {shards} shards × {threads} threads"
+            );
+            assert_eq!(
+                report, reference,
+                "report diverged at {shards} shards × {threads} threads"
+            );
+        }
+    }
+}
+
+/// Digest merge is order-fixed: merging shards out of order must NOT
+/// reproduce the reference (the digest is position-dependent).
+#[test]
+fn digest_merge_is_order_fixed() {
+    let cfg = fleet_256(2);
+    let reference = cfg.run();
+    let a = cfg.run_shard(0, 2);
+    let b = cfg.run_shard(1, 2);
+    let mut swapped = b;
+    swapped.merge(a);
+    assert_eq!(swapped.device_count, 256);
+    assert_ne!(swapped.into_report().digest, reference.digest);
+}
+
+/// The acceptance-criteria scale assertion: at 10⁴ devices the
+/// sharded/merged digest is bit-identical to the single-thread
+/// reference, with per-device results streamed (counted) and dropped,
+/// never retained.
+#[test]
+fn ten_thousand_device_fleet_merges_bit_identically() {
+    let mut cfg = FleetConfig::paper(10_000, 1, 77, detection_costs(&DetectionBudget::paper()));
+    for (_, env) in &mut cfg.environments {
+        for seg in &mut env.segments {
+            seg.duration_s /= 288.0; // 5-minute "days"
+        }
+    }
+    let mut streamed = 0u64;
+    let reference = cfg.run_chunk_with(0..cfg.devices, |_| streamed += 1);
+    assert_eq!(streamed, 10_000);
+    let reference = reference.into_report();
+    assert!(reference.devices.is_empty(), "nothing retained by default");
+    assert_eq!(reference.device_count, 10_000);
+
+    let mut workers = cfg.clone();
+    workers.threads = 2;
+    let mut merged = FleetAggregate::new(&workers);
+    for shard in 0..4 {
+        merged.merge(workers.run_shard(shard, 4));
+    }
+    let report = merged.into_report();
+    assert_eq!(report.digest, reference.digest);
+    assert_eq!(report, reference);
 }
