@@ -12,7 +12,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p iw-trace -p iw-power -p iw-rv32 -p iw-armv7m -p iw-mrwolf -p iw-nrf52 \
   -p iw-fann -p iw-kernels -p iw-harvest -p iw-sensors -p iw-sim -p iw-fault \
-  -p infiniwolf -p iw-biosig -p iw-bench
+  -p iw-metrics -p infiniwolf -p iw-biosig -p iw-bench
 cargo test --workspace -q
 
 # Smoke: the registry-driven tables must regenerate the headline rows
@@ -44,8 +44,14 @@ cargo run --release -q -p iw-bench --bin fleet -- --devices 64 --threads 8 --che
 cargo run --release -q -p iw-bench --bin fleet -- --devices 64 --faults harsh --check >/dev/null
 
 # Smoke: the streaming coordinator/worker service — two worker processes
-# stream 4096 devices as binary record frames, the coordinator re-folds
-# every record, merges the shard aggregates hierarchically, and the
+# stream 4096 devices as binary record frames with heartbeat telemetry
+# interleaved, the coordinator re-folds every record, merges the shard
+# aggregates hierarchically, exports the fleet metrics snapshot, and the
 # digest must be bit-identical to the in-process single-thread reference
-# (--check exits non-zero otherwise).
-cargo run --release -q -p iw-bench --bin fleet -- --devices 4096 --workers 2 --check >/dev/null
+# (--check exits non-zero otherwise). The exposition itself is pinned
+# byte-for-byte by bench/tests/golden_metrics.rs; here we just require
+# that the export is present and carries histogram buckets.
+cargo run --release -q -p iw-bench --bin fleet -- \
+  --devices 4096 --workers 2 --metrics /tmp/iw_fleet_metrics.prom --check >/dev/null
+grep -q "fleet_device_uptime_ppm_bucket" /tmp/iw_fleet_metrics.prom
+rm -f /tmp/iw_fleet_metrics.prom

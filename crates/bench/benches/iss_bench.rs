@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use iw_bench::evaluation_nets;
 use iw_kernels::{registry, FixedTarget, PreparedFixed};
+use iw_metrics::Registry;
 
 /// Rounds of interleaved timing per (network, target) row.
 const ROUNDS: usize = 5;
@@ -96,6 +97,10 @@ impl RowResult {
 
 fn bench() {
     let mut out = String::from("{\n  \"workloads\": [\n");
+    // Machine-readable mirror of the throughput table, in the same
+    // sample schema the fleet `--metrics` exporter emits — one gauge
+    // per (network, target, path) plus the block-cache statistics.
+    let reg = Registry::new();
     let nets = evaluation_nets();
     for (ni, (name, _, fixed, qin)) in nets.iter().enumerate() {
         println!("== iss_throughput/{name} ==");
@@ -150,6 +155,22 @@ fn bench() {
                     "", row.avg_burst, row.dispatches,
                 );
             }
+            for (path, seconds) in [
+                ("uncached", row.uncached_s),
+                ("predecoded", row.predecoded_s),
+                ("blocks", row.blocks_s),
+            ] {
+                reg.gauge(
+                    "iss_minstr_per_s",
+                    &[("network", name), ("target", &row.target), ("path", path)],
+                )
+                .set(row.minstr(seconds));
+            }
+            let labels = [("network", name.as_str()), ("target", row.target.as_str())];
+            reg.counter("iss_instructions", &labels)
+                .add(row.instructions);
+            reg.gauge("iss_block_hit_rate", &labels).set(row.hit_rate);
+            reg.gauge("iss_block_avg_burst", &labels).set(row.avg_burst);
             rows.push(row);
         }
 
@@ -184,7 +205,9 @@ fn bench() {
             if ni + 1 < nets.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n  \"metrics\": ");
+    out.push_str(&reg.snapshot().to_json());
+    out.push_str("\n}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_iss.json");
     std::fs::write(path, out).expect("writes BENCH_iss.json");

@@ -1,0 +1,51 @@
+//! Byte-for-byte regression test for the Prometheus metrics exposition.
+//!
+//! `golden_metrics.prom` was captured from the fleet metrics snapshot
+//! of a 27-device D3 harsh-profile run under the frozen default seed
+//! (2020). The snapshot is a pure, topology-invariant function of the
+//! seed, so any drift in metric names, label sets, histogram bucket
+//! boundaries, counter folding, or the exposition renderer fails here.
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test -p iw-bench --test
+//! golden_metrics` after an intentional change.
+
+use iw_sim::{fleet_snapshot, FaultProfile};
+
+fn exposition() -> String {
+    let report = iw_bench::d3_fleet_config(27, 4, iw_bench::SEED, FaultProfile::Harsh).run();
+    fleet_snapshot(&report).to_prometheus()
+}
+
+#[test]
+fn prometheus_exposition_matches_frozen_snapshot() {
+    let got = exposition();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_metrics.prom");
+        std::fs::write(path, &got).expect("write golden file");
+        return;
+    }
+    let want = include_str!("golden_metrics.prom");
+    assert_eq!(
+        got, want,
+        "Prometheus exposition drifted from the frozen snapshot"
+    );
+}
+
+#[test]
+fn exposition_carries_the_full_metric_surface() {
+    let got = exposition();
+    // Scalar families, per-kind fault counters, per-policy gauges and
+    // cumulative histogram buckets must all be present with stable
+    // names — dashboards key on these.
+    for needle in [
+        "# TYPE fleet_devices counter",
+        "# TYPE fleet_device_uptime_ppm histogram",
+        "fleet_fault_episodes_total{kind=\"ble-loss\"}",
+        "fleet_policy_mean_uptime{policy=\"aware-24\"}",
+        "fleet_sync_attempts_bucket{le=\"+Inf\"}",
+        "fleet_sync_attempts_sum",
+        "fleet_sync_attempts_count",
+        "fleet_brownouts_total",
+    ] {
+        assert!(got.contains(needle), "missing `{needle}` in:\n{got}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the log-linear histogram: `merge` must be an
+//! exact monoid on canonical histograms — associative and commutative
+//! bucket-by-bucket, with the empty histogram as identity, and
+//! identical to recording the concatenated sample streams. This is the
+//! algebra that makes the fleet metrics snapshot bit-identical across
+//! any shard/thread topology.
+
+use iw_metrics::{bucket_bounds, bucket_index, Histogram, MAX_BUCKETS};
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_associative_bucket_exact(
+        a in prop::collection::vec(any::<u64>(), 0..64),
+        b in prop::collection::vec(any::<u64>(), 0..64),
+        c in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // A ⊕ (B ⊕ C) == (A ⊕ B) ⊕ C — derived Eq compares every
+        // bucket count plus the carried scalars, so this is exact.
+        let left = merged(&ha, &merged(&hb, &hc));
+        let right = merged(&merged(&ha, &hb), &hc);
+        prop_assert_eq!(&left, &right);
+        // Commutative too, and equal to one histogram over the
+        // concatenated sample stream — merge order can never leak into
+        // a fleet snapshot.
+        prop_assert_eq!(&merged(&hc, &merged(&hb, &ha)), &left);
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&hist_of(&all), &left);
+    }
+
+    #[test]
+    fn empty_histogram_is_the_merge_identity(
+        a in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let h = hist_of(&a);
+        prop_assert_eq!(&merged(&h, &Histogram::new()), &h);
+        prop_assert_eq!(&merged(&Histogram::new(), &h), &h);
+    }
+
+    #[test]
+    fn bucket_index_inverts_bounds_and_bounds_error(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < MAX_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        // ≤ 1/16 relative width: the documented resolution bound.
+        prop_assert!((hi - lo) as f64 <= (lo as f64 / 16.0).max(1.0));
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_every_bucket(
+        a in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let h = hist_of(&a);
+        let pairs: Vec<(u16, u64)> = h.sparse().collect();
+        let (count, sum, min, max) = h.scalars();
+        let back = Histogram::from_parts(count, sum, min, max, &pairs)
+            .expect("canonical parts re-validate");
+        prop_assert_eq!(&back, &h);
+    }
+}

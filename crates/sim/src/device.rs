@@ -29,6 +29,7 @@ use iw_fault::{
 };
 use iw_harvest::{Battery, EnvProfile, SimReport, SolarHarvester, TegHarvester, TracePoint};
 use iw_kernels::{ExecPath, Machine, MachineError, MachineRun, Workload};
+use iw_metrics::Histogram;
 use iw_nrf52::BleRadio;
 use iw_trace::TraceSink;
 
@@ -160,6 +161,12 @@ pub struct DeviceReport {
     pub sync_bursts: u64,
     /// Events the engine processed (throughput accounting).
     pub events: u64,
+    /// Peak event-queue depth over the run (engine instrumentation).
+    pub queue_high_water: u64,
+    /// Distribution of BLE transmission attempts per sync episode.
+    pub sync_attempts: Histogram,
+    /// Distribution of BLE retry backoff delays, µs.
+    pub sync_backoff_us: Histogram,
     /// Per-fault-kind episode counters.
     pub faults: FaultCounters,
     /// Reliability accumulators (downtime, gated windows, sync outcomes).
@@ -292,6 +299,7 @@ impl DeviceConfig {
         }
         let events = engine.run(sink);
         let end_us = engine.now_us();
+        let queue_high_water = engine.queue_high_water();
         let mut state = engine.state;
         finalize_reliability(&mut state, end_us);
         let duration_us = secs_to_us(self.env.duration_s());
@@ -308,6 +316,9 @@ impl DeviceConfig {
             notifications: state.notifications,
             sync_bursts: state.sync_bursts,
             events,
+            queue_high_water,
+            sync_attempts: state.sync_attempts,
+            sync_backoff_us: state.sync_backoff_us,
             faults: state.faults,
             reliability: state.reliability,
             uptime,
@@ -707,7 +718,9 @@ impl<S: TraceSink> Component<S> for RadioComponent {
                             let track = ctx.tracks.device;
                             ctx.sink.instant(track, "sync-retry", ctx.now_us);
                         }
-                        ctx.schedule_in(self.backoff_us << (self.attempt - 1), Event::BleSyncStart);
+                        let backoff = self.backoff_us << (self.attempt - 1);
+                        ctx.state.sync_backoff_us.record(backoff);
+                        ctx.schedule_in(backoff, Event::BleSyncStart);
                         return;
                     }
                     // Retry budget exhausted: the episode is dropped; a
@@ -732,6 +745,9 @@ impl<S: TraceSink> Component<S> for RadioComponent {
                         self.pending = 0;
                     }
                 }
+                // Episode resolved (delivered or dropped): its attempt
+                // count feeds the fleet retry histogram.
+                ctx.state.sync_attempts.record(u64::from(self.attempt) + 1);
                 self.attempt = 0;
                 ctx.schedule_in(
                     secs_to_us((sync.interval_s - sync.burst_s).max(0.0)),

@@ -21,6 +21,7 @@ use std::collections::BinaryHeap;
 
 use iw_fault::{FaultCounters, ReliabilityCounters};
 use iw_harvest::{Battery, TracePoint};
+use iw_metrics::Histogram;
 use iw_trace::{TraceSink, TrackId};
 
 /// Microseconds per second, the engine's tick rate.
@@ -166,6 +167,11 @@ pub struct DeviceState {
     pub notifications: u64,
     /// Periodic BLE sync bursts completed.
     pub sync_bursts: u64,
+    /// Distribution of BLE transmission attempts per sync episode
+    /// (1 = first try succeeded; see `RadioComponent`).
+    pub sync_attempts: Histogram,
+    /// Distribution of BLE retry backoff delays, µs.
+    pub sync_backoff_us: Histogram,
     /// `true` once a discharge request ever exceeded the stored energy.
     pub browned_out: bool,
     /// Energy actually stored into the cell (after charge losses), joules.
@@ -197,6 +203,8 @@ impl DeviceState {
             detections: 0,
             notifications: 0,
             sync_bursts: 0,
+            sync_attempts: Histogram::new(),
+            sync_backoff_us: Histogram::new(),
             browned_out: false,
             stored_j: 0.0,
             consumed_j: 0.0,
@@ -366,6 +374,7 @@ pub struct Engine<S: TraceSink> {
     queue: Queue,
     seq: u64,
     events_processed: u64,
+    queue_high_water: u64,
     components: Vec<Box<dyn Component<S>>>,
 }
 
@@ -379,6 +388,7 @@ impl<S: TraceSink> Engine<S> {
             queue: Queue::new(),
             seq: 0,
             events_processed: 0,
+            queue_high_water: 0,
             components: Vec::new(),
         }
     }
@@ -394,6 +404,14 @@ impl<S: TraceSink> Engine<S> {
     #[must_use]
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// High-water mark of the event-queue depth across the run so far.
+    /// Components only push during dispatch (they cannot pop), so
+    /// sampling the depth after each broadcast captures the true peak.
+    #[must_use]
+    pub fn queue_high_water(&self) -> u64 {
+        self.queue_high_water
     }
 
     /// Current simulation time, microseconds.
@@ -427,6 +445,7 @@ impl<S: TraceSink> Engine<S> {
                 c.start(&mut ctx);
             }
         }
+        self.queue_high_water = self.queue_high_water.max(self.queue.len() as u64);
         while let Some(Reverse(scheduled)) = self.queue.pop() {
             let dt_s = self.clock.advance_to(scheduled.t_us);
             self.state.advance(dt_s);
@@ -446,6 +465,7 @@ impl<S: TraceSink> Engine<S> {
             for c in &mut components {
                 c.handle(scheduled.ev, &mut ctx);
             }
+            self.queue_high_water = self.queue_high_water.max(self.queue.len() as u64);
             if stopped {
                 break;
             }

@@ -32,6 +32,7 @@ use std::ops::Range;
 
 use iw_fault::{mix, FaultCounters, FaultKind, FaultProfile, ReliabilityCounters};
 use iw_harvest::{Battery, EnvProfile};
+use iw_metrics::{Histogram, Snapshot, Value};
 use iw_trace::{Recorder, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -126,6 +127,12 @@ pub struct DeviceResult {
     pub consumed_j: f64,
     /// Engine events processed.
     pub events: u64,
+    /// Peak event-queue depth over the run.
+    pub queue_high_water: u64,
+    /// Distribution of BLE transmission attempts per sync episode.
+    pub sync_attempts: Histogram,
+    /// Distribution of BLE retry backoff delays, µs.
+    pub sync_backoff_us: Histogram,
     /// Fraction of the run the device was operational.
     pub uptime: f64,
     /// Per-fault-kind episode counters.
@@ -142,9 +149,12 @@ impl DeviceResult {
     /// The device's digest contribution: FNV-1a over the result's
     /// determinism-relevant fields (index, detections, brown-out flag,
     /// the exact bit patterns of the energy bookkeeping, and every
-    /// fault / reliability counter). Engine-event counts and trace
-    /// sampling are deliberately excluded, so an observability re-run
-    /// ([`FleetConfig::run_device_traced`]) digests identically.
+    /// fault / reliability counter). Engine-event counts, queue depth,
+    /// trace sampling and the telemetry histograms are deliberately
+    /// excluded, so an observability re-run
+    /// ([`FleetConfig::run_device_traced`]) digests identically
+    /// (tracing adds `Sample` events, which shifts event counts and
+    /// queue depth without perturbing any decision).
     #[must_use]
     pub fn digest(&self) -> u64 {
         let mut h = FNV_OFFSET;
@@ -197,6 +207,108 @@ pub struct PolicyStats {
     pub reliability: ReliabilityCounters,
 }
 
+/// Fleet-wide telemetry distributions, folded per device and merged
+/// element-wise — the histogram face of the digest algebra. Every
+/// histogram has exact `u64` buckets ([`Histogram::merge`] is
+/// element-wise addition), so the merged distributions are bit-identical
+/// across shard/thread topology, bucket for bucket.
+///
+/// Like `events`, none of this feeds [`DeviceResult::digest`]: the
+/// distributions are *derived* observability, and the queue/event
+/// histograms legitimately differ under tracing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetMetrics {
+    /// Per-device uptime fraction, parts per million.
+    pub uptime_ppm: Histogram,
+    /// Per-device final state of charge, parts per million.
+    pub final_soc_ppm: Histogram,
+    /// Per-device detections completed.
+    pub detections: Histogram,
+    /// Per-device brownout downtime, µs.
+    pub downtime_us: Histogram,
+    /// Per-device engine events processed.
+    pub events: Histogram,
+    /// Per-device peak event-queue depth.
+    pub queue_high_water: Histogram,
+    /// BLE transmission attempts per sync episode (fleet-wide).
+    pub sync_attempts: Histogram,
+    /// BLE retry backoff delays, µs (fleet-wide).
+    pub sync_backoff_us: Histogram,
+}
+
+impl FleetMetrics {
+    /// Folds one device's contribution (quantising the float statistics
+    /// to parts per million — a pure function of the value, so folding
+    /// is topology-invariant).
+    pub fn fold(&mut self, result: &DeviceResult) {
+        self.uptime_ppm
+            .record((result.uptime.clamp(0.0, 1.0) * 1e6).round() as u64);
+        self.final_soc_ppm
+            .record((result.final_soc.clamp(0.0, 1.0) * 1e6).round() as u64);
+        self.detections.record(result.detections);
+        self.downtime_us.record(result.reliability.downtime_us);
+        self.events.record(result.events);
+        self.queue_high_water.record(result.queue_high_water);
+        self.sync_attempts.merge(&result.sync_attempts);
+        self.sync_backoff_us.merge(&result.sync_backoff_us);
+    }
+
+    /// Element-wise merge of every histogram (exact, associative).
+    pub fn merge(&mut self, other: &FleetMetrics) {
+        self.uptime_ppm.merge(&other.uptime_ppm);
+        self.final_soc_ppm.merge(&other.final_soc_ppm);
+        self.detections.merge(&other.detections);
+        self.downtime_us.merge(&other.downtime_us);
+        self.events.merge(&other.events);
+        self.queue_high_water.merge(&other.queue_high_water);
+        self.sync_attempts.merge(&other.sync_attempts);
+        self.sync_backoff_us.merge(&other.sync_backoff_us);
+    }
+
+    /// The histograms with their exported metric names, in wire order
+    /// (the codec and every exporter iterate this).
+    #[must_use]
+    pub fn histograms(&self) -> [(&'static str, &Histogram); 8] {
+        [
+            ("fleet_device_uptime_ppm", &self.uptime_ppm),
+            ("fleet_device_final_soc_ppm", &self.final_soc_ppm),
+            ("fleet_device_detections", &self.detections),
+            ("fleet_device_downtime_us", &self.downtime_us),
+            ("fleet_device_events", &self.events),
+            ("fleet_device_queue_high_water", &self.queue_high_water),
+            ("fleet_sync_attempts", &self.sync_attempts),
+            ("fleet_sync_backoff_us", &self.sync_backoff_us),
+        ]
+    }
+
+    /// Rebuilds from histograms in the [`FleetMetrics::histograms`] wire
+    /// order (the codec path). Returns `None` on a length mismatch.
+    #[must_use]
+    pub fn from_wire(mut hists: Vec<Histogram>) -> Option<FleetMetrics> {
+        if hists.len() != 8 {
+            return None;
+        }
+        let sync_backoff_us = hists.pop()?;
+        let sync_attempts = hists.pop()?;
+        let queue_high_water = hists.pop()?;
+        let events = hists.pop()?;
+        let downtime_us = hists.pop()?;
+        let detections = hists.pop()?;
+        let final_soc_ppm = hists.pop()?;
+        let uptime_ppm = hists.pop()?;
+        Some(FleetMetrics {
+            uptime_ppm,
+            final_soc_ppm,
+            detections,
+            downtime_us,
+            events,
+            queue_high_water,
+            sync_attempts,
+            sync_backoff_us,
+        })
+    }
+}
+
 /// The merged fleet sweep result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
@@ -223,6 +335,8 @@ pub struct FleetReport {
     pub mean_uptime: f64,
     /// Largest per-device energy-conservation drift, joules.
     pub max_conservation_j: f64,
+    /// Fleet-wide telemetry distributions (topology-invariant buckets).
+    pub metrics: FleetMetrics,
 }
 
 fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
@@ -437,6 +551,8 @@ pub struct FleetAggregate {
     pub uptime: ExactSum,
     /// Largest per-device conservation drift, joules.
     pub max_conservation_j: f64,
+    /// Fleet-wide telemetry distributions.
+    pub metrics: FleetMetrics,
     /// Per-policy accumulators in config policy order.
     pub policies: Vec<PolicyAccum>,
     /// Devices with index below this cap are retained in
@@ -473,6 +589,7 @@ impl FleetAggregate {
             reliability: ReliabilityCounters::default(),
             uptime: ExactSum::default(),
             max_conservation_j: 0.0,
+            metrics: FleetMetrics::default(),
             policies: names.into_iter().map(PolicyAccum::new).collect(),
             sample_cap,
             sample: Vec::new(),
@@ -495,6 +612,7 @@ impl FleetAggregate {
         self.reliability.merge(&result.reliability);
         self.uptime.add(result.uptime);
         self.max_conservation_j = self.max_conservation_j.max(result.conservation_j);
+        self.metrics.fold(&result);
         let policy = self
             .policies
             .iter_mut()
@@ -537,6 +655,7 @@ impl FleetAggregate {
         self.reliability.merge(&next.reliability);
         self.uptime.merge(&next.uptime);
         self.max_conservation_j = self.max_conservation_j.max(next.max_conservation_j);
+        self.metrics.merge(&next.metrics);
         for (mine, theirs) in self.policies.iter_mut().zip(next.policies) {
             assert_eq!(mine.name, theirs.name, "policy order mismatch in merge");
             mine.devices += theirs.devices;
@@ -569,9 +688,111 @@ impl FleetAggregate {
             reliability: self.reliability,
             mean_uptime,
             max_conservation_j: self.max_conservation_j,
+            metrics: self.metrics,
             devices: self.sample,
         }
     }
+}
+
+/// Renders the deterministic slice of a [`FleetReport`] as an
+/// `iw-metrics` [`Snapshot`]: fleet counters, per-fault-kind and
+/// per-sync-outcome totals, per-policy gauges and every
+/// [`FleetMetrics`] histogram. Pure function of the report, so under a
+/// fixed seed the Prometheus/JSON renders are byte-stable — the golden
+/// exposition test in `iw-bench` pins the exact output.
+#[must_use]
+pub fn fleet_snapshot(report: &FleetReport) -> Snapshot {
+    let mut snap = Snapshot::new();
+    snap.push(
+        "fleet_devices",
+        &[],
+        Value::Counter(report.device_count as u64),
+    );
+    snap.push(
+        "fleet_digest_info",
+        &[("digest", &format!("{:016x}", report.digest))],
+        Value::Counter(1),
+    );
+    snap.push("fleet_events_total", &[], Value::Counter(report.events));
+    snap.push(
+        "fleet_simulated_seconds",
+        &[],
+        Value::Gauge(report.simulated_s),
+    );
+    snap.push("fleet_mean_uptime", &[], Value::Gauge(report.mean_uptime));
+    snap.push(
+        "fleet_max_conservation_joules",
+        &[],
+        Value::Gauge(report.max_conservation_j),
+    );
+    for kind in FaultKind::ALL {
+        snap.push(
+            "fleet_fault_episodes_total",
+            &[("kind", kind.label())],
+            Value::Counter(report.faults.get(kind)),
+        );
+    }
+    let rel = &report.reliability;
+    snap.push(
+        "fleet_downtime_us_total",
+        &[],
+        Value::Counter(rel.downtime_us),
+    );
+    snap.push("fleet_brownouts_total", &[], Value::Counter(rel.brownouts));
+    snap.push(
+        "fleet_recoveries_total",
+        &[],
+        Value::Counter(rel.recoveries),
+    );
+    snap.push(
+        "fleet_degraded_windows_total",
+        &[],
+        Value::Counter(rel.degraded_windows),
+    );
+    snap.push(
+        "fleet_skipped_acquisitions_total",
+        &[],
+        Value::Counter(rel.skipped_acquisitions),
+    );
+    for (outcome, count) in [
+        ("ok", rel.sync_ok),
+        ("retried", rel.sync_retried),
+        ("dropped", rel.sync_dropped),
+    ] {
+        snap.push(
+            "fleet_sync_episodes_total",
+            &[("outcome", outcome)],
+            Value::Counter(count),
+        );
+    }
+    for stats in &report.policies {
+        let p = stats.name.as_str();
+        snap.push(
+            "fleet_policy_devices",
+            &[("policy", p)],
+            Value::Counter(stats.devices as u64),
+        );
+        snap.push(
+            "fleet_policy_detections_per_day",
+            &[("policy", p)],
+            Value::Gauge(stats.detections_per_day),
+        );
+        snap.push(
+            "fleet_policy_brownout_rate",
+            &[("policy", p)],
+            Value::Gauge(stats.brown_out_rate),
+        );
+        snap.push(
+            "fleet_policy_mean_uptime",
+            &[("policy", p)],
+            Value::Gauge(stats.mean_uptime),
+        );
+    }
+    for (name, hist) in report.metrics.histograms() {
+        snap.push(name, &[], Value::Histogram(hist.clone()));
+    }
+    snap.sort();
+    snap
 }
 
 impl FleetConfig {
@@ -707,6 +928,9 @@ impl FleetConfig {
             stored_j: report.sim.stored_j,
             consumed_j: report.sim.consumed_j,
             events: report.events,
+            queue_high_water: report.queue_high_water,
+            sync_attempts: report.sync_attempts.clone(),
+            sync_backoff_us: report.sync_backoff_us.clone(),
             uptime: report.uptime,
             faults: report.faults,
             reliability: report.reliability,

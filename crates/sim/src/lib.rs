@@ -46,8 +46,8 @@ pub use engine::{
 };
 pub use faults::FaultComponent;
 pub use fleet::{
-    DeviceResult, DigestAccum, ExactSum, FleetAggregate, FleetConfig, FleetReport, PolicyAccum,
-    PolicyStats, SubjectProfile,
+    fleet_snapshot, DeviceResult, DigestAccum, ExactSum, FleetAggregate, FleetConfig, FleetMetrics,
+    FleetReport, PolicyAccum, PolicyStats, SubjectProfile,
 };
 pub use iw_fault::{
     BrownoutModel, FaultCounters, FaultKind, FaultPlan, FaultProfile, FaultWindow,

@@ -7,7 +7,7 @@
 //! ([`write_frame`]), and at end of stream ship their whole shard
 //! [`FleetAggregate`] with [`encode_aggregate`].
 //!
-//! # Record layout (version 1)
+//! # Record layout (version 2)
 //!
 //! All integers are **little-endian**, all floats are IEEE-754 bit
 //! patterns (`f64::to_bits`), so encode → decode is *exact* — the
@@ -16,7 +16,7 @@
 //!
 //! ```text
 //! offset  size  field
-//!      0     1  RECORD_VERSION (0x01)
+//!      0     1  RECORD_VERSION (0x02)
 //!      1     8  device index            u64
 //!      9     8  days                    f64 bits
 //!     17     8  detections              u64
@@ -29,32 +29,67 @@
 //!     66     8  conservation_j          f64 bits
 //!     74  8×8   fault counters          u64 × FaultKind::ALL order
 //!    138 10×8   reliability counters    u64 × 10 (struct field order)
-//!    218     …  env, subject, policy    3 × (u16 len + UTF-8 bytes)
+//!    218     8  queue_high_water        u64
+//!    226     …  sync_attempts           histogram (see below)
+//!          …  sync_backoff_us         histogram
+//!          …  env, subject, policy    3 × (u16 len + UTF-8 bytes)
 //! ```
+//!
+//! A histogram travels as its carried scalars plus *sparse* buckets —
+//! `count u64 · sum u128 · min u64 · max u64 · n u16 ·
+//! n × (bucket_index u16, bucket_count u64)` — and is validated on
+//! decode ([`iw_metrics::Histogram::from_parts`]), so a corrupt frame
+//! fails with [`RecordError::Malformed`] instead of mis-merging.
 //!
 //! Aggregate frames use the same primitives under [`AGGREGATE_VERSION`]
 //! (exact-sum accumulators travel as raw `i128` quanta, the digest as
-//! its raw `(h, pow)` pair), so a decoded aggregate merges
+//! its raw `(h, pow)` pair, the [`FleetMetrics`] histograms in
+//! [`FleetMetrics::histograms`] order), so a decoded aggregate merges
 //! bit-identically.
 //!
-//! # Framing
+//! # Framing and stream tags
 //!
 //! A frame is `u32` little-endian payload length followed by the
 //! payload. A zero-length frame is the end-of-records marker
-//! ([`write_end`]): the worker protocol is *records… · end marker ·
-//! aggregate frame · stats frame*.
+//! ([`write_end`]): the worker protocol is *(records | heartbeats)… ·
+//! end marker · aggregate frame · stats frame*.
+//!
+//! Every payload's first byte is its **tag**. Result records carry
+//! [`RECORD_VERSION`]; auxiliary telemetry frames carry tags in
+//! `0x40..=0x7f` ([`AUX_TAG_MIN`]..=[`AUX_TAG_MAX`]) — today only
+//! [`HEARTBEAT_TAG`] — and the stream decoder
+//! ([`decode_stream_frame`]) *skips* auxiliary tags it does not know,
+//! so an old coordinator keeps working when a newer worker interleaves
+//! new telemetry frame kinds. Any other unknown tag is a hard
+//! [`RecordError::Version`] error.
 
 use std::io::{Read, Write};
 
 use iw_fault::{FaultCounters, FaultKind, ReliabilityCounters};
+use iw_metrics::Histogram;
 
-use crate::fleet::{DeviceResult, DigestAccum, ExactSum, FleetAggregate, PolicyAccum};
+use crate::fleet::{
+    DeviceResult, DigestAccum, ExactSum, FleetAggregate, FleetMetrics, PolicyAccum,
+};
 
 /// Version byte of a [`DeviceResult`] record.
-pub const RECORD_VERSION: u8 = 0x01;
+pub const RECORD_VERSION: u8 = 0x02;
 
 /// Version byte of a [`FleetAggregate`] frame.
-pub const AGGREGATE_VERSION: u8 = 0x81;
+pub const AGGREGATE_VERSION: u8 = 0x82;
+
+/// First auxiliary (skippable) stream tag.
+pub const AUX_TAG_MIN: u8 = 0x40;
+
+/// Last auxiliary (skippable) stream tag.
+pub const AUX_TAG_MAX: u8 = 0x7f;
+
+/// Tag byte of a worker [`Heartbeat`] frame (inside the auxiliary
+/// range, so coordinators that predate heartbeats skip them).
+pub const HEARTBEAT_TAG: u8 = 0x48;
+
+/// Tag byte of a worker [`WorkerStats`] frame.
+pub const STATS_VERSION: u8 = 0x92;
 
 /// Decode / framing failure.
 #[derive(Debug)]
@@ -65,6 +100,9 @@ pub enum RecordError {
     Version(u8),
     /// A string field was not valid UTF-8.
     Utf8,
+    /// A field decoded but is internally inconsistent (e.g. histogram
+    /// bucket counts that do not sum to the carried total).
+    Malformed(&'static str),
     /// Bytes remained after the last field.
     Trailing(usize),
     /// Underlying pipe/file error while framing.
@@ -77,6 +115,7 @@ impl std::fmt::Display for RecordError {
             RecordError::Truncated => write!(f, "record truncated"),
             RecordError::Version(v) => write!(f, "unknown record version 0x{v:02x}"),
             RecordError::Utf8 => write!(f, "record string is not UTF-8"),
+            RecordError::Malformed(what) => write!(f, "malformed record field: {what}"),
             RecordError::Trailing(n) => write!(f, "{n} trailing bytes after record"),
             RecordError::Io(e) => write!(f, "record i/o: {e}"),
         }
@@ -138,6 +177,21 @@ fn put_faults(out: &mut Vec<u8>, faults: &FaultCounters) {
     }
 }
 
+fn put_hist(out: &mut Vec<u8>, h: &Histogram) {
+    let (count, sum, min, max) = h.scalars();
+    put_u64(out, count);
+    out.extend_from_slice(&sum.to_le_bytes());
+    put_u64(out, min);
+    put_u64(out, max);
+    let pairs: Vec<(u16, u64)> = h.sparse().collect();
+    let n = u16::try_from(pairs.len()).expect("histogram buckets fit u16 count");
+    out.extend_from_slice(&n.to_le_bytes());
+    for (idx, c) in pairs {
+        out.extend_from_slice(&idx.to_le_bytes());
+        put_u64(out, c);
+    }
+}
+
 /// Bounded-checked little-endian reader over a decode buffer.
 struct Cur<'a> {
     buf: &'a [u8],
@@ -179,6 +233,10 @@ impl<'a> Cur<'a> {
         Ok(i128::from_le_bytes(self.take(16)?.try_into().unwrap()))
     }
 
+    fn u128(&mut self) -> Result<u128, RecordError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
     fn f64(&mut self) -> Result<f64, RecordError> {
         Ok(f64::from_bits(self.u64()?))
     }
@@ -212,6 +270,22 @@ impl<'a> Cur<'a> {
         })
     }
 
+    fn hist(&mut self) -> Result<Histogram, RecordError> {
+        let count = self.u64()?;
+        let sum = self.u128()?;
+        let min = self.u64()?;
+        let max = self.u64()?;
+        let n = self.u16()? as usize;
+        let mut pairs = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let idx = self.u16()?;
+            let c = self.u64()?;
+            pairs.push((idx, c));
+        }
+        Histogram::from_parts(count, sum, min, max, &pairs)
+            .ok_or(RecordError::Malformed("inconsistent histogram"))
+    }
+
     fn done(&self) -> Result<(), RecordError> {
         if self.pos != self.buf.len() {
             return Err(RecordError::Trailing(self.buf.len() - self.pos));
@@ -220,11 +294,11 @@ impl<'a> Cur<'a> {
     }
 }
 
-/// Encodes one device result into the version-1 wire layout (see the
+/// Encodes one device result into the version-2 wire layout (see the
 /// module docs for the exact offsets).
 #[must_use]
 pub fn encode_result(r: &DeviceResult) -> Vec<u8> {
-    let mut out = Vec::with_capacity(219 + r.env.len() + r.subject.len() + r.policy.len());
+    let mut out = Vec::with_capacity(327 + r.env.len() + r.subject.len() + r.policy.len());
     out.push(RECORD_VERSION);
     put_u64(&mut out, r.device as u64);
     put_f64(&mut out, r.days);
@@ -238,6 +312,9 @@ pub fn encode_result(r: &DeviceResult) -> Vec<u8> {
     put_f64(&mut out, r.conservation_j);
     put_faults(&mut out, &r.faults);
     put_reliability(&mut out, &r.reliability);
+    put_u64(&mut out, r.queue_high_water);
+    put_hist(&mut out, &r.sync_attempts);
+    put_hist(&mut out, &r.sync_backoff_us);
     put_str(&mut out, &r.env);
     put_str(&mut out, &r.subject);
     put_str(&mut out, &r.policy);
@@ -269,6 +346,9 @@ pub fn decode_result(buf: &[u8]) -> Result<DeviceResult, RecordError> {
     let conservation_j = cur.f64()?;
     let faults = cur.faults()?;
     let reliability = cur.reliability()?;
+    let queue_high_water = cur.u64()?;
+    let sync_attempts = cur.hist()?;
+    let sync_backoff_us = cur.hist()?;
     let env = cur.string()?;
     let subject = cur.string()?;
     let policy = cur.string()?;
@@ -285,6 +365,9 @@ pub fn decode_result(buf: &[u8]) -> Result<DeviceResult, RecordError> {
         stored_j,
         consumed_j,
         events,
+        queue_high_water,
+        sync_attempts,
+        sync_backoff_us,
         uptime,
         faults,
         reliability,
@@ -319,6 +402,9 @@ pub fn encode_aggregate(agg: &FleetAggregate) -> Vec<u8> {
     put_reliability(&mut out, &agg.reliability);
     put_i128(&mut out, agg.uptime.raw());
     put_f64(&mut out, agg.max_conservation_j);
+    for (_, hist) in agg.metrics.histograms() {
+        put_hist(&mut out, hist);
+    }
     let n = u16::try_from(agg.policies.len()).expect("policy count fits u16");
     out.extend_from_slice(&n.to_le_bytes());
     for p in &agg.policies {
@@ -356,6 +442,12 @@ pub fn decode_aggregate(buf: &[u8]) -> Result<FleetAggregate, RecordError> {
     let reliability = cur.reliability()?;
     let uptime = ExactSum::from_raw(cur.i128()?);
     let max_conservation_j = cur.f64()?;
+    let mut hists = Vec::with_capacity(8);
+    for _ in 0..8 {
+        hists.push(cur.hist()?);
+    }
+    let metrics =
+        FleetMetrics::from_wire(hists).ok_or(RecordError::Malformed("fleet metrics shape"))?;
     let n_policies = cur.u16()? as usize;
     let mut agg = FleetAggregate::with_policies(std::iter::empty(), 0);
     agg.device_count = device_count;
@@ -366,6 +458,7 @@ pub fn decode_aggregate(buf: &[u8]) -> Result<FleetAggregate, RecordError> {
     agg.reliability = reliability;
     agg.uptime = uptime;
     agg.max_conservation_j = max_conservation_j;
+    agg.metrics = metrics;
     for _ in 0..n_policies {
         let name = cur.string()?;
         let mut p = FleetAggregate::with_policies([name.as_str()], 0)
@@ -389,6 +482,196 @@ pub fn decode_aggregate(buf: &[u8]) -> Result<FleetAggregate, RecordError> {
     }
     cur.done()?;
     Ok(agg)
+}
+
+/// A periodic worker progress beat, interleaved with result records in
+/// the worker→coordinator stream under [`HEARTBEAT_TAG`].
+///
+/// Heartbeats are *advisory*: they never feed the aggregate or the
+/// digest (wall-clock timing is inherently non-deterministic), they
+/// only drive live progress rendering, straggler detection and the
+/// coordinator's runtime gauges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Heartbeat {
+    /// Shard index of the emitting worker.
+    pub shard: u32,
+    /// Total shard count of the run.
+    pub of: u32,
+    /// Worker wall-clock time since its run started, seconds.
+    pub elapsed_s: f64,
+    /// Devices completed by this worker so far.
+    pub devices_done: u64,
+    /// Devices in this worker's shard range.
+    pub devices_total: u64,
+    /// Simulated days completed so far (Σ days of finished devices).
+    pub sim_days: f64,
+    /// Engine events processed so far.
+    pub events: u64,
+    /// Fault episodes observed so far (all kinds).
+    pub fault_episodes: u64,
+    /// Brownout episodes observed so far.
+    pub brownouts: u64,
+    /// Worker peak RSS if the platform exposes it, bytes.
+    pub rss_bytes: Option<u64>,
+}
+
+/// Encodes a heartbeat frame payload.
+#[must_use]
+pub fn encode_heartbeat(hb: &Heartbeat) -> Vec<u8> {
+    let mut out = Vec::with_capacity(67);
+    out.push(HEARTBEAT_TAG);
+    out.extend_from_slice(&hb.shard.to_le_bytes());
+    out.extend_from_slice(&hb.of.to_le_bytes());
+    put_f64(&mut out, hb.elapsed_s);
+    put_u64(&mut out, hb.devices_done);
+    put_u64(&mut out, hb.devices_total);
+    put_f64(&mut out, hb.sim_days);
+    put_u64(&mut out, hb.events);
+    put_u64(&mut out, hb.fault_episodes);
+    put_u64(&mut out, hb.brownouts);
+    match hb.rss_bytes {
+        Some(rss) => {
+            out.push(1);
+            put_u64(&mut out, rss);
+        }
+        None => out.push(0),
+    }
+    out
+}
+
+/// Decodes a heartbeat frame payload; the whole buffer must be
+/// consumed.
+///
+/// # Errors
+///
+/// Same failure modes as [`decode_result`], plus
+/// [`RecordError::Malformed`] on an invalid RSS presence flag.
+pub fn decode_heartbeat(buf: &[u8]) -> Result<Heartbeat, RecordError> {
+    let mut cur = Cur::new(buf);
+    let tag = cur.u8()?;
+    if tag != HEARTBEAT_TAG {
+        return Err(RecordError::Version(tag));
+    }
+    let shard = cur.u32()?;
+    let of = cur.u32()?;
+    let elapsed_s = cur.f64()?;
+    let devices_done = cur.u64()?;
+    let devices_total = cur.u64()?;
+    let sim_days = cur.f64()?;
+    let events = cur.u64()?;
+    let fault_episodes = cur.u64()?;
+    let brownouts = cur.u64()?;
+    let rss_bytes = match cur.u8()? {
+        0 => None,
+        1 => Some(cur.u64()?),
+        _ => return Err(RecordError::Malformed("rss presence flag")),
+    };
+    cur.done()?;
+    Ok(Heartbeat {
+        shard,
+        of,
+        elapsed_s,
+        devices_done,
+        devices_total,
+        sim_days,
+        events,
+        fault_episodes,
+        brownouts,
+        rss_bytes,
+    })
+}
+
+/// End-of-shard worker runtime statistics, shipped as the final frame
+/// of the worker protocol under [`STATS_VERSION`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerStats {
+    /// Worker peak RSS if the platform exposes it, bytes (`None` when
+    /// `/proc/self/status` is unavailable or unparsable — rendered as
+    /// "n/a", never as a bogus 0).
+    pub peak_rss_bytes: Option<u64>,
+    /// Worker wall-clock time, seconds.
+    pub wall_s: f64,
+    /// Result records the worker streamed.
+    pub records: u64,
+}
+
+/// Encodes a worker-stats frame payload.
+#[must_use]
+pub fn encode_stats(s: &WorkerStats) -> Vec<u8> {
+    let mut out = Vec::with_capacity(26);
+    out.push(STATS_VERSION);
+    put_f64(&mut out, s.wall_s);
+    put_u64(&mut out, s.records);
+    match s.peak_rss_bytes {
+        Some(rss) => {
+            out.push(1);
+            put_u64(&mut out, rss);
+        }
+        None => out.push(0),
+    }
+    out
+}
+
+/// Decodes a worker-stats frame payload; the whole buffer must be
+/// consumed.
+///
+/// # Errors
+///
+/// Same failure modes as [`decode_heartbeat`].
+pub fn decode_stats(buf: &[u8]) -> Result<WorkerStats, RecordError> {
+    let mut cur = Cur::new(buf);
+    let tag = cur.u8()?;
+    if tag != STATS_VERSION {
+        return Err(RecordError::Version(tag));
+    }
+    let wall_s = cur.f64()?;
+    let records = cur.u64()?;
+    let peak_rss_bytes = match cur.u8()? {
+        0 => None,
+        1 => Some(cur.u64()?),
+        _ => return Err(RecordError::Malformed("rss presence flag")),
+    };
+    cur.done()?;
+    Ok(WorkerStats {
+        peak_rss_bytes,
+        wall_s,
+        records,
+    })
+}
+
+/// One decoded frame of the pre-end-marker worker stream.
+///
+/// The variant size skew is deliberate: a frame is decoded and consumed
+/// immediately in the coordinator's stream loop, so boxing the
+/// [`DeviceResult`] would buy nothing but a per-record allocation.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamFrame {
+    /// A device result record.
+    Result(DeviceResult),
+    /// A worker progress heartbeat.
+    Heartbeat(Heartbeat),
+    /// An auxiliary frame with a tag this decoder does not know —
+    /// forward compatibility: newer workers may interleave new telemetry
+    /// kinds, and the coordinator must keep consuming the stream.
+    Skipped(u8),
+}
+
+/// Decodes one worker-stream frame by its leading tag byte: result
+/// records and heartbeats decode fully; unknown tags inside the
+/// auxiliary range are returned as [`StreamFrame::Skipped`].
+///
+/// # Errors
+///
+/// [`RecordError::Version`] on a non-auxiliary unknown tag, plus the
+/// usual decode failures of the recognised frame kinds.
+pub fn decode_stream_frame(buf: &[u8]) -> Result<StreamFrame, RecordError> {
+    match buf.first().copied().ok_or(RecordError::Truncated)? {
+        RECORD_VERSION => Ok(StreamFrame::Result(decode_result(buf)?)),
+        HEARTBEAT_TAG => Ok(StreamFrame::Heartbeat(decode_heartbeat(buf)?)),
+        tag @ AUX_TAG_MIN..=AUX_TAG_MAX => Ok(StreamFrame::Skipped(tag)),
+        tag => Err(RecordError::Version(tag)),
+    }
 }
 
 /// Writes one `u32`-length-prefixed frame.
@@ -458,6 +741,12 @@ mod tests {
             sync_dropped: 7,
             ..ReliabilityCounters::default()
         };
+        let mut sync_attempts = Histogram::new();
+        sync_attempts.record_n(1, 40);
+        sync_attempts.record_n(3, 2);
+        let mut sync_backoff_us = Histogram::new();
+        sync_backoff_us.record(2_000_000);
+        sync_backoff_us.record(4_000_000);
         DeviceResult {
             device: 42,
             env: "indoor-6h".into(),
@@ -470,6 +759,9 @@ mod tests {
             stored_j: 12.5e-3,
             consumed_j: f64::MIN_POSITIVE,
             events: 100_000,
+            queue_high_water: 17,
+            sync_attempts,
+            sync_backoff_us,
             uptime: 0.999_999,
             faults,
             reliability,
@@ -508,6 +800,86 @@ mod tests {
         assert!(matches!(
             decode_result(&padded),
             Err(RecordError::Trailing(1))
+        ));
+    }
+
+    #[test]
+    fn heartbeat_round_trips_and_streams() {
+        let hb = Heartbeat {
+            shard: 3,
+            of: 8,
+            elapsed_s: 1.25,
+            devices_done: 512,
+            devices_total: 1024,
+            sim_days: 512.0 / 96.0,
+            events: 9_999_999,
+            fault_episodes: 42,
+            brownouts: 7,
+            rss_bytes: Some(12 << 20),
+        };
+        let bytes = encode_heartbeat(&hb);
+        assert_eq!(bytes[0], HEARTBEAT_TAG);
+        assert_eq!(decode_heartbeat(&bytes).unwrap(), hb);
+        match decode_stream_frame(&bytes).unwrap() {
+            StreamFrame::Heartbeat(back) => assert_eq!(back, hb),
+            other => panic!("expected heartbeat, got {other:?}"),
+        }
+        // Absent RSS survives too.
+        let na = Heartbeat {
+            rss_bytes: None,
+            ..hb
+        };
+        assert_eq!(decode_heartbeat(&encode_heartbeat(&na)).unwrap(), na);
+    }
+
+    #[test]
+    fn worker_stats_round_trip_with_and_without_rss() {
+        for rss in [Some(98_304_000), None] {
+            let s = WorkerStats {
+                peak_rss_bytes: rss,
+                wall_s: 2.75,
+                records: 4096,
+            };
+            let bytes = encode_stats(&s);
+            assert_eq!(bytes[0], STATS_VERSION);
+            assert_eq!(decode_stats(&bytes).unwrap(), s);
+        }
+        // A corrupt presence flag is Malformed, not a bogus value.
+        let mut bytes = encode_stats(&WorkerStats {
+            peak_rss_bytes: None,
+            wall_s: 0.0,
+            records: 0,
+        });
+        *bytes.last_mut().unwrap() = 9;
+        assert!(matches!(
+            decode_stats(&bytes),
+            Err(RecordError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_aux_tags_are_skipped_others_rejected() {
+        // An old coordinator facing a future telemetry frame: skip it.
+        assert_eq!(
+            decode_stream_frame(&[0x55, 1, 2, 3]).unwrap(),
+            StreamFrame::Skipped(0x55)
+        );
+        assert_eq!(
+            decode_stream_frame(&[AUX_TAG_MAX]).unwrap(),
+            StreamFrame::Skipped(AUX_TAG_MAX)
+        );
+        // Outside the auxiliary range: a hard version error.
+        assert!(matches!(
+            decode_stream_frame(&[0x03]),
+            Err(RecordError::Version(0x03))
+        ));
+        assert!(matches!(
+            decode_stream_frame(&[0xff]),
+            Err(RecordError::Version(0xff))
+        ));
+        assert!(matches!(
+            decode_stream_frame(&[]),
+            Err(RecordError::Truncated)
         ));
     }
 

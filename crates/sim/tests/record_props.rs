@@ -2,7 +2,11 @@
 //! the identity on arbitrary `DeviceResult`s — bit-exact on every f64 —
 //! and corrupt input must fail cleanly, never panic or mis-decode.
 
-use iw_sim::record::{decode_result, encode_result, RecordError};
+use iw_metrics::Histogram;
+use iw_sim::record::{
+    decode_heartbeat, decode_result, decode_stats, decode_stream_frame, encode_heartbeat,
+    encode_result, encode_stats, Heartbeat, RecordError, StreamFrame, WorkerStats,
+};
 use iw_sim::{DeviceResult, FaultCounters, FaultKind, ReliabilityCounters};
 use proptest::prelude::*;
 
@@ -46,6 +50,17 @@ fn label() -> BoxedStrategy<String> {
     .boxed()
 }
 
+/// Builds a histogram by recording each sample — any
+/// recorded-values-built histogram is in canonical form by
+/// construction.
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
 #[allow(clippy::too_many_arguments)]
 fn build_result(
     device: u64,
@@ -54,6 +69,7 @@ fn build_result(
     browned: u8,
     floats: &[f64],
     events: u64,
+    telemetry: (u64, &[u64], &[u64]),
     fault_counts: &[u64],
     rel_counts: &[u64],
     env: String,
@@ -88,6 +104,9 @@ fn build_result(
         stored_j: floats[1],
         consumed_j: floats[2],
         events,
+        queue_high_water: telemetry.0,
+        sync_attempts: hist_of(telemetry.1),
+        sync_backoff_us: hist_of(telemetry.2),
         uptime: floats[3],
         faults,
         reliability,
@@ -106,6 +125,9 @@ proptest! {
         browned in 0u8..2,
         floats in prop::collection::vec(extreme_f64(), 5),
         events in any::<u64>(),
+        queue_high_water in any::<u64>(),
+        attempts in prop::collection::vec(any::<u64>(), 0..24),
+        backoffs in prop::collection::vec(any::<u64>(), 0..24),
         fault_counts in prop::collection::vec(any::<u64>(), 8),
         rel_counts in prop::collection::vec(any::<u64>(), 10),
         env in label(),
@@ -114,11 +136,14 @@ proptest! {
     ) {
         let r = build_result(
             device, days, detections, browned, &floats, events,
+            (queue_high_water, &attempts, &backoffs),
             &fault_counts, &rel_counts, env, subject, policy,
         );
         let bytes = encode_result(&r);
         let back = decode_result(&bytes).expect("well-formed record");
         prop_assert_eq!(&r, &back);
+        prop_assert_eq!(&r.sync_attempts, &back.sync_attempts);
+        prop_assert_eq!(&r.sync_backoff_us, &back.sync_backoff_us);
         // PartialEq treats -0.0 == 0.0; the codec contract is stronger:
         // exact bit patterns.
         prop_assert_eq!(r.days.to_bits(), back.days.to_bits());
@@ -136,12 +161,14 @@ proptest! {
     fn truncated_records_error_instead_of_panicking(
         detections in any::<u64>(),
         floats in prop::collection::vec(extreme_f64(), 5),
+        attempts in prop::collection::vec(any::<u64>(), 0..24),
         fault_counts in prop::collection::vec(any::<u64>(), 8),
         rel_counts in prop::collection::vec(any::<u64>(), 10),
         cut_seed in any::<u64>(),
     ) {
         let r = build_result(
             7, 1.0, detections, 1, &floats, 3,
+            (11, &attempts, &attempts),
             &fault_counts, &rel_counts,
             "indoor-6h".into(), "baseline".into(), "aware-24".into(),
         );
@@ -160,11 +187,12 @@ proptest! {
 
     #[test]
     fn corrupt_version_and_trailing_bytes_are_rejected(
-        wrong_version in 2u8..=u8::MAX,
+        wrong_version in 3u8..=u8::MAX,
         junk in 1usize..16,
     ) {
         let r = build_result(
             1, 0.5, 10, 0, &[0.5, 1.0, 1.0, 1.0, 0.0], 2,
+            (0, &[], &[]),
             &[0; 8], &[0; 10],
             "e".into(), "s".into(), "p".into(),
         );
@@ -181,6 +209,85 @@ proptest! {
         match decode_result(&bytes) {
             Err(RecordError::Version(v)) => prop_assert_eq!(v, wrong_version),
             other => return Err(format!("expected Version, got {other:?}")),
+        }
+    }
+
+    #[test]
+    fn heartbeat_round_trip_and_truncation(
+        shard in any::<u32>(),
+        of in any::<u32>(),
+        elapsed_s in extreme_f64(),
+        counts in prop::collection::vec(any::<u64>(), 5),
+        sim_days in extreme_f64(),
+        rss_flag in any::<bool>(),
+        rss_val in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let rss = rss_flag.then_some(rss_val);
+        let hb = Heartbeat {
+            shard,
+            of,
+            elapsed_s,
+            devices_done: counts[0],
+            devices_total: counts[1],
+            sim_days,
+            events: counts[2],
+            fault_episodes: counts[3],
+            brownouts: counts[4],
+            rss_bytes: rss,
+        };
+        let bytes = encode_heartbeat(&hb);
+        prop_assert_eq!(decode_heartbeat(&bytes).expect("well-formed heartbeat"), hb);
+        match decode_stream_frame(&bytes) {
+            Ok(StreamFrame::Heartbeat(back)) => prop_assert_eq!(back, hb),
+            other => return Err(format!("expected Heartbeat frame, got {other:?}")),
+        }
+        let cut = (cut_seed as usize) % bytes.len();
+        match decode_heartbeat(&bytes[..cut]) {
+            Err(RecordError::Truncated) => {}
+            other => return Err(format!("cut at {cut} gave {other:?}, expected Truncated")),
+        }
+    }
+
+    #[test]
+    fn worker_stats_round_trip_and_truncation(
+        rss_flag in any::<bool>(),
+        rss_val in any::<u64>(),
+        wall_s in extreme_f64(),
+        records in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let rss = rss_flag.then_some(rss_val);
+        let s = WorkerStats {
+            peak_rss_bytes: rss,
+            wall_s,
+            records,
+        };
+        let bytes = encode_stats(&s);
+        prop_assert_eq!(decode_stats(&bytes).expect("well-formed stats"), s);
+        let cut = (cut_seed as usize) % bytes.len();
+        match decode_stats(&bytes[..cut]) {
+            Err(RecordError::Truncated) => {}
+            other => return Err(format!("cut at {cut} gave {other:?}, expected Truncated")),
+        }
+    }
+
+    #[test]
+    fn stream_decoder_skips_the_auxiliary_tag_range(
+        tag in 0x40u8..=0x7f,
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Forward compatibility: an old coordinator must keep draining
+        // a stream containing telemetry kinds it has never heard of —
+        // except the heartbeat tag itself, which decodes fully.
+        let mut frame = vec![tag];
+        frame.extend_from_slice(&body);
+        match decode_stream_frame(&frame) {
+            Ok(StreamFrame::Skipped(t)) => prop_assert_eq!(t, tag),
+            Ok(StreamFrame::Heartbeat(_)) | Err(RecordError::Truncated | RecordError::Trailing(_) | RecordError::Malformed(_)) => {
+                prop_assert_eq!(tag, 0x48, "only the heartbeat tag decodes fully");
+            }
+            other => return Err(format!("tag {tag:#x} gave {other:?}")),
         }
     }
 }

@@ -297,6 +297,32 @@ impl Recorder {
             .sum()
     }
 
+    /// Bulk-appends a sampled counter series onto a named track — the
+    /// bridge for out-of-band telemetry (fleet worker heartbeats, RSS
+    /// samples) collected outside any [`TraceSink`] call site.
+    ///
+    /// Registers (or reuses) `track` at `ticks_per_us`, then emits one
+    /// counter sample per `(tick, value)` pair. Unlike
+    /// [`TraceSink::counter`] the series name may be dynamic, so callers
+    /// can label one counter track per fleet worker.
+    pub fn counter_series(
+        &mut self,
+        track: &str,
+        name: &str,
+        ticks_per_us: f64,
+        samples: &[(u64, f64)],
+    ) {
+        let track = TraceSink::track(self, track, ticks_per_us);
+        for &(t, value) in samples {
+            self.events.push(Event::Counter {
+                track,
+                name: name.to_string(),
+                t,
+                value,
+            });
+        }
+    }
+
     fn symbol_for(&self, pc: u32) -> usize {
         match self.symbols.binary_search_by(|(a, _)| a.cmp(&pc)) {
             Ok(i) => i,
@@ -598,6 +624,26 @@ mod tests {
         assert!(json.contains("\"ts\":3600000000.000"), "{json}");
         assert!(json.contains("\"name\":\"core0\""));
         assert!(json.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn counter_series_bridges_out_of_band_samples() {
+        let mut rec = Recorder::new();
+        rec.counter_series(
+            "worker 0",
+            "devices done",
+            1.0,
+            &[(0, 0.0), (1_000_000, 32.0)],
+        );
+        rec.counter_series("worker 0", "rss bytes", 1.0, &[(1_000_000, 1.5e6)]);
+        rec.counter_series("worker 1", "devices done", 1.0, &[(1_000_000, 17.0)]);
+        // Repeated calls re-use the named track.
+        assert_eq!(rec.track_count(), 2);
+        let json = rec.chrome_trace_json();
+        validate_json(&json).expect("well-formed");
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 4, "{json}");
+        assert!(json.contains("\"name\":\"devices done\""), "{json}");
+        assert!(json.contains("\"ts\":1000000.000"), "{json}");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use infiniwolf::{detection_costs, DetectionBudget};
 use iw_nrf52::BleRadio;
 use iw_sim::record::{decode_aggregate, encode_aggregate};
-use iw_sim::{BleSync, FaultProfile, FleetAggregate, FleetConfig};
+use iw_sim::{fleet_snapshot, BleSync, FaultProfile, FleetAggregate, FleetConfig};
 
 /// A fleet sized for a test: paper environments shortened to one hour so
 /// 24 devices simulate in well under a second. Samples every device so
@@ -154,6 +154,27 @@ fn digest_merge_is_associative_and_shard_topology_invariant() {
             assert_eq!(
                 report, reference,
                 "report diverged at {shards} shards × {threads} threads"
+            );
+            // The fleet metrics snapshot must also be bit-identical:
+            // every histogram bucket, every scalar, and therefore the
+            // rendered Prometheus exposition byte-for-byte.
+            for ((name, h), (_, r)) in report
+                .metrics
+                .histograms()
+                .into_iter()
+                .zip(reference.metrics.histograms())
+            {
+                assert_eq!(
+                    h.sparse().collect::<Vec<_>>(),
+                    r.sparse().collect::<Vec<_>>(),
+                    "{name} buckets diverged at {shards} shards × {threads} threads"
+                );
+                assert_eq!(h.scalars(), r.scalars(), "{name} scalars diverged");
+            }
+            assert_eq!(
+                fleet_snapshot(&report).to_prometheus(),
+                fleet_snapshot(&reference).to_prometheus(),
+                "exposition diverged at {shards} shards × {threads} threads"
             );
         }
     }
