@@ -12,15 +12,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p iw-trace -p iw-power -p iw-rv32 -p iw-armv7m -p iw-mrwolf -p iw-nrf52 \
   -p iw-fann -p iw-kernels -p iw-harvest -p iw-sensors -p iw-sim -p iw-fault \
-  -p iw-metrics -p infiniwolf -p iw-biosig -p iw-bench
+  -p iw-metrics -p iw-scenario -p infiniwolf -p iw-biosig -p iw-bench
 cargo test --workspace -q
 
 # Smoke: the registry-driven tables must regenerate the headline rows
 # (Tables III/IV plus the A2/A7 ablations, the D1 cluster cycle
 # accounting and the D2 fleet sweep) without faulting, plus the D3
-# reliability sweep with fault injection. Byte-level drift is caught by
-# bench/tests/golden_tables.rs and bench/tests/golden_d3.rs.
-cargo run --release -q -p iw-bench --bin tables -- t3 t4 a2 a7 d1 d2 d3 >/dev/null
+# reliability sweep with fault injection and the D4 epidemic scenario
+# sweep. Byte-level drift is caught by bench/tests/golden_tables.rs,
+# golden_d3.rs and golden_d4.rs.
+cargo run --release -q -p iw-bench --bin tables -- t3 t4 a2 a7 d1 d2 d3 d4 >/dev/null
 
 # Smoke: the tracing layer must produce a valid Perfetto timeline with
 # one track per cluster core and a non-empty hotspot report for the
@@ -55,3 +56,12 @@ cargo run --release -q -p iw-bench --bin fleet -- \
   --devices 4096 --workers 2 --metrics /tmp/iw_fleet_metrics.prom --check >/dev/null
 grep -q "fleet_device_uptime_ppm_bucket" /tmp/iw_fleet_metrics.prom
 rm -f /tmp/iw_fleet_metrics.prom
+
+# Smoke: the networked-scenario engine — two worker processes play the
+# compiled epidemic scenario (mobility contacts via BLE scans, weather
+# fronts, gateway outages), stream scenario-bearing v3 records with
+# epoch-beat telemetry interleaved, and the coordinator's epidemic fold
+# over the merged edge set must land on a digest bit-identical to the
+# in-process single-thread reference (--check exits non-zero otherwise).
+cargo run --release -q -p iw-bench --bin fleet -- \
+  --scenario epidemic --devices 256 --workers 2 --check >/dev/null

@@ -28,7 +28,12 @@
 //! `--check` reruns the sweep serially in-process and exits non-zero
 //! unless the aggregate digests are bit-identical — the CI determinism
 //! gate. `--faults clean|moderate|harsh` injects the named fault
-//! profile. `--heartbeat-ms N` sets the worker heartbeat period (0
+//! profile. `--scenario none|epidemic` attaches the compiled epidemic
+//! scenario (mobility contacts, weather fronts, gateway outages,
+//! scripted infection); workers then interleave per-epoch contact
+//! tallies as auxiliary epoch-beat frames (advisory — the epidemic fold
+//! itself rides the merged aggregate edge set) and the coordinator
+//! finalises the report with the epoch-barrier epidemic outcome. `--heartbeat-ms N` sets the worker heartbeat period (0
 //! disables heartbeats). `--metrics PATH` exports the fleet metrics
 //! snapshot — Prometheus text exposition, or JSON when the path ends in
 //! `.json` — and prints the histogram summary table. `--trace PATH`
@@ -47,9 +52,9 @@ use std::time::Instant;
 
 use iw_metrics::Registry;
 use iw_sim::record::{
-    decode_aggregate, decode_stats, decode_stream_frame, encode_aggregate, encode_heartbeat,
-    encode_result, encode_stats, read_frame, write_end, write_frame, Heartbeat, RecordError,
-    StreamFrame, WorkerStats,
+    decode_aggregate, decode_stats, decode_stream_frame, encode_aggregate, encode_epoch,
+    encode_heartbeat, encode_result, encode_stats, read_frame, write_end, write_frame, EpochBeat,
+    Heartbeat, RecordError, StreamFrame, WorkerStats,
 };
 use iw_sim::{fleet_snapshot, DigestAccum, FleetAggregate, FleetConfig, FleetReport};
 use iw_trace::{merged_chrome_trace, Recorder};
@@ -61,6 +66,7 @@ struct Args {
     threads: usize,
     seed: u64,
     faults: FaultProfile,
+    scenario: bool,
     check: bool,
     workers: usize,
     shard: Option<(usize, usize)>,
@@ -78,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
         seed: iw_bench::SEED,
         faults: FaultProfile::Clean,
+        scenario: false,
         check: false,
         workers: 0,
         shard: None,
@@ -119,6 +126,14 @@ fn parse_args() -> Result<Args, String> {
                 args.faults = FaultProfile::parse(&label)
                     .ok_or_else(|| format!("bad --faults '{label}' (clean|moderate|harsh)"))?;
             }
+            "--scenario" => {
+                let label = it.next().ok_or("--scenario needs a value")?;
+                args.scenario = match label.as_str() {
+                    "none" => false,
+                    "epidemic" => true,
+                    other => return Err(format!("bad --scenario '{other}' (none|epidemic)")),
+                };
+            }
             "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?),
             "--record" => args.record = Some(it.next().ok_or("--record needs a path")?),
             "--metrics" => args.metrics = Some(it.next().ok_or("--metrics needs a path")?),
@@ -127,8 +142,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err(format!(
                     "unknown flag '{other}' (expected --devices N, --threads N, --seed N, \
                      --workers N, --shard i/N, --sample N, --faults clean|moderate|harsh, \
-                     --trace PATH, --trace-devices K, --record PATH, --metrics PATH, \
-                     --heartbeat-ms N, --check)"
+                     --scenario none|epidemic, --trace PATH, --trace-devices K, --record PATH, \
+                     --metrics PATH, --heartbeat-ms N, --check)"
                 ))
             }
         }
@@ -145,7 +160,14 @@ fn flog(role: &str, phase: &str, msg: &str) {
 }
 
 fn fleet_config(args: &Args, threads: usize) -> FleetConfig {
-    let mut cfg = iw_bench::d3_fleet_config(args.devices, threads, args.seed, args.faults);
+    // The scenario compiles deterministically from (devices, seed), so
+    // every worker process recompiles the identical artifact — nothing
+    // scenario-shaped crosses the pipe except edges and epoch beats.
+    let mut cfg = if args.scenario {
+        iw_bench::d4_fleet_config(args.devices, threads, args.seed, args.faults)
+    } else {
+        iw_bench::d3_fleet_config(args.devices, threads, args.seed, args.faults)
+    };
     cfg.sample_devices = args.sample;
     cfg
 }
@@ -191,9 +213,16 @@ fn run_worker(args: &Args, shard: usize, of: usize) -> Result<(), RecordError> {
         rss_bytes: None,
     };
     let mut last_beat = Instant::now();
+    // Per-epoch observed-contact tallies for this shard, emitted as
+    // auxiliary epoch-beat frames after the record stream.
+    let mut epoch_contacts: std::collections::BTreeMap<u32, u64> =
+        std::collections::BTreeMap::new();
     let agg = cfg.run_chunk_with(range, |r| {
         if stream_err.is_some() {
             return;
+        }
+        for edge in &r.contact_edges {
+            *epoch_contacts.entry(edge.epoch).or_insert(0) += 1;
         }
         records += 1;
         beat.devices_done += 1;
@@ -228,6 +257,15 @@ fn run_worker(args: &Args, shard: usize, of: usize) -> Result<(), RecordError> {
         beat.rss_bytes = peak_rss_bytes();
         write_frame(&mut out, &encode_heartbeat(&beat))?;
     }
+    for (epoch, contacts) in &epoch_contacts {
+        let eb = EpochBeat {
+            shard: shard as u32,
+            epoch: *epoch,
+            contacts: *contacts,
+            edges: *contacts,
+        };
+        write_frame(&mut out, &encode_epoch(&eb))?;
+    }
     write_end(&mut out)?;
     write_frame(&mut out, &encode_aggregate(&agg))?;
     let stats = WorkerStats {
@@ -261,6 +299,9 @@ struct ProgressBoard {
     last_render: Option<Instant>,
     /// Suppress live rendering (still folds heartbeat history).
     quiet: bool,
+    /// Cross-shard per-epoch contact tallies folded from epoch beats
+    /// (advisory narration; the epidemic fold uses the aggregates).
+    epoch_contacts: std::collections::BTreeMap<u32, u64>,
 }
 
 impl ProgressBoard {
@@ -271,7 +312,12 @@ impl ProgressBoard {
             workers: vec![WorkerProgress::default(); workers],
             last_render: None,
             quiet,
+            epoch_contacts: std::collections::BTreeMap::new(),
         }
+    }
+
+    fn epoch_beat(&mut self, eb: &EpochBeat) {
+        *self.epoch_contacts.entry(eb.epoch).or_insert(0) += eb.contacts;
     }
 
     fn beat(&mut self, hb: &Heartbeat) {
@@ -382,6 +428,9 @@ fn read_worker<R: Read>(
             StreamFrame::Heartbeat(hb) => {
                 board.lock().expect("progress board lock").beat(&hb);
             }
+            StreamFrame::Epoch(eb) => {
+                board.lock().expect("progress board lock").epoch_beat(&eb);
+            }
             StreamFrame::Skipped(_) => {}
         }
     }
@@ -417,6 +466,8 @@ struct CoordinatorRun {
     wall_s: f64,
     stats: Vec<WorkerStats>,
     progress: Vec<WorkerProgress>,
+    /// Per-epoch contact tallies folded from the workers' epoch beats.
+    epoch_contacts: Vec<(u32, u64)>,
 }
 
 /// Coordinator mode: spawn `workers` copies of this binary in shard
@@ -438,6 +489,8 @@ fn run_coordinator(args: &Args) -> Result<CoordinatorRun, String> {
             .arg(args.sample.to_string())
             .arg("--faults")
             .arg(args.faults.label())
+            .arg("--scenario")
+            .arg(if args.scenario { "epidemic" } else { "none" })
             .arg("--heartbeat-ms")
             .arg(args.heartbeat_ms.to_string())
             .arg("--shard")
@@ -503,11 +556,16 @@ fn run_coordinator(args: &Args) -> Result<CoordinatorRun, String> {
         merged.merge(shard_result.aggregate);
         stats.push(shard_result.stats);
     }
+    let board = board.into_inner().expect("progress board lock");
     Ok(CoordinatorRun {
-        report: merged.into_report(),
+        // Scenario runs finalise through the compiled scenario so the
+        // epoch-barrier epidemic fold lands in the report (and its
+        // digest), exactly as the in-process runner does.
+        report: merged.into_report_with(cfg.scenario.as_deref()),
         wall_s: start.elapsed().as_secs_f64(),
         stats,
-        progress: board.into_inner().expect("progress board lock").workers,
+        progress: board.workers,
+        epoch_contacts: board.epoch_contacts.into_iter().collect(),
     })
 }
 
@@ -576,6 +634,24 @@ fn print_report(report: &FleetReport, parallelism: &str, wall_s: f64) {
         .collect();
     if !episodes.is_empty() {
         println!("  fault episodes: {}", episodes.join(", "));
+    }
+    if let Some(scn) = &report.scenario {
+        println!(
+            "  contacts: {} observed, {} missed, {} uplinked, {} edges, {:.4} J scan energy",
+            scn.contacts_observed,
+            scn.contacts_missed,
+            scn.contacts_uplinked,
+            scn.edge_count,
+            scn.scan_energy_j
+        );
+        if let Some(epi) = &scn.epidemic {
+            println!(
+                "  epidemic: {} seeded -> {} infected ({:.1}% attack rate)",
+                epi.seeded,
+                epi.infected,
+                epi.attack_rate(report.device_count as u64) * 100.0
+            );
+        }
     }
     println!(
         "  max |conservation drift|: {:.1e} J",
@@ -665,6 +741,7 @@ fn main() {
             wall_s,
             stats: worker_stats,
             progress,
+            epoch_contacts,
         } = run;
         worker_progress = progress;
         let label = format!("{} worker process(es)", worker_stats.len());
@@ -674,6 +751,17 @@ fn main() {
             "  streamed: {records} records across {} workers (coordinator re-fold verified)",
             worker_stats.len()
         );
+        if !epoch_contacts.is_empty() {
+            let total: u64 = epoch_contacts.iter().map(|&(_, c)| c).sum();
+            let &(peak_epoch, peak) = epoch_contacts
+                .iter()
+                .max_by_key(|&&(_, c)| c)
+                .expect("non-empty epoch beats");
+            println!(
+                "  epoch beats: {total} contacts across {} epochs (peak {peak} in epoch {peak_epoch})",
+                epoch_contacts.len()
+            );
+        }
         for (shard, s) in worker_stats.iter().enumerate() {
             println!(
                 "  worker {shard}: {} records, peak RSS {}, {:.2} s wall ({:.1} device-days/s)",

@@ -146,6 +146,12 @@ fn d3() {
     print!("{}", iw_bench::render_d3(27, 4));
 }
 
+fn d4() {
+    // Same 27-device cross product, joined into a network by the
+    // epidemic scenario preset.
+    print!("{}", iw_bench::render_d4(27, 4));
+}
+
 fn a10() {
     println!("\n== A10 — extension: cycle breakdown, Network A per target ==");
     for (target, wall_cycles, rows) in iw_bench::a10_cycle_breakdown() {
@@ -227,5 +233,8 @@ fn main() {
     }
     if want("d3") {
         d3();
+    }
+    if want("d4") {
+        d4();
     }
 }

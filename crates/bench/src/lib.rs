@@ -19,10 +19,13 @@ use iw_kernels::{
 };
 use iw_mrwolf::ClusterConfig;
 use iw_nrf52::BleRadio;
-use iw_sim::{BleSync, DetectionPolicy, FaultProfile, FleetConfig, FleetReport};
+use iw_sim::{BleSync, DetectionPolicy, FaultProfile, FleetConfig, FleetReport, Scenario};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-pub use render::{render_a2, render_a7, render_d1, render_d2, render_d3, render_rows, render_t3t4};
+pub use render::{
+    render_a2, render_a7, render_d1, render_d2, render_d3, render_d4, render_rows, render_t3t4,
+};
+use std::sync::Arc;
 pub use traceflow::{trace_target, TraceArtifacts};
 
 pub mod render;
@@ -798,6 +801,37 @@ pub fn d3_reliability_sweep(devices: usize, threads: usize) -> Vec<(FaultProfile
         .into_iter()
         .map(|profile| {
             let report = d3_fleet_config(devices, threads, SEED, profile).run();
+            (profile, report)
+        })
+        .collect()
+}
+
+/// The D4 fleet configuration: the D3 reliability fleet joined into a
+/// network by the [`Scenario::epidemic`] preset — seeded mobility
+/// contacts played by per-device BLE scans, weather fronts, regional
+/// gateway outages and a scripted infection — compiled once and shared
+/// (read-only) by every shard.
+#[must_use]
+pub fn d4_fleet_config(
+    devices: usize,
+    threads: usize,
+    seed: u64,
+    profile: FaultProfile,
+) -> FleetConfig {
+    let scenario = Scenario::epidemic(devices, seed).compile();
+    d3_fleet_config(devices, threads, seed, profile).with_scenario(Arc::new(scenario))
+}
+
+/// **D4** — epidemic sweep: the networked D4 fleet under each fault
+/// profile, in increasing severity. Returns `(profile, report)` pairs;
+/// every report carries [`iw_sim::ScenarioTotals`] (contact counters,
+/// scan energy, and the epoch-barrier epidemic outcome).
+#[must_use]
+pub fn d4_epidemic_sweep(devices: usize, threads: usize) -> Vec<(FaultProfile, FleetReport)> {
+    FaultProfile::ALL
+        .into_iter()
+        .map(|profile| {
+            let report = d4_fleet_config(devices, threads, SEED, profile).run();
             (profile, report)
         })
         .collect()

@@ -197,6 +197,53 @@ pub fn render_d3(devices: usize, threads: usize) -> String {
     out
 }
 
+/// Renders the D4 epidemic sweep: per fault profile, the fleet-wide
+/// contact/uplink tallies, BLE scan energy, the epoch-barrier epidemic
+/// outcome (seeded → infected, attack rate, per-epoch spread curve) and
+/// the determinism digest.
+#[must_use]
+pub fn render_d4(devices: usize, threads: usize) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "\n== D4 — epidemic scenario on the networked fleet ({devices} devices, {threads} threads) =="
+    )
+    .expect("string write");
+    for (profile, report) in crate::d4_epidemic_sweep(devices, threads) {
+        let scn = report
+            .scenario
+            .as_ref()
+            .expect("D4 reports carry scenario totals");
+        writeln!(
+            out,
+            "  profile {:<8}  mean uptime {:>6.2}%  contacts {:>5} observed / {:>3} missed / {:>5} uplinked  scan {:.4} J",
+            profile.label(),
+            report.mean_uptime * 100.0,
+            scn.contacts_observed,
+            scn.contacts_missed,
+            scn.contacts_uplinked,
+            scn.scan_energy_j
+        )
+        .expect("string write");
+        let epi = scn
+            .epidemic
+            .as_ref()
+            .expect("in-process runs fold the epidemic");
+        let curve: Vec<String> = epi.newly_per_epoch.iter().map(u64::to_string).collect();
+        writeln!(
+            out,
+            "    epidemic: {} seeded -> {} infected ({:.1}% attack rate)  new per epoch [{}]",
+            epi.seeded,
+            epi.infected,
+            epi.attack_rate(report.device_count as u64) * 100.0,
+            curve.join(" ")
+        )
+        .expect("string write");
+        writeln!(out, "    digest {:016x}", report.digest).expect("string write");
+    }
+    out
+}
+
 /// Renders the A7 Q15-vs-Q31 comparison.
 #[must_use]
 pub fn render_a7() -> String {

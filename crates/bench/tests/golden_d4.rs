@@ -1,0 +1,62 @@
+//! Byte-for-byte regression test for the D4 epidemic scenario sweep.
+//!
+//! `golden_d4.txt` was captured from `tables d4` under the frozen
+//! default seed (2020) when the networked-scenario engine landed. The
+//! sweep is a pure function of the seed — mobility walks, contact
+//! windows, weather fronts, gateway outages, BLE scan energy and the
+//! epoch-barrier epidemic fold included — so any drift in the scenario
+//! compiler, the scan component, edge aggregation, the infection hash
+//! draws, digest folding, or formatting fails here. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p iw-bench --test golden_d4` after an
+//! intentional change.
+
+#[test]
+fn d4_epidemic_sweep_matches_frozen_snapshot() {
+    let got = iw_bench::render_d4(27, 4);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_d4.txt");
+        std::fs::write(path, &got).expect("write golden file");
+        return;
+    }
+    let want = include_str!("golden_d4.txt");
+    assert_eq!(
+        got, want,
+        "D4 epidemic output drifted from the frozen snapshot"
+    );
+}
+
+#[test]
+fn d4_epidemic_reaches_beyond_its_seeds_and_gates_on_scans() {
+    let sweep = iw_bench::d4_epidemic_sweep(27, 2);
+    for (profile, report) in &sweep {
+        let scn = report
+            .scenario
+            .as_ref()
+            .expect("D4 reports carry scenario totals");
+        assert!(
+            scn.contacts_observed > 0,
+            "{}: no contacts observed",
+            profile.label()
+        );
+        assert_eq!(scn.edge_count, scn.contacts_observed);
+        assert!(scn.scan_energy_j > 0.0);
+        let epi = scn.epidemic.as_ref().expect("epidemic outcome");
+        assert_eq!(epi.seeded, scn.seeded_devices);
+        assert!(epi.infected >= epi.seeded);
+        assert!(
+            epi.infected > epi.seeded,
+            "{}: infection never crossed a contact edge",
+            profile.label()
+        );
+    }
+    // Harsher faults can only lose contacts (brownouts during scan
+    // windows), never invent them.
+    let observed: Vec<u64> = sweep
+        .iter()
+        .map(|(_, r)| r.scenario.as_ref().expect("totals").contacts_observed)
+        .collect();
+    assert!(
+        observed.windows(2).all(|w| w[1] <= w[0]),
+        "observed contacts should be non-increasing with severity: {observed:?}"
+    );
+}

@@ -175,6 +175,20 @@ impl EnvProfile {
         self.segments.iter().map(|s| s.duration_s).sum()
     }
 
+    /// A fully dark stretch of `duration_s` seconds: no light at all,
+    /// worst-case TEG (warm room) throughout — the harvest-starvation
+    /// stress condition used by the fleet sweeps and device tests.
+    #[must_use]
+    pub fn dark_day(duration_s: f64) -> EnvProfile {
+        EnvProfile {
+            segments: vec![EnvSegment {
+                duration_s,
+                light: LightCondition::dark(),
+                thermal: ThermalCondition::warm_room(),
+            }],
+        }
+    }
+
     /// A sunny outdoor day: the illuminance follows a half-sine from dawn
     /// to dusk (12 h of daylight peaking at `peak_klx`), in hourly
     /// segments; thermal conditions stay at the cool-room point with a
@@ -282,6 +296,15 @@ mod tests {
         assert!(noon.light.lux > dawn.light.lux);
         assert!(noon.light.lux <= 60_000.0);
         assert_eq!(p.segments[2].light.lux, 0.0);
+    }
+
+    #[test]
+    fn dark_day_is_lightless_and_warm() {
+        let p = EnvProfile::dark_day(3_600.0);
+        assert!((p.duration_s() - 3_600.0).abs() < 1e-9);
+        assert_eq!(p.segments.len(), 1);
+        assert_eq!(p.segments[0].light.lux, 0.0);
+        assert_eq!(p.segments[0].thermal, ThermalCondition::warm_room());
     }
 
     #[test]

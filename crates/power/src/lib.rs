@@ -54,6 +54,24 @@ pub mod nrf52 {
     pub const IDLE_A: f64 = 1.9e-6;
     /// System OFF current with RAM retention, amperes.
     pub const SYSTEM_OFF_A: f64 = 0.7e-6;
+    /// Radio RX current with the BLE scanner window open, DC/DC enabled,
+    /// amperes (datasheet: ~5.4 mA at 3 V).
+    pub const SCAN_A: f64 = 5.4e-3;
+    /// One BLE scan window, seconds (a standard 512 ms scanWindow — the
+    /// scanner stays in RX for the whole window).
+    pub const SCAN_WINDOW_S: f64 = 0.512;
+
+    /// System power with the BLE scanner in RX, watts.
+    #[must_use]
+    pub fn scan_power_w() -> f64 {
+        SCAN_A * SUPPLY_V
+    }
+
+    /// Energy of one full scan window, joules.
+    #[must_use]
+    pub fn scan_window_energy_j() -> f64 {
+        scan_power_w() * SCAN_WINDOW_S
+    }
 
     /// The nRF52832 mode/power table.
     #[must_use]
@@ -63,6 +81,7 @@ pub mod nrf52 {
             freq_hz: FREQ_HZ,
             modes: vec![
                 ("active", ACTIVE_A * SUPPLY_V),
+                ("scan", scan_power_w()),
                 ("idle", IDLE_A * SUPPLY_V),
                 ("system-off", SYSTEM_OFF_A * SUPPLY_V),
             ],
@@ -159,6 +178,13 @@ mod tests {
     fn nrf52_active_power_near_datasheet() {
         let w = nrf52::table().power_w("active");
         assert!((w - 10.8e-3).abs() < 0.1e-3, "active power {w}");
+    }
+
+    #[test]
+    fn nrf52_scan_energy_is_rx_power_times_window() {
+        let e = nrf52::scan_window_energy_j();
+        assert!((e - 5.4e-3 * 3.0 * 0.512).abs() < 1e-12);
+        assert_eq!(nrf52::table().power_w("scan"), nrf52::scan_power_w());
     }
 
     #[test]

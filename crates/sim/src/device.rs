@@ -31,6 +31,7 @@ use iw_harvest::{Battery, EnvProfile, SimReport, SolarHarvester, TegHarvester, T
 use iw_kernels::{ExecPath, Machine, MachineError, MachineRun, Workload};
 use iw_metrics::Histogram;
 use iw_nrf52::BleRadio;
+use iw_scenario::ContactPlan;
 use iw_trace::TraceSink;
 
 use crate::engine::{secs_to_us, Component, Engine, Event, LoadSlot, SimCtx};
@@ -175,6 +176,16 @@ pub struct DeviceReport {
     pub uptime: f64,
     /// The battery in its final state.
     pub battery: Battery,
+    /// Scenario contacts observed (scan completed with the device up).
+    pub contacts_observed: u64,
+    /// Scenario contacts missed because the device was browned out.
+    pub contacts_missed: u64,
+    /// Observed contacts uplinked through a successful sync burst.
+    pub contacts_uplinked: u64,
+    /// Energy spent in BLE scan windows, joules.
+    pub scan_energy_j: f64,
+    /// Observed contact edges as `(epoch, peer)` pairs, in scan order.
+    pub contact_edges: Vec<(u32, u32)>,
 }
 
 /// Configuration of one whole-device run.
@@ -201,6 +212,9 @@ pub struct DeviceConfig {
     /// The fault plan this run plays back ([`FaultPlan::none`] keeps
     /// only the always-armed brownout state machine).
     pub faults: FaultPlan,
+    /// The scenario-compiled contact plan this device plays back (empty
+    /// = no scanning, the classic isolated-device run).
+    pub contacts: ContactPlan,
     /// Target number of trace samples over the run (0 = no trace).
     pub trace_points: usize,
     /// Emit a span per acquisition window / compute job when tracing
@@ -231,6 +245,7 @@ impl DeviceConfig {
             notify_j: 0.0,
             sync: None,
             faults: FaultPlan::none(),
+            contacts: ContactPlan::default(),
             trace_points: 500,
             detection_spans: true,
         }
@@ -291,6 +306,12 @@ impl DeviceConfig {
                 &self.faults,
             )));
         }
+        if !self.contacts.is_empty() {
+            engine.add(Box::new(BleScanComponent::new(
+                self.contacts.clone(),
+                self.detection_spans,
+            )));
+        }
         if self.trace_points > 0 {
             engine.add(Box::new(SamplerComponent::new(
                 secs_to_us(self.env.duration_s()),
@@ -323,6 +344,11 @@ impl DeviceConfig {
             reliability: state.reliability,
             uptime,
             battery: state.battery,
+            contacts_observed: state.contacts_observed,
+            contacts_missed: state.contacts_missed,
+            contacts_uplinked: state.contacts_uplinked,
+            scan_energy_j: state.scan_energy_j,
+            contact_edges: state.contact_edges,
         }
     }
 }
@@ -709,7 +735,12 @@ impl<S: TraceSink> Component<S> for RadioComponent {
                     ctx.sink
                         .span(track, "ble-sync", self.burst_started_us, ctx.now_us);
                 }
-                let lost = self.loss_prob > 0.0 && self.rng.chance(self.loss_prob);
+                // A scenario-compiled gateway outage forces the loss
+                // without consuming a draw from the per-attempt loss
+                // stream, so runs with and without outage windows stay
+                // aligned outside them.
+                let lost = ctx.state.gateway_down > 0
+                    || (self.loss_prob > 0.0 && self.rng.chance(self.loss_prob));
                 if lost {
                     ctx.state.faults.add(FaultKind::BleLoss);
                     if self.attempt < self.max_retries {
@@ -744,6 +775,14 @@ impl<S: TraceSink> Component<S> for RadioComponent {
                         ctx.state.notifications += self.pending;
                         self.pending = 0;
                     }
+                    if ctx.state.pending_contacts > 0 {
+                        // Queued contact observations ride the same
+                        // successful burst, one notification-sized
+                        // impulse each.
+                        ctx.consume_j(ctx.state.pending_contacts as f64 * self.notify_j);
+                        ctx.state.contacts_uplinked += ctx.state.pending_contacts;
+                        ctx.state.pending_contacts = 0;
+                    }
                 }
                 // Episode resolved (delivered or dropped): its attempt
                 // count feeds the fleet retry histogram.
@@ -753,6 +792,120 @@ impl<S: TraceSink> Component<S> for RadioComponent {
                     secs_to_us((sync.interval_s - sync.burst_s).max(0.0)),
                     Event::BleSyncStart,
                 );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Plays a scenario-compiled [`ContactPlan`] back: each contact window
+/// opens a BLE scan (the nRF52832 scanner in RX, multiplicity-counted
+/// when windows overlap) lasting the lesser of one standard scan window
+/// and the co-location window itself. A scan that completes while the
+/// device is operational *observes* the contact: the `(epoch, peer)`
+/// edge is recorded and the observation queues for the next successful
+/// sync burst (the radio component flushes the queue and counts the
+/// uplinks). A scan the device was too browned out to start — or to
+/// finish — is a *missed* contact; the epidemic fold never sees its
+/// edge, so detection coverage degrades exactly where the power model
+/// says the device was down.
+pub struct BleScanComponent {
+    plan: ContactPlan,
+    scan_power_w: f64,
+    trace_spans: bool,
+    slot: Option<LoadSlot>,
+    active: u32,
+    /// Per-entry flag: did this contact's scan actually open?
+    opened: Vec<bool>,
+}
+
+impl BleScanComponent {
+    /// A scanner for `plan`, drawing the shared-table nRF52 scan power
+    /// while windows are open.
+    #[must_use]
+    pub fn new(plan: ContactPlan, trace_spans: bool) -> BleScanComponent {
+        let opened = vec![false; plan.entries.len()];
+        BleScanComponent {
+            plan,
+            scan_power_w: iw_power::nrf52::scan_power_w(),
+            trace_spans,
+            slot: None,
+            active: 0,
+            opened,
+        }
+    }
+
+    /// Scan length for entry `index`: one scan window, clipped to the
+    /// co-location window.
+    fn scan_us(&self, index: usize) -> u64 {
+        let e = self.plan.entries[index];
+        secs_to_us(iw_power::nrf52::SCAN_WINDOW_S).min(e.end_us.saturating_sub(e.start_us))
+    }
+}
+
+impl<S: TraceSink> Component<S> for BleScanComponent {
+    fn name(&self) -> &'static str {
+        "ble-scan"
+    }
+
+    fn start(&mut self, ctx: &mut SimCtx<'_, S>) {
+        self.slot = Some(ctx.state.register_load("scan"));
+        if !self.plan.entries.is_empty() {
+            ctx.schedule_at(
+                self.plan.entries[0].start_us,
+                Event::ContactStart { index: 0 },
+            );
+        }
+    }
+
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_, S>) {
+        let slot = self.slot.expect("started");
+        match ev {
+            Event::ContactStart { index } => {
+                // Chained scheduling, same shape as the fault plan: the
+                // next window is armed regardless of this one's fate.
+                if index + 1 < self.plan.entries.len() {
+                    ctx.schedule_at(
+                        self.plan.entries[index + 1].start_us,
+                        Event::ContactStart { index: index + 1 },
+                    );
+                }
+                if !ctx.state.acquisition_enabled {
+                    // Browned out: the peer passed by unseen.
+                    ctx.state.contacts_missed += 1;
+                    return;
+                }
+                self.opened[index] = true;
+                self.active += 1;
+                ctx.state
+                    .set_load(slot, f64::from(self.active) * self.scan_power_w);
+                ctx.schedule_in(self.scan_us(index), Event::ContactEnd { index });
+            }
+            Event::ContactEnd { index } => {
+                debug_assert!(self.opened[index], "scan end without start");
+                self.active -= 1;
+                ctx.state
+                    .set_load(slot, f64::from(self.active) * self.scan_power_w);
+                let entry = self.plan.entries[index];
+                let dur_us = self.scan_us(index);
+                ctx.state.scan_energy_j += self.scan_power_w * dur_us as f64 * 1e-6;
+                if S::ENABLED && self.trace_spans {
+                    let track = ctx.tracks.device;
+                    ctx.sink.span(track, "scan", entry.start_us, ctx.now_us);
+                }
+                if ctx.state.acquisition_enabled {
+                    let epoch = (entry.start_us / self.plan.epoch_us.max(1)) as u32;
+                    ctx.state.contact_edges.push((epoch, entry.peer));
+                    ctx.state.contacts_observed += 1;
+                    ctx.state.pending_contacts += 1;
+                    if S::ENABLED && self.trace_spans {
+                        let track = ctx.tracks.device;
+                        ctx.sink.instant(track, "contact", ctx.now_us);
+                    }
+                } else {
+                    // Browned out mid-scan: energy spent, contact lost.
+                    ctx.state.contacts_missed += 1;
+                }
             }
             _ => {}
         }
@@ -814,7 +967,6 @@ impl<S: TraceSink> Component<S> for SamplerComponent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iw_harvest::{EnvSegment, LightCondition, ThermalCondition};
     use iw_trace::{Event as TraceEvent, Recorder};
 
     fn micro_costs() -> DetectionCosts {
@@ -825,14 +977,10 @@ mod tests {
         }
     }
 
+    /// The shared harvest-starvation profile (was a local copy before
+    /// [`EnvProfile::dark_day`] existed).
     fn dark_day(duration_s: f64) -> EnvProfile {
-        EnvProfile {
-            segments: vec![EnvSegment {
-                duration_s,
-                light: LightCondition::dark(),
-                thermal: ThermalCondition::warm_room(),
-            }],
-        }
+        EnvProfile::dark_day(duration_s)
     }
 
     #[test]
@@ -995,6 +1143,99 @@ mod tests {
         assert_eq!(untraced.detections, report.detections);
         assert_eq!(untraced.sim.consumed_j, report.sim.consumed_j);
         assert_eq!(untraced.sim.final_soc, report.sim.final_soc);
+    }
+
+    #[test]
+    fn contact_scans_cost_scan_energy_and_queue_for_sync() {
+        let mut cfg = DeviceConfig::new(
+            dark_day(600.0),
+            DetectionPolicy::FixedRate { per_minute: 2.0 },
+            micro_costs(),
+        );
+        cfg.battery.set_soc(0.9);
+        cfg.notify_j = 1e-6;
+        cfg.sync = Some(BleSync {
+            interval_s: 60.0,
+            burst_s: 5e-3,
+            power_w: 5e-3,
+        });
+        cfg.contacts = ContactPlan {
+            entries: vec![
+                iw_scenario::ContactEntry {
+                    start_us: secs_to_us(10.0),
+                    end_us: secs_to_us(20.0),
+                    peer: 7,
+                    rssi_dbm: -60,
+                },
+                iw_scenario::ContactEntry {
+                    start_us: secs_to_us(100.0),
+                    end_us: secs_to_us(100.2),
+                    peer: 3,
+                    rssi_dbm: -72,
+                },
+            ],
+            epoch_us: secs_to_us(60.0),
+        };
+        let report = cfg.run();
+        assert_eq!(report.contacts_observed, 2);
+        assert_eq!(report.contacts_missed, 0);
+        assert_eq!(report.contacts_uplinked, 2);
+        // The first scan runs a full 512 ms window; the second is clipped
+        // to its 200 ms co-location window.
+        let expected =
+            iw_power::nrf52::scan_window_energy_j() + iw_power::nrf52::scan_power_w() * 0.2;
+        assert!(
+            (report.scan_energy_j - expected).abs() < 1e-9,
+            "scan energy {}",
+            report.scan_energy_j
+        );
+        assert_eq!(report.contact_edges, vec![(0, 7), (1, 3)]);
+    }
+
+    #[test]
+    fn gateway_outage_forces_drops_and_defers_contact_uplink() {
+        let mut cfg = DeviceConfig::new(
+            dark_day(600.0),
+            DetectionPolicy::FixedRate { per_minute: 2.0 },
+            micro_costs(),
+        );
+        cfg.battery.set_soc(0.9);
+        cfg.notify_j = 1e-6;
+        cfg.sync = Some(BleSync {
+            interval_s: 60.0,
+            burst_s: 5e-3,
+            power_w: 5e-3,
+        });
+        cfg.faults.windows.push(iw_fault::FaultWindow {
+            kind: FaultKind::BleLoss,
+            start_us: secs_to_us(50.0),
+            end_us: secs_to_us(400.0),
+            severity: 0.0,
+        });
+        cfg.contacts = ContactPlan {
+            entries: vec![iw_scenario::ContactEntry {
+                start_us: secs_to_us(100.0),
+                end_us: secs_to_us(110.0),
+                peer: 1,
+                rssi_dbm: -55,
+            }],
+            epoch_us: secs_to_us(600.0),
+        };
+        let report = cfg.run();
+        assert_eq!(report.contacts_observed, 1);
+        // Bursts at 60..=360 s fall inside the outage: every one is
+        // forced lost and dropped after the retry budget; the queued
+        // contact only uplinks once the gateway is back (420 s burst).
+        assert!(
+            report.reliability.sync_dropped >= 5,
+            "dropped {}",
+            report.reliability.sync_dropped
+        );
+        assert!(report.reliability.sync_ok >= 1);
+        assert_eq!(report.contacts_uplinked, 1);
+        // The window itself plus every forced-lost attempt count BLE-loss
+        // episodes.
+        assert!(report.faults.get(FaultKind::BleLoss) > 1);
     }
 
     #[test]

@@ -104,6 +104,18 @@ pub enum Event {
         /// Index into the plan's window list.
         index: usize,
     },
+    /// A scheduled contact window opens: the BLE scanner keys on
+    /// (index into the device's contact plan).
+    ContactStart {
+        /// Index into the plan's entry list.
+        index: usize,
+    },
+    /// The scan window for a contact closes: the peer is observed (or
+    /// missed, if the device went down mid-scan).
+    ContactEnd {
+        /// Index into the plan's entry list.
+        index: usize,
+    },
     /// Fuel-gauge noise resamples the observed state of charge.
     GaugeTick,
     /// Cold-start delay elapsed: the device attempts to resume from
@@ -172,6 +184,26 @@ pub struct DeviceState {
     pub sync_attempts: Histogram,
     /// Distribution of BLE retry backoff delays, µs.
     pub sync_backoff_us: Histogram,
+    /// Active gateway-outage fault windows (`FaultKind::BleLoss`
+    /// windows). Non-zero forces every sync attempt to fail, pushing
+    /// the radio into its retry/backoff path.
+    pub gateway_down: u32,
+    /// Contact windows whose scan completed with the peer observed.
+    pub contacts_observed: u64,
+    /// Contact windows missed (device down or mid-scan brownout).
+    pub contacts_missed: u64,
+    /// Observed contacts queued for uplink, awaiting the next
+    /// successful sync flush.
+    pub pending_contacts: u64,
+    /// Contact reports delivered through the sync path.
+    pub contacts_uplinked: u64,
+    /// Energy spent in BLE scan windows, joules (also drawn from the
+    /// battery through the scanner's load slot; this is the tally).
+    pub scan_energy_j: f64,
+    /// Observed contact-graph edges as `(epoch, peer)` pairs, in scan
+    /// completion order — the fleet layer attaches the device index and
+    /// feeds them to the epidemic fold.
+    pub contact_edges: Vec<(u32, u32)>,
     /// `true` once a discharge request ever exceeded the stored energy.
     pub browned_out: bool,
     /// Energy actually stored into the cell (after charge losses), joules.
@@ -205,6 +237,13 @@ impl DeviceState {
             sync_bursts: 0,
             sync_attempts: Histogram::new(),
             sync_backoff_us: Histogram::new(),
+            gateway_down: 0,
+            contacts_observed: 0,
+            contacts_missed: 0,
+            pending_contacts: 0,
+            contacts_uplinked: 0,
+            scan_energy_j: 0.0,
+            contact_edges: Vec::new(),
             browned_out: false,
             stored_j: 0.0,
             consumed_j: 0.0,

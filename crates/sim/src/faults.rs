@@ -71,6 +71,10 @@ impl FaultComponent {
             k if k.corrupts_signal() => ctx.state.signal_faults += 1,
             FaultKind::SolarOcclusion => ctx.state.solar_derate = w.severity,
             FaultKind::TegCollapse => ctx.state.teg_derate = w.severity,
+            // Scenario-compiled gateway outage: while any such window is
+            // open every sync attempt fails (the radio's retry/backoff
+            // machinery absorbs it). Counted, so overlaps nest safely.
+            FaultKind::BleLoss => ctx.state.gateway_down += 1,
             _ => {}
         }
         ctx.state.faults.add(w.kind);
@@ -86,6 +90,7 @@ impl FaultComponent {
             k if k.corrupts_signal() => ctx.state.signal_faults -= 1,
             FaultKind::SolarOcclusion => ctx.state.solar_derate = 1.0,
             FaultKind::TegCollapse => ctx.state.teg_derate = 1.0,
+            FaultKind::BleLoss => ctx.state.gateway_down -= 1,
             _ => {}
         }
     }

@@ -29,10 +29,12 @@
 //! digest but every reported mean is topology-invariant.
 
 use std::ops::Range;
+use std::sync::Arc;
 
 use iw_fault::{mix, FaultCounters, FaultKind, FaultProfile, ReliabilityCounters};
 use iw_harvest::{Battery, EnvProfile};
 use iw_metrics::{Histogram, Snapshot, Value};
+use iw_scenario::{run_epidemic, CompiledScenario, ContactEdge, EpidemicOutcome};
 use iw_trace::{Recorder, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -100,6 +102,13 @@ pub struct FleetConfig {
     /// Aggregation never depends on the sample — it exists for tables
     /// and tests that want to inspect individual devices.
     pub sample_devices: usize,
+    /// The compiled cross-device scenario this fleet plays (None = the
+    /// classic isolated-device sweep). Per device the scenario adds
+    /// correlated fault windows (weather fronts, gateway outages), a
+    /// contact plan and an epidemic-seed flag — all pure functions of
+    /// `(scenario seed, device index)`, so devices stay independently
+    /// simulable and the digest stays shard-order invariant.
+    pub scenario: Option<Arc<CompiledScenario>>,
 }
 
 /// One device's result in the sweep.
@@ -143,6 +152,23 @@ pub struct DeviceResult {
     /// `|initial + stored − consumed − final|`, joules (must stay at
     /// float roundoff even under fault injection).
     pub conservation_j: f64,
+    /// Whether this result carries a networked-scenario block (contact
+    /// counters, scan energy, edges). When false every scenario field
+    /// below is at its default and the digest is byte-for-byte the
+    /// pre-scenario digest.
+    pub scenario: bool,
+    /// Scenario contacts observed (scan completed with the device up).
+    pub contacts_observed: u64,
+    /// Scenario contacts missed while browned out.
+    pub contacts_missed: u64,
+    /// Observed contacts uplinked through a successful sync burst.
+    pub contacts_uplinked: u64,
+    /// Energy spent in BLE scan windows, joules.
+    pub scan_energy_j: f64,
+    /// Whether the epidemic script seeded this device infected.
+    pub infected_seed: bool,
+    /// Observed contact edges (`device` is always this device's index).
+    pub contact_edges: Vec<ContactEdge>,
 }
 
 impl DeviceResult {
@@ -183,6 +209,22 @@ impl DeviceResult {
             rel.sync_dropped,
         ] {
             h = fnv1a(h, &v.to_le_bytes());
+        }
+        // The scenario block is folded only when present, so an
+        // isolated-device sweep (`--scenario none`) digests byte-for-byte
+        // as it did before scenarios existed.
+        if self.scenario {
+            h = fnv1a(h, b"scn");
+            h = fnv1a(h, &self.contacts_observed.to_le_bytes());
+            h = fnv1a(h, &self.contacts_missed.to_le_bytes());
+            h = fnv1a(h, &self.contacts_uplinked.to_le_bytes());
+            h = fnv1a(h, &self.scan_energy_j.to_bits().to_le_bytes());
+            h = fnv1a(h, &[u8::from(self.infected_seed)]);
+            for edge in &self.contact_edges {
+                h = fnv1a(h, &edge.epoch.to_le_bytes());
+                h = fnv1a(h, &edge.device.to_le_bytes());
+                h = fnv1a(h, &edge.peer.to_le_bytes());
+            }
         }
         h
     }
@@ -234,6 +276,11 @@ pub struct FleetMetrics {
     pub sync_attempts: Histogram,
     /// BLE retry backoff delays, µs (fleet-wide).
     pub sync_backoff_us: Histogram,
+    /// Per-device observed-contact count (scenario runs only; empty
+    /// otherwise).
+    pub contact_degree: Histogram,
+    /// Per-device BLE scan energy, µJ (scenario runs only).
+    pub scan_energy_uj: Histogram,
 }
 
 impl FleetMetrics {
@@ -251,6 +298,11 @@ impl FleetMetrics {
         self.queue_high_water.record(result.queue_high_water);
         self.sync_attempts.merge(&result.sync_attempts);
         self.sync_backoff_us.merge(&result.sync_backoff_us);
+        if result.scenario {
+            self.contact_degree.record(result.contacts_observed);
+            self.scan_energy_uj
+                .record((result.scan_energy_j * 1e6).round() as u64);
+        }
     }
 
     /// Element-wise merge of every histogram (exact, associative).
@@ -263,12 +315,14 @@ impl FleetMetrics {
         self.queue_high_water.merge(&other.queue_high_water);
         self.sync_attempts.merge(&other.sync_attempts);
         self.sync_backoff_us.merge(&other.sync_backoff_us);
+        self.contact_degree.merge(&other.contact_degree);
+        self.scan_energy_uj.merge(&other.scan_energy_uj);
     }
 
     /// The histograms with their exported metric names, in wire order
     /// (the codec and every exporter iterate this).
     #[must_use]
-    pub fn histograms(&self) -> [(&'static str, &Histogram); 8] {
+    pub fn histograms(&self) -> [(&'static str, &Histogram); 10] {
         [
             ("fleet_device_uptime_ppm", &self.uptime_ppm),
             ("fleet_device_final_soc_ppm", &self.final_soc_ppm),
@@ -278,16 +332,26 @@ impl FleetMetrics {
             ("fleet_device_queue_high_water", &self.queue_high_water),
             ("fleet_sync_attempts", &self.sync_attempts),
             ("fleet_sync_backoff_us", &self.sync_backoff_us),
+            ("fleet_device_contact_degree", &self.contact_degree),
+            ("fleet_device_scan_energy_uj", &self.scan_energy_uj),
         ]
     }
 
     /// Rebuilds from histograms in the [`FleetMetrics::histograms`] wire
-    /// order (the codec path). Returns `None` on a length mismatch.
+    /// order (the codec path). Accepts the 8-histogram pre-scenario wire
+    /// shape (the two contact histograms default empty) as well as the
+    /// current 10. Returns `None` on any other length.
     #[must_use]
     pub fn from_wire(mut hists: Vec<Histogram>) -> Option<FleetMetrics> {
-        if hists.len() != 8 {
-            return None;
-        }
+        let (contact_degree, scan_energy_uj) = match hists.len() {
+            8 => (Histogram::default(), Histogram::default()),
+            10 => {
+                let scan = hists.pop()?;
+                let degree = hists.pop()?;
+                (degree, scan)
+            }
+            _ => return None,
+        };
         let sync_backoff_us = hists.pop()?;
         let sync_attempts = hists.pop()?;
         let queue_high_water = hists.pop()?;
@@ -305,8 +369,33 @@ impl FleetMetrics {
             queue_high_water,
             sync_attempts,
             sync_backoff_us,
+            contact_degree,
+            scan_energy_uj,
         })
     }
+}
+
+/// Fleet-wide totals of a networked-scenario sweep: the contact budget
+/// and — when the finalising side held the [`CompiledScenario`] — the
+/// epidemic fold's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioTotals {
+    /// Σ contacts observed across the fleet.
+    pub contacts_observed: u64,
+    /// Σ contacts missed (device browned out during the window).
+    pub contacts_missed: u64,
+    /// Σ observed contacts uplinked through sync bursts.
+    pub contacts_uplinked: u64,
+    /// Σ BLE scan energy, joules (exact-sum accumulated).
+    pub scan_energy_j: f64,
+    /// Devices the epidemic script seeded infected.
+    pub seeded_devices: u64,
+    /// Merged observed contact edges across the fleet.
+    pub edge_count: u64,
+    /// The epoch-barrier epidemic fold over the merged edges. `None`
+    /// when the finaliser had no compiled scenario (e.g. a decoded
+    /// aggregate inspected without its scenario).
+    pub epidemic: Option<EpidemicOutcome>,
 }
 
 /// The merged fleet sweep result.
@@ -337,6 +426,8 @@ pub struct FleetReport {
     pub max_conservation_j: f64,
     /// Fleet-wide telemetry distributions (topology-invariant buckets).
     pub metrics: FleetMetrics,
+    /// Networked-scenario totals (`None` for isolated-device sweeps).
+    pub scenario: Option<ScenarioTotals>,
 }
 
 fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
@@ -561,6 +652,24 @@ pub struct FleetAggregate {
     /// The retained sample, in fold order (== index order for
     /// contiguous shards merged in shard order).
     pub sample: Vec<DeviceResult>,
+    /// Whether any folded result carried a scenario block.
+    pub scenario: bool,
+    /// Σ scenario contacts observed.
+    pub contacts_observed: u64,
+    /// Σ scenario contacts missed.
+    pub contacts_missed: u64,
+    /// Σ scenario contacts uplinked.
+    pub contacts_uplinked: u64,
+    /// Σ BLE scan energy (exact).
+    pub scan_energy_j: ExactSum,
+    /// Devices the epidemic script seeded infected.
+    pub seeded_devices: u64,
+    /// Observed contact edges, concatenated in fold order. This is the
+    /// one deliberately fleet-proportional buffer: the epoch-barrier
+    /// epidemic fold needs the full merged edge set (a fleet of a
+    /// million devices at the default 6-contacts/epoch cap stays well
+    /// under a gigabyte). Empty for isolated-device sweeps.
+    pub edges: Vec<ContactEdge>,
 }
 
 impl FleetAggregate {
@@ -593,6 +702,13 @@ impl FleetAggregate {
             policies: names.into_iter().map(PolicyAccum::new).collect(),
             sample_cap,
             sample: Vec::new(),
+            scenario: false,
+            contacts_observed: 0,
+            contacts_missed: 0,
+            contacts_uplinked: 0,
+            scan_energy_j: ExactSum::default(),
+            seeded_devices: 0,
+            edges: Vec::new(),
         }
     }
 
@@ -613,6 +729,15 @@ impl FleetAggregate {
         self.uptime.add(result.uptime);
         self.max_conservation_j = self.max_conservation_j.max(result.conservation_j);
         self.metrics.fold(&result);
+        if result.scenario {
+            self.scenario = true;
+            self.contacts_observed += result.contacts_observed;
+            self.contacts_missed += result.contacts_missed;
+            self.contacts_uplinked += result.contacts_uplinked;
+            self.scan_energy_j.add(result.scan_energy_j);
+            self.seeded_devices += u64::from(result.infected_seed);
+            self.edges.extend(result.contact_edges.iter().copied());
+        }
         let policy = self
             .policies
             .iter_mut()
@@ -666,6 +791,13 @@ impl FleetAggregate {
             mine.reliability.merge(&theirs.reliability);
         }
         self.sample.extend(next.sample);
+        self.scenario |= next.scenario;
+        self.contacts_observed += next.contacts_observed;
+        self.contacts_missed += next.contacts_missed;
+        self.contacts_uplinked += next.contacts_uplinked;
+        self.scan_energy_j.merge(&next.scan_energy_j);
+        self.seeded_devices += next.seeded_devices;
+        self.edges.extend(next.edges);
     }
 
     /// The finished fleet digest.
@@ -674,14 +806,50 @@ impl FleetAggregate {
         self.digest.digest()
     }
 
-    /// Finalises the aggregate into a [`FleetReport`].
+    /// Finalises the aggregate into a [`FleetReport`] without running
+    /// the epidemic fold (equivalent to
+    /// [`FleetAggregate::into_report_with`]`(None)`).
     #[must_use]
     pub fn into_report(self) -> FleetReport {
+        self.into_report_with(None)
+    }
+
+    /// Finalises the aggregate into a [`FleetReport`]. When the
+    /// aggregate carries scenario results *and* `scenario` supplies the
+    /// compiled scenario, the epoch-barrier epidemic fold runs over the
+    /// merged edge set and its outcome is post-folded into the report
+    /// digest — so the printed digest also certifies the cross-device
+    /// exchange, on every worker topology.
+    #[must_use]
+    pub fn into_report_with(self, scenario: Option<&CompiledScenario>) -> FleetReport {
         let mean_uptime = self.uptime.value() / self.device_count.max(1) as f64;
+        let mut digest = self.digest.digest();
+        let totals = if self.scenario {
+            let epidemic = scenario.map(|s| run_epidemic(s, &self.edges));
+            if let Some(outcome) = &epidemic {
+                digest = fnv1a(digest, b"epi");
+                digest = fnv1a(digest, &outcome.seeded.to_le_bytes());
+                digest = fnv1a(digest, &outcome.infected.to_le_bytes());
+                for &n in &outcome.newly_per_epoch {
+                    digest = fnv1a(digest, &n.to_le_bytes());
+                }
+            }
+            Some(ScenarioTotals {
+                contacts_observed: self.contacts_observed,
+                contacts_missed: self.contacts_missed,
+                contacts_uplinked: self.contacts_uplinked,
+                scan_energy_j: self.scan_energy_j.value(),
+                seeded_devices: self.seeded_devices,
+                edge_count: self.edges.len() as u64,
+                epidemic,
+            })
+        } else {
+            None
+        };
         FleetReport {
             device_count: self.device_count,
             policies: self.policies.iter().map(PolicyAccum::stats).collect(),
-            digest: self.digest.digest(),
+            digest,
             simulated_s: self.simulated_s.value(),
             events: self.events,
             faults: self.faults,
@@ -690,6 +858,7 @@ impl FleetAggregate {
             max_conservation_j: self.max_conservation_j,
             metrics: self.metrics,
             devices: self.sample,
+            scenario: totals,
         }
     }
 }
@@ -788,11 +957,52 @@ pub fn fleet_snapshot(report: &FleetReport) -> Snapshot {
             Value::Gauge(stats.mean_uptime),
         );
     }
+    if let Some(s) = &report.scenario {
+        for (state, count) in [
+            ("observed", s.contacts_observed),
+            ("missed", s.contacts_missed),
+            ("uplinked", s.contacts_uplinked),
+        ] {
+            snap.push(
+                "fleet_contacts_total",
+                &[("state", state)],
+                Value::Counter(count),
+            );
+        }
+        snap.push(
+            "fleet_scan_energy_joules",
+            &[],
+            Value::Gauge(s.scan_energy_j),
+        );
+        snap.push(
+            "fleet_contact_edges_total",
+            &[],
+            Value::Counter(s.edge_count),
+        );
+        if let Some(e) = &s.epidemic {
+            snap.push("fleet_epidemic_seeded", &[], Value::Counter(e.seeded));
+            snap.push("fleet_epidemic_infected", &[], Value::Counter(e.infected));
+            snap.push(
+                "fleet_epidemic_attack_rate",
+                &[],
+                Value::Gauge(e.attack_rate(report.device_count as u64)),
+            );
+        }
+    }
     for (name, hist) in report.metrics.histograms() {
         snap.push(name, &[], Value::Histogram(hist.clone()));
     }
     snap.sort();
     snap
+}
+
+/// The env × subject × policy assignment of one device, derived from its
+/// index by [`FleetConfig::device_setup`] and carried to the result.
+struct DeviceAssignment {
+    env: String,
+    subject: String,
+    policy: String,
+    days: f64,
 }
 
 impl FleetConfig {
@@ -801,22 +1011,13 @@ impl FleetConfig {
     /// policies, with the 602.2 µJ detection budget shape in `costs`.
     #[must_use]
     pub fn paper(devices: usize, threads: usize, seed: u64, costs: DetectionCosts) -> FleetConfig {
-        let dark_day = EnvProfile {
-            segments: vec![iw_harvest::EnvSegment {
-                duration_s: 86_400.0,
-                light: iw_harvest::LightCondition::dark(),
-                thermal: iw_harvest::ThermalCondition::warm_room(),
-            }],
-        };
         FleetConfig {
             devices,
             threads,
             seed,
-            environments: vec![
-                ("indoor-6h".into(), EnvProfile::paper_indoor_day()),
-                ("sunny-40klx".into(), EnvProfile::sunny_day(40.0)),
-                ("dark".into(), dark_day),
-            ],
+            // The shared data-driven list (scenarios reuse the same one),
+            // not a hardcoded copy.
+            environments: iw_scenario::paper_environments(),
             subjects: vec![
                 SubjectProfile {
                     name: "sedentary".into(),
@@ -851,7 +1052,22 @@ impl FleetConfig {
             sync: None,
             faults: FaultProfile::Clean,
             sample_devices: 0,
+            scenario: None,
         }
+    }
+
+    /// Attaches a compiled cross-device scenario: the scenario's
+    /// environment list replaces the config's (the scenario compiled
+    /// its weather fronts and outages against *its* environments, so
+    /// the two must agree), and every device additionally plays its
+    /// scenario-compiled fault windows and contact plan.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: Arc<CompiledScenario>) -> FleetConfig {
+        if !scenario.environments.is_empty() {
+            self.environments = scenario.environments.clone();
+        }
+        self.scenario = Some(scenario);
+        self
     }
 
     /// Builds the fully-derived configuration of one device: the
@@ -861,7 +1077,7 @@ impl FleetConfig {
     /// # Panics
     ///
     /// Panics when the environment, subject or policy lists are empty.
-    fn device_setup(&self, index: usize) -> (DeviceConfig, String, String, String, f64) {
+    fn device_setup(&self, index: usize) -> (DeviceConfig, DeviceAssignment) {
         assert!(
             !self.environments.is_empty() && !self.subjects.is_empty() && !self.policies.is_empty(),
             "fleet sweep needs at least one environment, subject and policy"
@@ -895,33 +1111,51 @@ impl FleetConfig {
             mix(self.seed ^ FAULT_STREAM, index as u64),
             cfg.env.duration_s(),
         );
+        if let Some(scenario) = &self.scenario {
+            // The scenario's correlated windows (weather fronts over this
+            // device's environment, regional gateway outages) merge into
+            // the same per-device plan the fault component plays back.
+            let extra = scenario.device_fault_windows(index);
+            if !extra.is_empty() {
+                cfg.faults.windows.extend_from_slice(extra);
+                // Restore the plan's start-sorted invariant; the stable
+                // sort keeps same-instant plan windows ahead of scenario
+                // ones, so the merge is deterministic.
+                cfg.faults.windows.sort_by_key(|w| w.start_us);
+            }
+            cfg.contacts = scenario.contact_plan(index);
+        }
         (
             cfg,
-            env_name.clone(),
-            subject.name.clone(),
-            policy_name.clone(),
-            days,
+            DeviceAssignment {
+                env: env_name.clone(),
+                subject: subject.name.clone(),
+                policy: policy_name.clone(),
+                days,
+            },
         )
     }
 
     fn finish_device(
+        &self,
         index: usize,
-        env: String,
-        subject: String,
-        policy: String,
-        days: f64,
+        who: DeviceAssignment,
         initial_j: f64,
         report: &DeviceReport,
     ) -> DeviceResult {
         let conservation_j =
             (initial_j + report.sim.stored_j - report.sim.consumed_j - report.battery.charge_j())
                 .abs();
+        let (scenario, infected_seed) = match &self.scenario {
+            Some(s) => (true, s.seeded_infected(index)),
+            None => (false, false),
+        };
         DeviceResult {
             device: index,
-            env,
-            subject,
-            policy,
-            days,
+            env: who.env,
+            subject: who.subject,
+            policy: who.policy,
+            days: who.days,
             detections: report.detections,
             browned_out: report.sim.browned_out,
             final_soc: report.sim.final_soc,
@@ -935,6 +1169,21 @@ impl FleetConfig {
             faults: report.faults,
             reliability: report.reliability,
             conservation_j,
+            scenario,
+            contacts_observed: report.contacts_observed,
+            contacts_missed: report.contacts_missed,
+            contacts_uplinked: report.contacts_uplinked,
+            scan_energy_j: report.scan_energy_j,
+            infected_seed,
+            contact_edges: report
+                .contact_edges
+                .iter()
+                .map(|&(epoch, peer)| ContactEdge {
+                    epoch,
+                    device: index as u32,
+                    peer,
+                })
+                .collect(),
         }
     }
 
@@ -946,11 +1195,11 @@ impl FleetConfig {
     /// Panics when the environment, subject or policy lists are empty.
     #[must_use]
     pub fn run_device(&self, index: usize) -> DeviceResult {
-        let (mut cfg, env, subject, policy, days) = self.device_setup(index);
+        let (mut cfg, who) = self.device_setup(index);
         cfg.trace_points = 0; // the aggregate path keeps no traces
         let initial_j = cfg.battery.charge_j();
         let report = cfg.run();
-        FleetConfig::finish_device(index, env, subject, policy, days, initial_j, &report)
+        self.finish_device(index, who, initial_j, &report)
     }
 
     /// Runs one device with tracing enabled — the observability face of
@@ -965,11 +1214,11 @@ impl FleetConfig {
     /// interval into two), which is why traced results are *not* folded
     /// into aggregates.
     pub fn run_device_traced<S: TraceSink>(&self, index: usize, sink: &mut S) -> DeviceResult {
-        let (mut cfg, env, subject, policy, days) = self.device_setup(index);
+        let (mut cfg, who) = self.device_setup(index);
         cfg.trace_points = FLEET_TRACE_POINTS;
         let initial_j = cfg.battery.charge_j();
         let report = cfg.run_traced(sink);
-        FleetConfig::finish_device(index, env, subject, policy, days, initial_j, &report)
+        self.finish_device(index, who, initial_j, &report)
     }
 
     /// The contiguous device-index range of `shard` out of `of` equal
@@ -1036,10 +1285,12 @@ impl FleetConfig {
     }
 
     /// Runs the whole sweep on [`Self::threads`] workers and finalises
-    /// the merged aggregate.
+    /// the merged aggregate (including the epidemic fold when a
+    /// scenario is attached).
     #[must_use]
     pub fn run(&self) -> FleetReport {
-        self.run_shard(0, 1).into_report()
+        self.run_shard(0, 1)
+            .into_report_with(self.scenario.as_deref())
     }
 
     /// Renders the sampled fleet timeline: the first `devices` devices
@@ -1267,6 +1518,50 @@ mod tests {
             assert_eq!(report.digest, serial.digest, "{shards} shards");
             assert_eq!(report, serial, "{shards} shards");
         }
+    }
+
+    /// A dense one-hour scenario over the shortened small-fleet
+    /// environments: a 30 m world packs the 12 devices close enough
+    /// that contacts are guaranteed.
+    fn scenario_fleet(threads: usize) -> FleetConfig {
+        let cfg = small_fleet(threads);
+        let mut sc = iw_scenario::Scenario::epidemic(cfg.devices, 7);
+        sc.duration_s = 3600.0;
+        sc.epoch_s = 600.0;
+        sc.world_m = 30.0;
+        sc.environments = cfg.environments.clone();
+        cfg.with_scenario(Arc::new(sc.compile()))
+    }
+
+    #[test]
+    fn scenario_report_is_topology_invariant() {
+        let serial = scenario_fleet(1).run();
+        let parallel = scenario_fleet(4).run();
+        assert_eq!(serial, parallel);
+        // Shard-merge path (the coordinator's shape) reproduces it too.
+        let cfg = scenario_fleet(1);
+        let mut merged = FleetAggregate::new(&cfg);
+        for shard in 0..3 {
+            merged.merge(cfg.run_shard(shard, 3));
+        }
+        assert_eq!(merged.into_report_with(cfg.scenario.as_deref()), serial);
+    }
+
+    #[test]
+    fn scenario_produces_contacts_and_an_epidemic_outcome() {
+        let report = scenario_fleet(2).run();
+        let totals = report.scenario.as_ref().expect("scenario totals");
+        assert!(totals.contacts_observed > 0, "no contacts in dense world");
+        assert_eq!(totals.edge_count, totals.contacts_observed);
+        assert!(totals.scan_energy_j > 0.0);
+        let epi = totals.epidemic.as_ref().expect("epidemic fold");
+        assert_eq!(epi.seeded, totals.seeded_devices);
+        assert!(epi.seeded >= 1);
+        assert!(epi.infected >= epi.seeded);
+        // The scenario block changes the digest vs the isolated sweep.
+        assert_ne!(report.digest, small_fleet(2).run().digest);
+        // And the isolated sweep still reports no scenario at all.
+        assert!(small_fleet(2).run().scenario.is_none());
     }
 
     #[test]

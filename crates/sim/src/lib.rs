@@ -28,6 +28,13 @@
 //! artifacts, harvest occlusion, BLE sync loss, fuel-gauge noise — and
 //! runs the brownout / cold-start degradation state machine; reliability
 //! counters surface in [`DeviceReport`] and the fleet aggregates.
+//!
+//! The scenario layer (crate `iw-scenario`, played by
+//! [`BleScanComponent`]) compiles fleet-wide scripts — mobility-driven
+//! contact windows, weather fronts, regional gateway outages, epidemic
+//! seeding — into per-device artifacts, so networked devices stay
+//! independently simulable; the fleet fold then runs a deterministic
+//! epidemic pass over the merged contact edges ([`run_epidemic`]).
 
 #![warn(missing_docs)]
 
@@ -39,7 +46,8 @@ mod policy;
 pub mod record;
 
 pub use device::{
-    default_sleep_floor_w, BleSync, ComputeJob, DetectionCosts, DeviceConfig, DeviceReport,
+    default_sleep_floor_w, BleScanComponent, BleSync, ComputeJob, DetectionCosts, DeviceConfig,
+    DeviceReport,
 };
 pub use engine::{
     secs_to_us, Component, DeviceState, Engine, Event, LoadSlot, SimClock, SimCtx, Tracks, US_PER_S,
@@ -47,10 +55,14 @@ pub use engine::{
 pub use faults::FaultComponent;
 pub use fleet::{
     fleet_snapshot, DeviceResult, DigestAccum, ExactSum, FleetAggregate, FleetConfig, FleetMetrics,
-    FleetReport, PolicyAccum, PolicyStats, SubjectProfile,
+    FleetReport, PolicyAccum, PolicyStats, ScenarioTotals, SubjectProfile,
 };
 pub use iw_fault::{
     BrownoutModel, FaultCounters, FaultKind, FaultPlan, FaultProfile, FaultWindow,
     ReliabilityCounters, SyncOutcome,
+};
+pub use iw_scenario::{
+    paper_environments, run_epidemic, CompiledScenario, ContactEdge, ContactEntry, ContactPlan,
+    EpidemicOutcome, EpidemicScript, Scenario,
 };
 pub use policy::DetectionPolicy;

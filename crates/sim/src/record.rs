@@ -7,7 +7,7 @@
 //! ([`write_frame`]), and at end of stream ship their whole shard
 //! [`FleetAggregate`] with [`encode_aggregate`].
 //!
-//! # Record layout (version 2)
+//! # Record layout (version 3)
 //!
 //! All integers are **little-endian**, all floats are IEEE-754 bit
 //! patterns (`f64::to_bits`), so encode → decode is *exact* — the
@@ -16,7 +16,7 @@
 //!
 //! ```text
 //! offset  size  field
-//!      0     1  RECORD_VERSION (0x02)
+//!      0     1  RECORD_VERSION (0x03)
 //!      1     8  device index            u64
 //!      9     8  days                    f64 bits
 //!     17     8  detections              u64
@@ -33,7 +33,22 @@
 //!    226     …  sync_attempts           histogram (see below)
 //!          …  sync_backoff_us         histogram
 //!          …  env, subject, policy    3 × (u16 len + UTF-8 bytes)
+//!          1  scenario flag           u8 (0/1); block below iff 1
+//!          8  contacts_observed       u64
+//!          8  contacts_missed         u64
+//!          8  contacts_uplinked       u64
+//!          8  scan_energy_j           f64 bits
+//!          1  infected_seed           u8 (0/1)
+//!          4  edge count              u32, then per edge:
+//!        n×8  (epoch u32, peer u32)   the edge's device == the record's
 //! ```
+//!
+//! The decoder also accepts the two historical layouts: version 2
+//! (everything up to the strings, no scenario block) and version 1
+//! (reliability counters straight to the strings — no
+//! `queue_high_water`, no telemetry histograms). Missing fields decode
+//! to their defaults, so a v3 reader replays old capture files
+//! unchanged.
 //!
 //! A histogram travels as its carried scalars plus *sparse* buckets —
 //! `count u64 · sum u128 · min u64 · max u64 · n u16 ·
@@ -55,28 +70,38 @@
 //! end marker · aggregate frame · stats frame*.
 //!
 //! Every payload's first byte is its **tag**. Result records carry
-//! [`RECORD_VERSION`]; auxiliary telemetry frames carry tags in
-//! `0x40..=0x7f` ([`AUX_TAG_MIN`]..=[`AUX_TAG_MAX`]) — today only
-//! [`HEARTBEAT_TAG`] — and the stream decoder
-//! ([`decode_stream_frame`]) *skips* auxiliary tags it does not know,
-//! so an old coordinator keeps working when a newer worker interleaves
-//! new telemetry frame kinds. Any other unknown tag is a hard
-//! [`RecordError::Version`] error.
+//! [`RECORD_VERSION`] (or a historical record version); auxiliary
+//! telemetry frames carry tags in `0x40..=0x7f`
+//! ([`AUX_TAG_MIN`]..=[`AUX_TAG_MAX`]) — today [`HEARTBEAT_TAG`] and
+//! [`EPOCH_TAG`] — and the stream decoder ([`decode_stream_frame`])
+//! *skips* auxiliary tags it does not know, so an old coordinator keeps
+//! working when a newer worker interleaves new telemetry frame kinds
+//! (a pre-scenario coordinator skips epoch beats the same way). Any
+//! other unknown tag is a hard [`RecordError::Version`] error.
 
 use std::io::{Read, Write};
 
 use iw_fault::{FaultCounters, FaultKind, ReliabilityCounters};
 use iw_metrics::Histogram;
 
+use iw_scenario::ContactEdge;
+
 use crate::fleet::{
     DeviceResult, DigestAccum, ExactSum, FleetAggregate, FleetMetrics, PolicyAccum,
 };
 
 /// Version byte of a [`DeviceResult`] record.
-pub const RECORD_VERSION: u8 = 0x02;
+pub const RECORD_VERSION: u8 = 0x03;
+
+/// Oldest record version [`decode_result`] still accepts.
+pub const RECORD_VERSION_MIN: u8 = 0x01;
 
 /// Version byte of a [`FleetAggregate`] frame.
-pub const AGGREGATE_VERSION: u8 = 0x82;
+pub const AGGREGATE_VERSION: u8 = 0x83;
+
+/// Previous aggregate version (8 metrics histograms, no scenario
+/// section); still decodable.
+pub const AGGREGATE_VERSION_V2: u8 = 0x82;
 
 /// First auxiliary (skippable) stream tag.
 pub const AUX_TAG_MIN: u8 = 0x40;
@@ -87,6 +112,10 @@ pub const AUX_TAG_MAX: u8 = 0x7f;
 /// Tag byte of a worker [`Heartbeat`] frame (inside the auxiliary
 /// range, so coordinators that predate heartbeats skip them).
 pub const HEARTBEAT_TAG: u8 = 0x48;
+
+/// Tag byte of a worker [`EpochBeat`] frame (auxiliary, so
+/// pre-scenario coordinators skip them).
+pub const EPOCH_TAG: u8 = 0x45;
 
 /// Tag byte of a worker [`WorkerStats`] frame.
 pub const STATS_VERSION: u8 = 0x92;
@@ -213,28 +242,34 @@ impl<'a> Cur<'a> {
         Ok(s)
     }
 
+    /// Takes exactly `N` bytes as a fixed-size array — the single home
+    /// of the take-then-convert pattern every integer reader shares.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], RecordError> {
+        Ok(self.take(N)?.try_into().expect("take yields N bytes"))
+    }
+
     fn u8(&mut self) -> Result<u8, RecordError> {
         Ok(self.take(1)?[0])
     }
 
     fn u16(&mut self) -> Result<u16, RecordError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, RecordError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, RecordError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn i128(&mut self) -> Result<i128, RecordError> {
-        Ok(i128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+        Ok(i128::from_le_bytes(self.array()?))
     }
 
     fn u128(&mut self) -> Result<u128, RecordError> {
-        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+        Ok(u128::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> Result<f64, RecordError> {
@@ -294,11 +329,11 @@ impl<'a> Cur<'a> {
     }
 }
 
-/// Encodes one device result into the version-2 wire layout (see the
+/// Encodes one device result into the version-3 wire layout (see the
 /// module docs for the exact offsets).
 #[must_use]
 pub fn encode_result(r: &DeviceResult) -> Vec<u8> {
-    let mut out = Vec::with_capacity(327 + r.env.len() + r.subject.len() + r.policy.len());
+    let mut out = Vec::with_capacity(328 + r.env.len() + r.subject.len() + r.policy.len());
     out.push(RECORD_VERSION);
     put_u64(&mut out, r.device as u64);
     put_f64(&mut out, r.days);
@@ -318,10 +353,28 @@ pub fn encode_result(r: &DeviceResult) -> Vec<u8> {
     put_str(&mut out, &r.env);
     put_str(&mut out, &r.subject);
     put_str(&mut out, &r.policy);
+    out.push(u8::from(r.scenario));
+    if r.scenario {
+        put_u64(&mut out, r.contacts_observed);
+        put_u64(&mut out, r.contacts_missed);
+        put_u64(&mut out, r.contacts_uplinked);
+        put_f64(&mut out, r.scan_energy_j);
+        out.push(u8::from(r.infected_seed));
+        let n = u32::try_from(r.contact_edges.len()).expect("edge count fits u32");
+        out.extend_from_slice(&n.to_le_bytes());
+        // Every edge of a per-device record names this device as its
+        // observer, so only (epoch, peer) travel.
+        for edge in &r.contact_edges {
+            out.extend_from_slice(&edge.epoch.to_le_bytes());
+            out.extend_from_slice(&edge.peer.to_le_bytes());
+        }
+    }
     out
 }
 
 /// Decodes one device result; the whole buffer must be consumed.
+/// Accepts versions 1 through [`RECORD_VERSION`]: fields a historical
+/// layout lacks decode to their defaults.
 ///
 /// # Errors
 ///
@@ -331,7 +384,7 @@ pub fn encode_result(r: &DeviceResult) -> Vec<u8> {
 pub fn decode_result(buf: &[u8]) -> Result<DeviceResult, RecordError> {
     let mut cur = Cur::new(buf);
     let version = cur.u8()?;
-    if version != RECORD_VERSION {
+    if !(RECORD_VERSION_MIN..=RECORD_VERSION).contains(&version) {
         return Err(RecordError::Version(version));
     }
     let device = cur.u64()? as usize;
@@ -346,12 +399,41 @@ pub fn decode_result(buf: &[u8]) -> Result<DeviceResult, RecordError> {
     let conservation_j = cur.f64()?;
     let faults = cur.faults()?;
     let reliability = cur.reliability()?;
-    let queue_high_water = cur.u64()?;
-    let sync_attempts = cur.hist()?;
-    let sync_backoff_us = cur.hist()?;
+    // Version 1 predates the telemetry block: no queue high-water mark,
+    // no per-device histograms.
+    let (queue_high_water, sync_attempts, sync_backoff_us) = if version >= 0x02 {
+        (cur.u64()?, cur.hist()?, cur.hist()?)
+    } else {
+        (0, Histogram::default(), Histogram::default())
+    };
     let env = cur.string()?;
     let subject = cur.string()?;
     let policy = cur.string()?;
+    // Version 3 appends the scenario block behind a presence flag.
+    let mut scenario = false;
+    let mut contacts_observed = 0;
+    let mut contacts_missed = 0;
+    let mut contacts_uplinked = 0;
+    let mut scan_energy_j = 0.0;
+    let mut infected_seed = false;
+    let mut contact_edges = Vec::new();
+    if version >= 0x03 && cur.u8()? != 0 {
+        scenario = true;
+        contacts_observed = cur.u64()?;
+        contacts_missed = cur.u64()?;
+        contacts_uplinked = cur.u64()?;
+        scan_energy_j = cur.f64()?;
+        infected_seed = cur.u8()? != 0;
+        let n = cur.u32()? as usize;
+        contact_edges.reserve(n.min(4096));
+        for _ in 0..n {
+            contact_edges.push(ContactEdge {
+                epoch: cur.u32()?,
+                device: device as u32,
+                peer: cur.u32()?,
+            });
+        }
+    }
     cur.done()?;
     Ok(DeviceResult {
         device,
@@ -372,6 +454,13 @@ pub fn decode_result(buf: &[u8]) -> Result<DeviceResult, RecordError> {
         faults,
         reliability,
         conservation_j,
+        scenario,
+        contacts_observed,
+        contacts_missed,
+        contacts_uplinked,
+        scan_energy_j,
+        infected_seed,
+        contact_edges,
     })
 }
 
@@ -419,6 +508,22 @@ pub fn encode_aggregate(agg: &FleetAggregate) -> Vec<u8> {
         out.extend_from_slice(&len.to_le_bytes());
         out.extend_from_slice(&rec);
     }
+    // Version 0x83: the scenario section, behind a presence flag.
+    out.push(u8::from(agg.scenario));
+    if agg.scenario {
+        put_u64(&mut out, agg.contacts_observed);
+        put_u64(&mut out, agg.contacts_missed);
+        put_u64(&mut out, agg.contacts_uplinked);
+        put_i128(&mut out, agg.scan_energy_j.raw());
+        put_u64(&mut out, agg.seeded_devices);
+        let n = u32::try_from(agg.edges.len()).expect("edge count fits u32");
+        out.extend_from_slice(&n.to_le_bytes());
+        for edge in &agg.edges {
+            out.extend_from_slice(&edge.epoch.to_le_bytes());
+            out.extend_from_slice(&edge.device.to_le_bytes());
+            out.extend_from_slice(&edge.peer.to_le_bytes());
+        }
+    }
     out
 }
 
@@ -430,7 +535,7 @@ pub fn encode_aggregate(agg: &FleetAggregate) -> Vec<u8> {
 pub fn decode_aggregate(buf: &[u8]) -> Result<FleetAggregate, RecordError> {
     let mut cur = Cur::new(buf);
     let version = cur.u8()?;
-    if version != AGGREGATE_VERSION {
+    if version != AGGREGATE_VERSION && version != AGGREGATE_VERSION_V2 {
         return Err(RecordError::Version(version));
     }
     let device_count = cur.u64()? as usize;
@@ -442,8 +547,15 @@ pub fn decode_aggregate(buf: &[u8]) -> Result<FleetAggregate, RecordError> {
     let reliability = cur.reliability()?;
     let uptime = ExactSum::from_raw(cur.i128()?);
     let max_conservation_j = cur.f64()?;
-    let mut hists = Vec::with_capacity(8);
-    for _ in 0..8 {
+    // 0x82 shipped 8 metrics histograms; 0x83 ships 10 (contact degree
+    // and scan energy joined the wire order).
+    let n_hists = if version == AGGREGATE_VERSION_V2 {
+        8
+    } else {
+        10
+    };
+    let mut hists = Vec::with_capacity(n_hists);
+    for _ in 0..n_hists {
         hists.push(cur.hist()?);
     }
     let metrics =
@@ -479,6 +591,23 @@ pub fn decode_aggregate(buf: &[u8]) -> Result<FleetAggregate, RecordError> {
         let len = cur.u32()? as usize;
         let rec = cur.take(len)?;
         agg.sample.push(decode_result(rec)?);
+    }
+    if version >= AGGREGATE_VERSION && cur.u8()? != 0 {
+        agg.scenario = true;
+        agg.contacts_observed = cur.u64()?;
+        agg.contacts_missed = cur.u64()?;
+        agg.contacts_uplinked = cur.u64()?;
+        agg.scan_energy_j = ExactSum::from_raw(cur.i128()?);
+        agg.seeded_devices = cur.u64()?;
+        let n = cur.u32()? as usize;
+        agg.edges.reserve(n.min(65_536));
+        for _ in 0..n {
+            agg.edges.push(ContactEdge {
+                epoch: cur.u32()?,
+                device: cur.u32()?,
+                peer: cur.u32()?,
+            });
+        }
     }
     cur.done()?;
     Ok(agg)
@@ -581,6 +710,65 @@ pub fn decode_heartbeat(buf: &[u8]) -> Result<Heartbeat, RecordError> {
     })
 }
 
+/// A per-epoch shard tally, interleaved with result records in the
+/// worker→coordinator stream under [`EPOCH_TAG`] during networked-
+/// scenario runs.
+///
+/// Like heartbeats, epoch beats are *advisory*: the deterministic
+/// cross-device exchange rides the aggregate frame's merged edge set,
+/// not these — they exist so the coordinator can narrate the epoch
+/// timeline live and sanity-check shard contact budgets. Pre-scenario
+/// coordinators skip them (the tag is in the auxiliary range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochBeat {
+    /// Shard index of the emitting worker.
+    pub shard: u32,
+    /// Scenario epoch index this tally covers.
+    pub epoch: u32,
+    /// Contacts the shard's devices observed in this epoch.
+    pub contacts: u64,
+    /// Contact edges the shard recorded in this epoch (== `contacts`
+    /// today; kept separate so dedup policies can diverge).
+    pub edges: u64,
+}
+
+/// Encodes an epoch-beat frame payload.
+#[must_use]
+pub fn encode_epoch(beat: &EpochBeat) -> Vec<u8> {
+    let mut out = Vec::with_capacity(25);
+    out.push(EPOCH_TAG);
+    out.extend_from_slice(&beat.shard.to_le_bytes());
+    out.extend_from_slice(&beat.epoch.to_le_bytes());
+    put_u64(&mut out, beat.contacts);
+    put_u64(&mut out, beat.edges);
+    out
+}
+
+/// Decodes an epoch-beat frame payload; the whole buffer must be
+/// consumed.
+///
+/// # Errors
+///
+/// Same failure modes as [`decode_heartbeat`].
+pub fn decode_epoch(buf: &[u8]) -> Result<EpochBeat, RecordError> {
+    let mut cur = Cur::new(buf);
+    let tag = cur.u8()?;
+    if tag != EPOCH_TAG {
+        return Err(RecordError::Version(tag));
+    }
+    let shard = cur.u32()?;
+    let epoch = cur.u32()?;
+    let contacts = cur.u64()?;
+    let edges = cur.u64()?;
+    cur.done()?;
+    Ok(EpochBeat {
+        shard,
+        epoch,
+        contacts,
+        edges,
+    })
+}
+
 /// End-of-shard worker runtime statistics, shipped as the final frame
 /// of the worker protocol under [`STATS_VERSION`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -651,6 +839,8 @@ pub enum StreamFrame {
     Result(DeviceResult),
     /// A worker progress heartbeat.
     Heartbeat(Heartbeat),
+    /// A per-epoch shard tally from a networked-scenario run.
+    Epoch(EpochBeat),
     /// An auxiliary frame with a tag this decoder does not know —
     /// forward compatibility: newer workers may interleave new telemetry
     /// kinds, and the coordinator must keep consuming the stream.
@@ -667,8 +857,9 @@ pub enum StreamFrame {
 /// usual decode failures of the recognised frame kinds.
 pub fn decode_stream_frame(buf: &[u8]) -> Result<StreamFrame, RecordError> {
     match buf.first().copied().ok_or(RecordError::Truncated)? {
-        RECORD_VERSION => Ok(StreamFrame::Result(decode_result(buf)?)),
+        RECORD_VERSION_MIN..=RECORD_VERSION => Ok(StreamFrame::Result(decode_result(buf)?)),
         HEARTBEAT_TAG => Ok(StreamFrame::Heartbeat(decode_heartbeat(buf)?)),
+        EPOCH_TAG => Ok(StreamFrame::Epoch(decode_epoch(buf)?)),
         tag @ AUX_TAG_MIN..=AUX_TAG_MAX => Ok(StreamFrame::Skipped(tag)),
         tag => Err(RecordError::Version(tag)),
     }
@@ -766,6 +957,39 @@ mod tests {
             faults,
             reliability,
             conservation_j: 1.3e-12,
+            scenario: true,
+            contacts_observed: 9,
+            contacts_missed: 2,
+            contacts_uplinked: 8,
+            scan_energy_j: 0.042,
+            infected_seed: true,
+            contact_edges: vec![
+                ContactEdge {
+                    epoch: 0,
+                    device: 42,
+                    peer: 7,
+                },
+                ContactEdge {
+                    epoch: 3,
+                    device: 42,
+                    peer: 11,
+                },
+            ],
+        }
+    }
+
+    /// The sample result with its scenario block stripped — the shape
+    /// every pre-scenario record had.
+    fn plain_result() -> DeviceResult {
+        DeviceResult {
+            scenario: false,
+            contacts_observed: 0,
+            contacts_missed: 0,
+            contacts_uplinked: 0,
+            scan_energy_j: 0.0,
+            infected_seed: false,
+            contact_edges: Vec::new(),
+            ..sample_result()
         }
     }
 
@@ -870,8 +1094,8 @@ mod tests {
         );
         // Outside the auxiliary range: a hard version error.
         assert!(matches!(
-            decode_stream_frame(&[0x03]),
-            Err(RecordError::Version(0x03))
+            decode_stream_frame(&[0x05]),
+            Err(RecordError::Version(0x05))
         ));
         assert!(matches!(
             decode_stream_frame(&[0xff]),
@@ -881,6 +1105,80 @@ mod tests {
             decode_stream_frame(&[]),
             Err(RecordError::Truncated)
         ));
+    }
+
+    #[test]
+    fn plain_record_has_no_scenario_block_but_round_trips() {
+        let r = plain_result();
+        let bytes = encode_result(&r);
+        // A single flag byte is the whole scenario cost when inactive.
+        assert_eq!(*bytes.last().unwrap(), 0);
+        let back = decode_result(&bytes).expect("round trip");
+        assert_eq!(back, r);
+        assert_eq!(back.digest(), r.digest());
+    }
+
+    #[test]
+    fn historical_record_versions_still_decode() {
+        // v2: the v3 layout sans the trailing scenario flag.
+        let r = plain_result();
+        let mut v2 = encode_result(&r);
+        assert_eq!(v2.pop(), Some(0));
+        v2[0] = 0x02;
+        let back = decode_result(&v2).expect("v2 decode");
+        assert_eq!(back, r);
+        assert_eq!(back.digest(), r.digest());
+        // v1: additionally predates the telemetry block (queue
+        // high-water mark and the two histograms, which encode to 42
+        // bytes each when empty).
+        let flat = DeviceResult {
+            queue_high_water: 0,
+            sync_attempts: Histogram::new(),
+            sync_backoff_us: Histogram::new(),
+            ..plain_result()
+        };
+        let v3 = encode_result(&flat);
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&v3[..218]);
+        v1.extend_from_slice(&v3[218 + 8 + 42 + 42..v3.len() - 1]);
+        v1[0] = 0x01;
+        assert_eq!(decode_result(&v1).expect("v1 decode"), flat);
+    }
+
+    #[test]
+    fn epoch_beat_round_trips_and_streams() {
+        let beat = EpochBeat {
+            shard: 2,
+            epoch: 17,
+            contacts: 99,
+            edges: 99,
+        };
+        let bytes = encode_epoch(&beat);
+        assert_eq!(bytes[0], EPOCH_TAG);
+        assert_eq!(decode_epoch(&bytes).unwrap(), beat);
+        match decode_stream_frame(&bytes).unwrap() {
+            StreamFrame::Epoch(back) => assert_eq!(back, beat),
+            other => panic!("expected epoch beat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_aggregate_frames_still_decode() {
+        // An empty pre-scenario aggregate: every histogram is empty, so
+        // the v2 byte stream is the v3 one with the last two histogram
+        // blocks (42 bytes each, starting after the 217-byte scalar
+        // prefix and eight 42-byte histograms) and the trailing scenario
+        // flag removed.
+        let agg = FleetAggregate::with_policies(["fixed-24"], 0);
+        let v3 = encode_aggregate(&agg);
+        let hists_start = 217;
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(&v3[..hists_start + 8 * 42]);
+        v2.extend_from_slice(&v3[hists_start + 10 * 42..v3.len() - 1]);
+        v2[0] = AGGREGATE_VERSION_V2;
+        let back = decode_aggregate(&v2).expect("v2 aggregate decode");
+        assert_eq!(back, agg);
+        assert_eq!(back.digest(), agg.digest());
     }
 
     #[test]

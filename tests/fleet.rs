@@ -2,10 +2,12 @@
 //! (seed, device index) — never of thread scheduling, shard topology or
 //! process boundaries.
 
+use std::sync::Arc;
+
 use infiniwolf::{detection_costs, DetectionBudget};
 use iw_nrf52::BleRadio;
 use iw_sim::record::{decode_aggregate, encode_aggregate};
-use iw_sim::{fleet_snapshot, BleSync, FaultProfile, FleetAggregate, FleetConfig};
+use iw_sim::{fleet_snapshot, BleSync, FaultProfile, FleetAggregate, FleetConfig, Scenario};
 
 /// A fleet sized for a test: paper environments shortened to one hour so
 /// 24 devices simulate in well under a second. Samples every device so
@@ -178,6 +180,85 @@ fn digest_merge_is_associative_and_shard_topology_invariant() {
             );
         }
     }
+}
+
+/// A *networked* fleet: 64 devices on one-hour days with the epidemic
+/// scenario compiled on top — mobility contacts, weather fronts,
+/// gateway outages and a scripted infection — plus the lossy sync path
+/// so contact uplink rides real BLE episodes.
+fn networked_fleet(threads: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::paper(
+        64,
+        threads,
+        2027,
+        detection_costs(&DetectionBudget::paper()),
+    );
+    cfg.faults = FaultProfile::Moderate;
+    cfg.notify_j = 10e-6;
+    cfg.sync = Some(BleSync::nrf52(&BleRadio::default(), 120.0, 32));
+    let mut scenario = Scenario::epidemic(64, 2027);
+    scenario.duration_s = 3600.0;
+    scenario.epoch_s = 600.0;
+    scenario.world_m = 60.0;
+    scenario.environments = {
+        let mut envs = cfg.environments.clone();
+        for (_, env) in &mut envs {
+            for seg in &mut env.segments {
+                seg.duration_s /= 24.0;
+            }
+        }
+        envs
+    };
+    cfg.with_scenario(Arc::new(scenario.compile()))
+}
+
+/// The tentpole invariant: the networked-scenario report — contact
+/// counters, merged edge set, the epoch-barrier epidemic fold and the
+/// digest it is folded into — is bit-identical across 1/2/4/8 shards ×
+/// 1/2/4 threads, with every shard aggregate bounced through the binary
+/// codec exactly as the worker protocol ships it.
+#[test]
+fn networked_scenario_report_is_shard_topology_invariant() {
+    let reference = networked_fleet(1).run();
+    let scn = reference.scenario.as_ref().expect("scenario totals");
+    assert!(scn.contacts_observed > 0, "scenario must generate contacts");
+    assert_eq!(scn.edge_count, scn.contacts_observed);
+    let epi = scn.epidemic.as_ref().expect("epidemic outcome");
+    assert!(epi.seeded >= 1);
+    assert!(epi.infected >= epi.seeded);
+    for shards in [1usize, 2, 4, 8] {
+        for threads in [1usize, 2, 4] {
+            let cfg = networked_fleet(threads);
+            let scenario = cfg.scenario.clone();
+            let mut merged = FleetAggregate::new(&cfg);
+            for shard in 0..shards {
+                let agg = cfg.run_shard(shard, shards);
+                let wire = encode_aggregate(&agg);
+                merged.merge(decode_aggregate(&wire).expect("aggregate codec round-trip"));
+            }
+            let report = merged.into_report_with(scenario.as_deref());
+            assert_eq!(
+                report.digest, reference.digest,
+                "digest diverged at {shards} shards × {threads} threads"
+            );
+            assert_eq!(
+                report, reference,
+                "report diverged at {shards} shards × {threads} threads"
+            );
+        }
+    }
+}
+
+/// Attaching no scenario is not just "zero contacts": the records carry
+/// no scenario block at all, so the digest is byte-identical to what
+/// the pre-scenario fleet produced (the D3 goldens pin this globally;
+/// this pins it locally against the same config).
+#[test]
+fn scenario_none_leaves_the_isolated_digest_unchanged() {
+    let isolated = test_fleet(2, 42).run();
+    assert!(isolated.scenario.is_none());
+    let again = test_fleet(4, 42).run();
+    assert_eq!(isolated.digest, again.digest);
 }
 
 /// Digest merge is order-fixed: merging shards out of order must NOT
