@@ -12,7 +12,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p iw-trace -p iw-power -p iw-rv32 -p iw-armv7m -p iw-mrwolf -p iw-nrf52 \
   -p iw-fann -p iw-kernels -p iw-harvest -p iw-sensors -p iw-sim -p iw-fault \
-  -p iw-metrics -p iw-scenario -p infiniwolf -p iw-biosig -p iw-bench
+  -p iw-metrics -p iw-scenario -p iw-policy -p infiniwolf -p iw-biosig -p iw-bench
 cargo test --workspace -q
 
 # Smoke: the registry-driven tables must regenerate the headline rows
@@ -56,6 +56,15 @@ cargo run --release -q -p iw-bench --bin fleet -- \
   --devices 4096 --workers 2 --metrics /tmp/iw_fleet_metrics.prom --check >/dev/null
 grep -q "fleet_device_uptime_ppm_bucket" /tmp/iw_fleet_metrics.prom
 rm -f /tmp/iw_fleet_metrics.prom
+
+# Smoke: the Pareto policy search on a tiny grid — 5 candidates × 64
+# devices on the harsh stress cell. --check re-runs the sweep under a
+# different thread count and exits non-zero unless every per-candidate
+# digest and the search digest match AND at least one adaptive policy
+# dominates the aware-24 baseline. The full table is pinned
+# byte-for-byte by bench/tests/golden_d5.rs.
+cargo run --release -q -p iw-bench --bin policy-search -- \
+  --devices 64 --candidates 5 --no-out --check >/dev/null
 
 # Smoke: the networked-scenario engine — two worker processes play the
 # compiled epidemic scenario (mobility contacts via BLE scans, weather

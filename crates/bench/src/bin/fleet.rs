@@ -168,6 +168,19 @@ fn fleet_config(args: &Args, threads: usize) -> FleetConfig {
     } else {
         iw_bench::d3_fleet_config(args.devices, threads, args.seed, args.faults)
     };
+    // A malformed policy (e.g. EnergyAware with min_soc >= 1) silently
+    // degenerates into a device that never detects — surface it as a
+    // configuration error instead of a mysteriously idle sweep.
+    for (name, spec) in &cfg.policies {
+        if let Err(e) = spec.validate() {
+            flog(
+                "coordinator",
+                "config",
+                &format!("invalid policy '{name}': {e}"),
+            );
+            std::process::exit(2);
+        }
+    }
     cfg.sample_devices = args.sample;
     cfg
 }

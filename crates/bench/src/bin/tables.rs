@@ -152,6 +152,11 @@ fn d4() {
     print!("{}", iw_bench::render_d4(27, 4));
 }
 
+fn d5() {
+    // The same 27-device stress cell as D3, one run per searched policy.
+    print!("{}", iw_bench::render_d5(27, 4));
+}
+
 fn a10() {
     println!("\n== A10 — extension: cycle breakdown, Network A per target ==");
     for (target, wall_cycles, rows) in iw_bench::a10_cycle_breakdown() {
@@ -236,5 +241,8 @@ fn main() {
     }
     if want("d4") {
         d4();
+    }
+    if want("d5") {
+        d5();
     }
 }

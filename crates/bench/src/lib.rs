@@ -19,11 +19,15 @@ use iw_kernels::{
 };
 use iw_mrwolf::ClusterConfig;
 use iw_nrf52::BleRadio;
-use iw_sim::{BleSync, DetectionPolicy, FaultProfile, FleetConfig, FleetReport, Scenario};
+use iw_sim::{
+    BleSync, ComputeJob, DetectionPolicy, FaultBackoff, FaultProfile, FleetConfig, FleetReport,
+    PolicySpec, RateRule, Scenario, TargetRule,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 pub use render::{
-    render_a2, render_a7, render_d1, render_d2, render_d3, render_d4, render_rows, render_t3t4,
+    render_a2, render_a7, render_d1, render_d2, render_d3, render_d4, render_d5, render_d5_table,
+    render_rows, render_t3t4,
 };
 use std::sync::Arc;
 pub use traceflow::{trace_target, TraceArtifacts};
@@ -785,7 +789,8 @@ pub fn d3_fleet_config(
         DetectionPolicy::DutyCycledSync {
             per_minute: 24.0,
             sync_interval_s: 300.0,
-        },
+        }
+        .into(),
     ));
     cfg.faults = profile;
     cfg
@@ -847,6 +852,252 @@ pub fn daily_intake_j() -> f64 {
         &TegHarvester::infiniwolf(),
     )
     .total_j()
+}
+
+/// One candidate of the D5 policy search: a stable display name plus the
+/// [`PolicySpec`] it evaluates.
+#[derive(Debug, Clone)]
+pub struct PolicyCandidate {
+    /// Stable candidate name (keys the table, the JSON and the goldens).
+    pub name: String,
+    /// The policy under evaluation.
+    pub spec: PolicySpec,
+}
+
+/// The measured outcome of one candidate's deterministic fleet run on
+/// the D5 stress cell, plus its Pareto status among the searched set.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// Candidate name.
+    pub name: String,
+    /// The evaluated spec.
+    pub spec: PolicySpec,
+    /// Whether the spec uses closed-loop behaviour beyond a legacy policy.
+    pub adaptive: bool,
+    /// Mean device uptime fraction.
+    pub uptime: f64,
+    /// Mean detections per simulated day.
+    pub detections_per_day: f64,
+    /// Mean energy per detection, joules (`inf` if nothing detected).
+    pub energy_per_detection_j: f64,
+    /// Detections dispatched to the Cortex-M4 by target selection.
+    pub target_m4: u64,
+    /// Detections dispatched to the Ibex/Wolf controller.
+    pub target_ibex: u64,
+    /// Detections dispatched to the 8×RI5CY cluster.
+    pub target_cluster: u64,
+    /// Acquisition windows skipped by fault-aware backoff.
+    pub backoff_skips: u64,
+    /// Sync intervals stretched during gateway loss.
+    pub sync_stretches: u64,
+    /// Determinism digest of the candidate's fleet run.
+    pub digest: u64,
+    /// On the Pareto front of (uptime ↑, detections/day ↑, energy/det ↓).
+    pub pareto: bool,
+}
+
+/// Per-target-class compute jobs from the kernel registry, in
+/// [`iw_sim::TargetClass`] order (M4, Ibex, 8-core cluster): the Network A
+/// classification measured on each simulated machine, with the feature
+/// stage folded in — exactly how the X2 budget derives the single-target
+/// job, once per class.
+#[must_use]
+pub fn d5_target_jobs() -> [ComputeJob; 3] {
+    let [(_, _, fixed, qin), _] = evaluation_nets();
+    [
+        FixedTarget::CortexM4,
+        FixedTarget::WolfIbex,
+        FixedTarget::WolfCluster { cores: 8 },
+    ]
+    .map(|target| {
+        let budget = measure_detection_budget(&fixed, &qin, target).expect("target runs");
+        ComputeJob::analytic(
+            budget.features_s + budget.classification_s,
+            budget.features_j + budget.classification_j,
+        )
+    })
+}
+
+/// The D5 candidate set: the three frozen baselines first, then a
+/// deterministic grid over the [`RateRule::SocRamp`] knees (with and
+/// without the closed-loop behaviours), then a seeded random sweep.
+/// Truncating the list always keeps the baselines, so a tiny-grid
+/// `--check` run still has its reference policies.
+#[must_use]
+pub fn d5_candidates(seed: u64) -> Vec<PolicyCandidate> {
+    let backoff = FaultBackoff {
+        gate_acquisition: true,
+        recheck_s: 30.0,
+        sync_stretch: 4.0,
+    };
+    let targets = TargetRule {
+        eco_below: 0.35,
+        m4_above: 0.75,
+        harvest_weight: 50.0,
+        queue_cluster: 8,
+    };
+    let mut out = vec![
+        PolicyCandidate {
+            name: "fixed-24".into(),
+            spec: DetectionPolicy::FixedRate { per_minute: 24.0 }.into(),
+        },
+        PolicyCandidate {
+            name: "aware-24".into(),
+            spec: DetectionPolicy::EnergyAware {
+                max_per_minute: 24.0,
+                min_soc: 0.10,
+            }
+            .into(),
+        },
+        PolicyCandidate {
+            name: "duty-300s".into(),
+            spec: DetectionPolicy::DutyCycledSync {
+                per_minute: 24.0,
+                sync_interval_s: 300.0,
+            }
+            .into(),
+        },
+    ];
+    for max_per_minute in [24.0, 36.0] {
+        for full_soc in [0.35, 0.60] {
+            let rate = RateRule::SocRamp {
+                max_per_minute,
+                min_soc: 0.10,
+                full_soc,
+            };
+            let stem = format!(
+                "ramp{}-f{:02}",
+                max_per_minute as u32,
+                (full_soc * 100.0) as u32
+            );
+            out.push(PolicyCandidate {
+                name: stem.clone(),
+                spec: PolicySpec::new(rate),
+            });
+            out.push(PolicyCandidate {
+                name: format!("{stem}-cl"),
+                spec: PolicySpec::new(rate)
+                    .with_sync_interval(300.0)
+                    .with_backoff(backoff)
+                    .with_targets(targets),
+            });
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd5);
+    for i in 0..4 {
+        let min_soc = rng.gen_range(0.03..0.15);
+        let rate = RateRule::SocRamp {
+            max_per_minute: rng.gen_range(18.0..48.0),
+            min_soc,
+            full_soc: rng.gen_range(min_soc + 0.10..0.80),
+        };
+        let spec = PolicySpec::new(rate)
+            .with_sync_interval(rng.gen_range(120.0..600.0))
+            .with_backoff(FaultBackoff {
+                gate_acquisition: rng.gen_range(0..2) == 1,
+                recheck_s: rng.gen_range(10.0..60.0),
+                sync_stretch: rng.gen_range(2.0..6.0),
+            })
+            .with_targets(TargetRule {
+                eco_below: rng.gen_range(0.2..0.5),
+                m4_above: rng.gen_range(0.6..0.9),
+                harvest_weight: rng.gen_range(0.0..100.0),
+                queue_cluster: rng.gen_range(4..16),
+            });
+        out.push(PolicyCandidate {
+            name: format!("rand-{i}"),
+            spec,
+        });
+    }
+    out
+}
+
+/// The D5 stress cell for one candidate: the D3 reliability fleet (40 J
+/// cell, BLE notify + sync, harsh fault injection) with *every* device
+/// on the candidate's policy, and the registry-derived per-target
+/// compute jobs available to adaptive target selection.
+#[must_use]
+pub fn d5_fleet_config(
+    devices: usize,
+    threads: usize,
+    seed: u64,
+    candidate: &PolicyCandidate,
+    jobs: [ComputeJob; 3],
+) -> FleetConfig {
+    let mut cfg = d3_fleet_config(devices, threads, seed, FaultProfile::Harsh);
+    cfg.policies = vec![(candidate.name.clone(), candidate.spec)];
+    cfg.target_jobs = Some(jobs);
+    cfg
+}
+
+fn dominates(a: &PolicyOutcome, b: &PolicyOutcome) -> bool {
+    let geq = a.uptime >= b.uptime
+        && a.detections_per_day >= b.detections_per_day
+        && a.energy_per_detection_j <= b.energy_per_detection_j;
+    let strict = a.uptime > b.uptime
+        || a.detections_per_day > b.detections_per_day
+        || a.energy_per_detection_j < b.energy_per_detection_j;
+    geq && strict
+}
+
+/// **D5** — deterministic Pareto policy search: every candidate gets its
+/// own fleet run on the harsh 40 J stress cell (same seed, same cell),
+/// then the Pareto front of (uptime ↑, detections/day ↑, energy per
+/// detection ↓) is marked over the searched set. Outcomes come back in
+/// candidate order; each carries its run's determinism digest, so the
+/// whole search is bit-reproducible across worker/thread topology.
+#[must_use]
+pub fn d5_policy_search(
+    devices: usize,
+    threads: usize,
+    seed: u64,
+    candidates: &[PolicyCandidate],
+) -> Vec<PolicyOutcome> {
+    let jobs = d5_target_jobs();
+    let mut outcomes: Vec<PolicyOutcome> = candidates
+        .iter()
+        .map(|candidate| {
+            let report = d5_fleet_config(devices, threads, seed, candidate, jobs).run();
+            let stats = &report.policies[0];
+            PolicyOutcome {
+                name: candidate.name.clone(),
+                spec: candidate.spec,
+                adaptive: candidate.spec.is_adaptive(),
+                uptime: stats.mean_uptime,
+                detections_per_day: stats.detections_per_day,
+                energy_per_detection_j: stats.energy_per_detection_j,
+                target_m4: stats.target_m4,
+                target_ibex: stats.target_ibex,
+                target_cluster: stats.target_cluster,
+                backoff_skips: stats.backoff_skips,
+                sync_stretches: stats.sync_stretches,
+                digest: report.digest,
+                pareto: false,
+            }
+        })
+        .collect();
+    for i in 0..outcomes.len() {
+        outcomes[i].pareto = !outcomes
+            .iter()
+            .enumerate()
+            .any(|(j, other)| j != i && dominates(other, &outcomes[i]));
+    }
+    outcomes
+}
+
+/// Folds the per-candidate run digests into one search digest (FNV-1a
+/// over the digests in candidate order) — the single value the `--check`
+/// topology rerun compares.
+#[must_use]
+pub fn d5_search_digest(outcomes: &[PolicyOutcome]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for outcome in outcomes {
+        for b in outcome.digest.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
 }
 
 #[cfg(test)]

@@ -244,6 +244,68 @@ pub fn render_d4(devices: usize, threads: usize) -> String {
     out
 }
 
+/// Renders the D5 Pareto policy search: one line per candidate with the
+/// three Pareto axes, the target-selection split, the backoff counters
+/// and a `*` on front members, then the front itself and the combined
+/// search digest.
+#[must_use]
+pub fn render_d5(devices: usize, threads: usize) -> String {
+    let outcomes = crate::d5_policy_search(
+        devices,
+        threads,
+        crate::SEED,
+        &crate::d5_candidates(crate::SEED),
+    );
+    render_d5_table(devices, threads, &outcomes)
+}
+
+/// Renders an already-computed D5 outcome set (shared by [`render_d5`]
+/// and the `policy-search` binary, so the CLI prints exactly what the
+/// golden test freezes).
+#[must_use]
+pub fn render_d5_table(
+    devices: usize,
+    threads: usize,
+    outcomes: &[crate::PolicyOutcome],
+) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "\n== D5 — Pareto policy search on the harsh stress cell ({devices} devices, {threads} threads) =="
+    )
+    .expect("string write");
+    for o in outcomes {
+        writeln!(
+            out,
+            "  {:<12} uptime {:>6.2}%  {:>7.0} det/day  {:>8.1} uJ/det  m4/ibex/cl8 {:>5}/{:>5}/{:>5}  {:>4} skipped, {:>3} stretched{}",
+            o.name,
+            o.uptime * 100.0,
+            o.detections_per_day,
+            o.energy_per_detection_j * 1e6,
+            o.target_m4,
+            o.target_ibex,
+            o.target_cluster,
+            o.backoff_skips,
+            o.sync_stretches,
+            if o.pareto { "  *" } else { "" }
+        )
+        .expect("string write");
+    }
+    let front: Vec<&str> = outcomes
+        .iter()
+        .filter(|o| o.pareto)
+        .map(|o| o.name.as_str())
+        .collect();
+    writeln!(out, "  Pareto front (*): {}", front.join(", ")).expect("string write");
+    writeln!(
+        out,
+        "  search digest {:016x}",
+        crate::d5_search_digest(outcomes)
+    )
+    .expect("string write");
+    out
+}
+
 /// Renders the A7 Q15-vs-Q31 comparison.
 #[must_use]
 pub fn render_a7() -> String {

@@ -1,0 +1,58 @@
+//! Byte-for-byte regression test for the D5 Pareto policy search.
+//!
+//! `golden_d5.txt` was captured from `policy-search --devices 18
+//! --candidates 9 --threads 4` under the frozen default seed (2020) when
+//! the policy-search subsystem landed. Every candidate run is a pure
+//! function of the seed, so any drift in the adaptive policy engine
+//! (rate ramps, fault-aware backoff, target selection), the stress-cell
+//! wiring, Pareto marking, digest folding, or formatting fails here.
+
+/// The golden cell: the first 9 candidates (baselines + the ramp24/36
+/// grid) on 18 devices — small enough for a debug-mode test run, large
+/// enough that the searched `ramp36-f35-cl` policy dominates `aware-24`.
+fn golden_outcomes(threads: usize) -> Vec<iw_bench::PolicyOutcome> {
+    let candidates = iw_bench::d5_candidates(iw_bench::SEED);
+    iw_bench::d5_policy_search(18, threads, iw_bench::SEED, &candidates[..9])
+}
+
+#[test]
+fn d5_policy_search_matches_frozen_snapshot() {
+    let outcomes = golden_outcomes(4);
+    let got = iw_bench::render_d5_table(18, 4, &outcomes);
+    let want = include_str!("golden_d5.txt");
+    assert_eq!(
+        got, want,
+        "D5 policy-search output drifted from the frozen snapshot"
+    );
+}
+
+#[test]
+fn d5_searched_policy_dominates_aware_baseline_on_any_topology() {
+    // A different thread count than the snapshot run: outcome equality
+    // with the frozen table is already asserted above, so agreement here
+    // doubles as the topology-invariance gate for the whole search.
+    let outcomes = golden_outcomes(2);
+    let got = iw_bench::render_d5_table(18, 4, &outcomes);
+    assert_eq!(
+        got,
+        include_str!("golden_d5.txt"),
+        "search results must not depend on thread topology"
+    );
+    let aware = outcomes
+        .iter()
+        .find(|o| o.name == "aware-24")
+        .expect("aware baseline in search");
+    let winner = outcomes
+        .iter()
+        .find(|o| {
+            o.pareto
+                && o.adaptive
+                && o.uptime >= aware.uptime
+                && o.detections_per_day > aware.detections_per_day
+        })
+        .expect("a Pareto-front adaptive policy must dominate aware-24");
+    // The closed-loop machinery visibly fired, not just the rate ramp.
+    assert!(winner.target_cluster > 0, "target selection never ran");
+    assert!(winner.backoff_skips > 0, "acquisition gating never fired");
+    assert!(winner.sync_stretches > 0, "sync stretching never fired");
+}

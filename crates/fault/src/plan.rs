@@ -111,6 +111,21 @@ pub struct FaultWindow {
     pub severity: f64,
 }
 
+impl FaultWindow {
+    /// A severity-0 window of `kind` spanning `[start_s, end_s)` in
+    /// seconds — the common shape when scripting signal-quality or
+    /// link-outage windows by hand (tests, scenarios).
+    #[must_use]
+    pub fn spanning(kind: FaultKind, start_s: f64, end_s: f64) -> FaultWindow {
+        FaultWindow {
+            kind,
+            start_us: (start_s * 1e6) as u64,
+            end_us: (end_s * 1e6) as u64,
+            severity: 0.0,
+        }
+    }
+}
+
 /// The LDO-cutoff / cold-start model (BQ25570-style): below `cutoff_soc`
 /// the device drops to acquisition-off; once the battery recovers past
 /// `restart_soc` the charger cold-starts for `cold_start_s` before the

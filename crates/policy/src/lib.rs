@@ -1,0 +1,693 @@
+//! # iw-policy — the detection-scheduling policy engine
+//!
+//! The paper's headline claim is that *opportunistic, energy-aware
+//! scheduling* is what makes the bracelet self-sustaining. This crate
+//! owns that scheduling vocabulary: the three classic
+//! [`DetectionPolicy`] variants the experiment tables are frozen
+//! against, and the declarative [`PolicySpec`] that subsumes them and
+//! adds two closed-loop behaviours — workload-adaptive compute-target
+//! selection ([`TargetRule`]) and fault-aware backoff
+//! ([`FaultBackoff`]).
+//!
+//! Everything here is a pure function of observable device state
+//! (observed state of charge, queue depth, a trailing harvest average,
+//! fault signals), so the simulation stays deterministic and the fleet
+//! digest algebra is untouched: a [`PolicySpec`] wrapping a legacy
+//! [`DetectionPolicy`] evaluates the *identical* float expressions and
+//! therefore reproduces legacy digests bit for bit.
+
+#![warn(missing_docs)]
+
+/// A detection-scheduling policy for the battery-coupled simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectionPolicy {
+    /// Fixed detection rate, detections per minute.
+    FixedRate {
+        /// Detections per minute.
+        per_minute: f64,
+    },
+    /// Energy-aware: scales a maximum rate by the battery state of charge
+    /// (the "opportunistic" acquisition the paper describes).
+    EnergyAware {
+        /// Rate at full battery, detections per minute.
+        max_per_minute: f64,
+        /// State of charge below which detection stops entirely.
+        min_soc: f64,
+    },
+    /// Fixed detection rate with duty-cycled BLE sync: results are not
+    /// notified per detection but batched and delivered at the periodic
+    /// sync burst, amortising radio wake-ups (the ROADMAP's duty-cycled
+    /// sync policy). The device layer suppresses per-detection
+    /// notifications and flushes the batch on each *successful* sync.
+    DutyCycledSync {
+        /// Detections per minute.
+        per_minute: f64,
+        /// Interval between BLE sync bursts, seconds.
+        sync_interval_s: f64,
+    },
+}
+
+impl DetectionPolicy {
+    /// Instantaneous detection rate at state of charge `soc`, per second.
+    /// Zero (or a non-positive value) means "do not detect now; re-check
+    /// later".
+    #[must_use]
+    pub fn rate_per_s(&self, soc: f64) -> f64 {
+        match *self {
+            DetectionPolicy::FixedRate { per_minute }
+            | DetectionPolicy::DutyCycledSync { per_minute, .. } => per_minute / 60.0,
+            DetectionPolicy::EnergyAware {
+                max_per_minute,
+                min_soc,
+            } => {
+                if soc <= min_soc || min_soc >= 1.0 {
+                    0.0
+                } else {
+                    max_per_minute / 60.0 * ((soc - min_soc) / (1.0 - min_soc))
+                }
+            }
+        }
+    }
+
+    /// The sync-batching interval, when this policy duty-cycles BLE sync.
+    #[must_use]
+    pub fn sync_interval_s(&self) -> Option<f64> {
+        match *self {
+            DetectionPolicy::DutyCycledSync {
+                sync_interval_s, ..
+            } => Some(sync_interval_s),
+            _ => None,
+        }
+    }
+
+    /// Scales the policy's rate by `factor` (used by the fleet runner to
+    /// model per-subject activity levels).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> DetectionPolicy {
+        match *self {
+            DetectionPolicy::FixedRate { per_minute } => DetectionPolicy::FixedRate {
+                per_minute: per_minute * factor,
+            },
+            DetectionPolicy::EnergyAware {
+                max_per_minute,
+                min_soc,
+            } => DetectionPolicy::EnergyAware {
+                max_per_minute: max_per_minute * factor,
+                min_soc,
+            },
+            DetectionPolicy::DutyCycledSync {
+                per_minute,
+                sync_interval_s,
+            } => DetectionPolicy::DutyCycledSync {
+                per_minute: per_minute * factor,
+                sync_interval_s,
+            },
+        }
+    }
+
+    /// Rejects malformed policies with a human-readable reason.
+    ///
+    /// The headline catch: `EnergyAware { min_soc >= 1.0 }` silently
+    /// degenerates to "never detect" inside
+    /// [`rate_per_s`](DetectionPolicy::rate_per_s); drivers should surface that as a
+    /// configuration error instead of a mysteriously idle device.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            DetectionPolicy::FixedRate { per_minute } => {
+                ensure_rate("FixedRate per_minute", per_minute)
+            }
+            DetectionPolicy::EnergyAware {
+                max_per_minute,
+                min_soc,
+            } => {
+                ensure_rate("EnergyAware max_per_minute", max_per_minute)?;
+                if !min_soc.is_finite() || !(0.0..1.0).contains(&min_soc) {
+                    return Err(format!(
+                        "EnergyAware min_soc must be in [0, 1), got {min_soc} \
+                         (min_soc >= 1 never detects)"
+                    ));
+                }
+                Ok(())
+            }
+            DetectionPolicy::DutyCycledSync {
+                per_minute,
+                sync_interval_s,
+            } => {
+                ensure_rate("DutyCycledSync per_minute", per_minute)?;
+                ensure_interval("DutyCycledSync sync_interval_s", sync_interval_s)
+            }
+        }
+    }
+}
+
+fn ensure_rate(what: &str, rate: f64) -> Result<(), String> {
+    if rate.is_finite() && rate >= 0.0 {
+        Ok(())
+    } else {
+        Err(format!("{what} must be finite and >= 0, got {rate}"))
+    }
+}
+
+fn ensure_interval(what: &str, interval: f64) -> Result<(), String> {
+    if interval.is_finite() && interval > 0.0 {
+        Ok(())
+    } else {
+        Err(format!("{what} must be finite and > 0, got {interval}"))
+    }
+}
+
+/// The rate law of a [`PolicySpec`]: how the instantaneous detection
+/// rate responds to the observed state of charge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateRule {
+    /// One of the three classic policies, verbatim — same float
+    /// expressions, same digests.
+    Legacy(DetectionPolicy),
+    /// A two-knee ramp: zero at or below `min_soc`, the full rate at or
+    /// above `full_soc`, linear in between. `EnergyAware` is the special
+    /// case `full_soc = 1.0`; pulling `full_soc` down runs the detector
+    /// flat out over most of the usable charge range while still backing
+    /// off before a brown-out.
+    SocRamp {
+        /// Rate at or above `full_soc`, detections per minute.
+        max_per_minute: f64,
+        /// State of charge at or below which detection stops entirely.
+        min_soc: f64,
+        /// State of charge at or above which the full rate applies.
+        full_soc: f64,
+    },
+}
+
+impl RateRule {
+    /// Instantaneous detection rate at state of charge `soc`, per second.
+    #[must_use]
+    pub fn rate_per_s(&self, soc: f64) -> f64 {
+        match *self {
+            RateRule::Legacy(p) => p.rate_per_s(soc),
+            RateRule::SocRamp {
+                max_per_minute,
+                min_soc,
+                full_soc,
+            } => {
+                if soc <= min_soc {
+                    0.0
+                } else if soc >= full_soc {
+                    max_per_minute / 60.0
+                } else {
+                    max_per_minute / 60.0 * ((soc - min_soc) / (full_soc - min_soc))
+                }
+            }
+        }
+    }
+
+    /// Scales the rule's rate by `factor`, keeping every threshold.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> RateRule {
+        match *self {
+            RateRule::Legacy(p) => RateRule::Legacy(p.scaled(factor)),
+            RateRule::SocRamp {
+                max_per_minute,
+                min_soc,
+                full_soc,
+            } => RateRule::SocRamp {
+                max_per_minute: max_per_minute * factor,
+                min_soc,
+                full_soc,
+            },
+        }
+    }
+
+    /// Rejects malformed rules with a human-readable reason.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            RateRule::Legacy(p) => p.validate(),
+            RateRule::SocRamp {
+                max_per_minute,
+                min_soc,
+                full_soc,
+            } => {
+                ensure_rate("SocRamp max_per_minute", max_per_minute)?;
+                if !min_soc.is_finite() || !(0.0..1.0).contains(&min_soc) {
+                    return Err(format!("SocRamp min_soc must be in [0, 1), got {min_soc}"));
+                }
+                if !full_soc.is_finite() || full_soc <= min_soc || full_soc > 1.0 {
+                    return Err(format!(
+                        "SocRamp full_soc must be in (min_soc, 1], got {full_soc} \
+                         with min_soc {min_soc}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Fault-aware backoff: reacts to the device's live fault signals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultBackoff {
+    /// Suppress acquisition entirely while a signal-quality fault
+    /// (lead-off, motion artifact) is active — the window would come out
+    /// degraded anyway, so don't pay its energy.
+    pub gate_acquisition: bool,
+    /// How long to wait before re-checking the fault signals while
+    /// acquisition is suppressed, seconds.
+    pub recheck_s: f64,
+    /// Multiplier applied to the BLE sync interval while the link looks
+    /// dead — a gateway-outage fault window is open, or a sync episode
+    /// just exhausted its retry budget (≥ 1; `1.0` leaves the cadence
+    /// alone). Stretching the cadence avoids burning retry bursts into
+    /// a dead link.
+    pub sync_stretch: f64,
+}
+
+impl FaultBackoff {
+    /// Rejects malformed backoff rules with a human-readable reason.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        ensure_interval("FaultBackoff recheck_s", self.recheck_s)?;
+        if !self.sync_stretch.is_finite() || self.sync_stretch < 1.0 {
+            return Err(format!(
+                "FaultBackoff sync_stretch must be finite and >= 1, got {}",
+                self.sync_stretch
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The compute targets an adaptive policy can dispatch a classification
+/// to, in registry order. Indices are stable: they key the per-policy
+/// attribution counters in the fleet records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetClass {
+    /// The always-on Cortex-M4 host (no cluster wake-up, highest energy
+    /// per classification).
+    M4 = 0,
+    /// A single Ibex (zero-riscy) core of Mr. Wolf.
+    Ibex = 1,
+    /// The 8×RI5CY parallel cluster (cheapest energy and lowest latency,
+    /// at the cost of the wake-up/offload machinery).
+    Cluster = 2,
+}
+
+impl TargetClass {
+    /// All classes, in attribution-counter order.
+    pub const ALL: [TargetClass; 3] = [TargetClass::M4, TargetClass::Ibex, TargetClass::Cluster];
+
+    /// The attribution-counter index of this class.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TargetClass::M4 => "m4",
+            TargetClass::Ibex => "ibex",
+            TargetClass::Cluster => "cluster",
+        }
+    }
+}
+
+/// Workload-adaptive target selection: picks the compute target per
+/// classification from an *energy pressure* score — the observed state
+/// of charge plus a weighted trailing harvest average — and the sync
+/// queue depth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetRule {
+    /// Below this pressure, always take the cheapest-energy target (the
+    /// 8-core cluster).
+    pub eco_below: f64,
+    /// At or above this pressure energy is plentiful: run on the host M4
+    /// and keep Mr. Wolf asleep. Between the two thresholds a single
+    /// Ibex core balances energy and wake-up cost.
+    pub m4_above: f64,
+    /// Weight of the trailing harvest average (watts) in the pressure
+    /// score — a strong harvest forecast counts like spare charge.
+    pub harvest_weight: f64,
+    /// Queue depth at or above which the backlog forces the fast cluster
+    /// regardless of pressure.
+    pub queue_cluster: u64,
+}
+
+impl TargetRule {
+    /// Selects the compute target for the next classification.
+    #[must_use]
+    pub fn select(&self, soc: f64, queue_depth: u64, harvest_avg_w: f64) -> TargetClass {
+        if queue_depth >= self.queue_cluster {
+            return TargetClass::Cluster;
+        }
+        let pressure = soc + self.harvest_weight * harvest_avg_w;
+        if pressure < self.eco_below {
+            TargetClass::Cluster
+        } else if pressure >= self.m4_above {
+            TargetClass::M4
+        } else {
+            TargetClass::Ibex
+        }
+    }
+
+    /// Rejects malformed rules with a human-readable reason.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.eco_below.is_finite() || self.eco_below < 0.0 {
+            return Err(format!(
+                "TargetRule eco_below must be finite and >= 0, got {}",
+                self.eco_below
+            ));
+        }
+        if !self.m4_above.is_finite() || self.m4_above < self.eco_below {
+            return Err(format!(
+                "TargetRule m4_above must be finite and >= eco_below, got {} with eco_below {}",
+                self.m4_above, self.eco_below
+            ));
+        }
+        if !self.harvest_weight.is_finite() || self.harvest_weight < 0.0 {
+            return Err(format!(
+                "TargetRule harvest_weight must be finite and >= 0, got {}",
+                self.harvest_weight
+            ));
+        }
+        if self.queue_cluster == 0 {
+            return Err("TargetRule queue_cluster must be >= 1 (0 would force \
+                        the cluster unconditionally; use eco_below for that)"
+                .into());
+        }
+        Ok(())
+    }
+}
+
+/// A declarative, parameterized detection policy: a rate law plus
+/// optional closed-loop behaviours. `PolicySpec::from(legacy)` embeds a
+/// classic [`DetectionPolicy`] unchanged, so every pre-existing
+/// configuration keeps its exact simulation trace and digest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicySpec {
+    /// How the detection rate responds to the observed state of charge.
+    pub rate: RateRule,
+    /// Duty-cycled BLE sync interval, seconds. `Some` batches result
+    /// notifications and flushes them at each successful sync burst
+    /// (exactly like [`DetectionPolicy::DutyCycledSync`]); `None` defers
+    /// to the rate rule's legacy interval, if any.
+    pub sync_interval_s: Option<f64>,
+    /// Fault-aware backoff, if enabled.
+    pub backoff: Option<FaultBackoff>,
+    /// Workload-adaptive compute-target selection, if enabled.
+    pub targets: Option<TargetRule>,
+}
+
+impl PolicySpec {
+    /// A spec with the given rate law and no closed-loop behaviours.
+    #[must_use]
+    pub fn new(rate: RateRule) -> PolicySpec {
+        PolicySpec {
+            rate,
+            sync_interval_s: None,
+            backoff: None,
+            targets: None,
+        }
+    }
+
+    /// Adds duty-cycled sync batching at `interval_s`.
+    #[must_use]
+    pub fn with_sync_interval(mut self, interval_s: f64) -> PolicySpec {
+        self.sync_interval_s = Some(interval_s);
+        self
+    }
+
+    /// Adds fault-aware backoff.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: FaultBackoff) -> PolicySpec {
+        self.backoff = Some(backoff);
+        self
+    }
+
+    /// Adds workload-adaptive target selection.
+    #[must_use]
+    pub fn with_targets(mut self, targets: TargetRule) -> PolicySpec {
+        self.targets = Some(targets);
+        self
+    }
+
+    /// Instantaneous detection rate at state of charge `soc`, per
+    /// second (monotone non-decreasing in `soc` for every valid spec).
+    #[must_use]
+    pub fn rate_per_s(&self, soc: f64) -> f64 {
+        self.rate.rate_per_s(soc)
+    }
+
+    /// The sync-batching interval: the explicit one if set, otherwise
+    /// whatever the embedded legacy policy declares.
+    #[must_use]
+    pub fn sync_interval_s(&self) -> Option<f64> {
+        self.sync_interval_s.or(match self.rate {
+            RateRule::Legacy(p) => p.sync_interval_s(),
+            RateRule::SocRamp { .. } => None,
+        })
+    }
+
+    /// Scales the detection rate by `factor`, keeping thresholds,
+    /// intervals and closed-loop behaviours (per-subject activity
+    /// scaling in the fleet runner).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> PolicySpec {
+        PolicySpec {
+            rate: self.rate.scaled(factor),
+            ..*self
+        }
+    }
+
+    /// True when the spec uses any behaviour beyond a verbatim legacy
+    /// policy — the fleet layer uses this to gate the policy-attribution
+    /// digest block so legacy digests stay frozen.
+    #[must_use]
+    pub fn is_adaptive(&self) -> bool {
+        !matches!(self.rate, RateRule::Legacy(_))
+            || self.sync_interval_s.is_some()
+            || self.backoff.is_some()
+            || self.targets.is_some()
+    }
+
+    /// Rejects malformed specs with a human-readable reason.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.rate.validate()?;
+        if let Some(interval) = self.sync_interval_s {
+            ensure_interval("PolicySpec sync_interval_s", interval)?;
+        }
+        if let Some(backoff) = self.backoff {
+            backoff.validate()?;
+        }
+        if let Some(targets) = self.targets {
+            targets.validate()?;
+        }
+        Ok(())
+    }
+}
+
+impl From<DetectionPolicy> for PolicySpec {
+    fn from(policy: DetectionPolicy) -> PolicySpec {
+        PolicySpec::new(RateRule::Legacy(policy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_ignores_soc() {
+        let p = DetectionPolicy::FixedRate { per_minute: 24.0 };
+        assert_eq!(p.rate_per_s(0.1), p.rate_per_s(0.9));
+        assert!((p.rate_per_s(0.5) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_aware_scales_and_cuts_off() {
+        let p = DetectionPolicy::EnergyAware {
+            max_per_minute: 60.0,
+            min_soc: 0.2,
+        };
+        assert_eq!(p.rate_per_s(0.2), 0.0);
+        assert_eq!(p.rate_per_s(0.05), 0.0);
+        assert!((p.rate_per_s(1.0) - 1.0).abs() < 1e-12);
+        assert!((p.rate_per_s(0.6) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_min_soc_never_detects() {
+        let p = DetectionPolicy::EnergyAware {
+            max_per_minute: 60.0,
+            min_soc: 1.0,
+        };
+        assert_eq!(p.rate_per_s(1.0), 0.0);
+    }
+
+    #[test]
+    fn scaling_multiplies_the_rate() {
+        let p = DetectionPolicy::FixedRate { per_minute: 10.0 }.scaled(1.5);
+        assert!((p.rate_per_s(0.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_cycled_sync_rate_ignores_soc_and_keeps_interval() {
+        let p = DetectionPolicy::DutyCycledSync {
+            per_minute: 24.0,
+            sync_interval_s: 120.0,
+        };
+        assert_eq!(p.rate_per_s(0.1), p.rate_per_s(0.9));
+        assert!((p.rate_per_s(0.5) - 0.4).abs() < 1e-12);
+        assert_eq!(p.sync_interval_s(), Some(120.0));
+        assert_eq!(
+            DetectionPolicy::FixedRate { per_minute: 1.0 }.sync_interval_s(),
+            None
+        );
+        let scaled = p.scaled(0.5);
+        assert!((scaled.rate_per_s(0.5) - 0.2).abs() < 1e-12);
+        assert_eq!(scaled.sync_interval_s(), Some(120.0));
+    }
+
+    #[test]
+    fn validate_catches_the_degenerate_min_soc() {
+        assert!(DetectionPolicy::EnergyAware {
+            max_per_minute: 24.0,
+            min_soc: 1.0,
+        }
+        .validate()
+        .is_err());
+        assert!(DetectionPolicy::EnergyAware {
+            max_per_minute: 24.0,
+            min_soc: 0.1,
+        }
+        .validate()
+        .is_ok());
+        assert!(DetectionPolicy::FixedRate {
+            per_minute: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(DetectionPolicy::DutyCycledSync {
+            per_minute: 24.0,
+            sync_interval_s: 0.0,
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn legacy_spec_reproduces_the_legacy_policy_exactly() {
+        let legacy = DetectionPolicy::EnergyAware {
+            max_per_minute: 24.0,
+            min_soc: 0.1,
+        };
+        let spec = PolicySpec::from(legacy);
+        for soc in [0.0, 0.05, 0.1, 0.1000001, 0.37, 0.5, 0.99, 1.0] {
+            assert_eq!(
+                spec.rate_per_s(soc).to_bits(),
+                legacy.rate_per_s(soc).to_bits()
+            );
+        }
+        assert_eq!(spec.sync_interval_s(), None);
+        assert!(!spec.is_adaptive());
+        let scaled = spec.scaled(1.5);
+        let legacy_scaled = legacy.scaled(1.5);
+        assert_eq!(
+            scaled.rate_per_s(0.5).to_bits(),
+            legacy_scaled.rate_per_s(0.5).to_bits()
+        );
+    }
+
+    #[test]
+    fn soc_ramp_ramps_between_the_knees() {
+        let spec = PolicySpec::new(RateRule::SocRamp {
+            max_per_minute: 60.0,
+            min_soc: 0.1,
+            full_soc: 0.5,
+        });
+        assert_eq!(spec.rate_per_s(0.05), 0.0);
+        assert_eq!(spec.rate_per_s(0.1), 0.0);
+        assert!((spec.rate_per_s(0.3) - 0.5).abs() < 1e-12);
+        assert!((spec.rate_per_s(0.5) - 1.0).abs() < 1e-12);
+        assert!((spec.rate_per_s(0.9) - 1.0).abs() < 1e-12);
+        assert!(spec.is_adaptive());
+        assert!(spec.validate().is_ok());
+        assert!(PolicySpec::new(RateRule::SocRamp {
+            max_per_minute: 60.0,
+            min_soc: 0.5,
+            full_soc: 0.5,
+        })
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn target_rule_switches_on_pressure_and_queue() {
+        let rule = TargetRule {
+            eco_below: 0.3,
+            m4_above: 0.7,
+            harvest_weight: 100.0,
+            queue_cluster: 16,
+        };
+        assert_eq!(rule.select(0.2, 0, 0.0), TargetClass::Cluster);
+        assert_eq!(rule.select(0.5, 0, 0.0), TargetClass::Ibex);
+        assert_eq!(rule.select(0.9, 0, 0.0), TargetClass::M4);
+        // A strong harvest forecast counts like spare charge.
+        assert_eq!(rule.select(0.5, 0, 0.003), TargetClass::M4);
+        // Backlog forces the fast cluster regardless of pressure.
+        assert_eq!(rule.select(0.9, 16, 0.0), TargetClass::Cluster);
+        assert!(rule.validate().is_ok());
+        assert!(TargetRule {
+            queue_cluster: 0,
+            ..rule
+        }
+        .validate()
+        .is_err());
+        assert!(TargetRule {
+            m4_above: 0.1,
+            ..rule
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn backoff_and_spec_validation_compose() {
+        let spec = PolicySpec::new(RateRule::SocRamp {
+            max_per_minute: 24.0,
+            min_soc: 0.05,
+            full_soc: 0.4,
+        })
+        .with_sync_interval(300.0)
+        .with_backoff(FaultBackoff {
+            gate_acquisition: true,
+            recheck_s: 30.0,
+            sync_stretch: 4.0,
+        });
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.sync_interval_s(), Some(300.0));
+        assert!(spec.is_adaptive());
+        assert!(spec
+            .with_backoff(FaultBackoff {
+                gate_acquisition: true,
+                recheck_s: 30.0,
+                sync_stretch: 0.5,
+            })
+            .validate()
+            .is_err());
+        assert!(spec.with_sync_interval(-1.0).validate().is_err());
+    }
+}

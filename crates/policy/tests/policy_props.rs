@@ -1,0 +1,144 @@
+//! Property tests for the policy engine: every valid [`PolicySpec`]'s
+//! rate law must be monotone non-decreasing in the state of charge, and
+//! validation must accept exactly the specs the generators produce.
+
+use iw_policy::{DetectionPolicy, FaultBackoff, PolicySpec, RateRule, TargetClass, TargetRule};
+use proptest::prelude::*;
+
+fn legacy_policy() -> impl Strategy<Value = DetectionPolicy> {
+    prop_oneof![
+        (0.0f64..60.0).prop_map(|per_minute| DetectionPolicy::FixedRate { per_minute }),
+        (0.0f64..60.0, 0.0f64..0.99).prop_map(|(max_per_minute, min_soc)| {
+            DetectionPolicy::EnergyAware {
+                max_per_minute,
+                min_soc,
+            }
+        }),
+        (0.0f64..60.0, 1.0f64..3600.0).prop_map(|(per_minute, sync_interval_s)| {
+            DetectionPolicy::DutyCycledSync {
+                per_minute,
+                sync_interval_s,
+            }
+        }),
+    ]
+}
+
+fn rate_rule() -> impl Strategy<Value = RateRule> {
+    prop_oneof![
+        legacy_policy().prop_map(RateRule::Legacy),
+        (0.0f64..60.0, 0.0f64..0.9, 0.01f64..0.1).prop_map(|(max_per_minute, min_soc, step)| {
+            RateRule::SocRamp {
+                max_per_minute,
+                min_soc,
+                full_soc: (min_soc + step).min(1.0),
+            }
+        }),
+    ]
+}
+
+fn policy_spec() -> impl Strategy<Value = PolicySpec> {
+    (
+        rate_rule(),
+        (any::<bool>(), 1.0f64..3600.0),
+        (any::<bool>(), any::<bool>(), 1.0f64..600.0, 1.0f64..8.0),
+        (
+            any::<bool>(),
+            0.0f64..0.5,
+            0.0f64..0.5,
+            0.0f64..100.0,
+            1u64..32,
+        ),
+    )
+        .prop_map(|(rate, sync, backoff, targets)| {
+            let (has_sync, interval_s) = sync;
+            let (has_backoff, gate_acquisition, recheck_s, sync_stretch) = backoff;
+            let (has_targets, eco_below, above, harvest_weight, queue_cluster) = targets;
+            PolicySpec {
+                rate,
+                sync_interval_s: has_sync.then_some(interval_s),
+                backoff: has_backoff.then_some(FaultBackoff {
+                    gate_acquisition,
+                    recheck_s,
+                    sync_stretch,
+                }),
+                targets: has_targets.then_some(TargetRule {
+                    eco_below,
+                    m4_above: eco_below + above,
+                    harvest_weight,
+                    queue_cluster,
+                }),
+            }
+        })
+}
+
+proptest! {
+    /// The generators only produce valid specs, and `rate_per_s` is
+    /// monotone non-decreasing in SoC for every one of them — the
+    /// closed-loop engine never rewards a device for *losing* charge.
+    #[test]
+    fn rate_is_monotone_in_soc_for_every_valid_spec(
+        spec in policy_spec(),
+        mut a in 0.0f64..=1.0,
+        mut b in 0.0f64..=1.0,
+    ) {
+        prop_assert!(spec.validate().is_ok(), "{:?}", spec.validate());
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let (ra, rb) = (spec.rate_per_s(a), spec.rate_per_s(b));
+        prop_assert!(ra >= 0.0 && rb >= 0.0);
+        prop_assert!(ra <= rb, "rate({a}) = {ra} > rate({b}) = {rb} for {spec:?}");
+    }
+
+    /// Scaling the rate commutes with evaluating it, and never touches
+    /// the sync interval or the closed-loop behaviours.
+    #[test]
+    fn scaling_scales_the_rate_and_nothing_else(
+        spec in policy_spec(),
+        factor in 0.0f64..4.0,
+        soc in 0.0f64..=1.0,
+    ) {
+        let scaled = spec.scaled(factor);
+        let expect = spec.rate_per_s(soc) * factor;
+        prop_assert!((scaled.rate_per_s(soc) - expect).abs() <= 1e-12 * expect.abs().max(1.0));
+        prop_assert_eq!(scaled.sync_interval_s(), spec.sync_interval_s());
+        prop_assert_eq!(scaled.backoff, spec.backoff);
+        prop_assert_eq!(scaled.targets, spec.targets);
+    }
+
+    /// Target selection is total: every (SoC, queue, harvest) triple
+    /// lands on exactly one class, the queue override wins, and richer
+    /// energy pressure never moves the choice *toward* the cluster.
+    #[test]
+    fn target_selection_is_total_and_pressure_monotone(
+        eco_below in 0.0f64..0.5,
+        above in 0.0f64..0.5,
+        harvest_weight in 0.0f64..100.0,
+        queue_cluster in 1u64..32,
+        soc_lo in 0.0f64..=1.0,
+        soc_hi in 0.0f64..=1.0,
+        queue in 0u64..64,
+        harvest in 0.0f64..0.01,
+    ) {
+        let rule = TargetRule {
+            eco_below,
+            m4_above: eco_below + above,
+            harvest_weight,
+            queue_cluster,
+        };
+        prop_assert!(rule.validate().is_ok());
+        if queue >= queue_cluster {
+            prop_assert_eq!(rule.select(soc_lo, queue, harvest), TargetClass::Cluster);
+        } else {
+            let (lo, hi) = if soc_lo <= soc_hi { (soc_lo, soc_hi) } else { (soc_hi, soc_lo) };
+            let rank = |c: TargetClass| match c {
+                TargetClass::Cluster => 0,
+                TargetClass::Ibex => 1,
+                TargetClass::M4 => 2,
+            };
+            prop_assert!(
+                rank(rule.select(lo, queue, harvest)) <= rank(rule.select(hi, queue, harvest))
+            );
+        }
+    }
+}

@@ -36,7 +36,7 @@ use iw_trace::TraceSink;
 
 use crate::engine::{secs_to_us, Component, Engine, Event, LoadSlot, SimCtx};
 use crate::faults::{finalize_reliability, FaultComponent, BLE_STREAM};
-use crate::policy::DetectionPolicy;
+use iw_policy::{PolicySpec, TargetRule};
 
 /// One compute job dispatched per detection: duration and energy, derived
 /// from a cycle count on a simulated machine (or given analytically).
@@ -186,6 +186,14 @@ pub struct DeviceReport {
     pub scan_energy_j: f64,
     /// Observed contact edges as `(epoch, peer)` pairs, in scan order.
     pub contact_edges: Vec<(u32, u32)>,
+    /// Classifications dispatched per compute-target class
+    /// ([`iw_policy::TargetClass`] order: M4, Ibex, cluster); all zero without an
+    /// adaptive target rule.
+    pub target_counts: [u64; 3],
+    /// Acquisitions suppressed by fault-aware backoff.
+    pub backoff_skips: u64,
+    /// Sync intervals stretched while the gateway was unreachable.
+    pub sync_stretches: u64,
 }
 
 /// Configuration of one whole-device run.
@@ -199,10 +207,16 @@ pub struct DeviceConfig {
     pub teg: TegHarvester,
     /// The battery, in its starting state.
     pub battery: Battery,
-    /// Detection-scheduling policy.
-    pub policy: DetectionPolicy,
+    /// Detection-scheduling policy (a legacy [`crate::DetectionPolicy`]
+    /// converts via `Into`, evaluating the identical rate expressions).
+    pub policy: PolicySpec,
     /// Per-detection costs.
     pub costs: DetectionCosts,
+    /// Per-target-class compute jobs ([`iw_policy::TargetClass`] order: M4, Ibex,
+    /// cluster), used when the policy carries a [`TargetRule`]. `None`
+    /// (or a policy without a target rule) runs every classification on
+    /// [`Self::costs`]' single compute job.
+    pub target_jobs: Option<[ComputeJob; 3]>,
     /// Always-on battery-side sleep floor, watts.
     pub sleep_floor_w: f64,
     /// Energy to notify one detection result over BLE, joules (0 = off).
@@ -233,14 +247,19 @@ impl DeviceConfig {
     /// A paper-configured device: InfiniWolf harvesters and battery, the
     /// shared-table sleep floor, no BLE, ~500 trace points.
     #[must_use]
-    pub fn new(env: EnvProfile, policy: DetectionPolicy, costs: DetectionCosts) -> DeviceConfig {
+    pub fn new(
+        env: EnvProfile,
+        policy: impl Into<PolicySpec>,
+        costs: DetectionCosts,
+    ) -> DeviceConfig {
         DeviceConfig {
             env,
             solar: SolarHarvester::infiniwolf(),
             teg: TegHarvester::infiniwolf(),
             battery: Battery::infiniwolf(),
-            policy,
+            policy: policy.into(),
             costs,
+            target_jobs: None,
             sleep_floor_w: default_sleep_floor_w(),
             notify_j: 0.0,
             sync: None,
@@ -284,10 +303,17 @@ impl DeviceConfig {
             self.costs.acquisition_s,
             self.detection_spans,
         )));
-        engine.add(Box::new(ComputeComponent::new(
-            self.costs.compute,
-            self.detection_spans,
-        )));
+        match (self.target_jobs, self.policy.targets) {
+            (Some(jobs), Some(rule)) => engine.add(Box::new(ComputeComponent::adaptive(
+                jobs,
+                rule,
+                self.detection_spans,
+            ))),
+            _ => engine.add(Box::new(ComputeComponent::new(
+                self.costs.compute,
+                self.detection_spans,
+            ))),
+        }
         // A duty-cycled policy always gets a radio: notifications are
         // batched into the periodic sync burst even when `sync` is unset
         // (a default nRF52 burst at the policy's interval).
@@ -304,6 +330,7 @@ impl DeviceConfig {
                 self.detection_spans,
                 batch_interval_s.is_some(),
                 &self.faults,
+                self.policy.backoff.map(|b| b.sync_stretch),
             )));
         }
         if !self.contacts.is_empty() {
@@ -349,6 +376,9 @@ impl DeviceConfig {
             contacts_uplinked: state.contacts_uplinked,
             scan_energy_j: state.scan_energy_j,
             contact_edges: state.contact_edges,
+            target_counts: state.target_counts,
+            backoff_skips: state.backoff_skips,
+            sync_stretches: state.sync_stretches,
         }
     }
 }
@@ -413,12 +443,22 @@ impl<S: TraceSink> Component<S> for EnvComponent {
     }
 }
 
-/// Evaluates the [`DetectionPolicy`] and spaces acquisitions: at each
-/// tick it reads the state of charge, triggers an acquisition when the
-/// rate allows one, and schedules the next tick at the rate's period
-/// (or at a fixed re-check interval while detection is paused).
+/// Weight of the newest intake sample in the trailing harvest average
+/// the policy component maintains (see
+/// [`crate::DeviceState::harvest_avg_w`]).
+const HARVEST_EWMA_ALPHA: f64 = 0.1;
+
+/// Evaluates the [`PolicySpec`] and spaces acquisitions: at each tick it
+/// reads the state of charge, triggers an acquisition when the rate
+/// allows one, and schedules the next tick at the rate's period (or at a
+/// fixed re-check interval while detection is paused). With fault-aware
+/// backoff enabled, acquisitions are suppressed while a signal-quality
+/// fault is active — the window would be gated as degraded anyway, so
+/// its energy is saved; the tick keeps re-arming at the backoff's
+/// re-check cadence, so acquisition always resumes once the fault
+/// clears.
 pub struct PolicyComponent {
-    policy: DetectionPolicy,
+    policy: PolicySpec,
     idle_recheck_us: u64,
     min_interval_us: u64,
 }
@@ -428,9 +468,9 @@ impl PolicyComponent {
     /// old fixed-timestep simulator's granularity) and a 1 ms floor on
     /// the detection period.
     #[must_use]
-    pub fn new(policy: DetectionPolicy) -> PolicyComponent {
+    pub fn new(policy: impl Into<PolicySpec>) -> PolicyComponent {
         PolicyComponent {
-            policy,
+            policy: policy.into(),
             idle_recheck_us: secs_to_us(10.0),
             min_interval_us: 1_000,
         }
@@ -450,12 +490,26 @@ impl<S: TraceSink> Component<S> for PolicyComponent {
         if ev != Event::PolicyTick {
             return;
         }
+        // Maintain the trailing harvest forecast on every evaluation, so
+        // it is a pure function of the (deterministic) event sequence.
+        ctx.state.harvest_avg_w = HARVEST_EWMA_ALPHA * ctx.state.intake_w()
+            + (1.0 - HARVEST_EWMA_ALPHA) * ctx.state.harvest_avg_w;
         if !ctx.state.acquisition_enabled {
             // Browned out: no new work until the recovery state machine
             // re-enables acquisition. Each skipped evaluation is counted.
             ctx.state.reliability.skipped_acquisitions += 1;
             ctx.schedule_in(self.idle_recheck_us, Event::PolicyTick);
             return;
+        }
+        if let Some(backoff) = self.policy.backoff {
+            if backoff.gate_acquisition && ctx.state.signal_faults > 0 {
+                // Fault-aware backoff: the signal is known-corrupt, so
+                // don't pay for a window that would be gated. The tick
+                // always re-arms, so this can never deadlock detection.
+                ctx.state.backoff_skips += 1;
+                ctx.schedule_in(secs_to_us(backoff.recheck_s), Event::PolicyTick);
+                return;
+            }
         }
         // The policy reads the fuel gauge, not the true cell state.
         let rate = self.policy.rate_per_s(ctx.state.observed_soc());
@@ -568,30 +622,72 @@ impl<S: TraceSink> Component<S> for SensorComponent {
     }
 }
 
-/// The compute target: each [`Event::ComputeStart`] runs one
+/// The compute target(s): each [`Event::ComputeStart`] dispatches one
 /// [`ComputeJob`] (duration from its cycle count, power from its energy);
 /// each completion retires one detection.
+///
+/// A single-target component ([`ComputeComponent::new`]) runs every
+/// classification on one job. An adaptive component
+/// ([`ComputeComponent::adaptive`]) holds one job per [`iw_policy::TargetClass`]
+/// and picks the target *per classification* from the policy's
+/// [`TargetRule`] over the observed state of charge, the sync queue
+/// depth and the trailing harvest average. Jobs of different durations
+/// may retire out of dispatch order, so [`Event::ComputeEnd`] carries
+/// the job-slot index; within one slot every job has the same duration,
+/// so per-slot FIFO start matching stays exact.
 pub struct ComputeComponent {
-    job: ComputeJob,
-    duration_us: u64,
+    jobs: Vec<ComputeJob>,
+    durations_us: Vec<u64>,
+    targets: Option<TargetRule>,
     trace_spans: bool,
     slot: Option<LoadSlot>,
-    active: u32,
-    starts: VecDeque<u64>,
+    active: Vec<u32>,
+    starts: Vec<VecDeque<u64>>,
 }
 
 impl ComputeComponent {
-    /// A compute target running `job` per detection.
+    /// A single compute target running `job` per detection.
     #[must_use]
     pub fn new(job: ComputeJob, trace_spans: bool) -> ComputeComponent {
         ComputeComponent {
-            job,
-            duration_us: secs_to_us(job.duration_s),
+            jobs: vec![job],
+            durations_us: vec![secs_to_us(job.duration_s)],
+            targets: None,
             trace_spans,
             slot: None,
-            active: 0,
-            starts: VecDeque::new(),
+            active: vec![0],
+            starts: vec![VecDeque::new()],
         }
+    }
+
+    /// An adaptive component: one job per [`iw_policy::TargetClass`] (M4, Ibex,
+    /// cluster order), selected per classification by `rule`.
+    #[must_use]
+    pub fn adaptive(
+        jobs: [ComputeJob; 3],
+        rule: TargetRule,
+        trace_spans: bool,
+    ) -> ComputeComponent {
+        ComputeComponent {
+            durations_us: jobs.iter().map(|j| secs_to_us(j.duration_s)).collect(),
+            jobs: jobs.to_vec(),
+            targets: Some(rule),
+            trace_spans,
+            slot: None,
+            active: vec![0; 3],
+            starts: vec![VecDeque::new(); 3],
+        }
+    }
+
+    /// Total compute load right now: every slot's multiplicity times its
+    /// unit power. For the single-target component this reduces to
+    /// `active × power` — the same arithmetic as before targets existed.
+    fn load_w(&self) -> f64 {
+        self.active
+            .iter()
+            .zip(&self.jobs)
+            .map(|(&n, job)| f64::from(n) * job.power_w())
+            .sum()
     }
 }
 
@@ -608,23 +704,37 @@ impl<S: TraceSink> Component<S> for ComputeComponent {
         let slot = self.slot.expect("started");
         match ev {
             Event::ComputeStart => {
-                if self.duration_us == 0 {
-                    ctx.consume_j(self.job.energy_j);
+                let job = match self.targets {
+                    Some(rule) => {
+                        let class = rule.select(
+                            ctx.state.observed_soc(),
+                            ctx.state.queue_depth,
+                            ctx.state.harvest_avg_w,
+                        );
+                        ctx.state.target_counts[class.index()] += 1;
+                        if S::ENABLED && self.trace_spans {
+                            let track = ctx.tracks.device;
+                            ctx.sink.instant(track, class.label(), ctx.now_us);
+                        }
+                        class.index()
+                    }
+                    None => 0,
+                };
+                if self.durations_us[job] == 0 {
+                    ctx.consume_j(self.jobs[job].energy_j);
                 } else {
-                    self.active += 1;
-                    ctx.state
-                        .set_load(slot, f64::from(self.active) * self.job.power_w());
+                    self.active[job] += 1;
+                    ctx.state.set_load(slot, self.load_w());
                 }
-                self.starts.push_back(ctx.now_us);
-                ctx.schedule_in(self.duration_us, Event::ComputeEnd);
+                self.starts[job].push_back(ctx.now_us);
+                ctx.schedule_in(self.durations_us[job], Event::ComputeEnd { job });
             }
-            Event::ComputeEnd => {
-                if self.duration_us > 0 {
-                    self.active -= 1;
-                    ctx.state
-                        .set_load(slot, f64::from(self.active) * self.job.power_w());
+            Event::ComputeEnd { job } => {
+                if self.durations_us[job] > 0 {
+                    self.active[job] -= 1;
+                    ctx.state.set_load(slot, self.load_w());
                 }
-                let started = self.starts.pop_front().expect("balanced jobs");
+                let started = self.starts[job].pop_front().expect("balanced jobs");
                 if S::ENABLED && self.trace_spans {
                     let track = ctx.tracks.device;
                     ctx.sink.span(track, "compute", started, ctx.now_us);
@@ -659,6 +769,7 @@ pub struct RadioComponent {
     rng: SplitMix64,
     attempt: u32,
     pending: u64,
+    sync_stretch: Option<f64>,
     slot: Option<LoadSlot>,
     burst_started_us: u64,
 }
@@ -668,6 +779,11 @@ impl RadioComponent {
     /// bursts. `batch` suppresses per-detection notifications in favour
     /// of flush-on-sync; `plan` supplies the loss probability, retry
     /// budget and backoff, and seeds the per-attempt loss stream.
+    /// `sync_stretch` (≥ 1, from the policy's fault-aware backoff)
+    /// multiplies the next sync interval whenever the episode resolves
+    /// with the link still looking dead — the gateway unreachable, or
+    /// the episode dropped after its whole retry budget — spending
+    /// fewer bursts into a dead link.
     #[must_use]
     pub fn new(
         notify_j: f64,
@@ -675,6 +791,7 @@ impl RadioComponent {
         trace_spans: bool,
         batch: bool,
         plan: &FaultPlan,
+        sync_stretch: Option<f64>,
     ) -> RadioComponent {
         RadioComponent {
             notify_j,
@@ -687,6 +804,7 @@ impl RadioComponent {
             rng: SplitMix64::new(mix(plan.seed, BLE_STREAM)),
             attempt: 0,
             pending: 0,
+            sync_stretch,
             slot: None,
             burst_started_us: 0,
         }
@@ -708,11 +826,14 @@ impl<S: TraceSink> Component<S> for RadioComponent {
     fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_, S>) {
         let slot = self.slot.expect("started");
         match ev {
-            Event::ComputeEnd if self.batch => {
-                // Duty-cycled: the result queues for the next sync.
+            Event::ComputeEnd { .. } if self.batch => {
+                // Duty-cycled: the result queues for the next sync. The
+                // backlog is mirrored into the shared state so adaptive
+                // policies can read the queue depth.
                 self.pending += 1;
+                ctx.state.queue_depth = self.pending;
             }
-            Event::ComputeEnd if self.notify_j > 0.0 => {
+            Event::ComputeEnd { .. } if self.notify_j > 0.0 => {
                 ctx.consume_j(self.notify_j);
                 ctx.state.notifications += 1;
                 if S::ENABLED && self.trace_spans {
@@ -774,6 +895,7 @@ impl<S: TraceSink> Component<S> for RadioComponent {
                         ctx.consume_j(self.pending as f64 * self.notify_j);
                         ctx.state.notifications += self.pending;
                         self.pending = 0;
+                        ctx.state.queue_depth = 0;
                     }
                     if ctx.state.pending_contacts > 0 {
                         // Queued contact observations ride the same
@@ -788,10 +910,20 @@ impl<S: TraceSink> Component<S> for RadioComponent {
                 // count feeds the fleet retry histogram.
                 ctx.state.sync_attempts.record(u64::from(self.attempt) + 1);
                 self.attempt = 0;
-                ctx.schedule_in(
-                    secs_to_us((sync.interval_s - sync.burst_s).max(0.0)),
-                    Event::BleSyncStart,
-                );
+                let mut interval_s = (sync.interval_s - sync.burst_s).max(0.0);
+                if let Some(stretch) = self.sync_stretch {
+                    // Fault-aware backoff: the link looks dead — a
+                    // scenario gateway outage is still open, or this
+                    // episode just exhausted its retry budget — so
+                    // stretch the cadence instead of burning the next
+                    // burst into the same dead link. `lost` here can
+                    // only mean "dropped": the retry path returned.
+                    if ctx.state.gateway_down > 0 || lost {
+                        interval_s *= stretch;
+                        ctx.state.sync_stretches += 1;
+                    }
+                }
+                ctx.schedule_in(secs_to_us(interval_s), Event::BleSyncStart);
             }
             _ => {}
         }
@@ -967,6 +1099,7 @@ impl<S: TraceSink> Component<S> for SamplerComponent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iw_policy::{DetectionPolicy, FaultBackoff, RateRule, TargetClass};
     use iw_trace::{Event as TraceEvent, Recorder};
 
     fn micro_costs() -> DetectionCosts {
@@ -1236,6 +1369,98 @@ mod tests {
         // The window itself plus every forced-lost attempt count BLE-loss
         // episodes.
         assert!(report.faults.get(FaultKind::BleLoss) > 1);
+    }
+
+    #[test]
+    fn fault_backoff_skips_gated_windows_and_resumes() {
+        // A 200 s ECG lead-off window mid-run: without backoff the
+        // policy keeps paying for acquisition windows that come out
+        // degraded; with backoff those acquisitions are skipped, and
+        // detection must resume once the fault clears.
+        let window = iw_fault::FaultWindow {
+            kind: FaultKind::EcgLeadOff,
+            start_us: secs_to_us(100.0),
+            end_us: secs_to_us(300.0),
+            severity: 0.0,
+        };
+        let run = |backoff: Option<FaultBackoff>| {
+            let mut spec = PolicySpec::from(DetectionPolicy::FixedRate { per_minute: 12.0 });
+            spec.backoff = backoff;
+            let mut cfg = DeviceConfig::new(dark_day(600.0), spec, micro_costs());
+            cfg.sleep_floor_w = 0.0;
+            cfg.battery.set_soc(0.9);
+            cfg.faults.windows.push(window);
+            cfg.run()
+        };
+        let plain = run(None);
+        let backed = run(Some(FaultBackoff {
+            gate_acquisition: true,
+            recheck_s: 10.0,
+            sync_stretch: 1.0,
+        }));
+        assert!(plain.reliability.degraded_windows > 10);
+        assert_eq!(plain.backoff_skips, 0);
+        assert_eq!(backed.reliability.degraded_windows, 0);
+        assert!(backed.backoff_skips > 10);
+        // No deadlock: the tick keeps re-arming, so the last 300 s still
+        // detect at the full rate (≥ 2/5 of the fault-free total).
+        assert!(backed.detections * 5 >= plain.detections * 2);
+        // The skipped windows' energy was genuinely saved.
+        assert!(backed.sim.consumed_j < plain.sim.consumed_j);
+    }
+
+    #[test]
+    fn adaptive_targets_split_work_across_classes() {
+        // Distinct per-class jobs and a rule whose thresholds the SoC
+        // crosses as the battery drains: all three classes must be used,
+        // and dispatches must balance retirements.
+        let jobs = [
+            ComputeJob::analytic(100e-6, 5.1e-6),
+            ComputeJob::analytic(200e-6, 1.3e-6),
+            ComputeJob::analytic(61e-6, 1.2e-6),
+        ];
+        let rule = TargetRule {
+            eco_below: 0.4,
+            m4_above: 0.7,
+            harvest_weight: 0.0,
+            queue_cluster: u64::MAX,
+        };
+        let spec =
+            PolicySpec::from(DetectionPolicy::FixedRate { per_minute: 24.0 }).with_targets(rule);
+        let mut cfg = DeviceConfig::new(dark_day(3600.0), spec, micro_costs());
+        cfg.battery = Battery::new(2.0);
+        cfg.battery.set_soc(0.9);
+        cfg.sleep_floor_w = 0.2e-3;
+        cfg.target_jobs = Some(jobs);
+        let report = cfg.run();
+        let dispatched: u64 = report.target_counts.iter().sum();
+        assert!(dispatched >= report.detections);
+        assert!(dispatched - report.detections <= 2, "open tail too long");
+        for (class, &count) in TargetClass::ALL.iter().zip(&report.target_counts) {
+            assert!(count > 0, "class {class:?} never selected");
+        }
+        // Without target jobs the same spec runs the single-target path
+        // and attributes nothing.
+        let mut single = cfg.clone();
+        single.target_jobs = None;
+        let single_report = single.run();
+        assert_eq!(single_report.target_counts, [0, 0, 0]);
+    }
+
+    #[test]
+    fn soc_ramp_spec_drives_the_device_like_a_policy() {
+        let spec = PolicySpec::new(RateRule::SocRamp {
+            max_per_minute: 24.0,
+            min_soc: 0.05,
+            full_soc: 0.4,
+        });
+        let mut cfg = DeviceConfig::new(dark_day(600.0), spec, micro_costs());
+        cfg.sleep_floor_w = 0.0;
+        cfg.battery.set_soc(0.9);
+        let report = cfg.run();
+        // Above full_soc the ramp runs flat out: same count a fixed 24/min
+        // policy would deliver over 600 s (±2 for the open tail).
+        assert!(report.detections >= 24 * 10 - 2, "{}", report.detections);
     }
 
     #[test]

@@ -88,8 +88,15 @@ pub enum Event {
     AcquireEnd,
     /// Feature extraction + classification starts on the compute target.
     ComputeStart,
-    /// The compute job retires: one detection is complete.
-    ComputeEnd,
+    /// The compute job retires: one detection is complete. `job` is the
+    /// dispatching component's job-slot index (0 for the single-target
+    /// device; the target-class index when an adaptive policy picks the
+    /// compute target per classification), so concurrent jobs of
+    /// different durations resolve to the right slot.
+    ComputeEnd {
+        /// Job-slot index within the compute component.
+        job: usize,
+    },
     /// A periodic BLE sync burst keys the radio on.
     BleSyncStart,
     /// The BLE sync burst ends.
@@ -200,6 +207,25 @@ pub struct DeviceState {
     /// Energy spent in BLE scan windows, joules (also drawn from the
     /// battery through the scanner's load slot; this is the tally).
     pub scan_energy_j: f64,
+    /// Results currently batched for the next sync flush (the radio
+    /// mirrors its backlog here so adaptive policies can read the queue
+    /// depth without reaching into the component).
+    pub queue_depth: u64,
+    /// Trailing exponentially-weighted average of the harvest intake,
+    /// watts — the adaptive policies' harvest forecast. Updated by the
+    /// policy component on its own ticks, so it is a deterministic
+    /// function of the event sequence.
+    pub harvest_avg_w: f64,
+    /// Classifications dispatched per compute-target class
+    /// (`iw_policy::TargetClass` order: M4, Ibex, cluster). All zero
+    /// unless a target-selection rule is active.
+    pub target_counts: [u64; 3],
+    /// Acquisitions suppressed by fault-aware backoff (signal-quality
+    /// fault active at the policy tick).
+    pub backoff_skips: u64,
+    /// Sync intervals stretched by fault-aware backoff (gateway
+    /// unreachable at reschedule time).
+    pub sync_stretches: u64,
     /// Observed contact-graph edges as `(epoch, peer)` pairs, in scan
     /// completion order — the fleet layer attaches the device index and
     /// feeds them to the epidemic fold.
@@ -243,6 +269,11 @@ impl DeviceState {
             pending_contacts: 0,
             contacts_uplinked: 0,
             scan_energy_j: 0.0,
+            queue_depth: 0,
+            harvest_avg_w: 0.0,
+            target_counts: [0; 3],
+            backoff_skips: 0,
+            sync_stretches: 0,
             contact_edges: Vec::new(),
             browned_out: false,
             stored_j: 0.0,

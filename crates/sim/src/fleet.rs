@@ -39,8 +39,8 @@ use iw_trace::{Recorder, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::device::{BleSync, DetectionCosts, DeviceConfig, DeviceReport};
-use crate::policy::DetectionPolicy;
+use crate::device::{BleSync, ComputeJob, DetectionCosts, DeviceConfig, DeviceReport};
+use iw_policy::{DetectionPolicy, PolicySpec};
 
 /// Stream-derivation constant separating each device's fault-plan seed
 /// from its configuration-jitter seed.
@@ -80,8 +80,13 @@ pub struct FleetConfig {
     pub environments: Vec<(String, EnvProfile)>,
     /// Wearer archetypes devices cycle through.
     pub subjects: Vec<SubjectProfile>,
-    /// Detection policies devices cycle through.
-    pub policies: Vec<(String, DetectionPolicy)>,
+    /// Detection policy specs devices cycle through (legacy
+    /// [`DetectionPolicy`] variants convert via `Into<PolicySpec>`).
+    pub policies: Vec<(String, PolicySpec)>,
+    /// Per-target compute jobs (M4 / Ibex / 8×RI5CY cluster order) for
+    /// policy specs that carry a target-selection rule; `None` keeps
+    /// every device on the single `costs.compute` job.
+    pub target_jobs: Option<[ComputeJob; 3]>,
     /// Per-detection costs (same for every device).
     pub costs: DetectionCosts,
     /// The cell every device starts from (the start state of charge is
@@ -169,6 +174,21 @@ pub struct DeviceResult {
     pub infected_seed: bool,
     /// Observed contact edges (`device` is always this device's index).
     pub contact_edges: Vec<ContactEdge>,
+    /// Whether this result carries an adaptive-policy attribution block
+    /// (the device ran a [`PolicySpec`] beyond the legacy variants).
+    /// When false every attribution field below is zero and the digest
+    /// is byte-for-byte the pre-policy-engine digest.
+    pub adaptive: bool,
+    /// Detections dispatched to the Cortex-M4 by target selection.
+    pub target_m4: u64,
+    /// Detections dispatched to the Ibex/Wolf controller.
+    pub target_ibex: u64,
+    /// Detections dispatched to the 8×RI5CY cluster.
+    pub target_cluster: u64,
+    /// Acquisition windows skipped by fault-aware backoff.
+    pub backoff_skips: u64,
+    /// Sync intervals stretched while the gateway link was down.
+    pub sync_stretches: u64,
 }
 
 impl DeviceResult {
@@ -226,6 +246,17 @@ impl DeviceResult {
                 h = fnv1a(h, &edge.peer.to_le_bytes());
             }
         }
+        // Likewise the adaptive-policy attribution block: folded only
+        // for adaptive specs, so every legacy-policy sweep digests
+        // exactly as it did before the policy engine existed.
+        if self.adaptive {
+            h = fnv1a(h, b"pol");
+            h = fnv1a(h, &self.target_m4.to_le_bytes());
+            h = fnv1a(h, &self.target_ibex.to_le_bytes());
+            h = fnv1a(h, &self.target_cluster.to_le_bytes());
+            h = fnv1a(h, &self.backoff_skips.to_le_bytes());
+            h = fnv1a(h, &self.sync_stretches.to_le_bytes());
+        }
         h
     }
 }
@@ -245,6 +276,24 @@ pub struct PolicyStats {
     pub mean_final_soc: f64,
     /// Mean device uptime fraction.
     pub mean_uptime: f64,
+    /// Total detections across this policy's devices.
+    pub detections: u64,
+    /// Total energy consumed across this policy's devices, joules.
+    pub consumed_j: f64,
+    /// Mean energy per detection, joules (`consumed_j / detections`;
+    /// `f64::INFINITY` when the policy produced no detections at all —
+    /// all energy, no work).
+    pub energy_per_detection_j: f64,
+    /// Detections dispatched to the Cortex-M4 by target selection.
+    pub target_m4: u64,
+    /// Detections dispatched to the Ibex/Wolf controller.
+    pub target_ibex: u64,
+    /// Detections dispatched to the 8×RI5CY cluster.
+    pub target_cluster: u64,
+    /// Acquisition windows skipped by fault-aware backoff.
+    pub backoff_skips: u64,
+    /// Sync intervals stretched during gateway loss.
+    pub sync_stretches: u64,
     /// Summed reliability counters across this policy's devices.
     pub reliability: ReliabilityCounters,
 }
@@ -582,6 +631,20 @@ pub struct PolicyAccum {
     pub final_soc: ExactSum,
     /// Σ uptime fraction.
     pub uptime: ExactSum,
+    /// Σ detections completed.
+    pub detections: u64,
+    /// Σ energy consumed (exact).
+    pub consumed_j: ExactSum,
+    /// Σ detections dispatched to the M4.
+    pub target_m4: u64,
+    /// Σ detections dispatched to the Ibex.
+    pub target_ibex: u64,
+    /// Σ detections dispatched to the 8×RI5CY cluster.
+    pub target_cluster: u64,
+    /// Σ acquisition windows skipped by fault-aware backoff.
+    pub backoff_skips: u64,
+    /// Σ sync intervals stretched during gateway loss.
+    pub sync_stretches: u64,
     /// Summed reliability counters.
     pub reliability: ReliabilityCounters,
 }
@@ -595,12 +658,24 @@ impl PolicyAccum {
             brown_outs: 0,
             final_soc: ExactSum::default(),
             uptime: ExactSum::default(),
+            detections: 0,
+            consumed_j: ExactSum::default(),
+            target_m4: 0,
+            target_ibex: 0,
+            target_cluster: 0,
+            backoff_skips: 0,
+            sync_stretches: 0,
             reliability: ReliabilityCounters::default(),
         }
     }
 
     fn stats(&self) -> PolicyStats {
         let nf = self.devices.max(1) as f64;
+        let energy_per_detection_j = if self.detections > 0 {
+            self.consumed_j.value() / self.detections as f64
+        } else {
+            f64::INFINITY
+        };
         PolicyStats {
             name: self.name.clone(),
             devices: self.devices,
@@ -608,6 +683,14 @@ impl PolicyAccum {
             brown_out_rate: self.brown_outs as f64 / nf,
             mean_final_soc: self.final_soc.value() / nf,
             mean_uptime: self.uptime.value() / nf,
+            detections: self.detections,
+            consumed_j: self.consumed_j.value(),
+            energy_per_detection_j,
+            target_m4: self.target_m4,
+            target_ibex: self.target_ibex,
+            target_cluster: self.target_cluster,
+            backoff_skips: self.backoff_skips,
+            sync_stretches: self.sync_stretches,
             reliability: self.reliability,
         }
     }
@@ -750,6 +833,13 @@ impl FleetAggregate {
         policy.brown_outs += u64::from(result.browned_out);
         policy.final_soc.add(result.final_soc);
         policy.uptime.add(result.uptime);
+        policy.detections += result.detections;
+        policy.consumed_j.add(result.consumed_j);
+        policy.target_m4 += result.target_m4;
+        policy.target_ibex += result.target_ibex;
+        policy.target_cluster += result.target_cluster;
+        policy.backoff_skips += result.backoff_skips;
+        policy.sync_stretches += result.sync_stretches;
         policy.reliability.merge(&result.reliability);
         if result.device < self.sample_cap {
             self.sample.push(result);
@@ -788,6 +878,13 @@ impl FleetAggregate {
             mine.brown_outs += theirs.brown_outs;
             mine.final_soc.merge(&theirs.final_soc);
             mine.uptime.merge(&theirs.uptime);
+            mine.detections += theirs.detections;
+            mine.consumed_j.merge(&theirs.consumed_j);
+            mine.target_m4 += theirs.target_m4;
+            mine.target_ibex += theirs.target_ibex;
+            mine.target_cluster += theirs.target_cluster;
+            mine.backoff_skips += theirs.backoff_skips;
+            mine.sync_stretches += theirs.sync_stretches;
             mine.reliability.merge(&theirs.reliability);
         }
         self.sample.extend(next.sample);
@@ -1003,6 +1100,7 @@ struct DeviceAssignment {
     subject: String,
     policy: String,
     days: f64,
+    adaptive: bool,
 }
 
 impl FleetConfig {
@@ -1035,16 +1133,18 @@ impl FleetConfig {
             policies: vec![
                 (
                     "fixed-24".into(),
-                    DetectionPolicy::FixedRate { per_minute: 24.0 },
+                    DetectionPolicy::FixedRate { per_minute: 24.0 }.into(),
                 ),
                 (
                     "aware-24".into(),
                     DetectionPolicy::EnergyAware {
                         max_per_minute: 24.0,
                         min_soc: 0.10,
-                    },
+                    }
+                    .into(),
                 ),
             ],
+            target_jobs: None,
             costs,
             battery: Battery::infiniwolf(),
             sleep_floor_w: crate::device::default_sleep_floor_w(),
@@ -1100,6 +1200,7 @@ impl FleetConfig {
         let days = jittered.duration_s() / 86_400.0;
 
         let mut cfg = DeviceConfig::new(jittered, policy.scaled(subject.activity), self.costs);
+        cfg.target_jobs = self.target_jobs;
         cfg.battery = self.battery;
         cfg.battery.set_soc(start_soc);
         cfg.sleep_floor_w = self.sleep_floor_w;
@@ -1132,6 +1233,7 @@ impl FleetConfig {
                 subject: subject.name.clone(),
                 policy: policy_name.clone(),
                 days,
+                adaptive: policy.is_adaptive(),
             },
         )
     }
@@ -1184,6 +1286,12 @@ impl FleetConfig {
                     peer,
                 })
                 .collect(),
+            adaptive: who.adaptive,
+            target_m4: report.target_counts[0],
+            target_ibex: report.target_counts[1],
+            target_cluster: report.target_counts[2],
+            backoff_skips: report.backoff_skips,
+            sync_stretches: report.sync_stretches,
         }
     }
 

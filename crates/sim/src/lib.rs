@@ -42,7 +42,6 @@ mod device;
 mod engine;
 mod faults;
 mod fleet;
-mod policy;
 pub mod record;
 
 pub use device::{
@@ -61,8 +60,8 @@ pub use iw_fault::{
     BrownoutModel, FaultCounters, FaultKind, FaultPlan, FaultProfile, FaultWindow,
     ReliabilityCounters, SyncOutcome,
 };
+pub use iw_policy::{DetectionPolicy, FaultBackoff, PolicySpec, RateRule, TargetClass, TargetRule};
 pub use iw_scenario::{
     paper_environments, run_epidemic, CompiledScenario, ContactEdge, ContactEntry, ContactPlan,
     EpidemicOutcome, EpidemicScript, Scenario,
 };
-pub use policy::DetectionPolicy;

@@ -7,7 +7,7 @@
 //! ([`write_frame`]), and at end of stream ship their whole shard
 //! [`FleetAggregate`] with [`encode_aggregate`].
 //!
-//! # Record layout (version 3)
+//! # Record layout (version 4)
 //!
 //! All integers are **little-endian**, all floats are IEEE-754 bit
 //! patterns (`f64::to_bits`), so encode → decode is *exact* — the
@@ -41,14 +41,20 @@
 //!          1  infected_seed           u8 (0/1)
 //!          4  edge count              u32, then per edge:
 //!        n×8  (epoch u32, peer u32)   the edge's device == the record's
+//!          1  adaptive flag           u8 (0/1); block below iff 1
+//!          8  target_m4               u64
+//!          8  target_ibex             u64
+//!          8  target_cluster          u64
+//!          8  backoff_skips           u64
+//!          8  sync_stretches          u64
 //! ```
 //!
-//! The decoder also accepts the two historical layouts: version 2
-//! (everything up to the strings, no scenario block) and version 1
-//! (reliability counters straight to the strings — no
-//! `queue_high_water`, no telemetry histograms). Missing fields decode
-//! to their defaults, so a v3 reader replays old capture files
-//! unchanged.
+//! The decoder also accepts the three historical layouts: version 3
+//! (no trailing adaptive-policy attribution block), version 2
+//! (additionally no scenario block) and version 1 (reliability counters
+//! straight to the strings — no `queue_high_water`, no telemetry
+//! histograms). Missing fields decode to their defaults, so a v4 reader
+//! replays old capture files unchanged.
 //!
 //! A histogram travels as its carried scalars plus *sparse* buckets —
 //! `count u64 · sum u128 · min u64 · max u64 · n u16 ·
@@ -91,15 +97,19 @@ use crate::fleet::{
 };
 
 /// Version byte of a [`DeviceResult`] record.
-pub const RECORD_VERSION: u8 = 0x03;
+pub const RECORD_VERSION: u8 = 0x04;
 
 /// Oldest record version [`decode_result`] still accepts.
 pub const RECORD_VERSION_MIN: u8 = 0x01;
 
 /// Version byte of a [`FleetAggregate`] frame.
-pub const AGGREGATE_VERSION: u8 = 0x83;
+pub const AGGREGATE_VERSION: u8 = 0x84;
 
-/// Previous aggregate version (8 metrics histograms, no scenario
+/// Previous aggregate version (no per-policy detection/energy totals or
+/// adaptive-policy attribution counters); still decodable.
+pub const AGGREGATE_VERSION_V3: u8 = 0x83;
+
+/// Oldest aggregate version (8 metrics histograms, no scenario
 /// section); still decodable.
 pub const AGGREGATE_VERSION_V2: u8 = 0x82;
 
@@ -369,6 +379,16 @@ pub fn encode_result(r: &DeviceResult) -> Vec<u8> {
             out.extend_from_slice(&edge.peer.to_le_bytes());
         }
     }
+    // Version 4: the adaptive-policy attribution block, behind a
+    // presence flag — legacy-policy records pay a single zero byte.
+    out.push(u8::from(r.adaptive));
+    if r.adaptive {
+        put_u64(&mut out, r.target_m4);
+        put_u64(&mut out, r.target_ibex);
+        put_u64(&mut out, r.target_cluster);
+        put_u64(&mut out, r.backoff_skips);
+        put_u64(&mut out, r.sync_stretches);
+    }
     out
 }
 
@@ -434,6 +454,22 @@ pub fn decode_result(buf: &[u8]) -> Result<DeviceResult, RecordError> {
             });
         }
     }
+    // Version 4 appends the adaptive-policy attribution block behind a
+    // presence flag; older records decode to all-zero attribution.
+    let mut adaptive = false;
+    let mut target_m4 = 0;
+    let mut target_ibex = 0;
+    let mut target_cluster = 0;
+    let mut backoff_skips = 0;
+    let mut sync_stretches = 0;
+    if version >= 0x04 && cur.u8()? != 0 {
+        adaptive = true;
+        target_m4 = cur.u64()?;
+        target_ibex = cur.u64()?;
+        target_cluster = cur.u64()?;
+        backoff_skips = cur.u64()?;
+        sync_stretches = cur.u64()?;
+    }
     cur.done()?;
     Ok(DeviceResult {
         device,
@@ -461,6 +497,12 @@ pub fn decode_result(buf: &[u8]) -> Result<DeviceResult, RecordError> {
         scan_energy_j,
         infected_seed,
         contact_edges,
+        adaptive,
+        target_m4,
+        target_ibex,
+        target_cluster,
+        backoff_skips,
+        sync_stretches,
     })
 }
 
@@ -472,6 +514,14 @@ fn put_policy(out: &mut Vec<u8>, p: &PolicyAccum) {
     put_i128(out, p.final_soc.raw());
     put_i128(out, p.uptime.raw());
     put_reliability(out, &p.reliability);
+    // Version 0x84: detection/energy totals and adaptive attribution.
+    put_u64(out, p.detections);
+    put_i128(out, p.consumed_j.raw());
+    put_u64(out, p.target_m4);
+    put_u64(out, p.target_ibex);
+    put_u64(out, p.target_cluster);
+    put_u64(out, p.backoff_skips);
+    put_u64(out, p.sync_stretches);
 }
 
 /// Encodes a shard aggregate — the worker→coordinator handoff. All
@@ -535,7 +585,7 @@ pub fn encode_aggregate(agg: &FleetAggregate) -> Vec<u8> {
 pub fn decode_aggregate(buf: &[u8]) -> Result<FleetAggregate, RecordError> {
     let mut cur = Cur::new(buf);
     let version = cur.u8()?;
-    if version != AGGREGATE_VERSION && version != AGGREGATE_VERSION_V2 {
+    if !(AGGREGATE_VERSION_V2..=AGGREGATE_VERSION).contains(&version) {
         return Err(RecordError::Version(version));
     }
     let device_count = cur.u64()? as usize;
@@ -583,6 +633,17 @@ pub fn decode_aggregate(buf: &[u8]) -> Result<FleetAggregate, RecordError> {
         p.final_soc = ExactSum::from_raw(cur.i128()?);
         p.uptime = ExactSum::from_raw(cur.i128()?);
         p.reliability = cur.reliability()?;
+        // 0x84 appended the detection/energy totals and adaptive
+        // attribution; older frames decode them to zero.
+        if version >= AGGREGATE_VERSION {
+            p.detections = cur.u64()?;
+            p.consumed_j = ExactSum::from_raw(cur.i128()?);
+            p.target_m4 = cur.u64()?;
+            p.target_ibex = cur.u64()?;
+            p.target_cluster = cur.u64()?;
+            p.backoff_skips = cur.u64()?;
+            p.sync_stretches = cur.u64()?;
+        }
         agg.policies.push(p);
     }
     agg.sample_cap = cur.u64()? as usize;
@@ -592,7 +653,7 @@ pub fn decode_aggregate(buf: &[u8]) -> Result<FleetAggregate, RecordError> {
         let rec = cur.take(len)?;
         agg.sample.push(decode_result(rec)?);
     }
-    if version >= AGGREGATE_VERSION && cur.u8()? != 0 {
+    if version >= AGGREGATE_VERSION_V3 && cur.u8()? != 0 {
         agg.scenario = true;
         agg.contacts_observed = cur.u64()?;
         agg.contacts_missed = cur.u64()?;
@@ -975,11 +1036,17 @@ mod tests {
                     peer: 11,
                 },
             ],
+            adaptive: true,
+            target_m4: 600,
+            target_ibex: 300,
+            target_cluster: 87,
+            backoff_skips: 5,
+            sync_stretches: 2,
         }
     }
 
-    /// The sample result with its scenario block stripped — the shape
-    /// every pre-scenario record had.
+    /// The sample result with its scenario and adaptive-policy blocks
+    /// stripped — the shape every pre-scenario record had.
     fn plain_result() -> DeviceResult {
         DeviceResult {
             scenario: false,
@@ -989,6 +1056,12 @@ mod tests {
             scan_energy_j: 0.0,
             infected_seed: false,
             contact_edges: Vec::new(),
+            adaptive: false,
+            target_m4: 0,
+            target_ibex: 0,
+            target_cluster: 0,
+            backoff_skips: 0,
+            sync_stretches: 0,
             ..sample_result()
         }
     }
@@ -1111,8 +1184,9 @@ mod tests {
     fn plain_record_has_no_scenario_block_but_round_trips() {
         let r = plain_result();
         let bytes = encode_result(&r);
-        // A single flag byte is the whole scenario cost when inactive.
-        assert_eq!(*bytes.last().unwrap(), 0);
+        // One flag byte each is the whole cost of the inactive scenario
+        // and adaptive-policy blocks.
+        assert_eq!(bytes[bytes.len() - 2..], [0, 0]);
         let back = decode_result(&bytes).expect("round trip");
         assert_eq!(back, r);
         assert_eq!(back.digest(), r.digest());
@@ -1120,9 +1194,16 @@ mod tests {
 
     #[test]
     fn historical_record_versions_still_decode() {
-        // v2: the v3 layout sans the trailing scenario flag.
+        // v3: the v4 layout sans the trailing adaptive-policy flag.
         let r = plain_result();
-        let mut v2 = encode_result(&r);
+        let mut v3 = encode_result(&r);
+        assert_eq!(v3.pop(), Some(0));
+        v3[0] = 0x03;
+        let back = decode_result(&v3).expect("v3 decode");
+        assert_eq!(back, r);
+        assert_eq!(back.digest(), r.digest());
+        // v2: additionally sans the scenario flag.
+        let mut v2 = v3.clone();
         assert_eq!(v2.pop(), Some(0));
         v2[0] = 0x02;
         let back = decode_result(&v2).expect("v2 decode");
@@ -1137,10 +1218,10 @@ mod tests {
             sync_backoff_us: Histogram::new(),
             ..plain_result()
         };
-        let v3 = encode_result(&flat);
+        let v4 = encode_result(&flat);
         let mut v1 = Vec::new();
-        v1.extend_from_slice(&v3[..218]);
-        v1.extend_from_slice(&v3[218 + 8 + 42 + 42..v3.len() - 1]);
+        v1.extend_from_slice(&v4[..218]);
+        v1.extend_from_slice(&v4[218 + 8 + 42 + 42..v4.len() - 2]);
         v1[0] = 0x01;
         assert_eq!(decode_result(&v1).expect("v1 decode"), flat);
     }
@@ -1163,18 +1244,29 @@ mod tests {
     }
 
     #[test]
-    fn v2_aggregate_frames_still_decode() {
-        // An empty pre-scenario aggregate: every histogram is empty, so
-        // the v2 byte stream is the v3 one with the last two histogram
-        // blocks (42 bytes each, starting after the 217-byte scalar
-        // prefix and eight 42-byte histograms) and the trailing scenario
-        // flag removed.
+    fn historical_aggregate_frames_still_decode() {
+        // An empty pre-scenario aggregate: every histogram is empty
+        // (42 bytes each after the 217-byte scalar prefix) and the one
+        // policy accumulator encodes 154 v3 bytes followed by the 64
+        // bytes of 0x84 detection/energy/attribution extras.
         let agg = FleetAggregate::with_policies(["fixed-24"], 0);
-        let v3 = encode_aggregate(&agg);
+        let v4 = encode_aggregate(&agg);
         let hists_start = 217;
+        let p_v3_end = hists_start + 10 * 42 + 2 + 154;
+        // v3 (0x83): the 0x84 stream with the per-policy extras cut.
+        let mut v3 = Vec::new();
+        v3.extend_from_slice(&v4[..p_v3_end]);
+        v3.extend_from_slice(&v4[p_v3_end + 64..]);
+        v3[0] = AGGREGATE_VERSION_V3;
+        let back = decode_aggregate(&v3).expect("v3 aggregate decode");
+        assert_eq!(back, agg);
+        assert_eq!(back.digest(), agg.digest());
+        // v2 (0x82): additionally cut the last two histogram blocks and
+        // the trailing scenario flag.
         let mut v2 = Vec::new();
-        v2.extend_from_slice(&v3[..hists_start + 8 * 42]);
-        v2.extend_from_slice(&v3[hists_start + 10 * 42..v3.len() - 1]);
+        v2.extend_from_slice(&v4[..hists_start + 8 * 42]);
+        v2.extend_from_slice(&v4[hists_start + 10 * 42..p_v3_end]);
+        v2.extend_from_slice(&v4[p_v3_end + 64..v4.len() - 1]);
         v2[0] = AGGREGATE_VERSION_V2;
         let back = decode_aggregate(&v2).expect("v2 aggregate decode");
         assert_eq!(back, agg);

@@ -81,6 +81,7 @@ fn build_result(
     subject: String,
     policy: String,
     scenario: Option<ScenarioArgs>,
+    attribution: Option<[u64; 5]>,
 ) -> DeviceResult {
     let mut faults = FaultCounters::default();
     for (kind, &count) in FaultKind::ALL.into_iter().zip(fault_counts) {
@@ -134,6 +135,12 @@ fn build_result(
                 })
                 .collect()
         }),
+        adaptive: attribution.is_some(),
+        target_m4: attribution.map_or(0, |a| a[0]),
+        target_ibex: attribution.map_or(0, |a| a[1]),
+        target_cluster: attribution.map_or(0, |a| a[2]),
+        backoff_skips: attribution.map_or(0, |a| a[3]),
+        sync_stretches: attribution.map_or(0, |a| a[4]),
     }
 }
 
@@ -161,15 +168,20 @@ proptest! {
         scn_energy in extreme_f64(),
         scn_seeded in any::<bool>(),
         scn_edges in prop::collection::vec((any::<u32>(), any::<u32>()), 0..24),
+        pol_flag in any::<bool>(),
+        pol_counts in prop::collection::vec(any::<u64>(), 5),
     ) {
         let scenario = scn_flag.then_some((
             scn_counts.as_slice(), scn_energy, scn_seeded, scn_edges.as_slice(),
         ));
+        let attribution = pol_flag.then(|| {
+            [pol_counts[0], pol_counts[1], pol_counts[2], pol_counts[3], pol_counts[4]]
+        });
         let r = build_result(
             device, days, detections, browned, &floats, events,
             (queue_high_water, &attempts, &backoffs),
             &fault_counts, &rel_counts, env, subject, policy,
-            scenario,
+            scenario, attribution,
         );
         let bytes = encode_result(&r);
         let back = decode_result(&bytes).expect("well-formed record");
@@ -207,6 +219,7 @@ proptest! {
             &fault_counts, &rel_counts,
             "indoor-6h".into(), "baseline".into(), "aware-24".into(),
             Some((&[5, 1, 4], 0.03, true, &[(0, 9), (2, 3)])),
+            Some([12, 7, 3, 2, 1]),
         );
         let bytes = encode_result(&r);
         let cut = (cut_seed as usize) % bytes.len();
@@ -223,7 +236,7 @@ proptest! {
 
     #[test]
     fn corrupt_version_and_trailing_bytes_are_rejected(
-        wrong_version in 4u8..=u8::MAX,
+        wrong_version in 5u8..=u8::MAX,
         junk in 1usize..16,
     ) {
         let r = build_result(
@@ -231,7 +244,7 @@ proptest! {
             (0, &[], &[]),
             &[0; 8], &[0; 10],
             "e".into(), "s".into(), "p".into(),
-            None,
+            None, None,
         );
         let mut bytes = encode_result(&r);
         // Trailing garbage after a valid record.
@@ -355,7 +368,7 @@ proptest! {
     }
 
     #[test]
-    fn v3_decoder_reads_historical_record_streams(
+    fn v4_decoder_reads_historical_record_streams(
         device in any::<u64>(),
         detections in any::<u64>(),
         floats in prop::collection::vec(extreme_f64(), 5),
@@ -365,27 +378,33 @@ proptest! {
         subject in label(),
         policy in label(),
     ) {
-        // A version-1 writer knew neither the telemetry block nor the
-        // scenario block; a version-2 writer only the former. Both
+        // A version-1 writer knew neither the telemetry block, the
+        // scenario block nor the adaptive-policy block; a version-2
+        // writer only the first; a version-3 writer the first two. All
         // encodings are strict prefixes-with-gaps of today's layout, so
-        // we reconstruct them by surgery on the v3 bytes (the telemetry
+        // we reconstruct them by surgery on the v4 bytes (the telemetry
         // block is 8 bytes of queue mark plus two empty 42-byte
-        // histograms when unused, at fixed offset 218; the scenario
-        // block collapses to one trailing flag byte when inactive).
+        // histograms when unused, at fixed offset 218; the scenario and
+        // adaptive-policy blocks each collapse to one trailing flag
+        // byte when inactive).
         let r = build_result(
             device, 1.25, detections, 0, &floats, 11,
             (0, &[], &[]),
             &fault_counts, &rel_counts, env, subject, policy,
-            None,
+            None, None,
         );
-        let v3 = encode_result(&r);
+        let v4 = encode_result(&r);
+        let mut v3 = v4.clone();
+        prop_assert_eq!(v3.pop(), Some(0));
+        v3[0] = 0x03;
+        prop_assert_eq!(decode_result(&v3).expect("v3 decode"), r.clone());
         let mut v2 = v3.clone();
         prop_assert_eq!(v2.pop(), Some(0));
         v2[0] = 0x02;
         prop_assert_eq!(decode_result(&v2).expect("v2 decode"), r.clone());
         let mut v1 = Vec::new();
-        v1.extend_from_slice(&v3[..218]);
-        v1.extend_from_slice(&v3[218 + 8 + 42 + 42..v3.len() - 1]);
+        v1.extend_from_slice(&v4[..218]);
+        v1.extend_from_slice(&v4[218 + 8 + 42 + 42..v4.len() - 2]);
         v1[0] = 0x01;
         let back = decode_result(&v1).expect("v1 decode");
         prop_assert_eq!(back.digest(), r.digest());

@@ -80,7 +80,8 @@ fn harsh_profile_degrades_but_keeps_running() {
     cfg.policy = DetectionPolicy::DutyCycledSync {
         per_minute: 24.0,
         sync_interval_s: 300.0,
-    };
+    }
+    .into();
     cfg.notify_j = 10e-6;
     let report = cfg.run();
     assert!(report.faults.total() > 0, "harsh plan injected nothing");
@@ -101,7 +102,8 @@ fn duty_cycled_sync_reports_outcomes_even_fault_free() {
     cfg.policy = DetectionPolicy::DutyCycledSync {
         per_minute: 24.0,
         sync_interval_s: 120.0,
-    };
+    }
+    .into();
     cfg.notify_j = 10e-6;
     let report = cfg.run();
     let rel = &report.reliability;
@@ -147,10 +149,10 @@ proptest! {
             cfg.policy = DetectionPolicy::DutyCycledSync {
                 per_minute,
                 sync_interval_s: 120.0,
-            };
+            }.into();
             cfg.notify_j = 10e-6;
         } else {
-            cfg.policy = DetectionPolicy::FixedRate { per_minute };
+            cfg.policy = DetectionPolicy::FixedRate { per_minute }.into();
         }
         cfg.battery = Battery::new(capacity_j);
         cfg.battery.set_soc(start_soc);
